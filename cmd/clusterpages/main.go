@@ -1,0 +1,128 @@
+// Command clusterpages runs step (1) of the paper's pipeline on a pages
+// directory: it partitions the pages into page clusters by URL pattern,
+// tag structure and keyword similarity, and writes one sub-directory per
+// cluster (each a valid -site input for retrozilla).
+//
+// Usage:
+//
+//	clusterpages -pages ./pages -out ./clusters [-threshold 0.65]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dom"
+)
+
+func main() {
+	pagesDir := flag.String("pages", "", "pages directory (from crawl or sitegen)")
+	out := flag.String("out", "clusters", "output directory")
+	threshold := flag.Float64("threshold", 0, "similarity threshold (0 = default)")
+	flag.Parse()
+	if *pagesDir == "" {
+		fmt.Fprintln(os.Stderr, "clusterpages: -pages is required")
+		os.Exit(2)
+	}
+	if err := run(*pagesDir, *out, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterpages:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pagesDir, out string, threshold float64) error {
+	pages, err := loadPages(pagesDir)
+	if err != nil {
+		return err
+	}
+	infos := make([]cluster.PageInfo, len(pages))
+	for i, p := range pages {
+		infos[i] = cluster.PageInfo{URI: p.URI, Doc: p.Doc}
+	}
+	cfg := cluster.DefaultConfig()
+	if threshold > 0 {
+		cfg.Threshold = threshold
+	}
+	results := cluster.ClusterPages(infos, cfg)
+	for _, r := range results {
+		dir := filepath.Join(out, r.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		man := struct {
+			Cluster string            `json:"cluster"`
+			Pages   map[string]string `json:"pages"`
+		}{Cluster: sanitizeName(r.Name), Pages: map[string]string{}}
+		for i, idx := range r.Pages {
+			file := fmt.Sprintf("page%03d.html", i)
+			if err := os.WriteFile(filepath.Join(dir, file),
+				[]byte(dom.Render(pages[idx].Doc)), 0o644); err != nil {
+				return err
+			}
+			man.Pages[pages[idx].URI] = file
+		}
+		data, err := json.MarshalIndent(man, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "pages.json"),
+			append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("cluster %-30s %3d pages -> %s\n", r.Name, len(r.Pages), dir)
+	}
+	return nil
+}
+
+// sanitizeName makes the cluster name a valid rule-repository cluster
+// name (letters first, limited charset).
+func sanitizeName(name string) string {
+	outRunes := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			outRunes = append(outRunes, r)
+		}
+	}
+	if len(outRunes) == 0 || !isLetter(outRunes[0]) {
+		return "cluster-" + string(outRunes)
+	}
+	return string(outRunes)
+}
+
+func isLetter(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+}
+
+func loadPages(dir string) ([]*core.Page, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "pages.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man struct {
+		Pages map[string]string `json:"pages"`
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, err
+	}
+	uris := make([]string, 0, len(man.Pages))
+	for uri := range man.Pages {
+		uris = append(uris, uri)
+	}
+	sort.Slice(uris, func(i, j int) bool { return man.Pages[uris[i]] < man.Pages[uris[j]] })
+	var pages []*core.Page
+	for _, uri := range uris {
+		html, err := os.ReadFile(filepath.Join(dir, man.Pages[uri]))
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, core.NewPage(uri, string(html)))
+	}
+	return pages, nil
+}

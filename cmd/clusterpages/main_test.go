@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dom"
+)
+
+func TestClusterPagesRun(t *testing.T) {
+	dir := t.TempDir()
+	pagesDir := filepath.Join(dir, "pages")
+	if err := os.MkdirAll(pagesDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(1, 8))
+	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(2, 8))
+	man := struct {
+		Cluster string            `json:"cluster"`
+		Pages   map[string]string `json:"pages"`
+	}{Cluster: "crawled", Pages: map[string]string{}}
+	i := 0
+	for _, cl := range []*corpus.Cluster{movies, stocks} {
+		for _, p := range cl.Pages {
+			file := fmt.Sprintf("page%03d.html", i)
+			i++
+			if err := os.WriteFile(filepath.Join(pagesDir, file),
+				[]byte(dom.Render(p.Doc)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			man.Pages[p.URI] = file
+		}
+	}
+	data, _ := json.MarshalIndent(man, "", "  ")
+	if err := os.WriteFile(filepath.Join(pagesDir, "pages.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "clusters")
+	if err := run(pagesDir, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("clusters = %v, want 2", names)
+	}
+	// Each cluster dir must be a loadable site.
+	for _, e := range entries {
+		manPath := filepath.Join(out, e.Name(), "pages.json")
+		if _, err := os.Stat(manPath); err != nil {
+			t.Errorf("cluster %s missing pages.json", e.Name())
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"movies-example-title": "movies-example-title",
+		"9weird":               "cluster-9weird",
+		"has space":            "hasspace",
+		"":                     "cluster-",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command crawl gathers the pages of a live site into a pages directory
+// compatible with the retrozilla and extract commands (pages.json + HTML
+// files, no ground truth). This is the "Web site" input arrow of
+// Figure 1.
+//
+// Usage:
+//
+//	crawl -url http://host/ -out ./pages -max 200
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dom"
+	"repro/internal/webfetch"
+)
+
+func main() {
+	start := flag.String("url", "", "start URL")
+	out := flag.String("out", "pages", "output directory")
+	max := flag.Int("max", 200, "maximum pages")
+	delay := flag.Duration("delay", 0, "delay between requests (e.g. 100ms)")
+	flag.Parse()
+	if *start == "" {
+		fmt.Fprintln(os.Stderr, "crawl: -url is required")
+		os.Exit(2)
+	}
+	f := &webfetch.Fetcher{MaxPages: *max, Delay: *delay}
+	pages, err := f.Crawl(*start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+	man := struct {
+		Cluster string            `json:"cluster"`
+		Pages   map[string]string `json:"pages"`
+	}{Cluster: "crawled", Pages: map[string]string{}}
+	for i, p := range pages {
+		file := fmt.Sprintf("page%03d.html", i)
+		if err := os.WriteFile(filepath.Join(*out, file),
+			[]byte(dom.Render(p.Doc)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crawl:", err)
+			os.Exit(1)
+		}
+		man.Pages[p.URI] = file
+	}
+	data, _ := json.MarshalIndent(man, "", "  ")
+	if err := os.WriteFile(filepath.Join(*out, "pages.json"), append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crawled %d page(s) -> %s\n", len(pages), *out)
+}

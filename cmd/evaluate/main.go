@@ -1,0 +1,49 @@
+// Command evaluate regenerates the paper's tables and figures and the
+// quantitative studies derived from its claims. With no flags it runs
+// everything; -exp selects one experiment by ID.
+//
+// Usage:
+//
+//	evaluate              # run all experiments
+//	evaluate -exp T1      # run one (F1 T1 T2 T3 F3 F5 XSD T4 CONV BASE NEST FAIL)
+//	evaluate -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return
+	}
+	if *exp != "" {
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n",
+				*exp, strings.Join(experiments.IDs(), " "))
+			os.Exit(2)
+		}
+		printReport(r)
+		return
+	}
+	for _, r := range experiments.All() {
+		printReport(r)
+	}
+}
+
+func printReport(r experiments.Report) {
+	fmt.Printf("=== %s — %s ===\n", r.ID, r.Title)
+	fmt.Println(r.Text)
+	fmt.Println()
+}

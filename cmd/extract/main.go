@@ -1,0 +1,110 @@
+// Command extract applies a recorded rule repository to the pages of a
+// cluster and writes the extraction output: the XML document (Figure 5
+// structure, or the repository's enhanced structure) and the generated
+// XML Schema. Detected extraction failures (§7) are reported on stderr.
+//
+// Usage:
+//
+//	extract -rules rules.json -site ./site/imdb-movies -out data.xml -xsd schema.xsd
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/rule"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "rules.json", "rule repository (from retrozilla)")
+	site := flag.String("site", "", "cluster directory (from sitegen)")
+	out := flag.String("out", "data.xml", "output XML document")
+	xsd := flag.String("xsd", "", "output XML Schema (optional)")
+	flag.Parse()
+	if *site == "" {
+		fmt.Fprintln(os.Stderr, "extract: -site is required")
+		os.Exit(2)
+	}
+	if err := run(*rulesPath, *site, *out, *xsd); err != nil {
+		fmt.Fprintln(os.Stderr, "extract:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rulesPath, site, out, xsd string) error {
+	var repo *rule.Repository
+	var err error
+	if strings.HasSuffix(rulesPath, ".xml") {
+		repo, err = rule.LoadXML(rulesPath)
+	} else {
+		repo, err = rule.Load(rulesPath)
+	}
+	if err != nil {
+		return err
+	}
+	pages, err := loadPages(site)
+	if err != nil {
+		return err
+	}
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		return err
+	}
+	doc, failures := proc.ExtractCluster(pages)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := doc.WriteXML(f); err != nil {
+		return err
+	}
+	fmt.Printf("extracted %d page(s) -> %s\n", len(doc.Children), out)
+	if xsd != "" {
+		if err := os.WriteFile(xsd, []byte(extract.GenerateSchema(repo)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("schema -> %s\n", xsd)
+	}
+	for _, fail := range failures {
+		fmt.Fprintln(os.Stderr, "failure:", fail)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "%d extraction failure(s) detected\n", len(failures))
+	}
+	return nil
+}
+
+func loadPages(site string) ([]*core.Page, error) {
+	data, err := os.ReadFile(filepath.Join(site, "pages.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man struct {
+		Pages map[string]string `json:"pages"`
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, err
+	}
+	uris := make([]string, 0, len(man.Pages))
+	for uri := range man.Pages {
+		uris = append(uris, uri)
+	}
+	sort.Slice(uris, func(i, j int) bool { return man.Pages[uris[i]] < man.Pages[uris[j]] })
+	var pages []*core.Page
+	for _, uri := range uris {
+		html, err := os.ReadFile(filepath.Join(site, man.Pages[uri]))
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, core.NewPage(uri, string(html)))
+	}
+	return pages, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+func writeSiteAndRules(t *testing.T, dir string) (site, rules string) {
+	t.Helper()
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(9, 6))
+	site = filepath.Join(dir, "stocks")
+	if err := os.MkdirAll(site, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man := struct {
+		Cluster string            `json:"cluster"`
+		Pages   map[string]string `json:"pages"`
+	}{Cluster: cl.Name, Pages: map[string]string{}}
+	for i, p := range cl.Pages {
+		file := fmt.Sprintf("page%03d.html", i)
+		if err := os.WriteFile(filepath.Join(site, file),
+			[]byte(dom.Render(p.Doc)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		man.Pages[p.URI] = file
+	}
+	data, _ := json.MarshalIndent(man, "", "  ")
+	if err := os.WriteFile(filepath.Join(site, "pages.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repo := rule.NewRepository("stocks")
+	if err := repo.Record(rule.Rule{
+		Name: "ticker", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued,
+		Format: rule.Text, Locations: []string{"BODY//H2[1]/text()[1]"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rules = filepath.Join(dir, "rules.json")
+	if err := repo.Save(rules); err != nil {
+		t.Fatal(err)
+	}
+	return site, rules
+}
+
+func TestExtractRunWritesXMLAndXSD(t *testing.T) {
+	dir := t.TempDir()
+	site, rules := writeSiteAndRules(t, dir)
+	out := filepath.Join(dir, "data.xml")
+	xsd := filepath.Join(dir, "schema.xsd")
+	if err := run(rules, site, out, xsd); err != nil {
+		t.Fatal(err)
+	}
+	xml, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(xml), "<stocks>") ||
+		!strings.Contains(string(xml), "<ticker>") {
+		t.Errorf("XML output wrong:\n%s", xml)
+	}
+	schema, err := os.ReadFile(xsd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(schema), `<xs:element name="ticker"`) {
+		t.Errorf("XSD output wrong:\n%s", schema)
+	}
+}
+
+func TestExtractRunMissingInputs(t *testing.T) {
+	dir := t.TempDir()
+	site, rules := writeSiteAndRules(t, dir)
+	if err := run(filepath.Join(dir, "nope.json"), site, filepath.Join(dir, "o.xml"), ""); err == nil {
+		t.Error("missing rules must fail")
+	}
+	if err := run(rules, filepath.Join(dir, "nosite"), filepath.Join(dir, "o.xml"), ""); err == nil {
+		t.Error("missing site must fail")
+	}
+}

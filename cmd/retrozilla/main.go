@@ -1,0 +1,250 @@
+// Command retrozilla builds mapping rules for a page cluster on disk —
+// the batch equivalent of the Retrozilla browser plug-in. The human
+// operator's two inputs (pointing at a component value and naming it) are
+// supplied by the cluster's truth.json: for every component the oracle
+// locates the DOM nodes whose string value matches the recorded ground
+// truth, exactly as an operator would click the rendered value.
+//
+// Usage:
+//
+//	retrozilla -site ./site/imdb-movies -sample 10 -out rules.json [-v]
+//	retrozilla -site ./pages -interactive -components price,title -out rules.json
+//
+// The -site directory is produced by sitegen (pages.json + truth.json +
+// HTML files) or by crawl (no truth.json — use -interactive). The working
+// sample is the first -sample pages of the manifest; rules are checked
+// and refined against it, then recorded to -out as a rule repository.
+//
+// In -interactive mode the operator plays the Retrozilla user directly:
+// the page's values are listed with their visual context and selected by
+// number, mirroring the control-panel workflow of Figure 6.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/interactive"
+	"repro/internal/rule"
+	"repro/internal/textutil"
+	"repro/internal/xpath"
+)
+
+func main() {
+	site := flag.String("site", "", "cluster directory (from sitegen or crawl)")
+	sampleSize := flag.Int("sample", 10, "working-sample size")
+	out := flag.String("out", "rules.json", "output rule repository")
+	verbose := flag.Bool("v", false, "log check tables and refinements")
+	interactiveMode := flag.Bool("interactive", false, "prompt for value selection instead of using truth.json")
+	components := flag.String("components", "", "comma-separated component names (interactive mode)")
+	flag.Parse()
+	if *site == "" {
+		fmt.Fprintln(os.Stderr, "retrozilla: -site is required")
+		os.Exit(2)
+	}
+	var err error
+	if *interactiveMode {
+		err = runInteractive(*site, *sampleSize, *out, *components)
+	} else {
+		err = run(*site, *sampleSize, *out, *verbose)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retrozilla:", err)
+		os.Exit(1)
+	}
+}
+
+// runInteractive drives the Figure 6 style session on the terminal.
+func runInteractive(site string, sampleSize int, out, componentList string) error {
+	if componentList == "" {
+		return fmt.Errorf("-interactive requires -components name[,name...]")
+	}
+	man, pages, err := loadSite(site)
+	if err != nil {
+		return err
+	}
+	if sampleSize > len(pages) {
+		sampleSize = len(pages)
+	}
+	var comps []string
+	for _, c := range strings.Split(componentList, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			comps = append(comps, c)
+		}
+	}
+	session := interactive.NewSession(os.Stdin, os.Stdout)
+	results, err := session.BuildRules(core.Sample(pages[:sampleSize]), comps)
+	if err != nil {
+		return err
+	}
+	repo := rule.NewRepository(man.Cluster)
+	for _, comp := range comps {
+		if res, ok := results[comp]; ok && res.OK {
+			if err := repo.Record(res.Rule); err != nil {
+				return err
+			}
+		}
+	}
+	if err := saveRepo(repo, out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d rule(s) -> %s\n", len(repo.Rules), out)
+	return nil
+}
+
+type manifest struct {
+	Cluster    string            `json:"cluster"`
+	Components []string          `json:"components"`
+	Pages      map[string]string `json:"pages"`
+}
+
+func run(site string, sampleSize int, out string, verbose bool) error {
+	man, pages, err := loadSite(site)
+	if err != nil {
+		return err
+	}
+	truth, err := loadTruth(filepath.Join(site, "truth.json"))
+	if err != nil {
+		return err
+	}
+	if sampleSize > len(pages) {
+		sampleSize = len(pages)
+	}
+	sample := core.Sample(pages[:sampleSize])
+	oracle := truthOracle(truth)
+
+	repo := rule.NewRepository(man.Cluster)
+	b := &core.Builder{Sample: sample, Oracle: oracle}
+	for _, comp := range man.Components {
+		res, err := b.BuildRule(comp)
+		if err != nil {
+			fmt.Printf("component %-12s SKIPPED: %v\n", comp, err)
+			continue
+		}
+		status := "recorded"
+		if res.OK {
+			if err := repo.Record(res.Rule); err != nil {
+				return err
+			}
+		} else {
+			status = "NOT CONVERGED (not recorded)"
+		}
+		fmt.Printf("component %-12s %d refinement(s): %s\n", comp, len(res.Actions), status)
+		if verbose {
+			for _, a := range res.Actions {
+				fmt.Printf("  refine: %s\n", a)
+			}
+			fmt.Println(res.FinalReport().Table())
+		}
+	}
+	if err := saveRepo(repo, out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d rule(s) for cluster %s -> %s\n", len(repo.Rules), repo.Cluster, out)
+	return nil
+}
+
+// saveRepo writes the repository as JSON, or as the XML interchange
+// format when the path ends in .xml.
+func saveRepo(repo *rule.Repository, out string) error {
+	if strings.HasSuffix(out, ".xml") {
+		return repo.SaveXML(out)
+	}
+	return repo.Save(out)
+}
+
+func loadSite(site string) (*manifest, []*core.Page, error) {
+	data, err := os.ReadFile(filepath.Join(site, "pages.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, nil, err
+	}
+	uris := make([]string, 0, len(man.Pages))
+	for uri := range man.Pages {
+		uris = append(uris, uri)
+	}
+	sort.Slice(uris, func(i, j int) bool { return man.Pages[uris[i]] < man.Pages[uris[j]] })
+	var pages []*core.Page
+	for _, uri := range uris {
+		html, err := os.ReadFile(filepath.Join(site, man.Pages[uri]))
+		if err != nil {
+			return nil, nil, err
+		}
+		pages = append(pages, core.NewPage(uri, string(html)))
+	}
+	return &man, pages, nil
+}
+
+func loadTruth(path string) (map[string]map[string][]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var truth map[string]map[string][]string
+	if err := json.Unmarshal(data, &truth); err != nil {
+		return nil, err
+	}
+	return truth, nil
+}
+
+// truthOracle locates component values in a parsed page by their recorded
+// string values — the file-based stand-in for the operator's click.
+func truthOracle(truth map[string]map[string][]string) core.Oracle {
+	return core.OracleFunc(func(component string, p *core.Page) []*dom.Node {
+		vals := truth[p.URI][component]
+		if len(vals) == 0 {
+			return nil
+		}
+		var out []*dom.Node
+		used := map[*dom.Node]bool{}
+		for _, v := range vals {
+			if n := findByValue(p.Doc, v, used); n != nil {
+				used[n] = true
+				out = append(out, n)
+			}
+		}
+		if len(out) != len(vals) {
+			return nil // ambiguous or stale truth: treat as absent
+		}
+		return out
+	})
+}
+
+// findByValue returns the first unused minimal node whose normalized
+// string value equals v: text nodes first, then the smallest element.
+func findByValue(doc *dom.Node, v string, used map[*dom.Node]bool) *dom.Node {
+	var textHit, elemHit *dom.Node
+	dom.Walk(doc, func(n *dom.Node) bool {
+		if textHit != nil {
+			return false
+		}
+		switch n.Type {
+		case dom.TextNode:
+			if !used[n] && textutil.NormalizeSpace(n.Data) == v {
+				textHit = n
+			}
+		case dom.ElementNode:
+			if !used[n] && textutil.NormalizeSpace(xpath.NodeStringValue(n)) == v {
+				// Prefer the deepest (most specific) matching element.
+				if elemHit == nil || dom.IsAncestorOf(elemHit, n) {
+					elemHit = n
+				}
+			}
+		}
+		return true
+	})
+	if textHit != nil {
+		return textHit
+	}
+	return elemHit
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+func pageFromHTML(uri, html string) *core.Page { return core.NewPage(uri, html) }
+
+// writeSite materializes a generated cluster the way sitegen does.
+func writeSite(t *testing.T, dir string, cl *corpus.Cluster) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man := manifest{Cluster: cl.Name, Components: cl.ComponentNames(),
+		Pages: map[string]string{}}
+	truth := map[string]map[string][]string{}
+	for i, p := range cl.Pages {
+		file := filepath.Join(dir, filenameFor(i))
+		if err := os.WriteFile(file, []byte(dom.Render(p.Doc)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		man.Pages[p.URI] = filenameFor(i)
+		tv := map[string][]string{}
+		for _, comp := range cl.ComponentNames() {
+			if vs := cl.TruthStrings(p, comp); len(vs) > 0 {
+				tv[comp] = vs
+			}
+		}
+		truth[p.URI] = tv
+	}
+	mustJSON(t, filepath.Join(dir, "pages.json"), man)
+	mustJSON(t, filepath.Join(dir, "truth.json"), truth)
+}
+
+func filenameFor(i int) string { return fmt.Sprintf("page%03d.html", i) }
+
+func mustJSON(t *testing.T, path string, v interface{}) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBuildsRepositoryFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	site := filepath.Join(dir, "stocks")
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(3, 12))
+	writeSite(t, site, cl)
+	out := filepath.Join(dir, "rules.json")
+	if err := run(site, 8, out, false); err != nil {
+		t.Fatal(err)
+	}
+	repo, err := rule.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Rules) != len(cl.Components) {
+		t.Errorf("recorded %d rules, want %d", len(repo.Rules), len(cl.Components))
+	}
+}
+
+func TestRunMissingTruth(t *testing.T) {
+	dir := t.TempDir()
+	site := filepath.Join(dir, "s")
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(3, 3))
+	writeSite(t, site, cl)
+	if err := os.Remove(filepath.Join(site, "truth.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(site, 3, filepath.Join(dir, "r.json"), false); err == nil {
+		t.Error("missing truth.json must fail in batch mode")
+	}
+}
+
+func TestTruthOracleAmbiguityIsAbsence(t *testing.T) {
+	// A truth value that does not occur in the page yields nil (absent),
+	// never a wrong node.
+	truth := map[string]map[string][]string{
+		"u": {"price": {"$99.99"}},
+	}
+	o := truthOracle(truth)
+	p := pageFromHTML("u", `<html><body><span>$10.00</span></body></html>`)
+	if nodes := o.Select("price", p); nodes != nil {
+		t.Errorf("stale truth must be absence, got %v", nodes)
+	}
+}
+
+func TestFindByValuePrefersTextAndDeepest(t *testing.T) {
+	p := pageFromHTML("u", `<html><body><div><span>X</span></div><p>X</p></body></html>`)
+	// Text node preferred over any element.
+	n := findByValue(p.Doc, "X", map[*dom.Node]bool{})
+	if n == nil || n.Type != dom.TextNode {
+		t.Fatalf("findByValue = %v", n)
+	}
+}

@@ -1,0 +1,76 @@
+// Price monitoring: the information-monitoring use case the paper's
+// conclusion names ("the monitoring of Web data such as concurrent prices
+// or stock rankings").
+//
+// Mapping rules are induced once from a sample of stock-quote pages; the
+// recorded repository is then applied to successive "fetches" of the same
+// pages to track price changes. A final fetch simulates a site redesign
+// that drops the Volume field — the extraction processor detects the
+// failure (§7) instead of silently emitting wrong data.
+//
+// Run with: go run ./examples/pricemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/rule"
+)
+
+func main() {
+	// One-time setup: induce rules from a 8-page working sample.
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(2024, 24))
+	sample, _ := cl.RepresentativeSplit(8)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("induced %d rules for cluster %s\n\n", len(repo.Rules), repo.Cluster)
+	for _, r := range repo.Rules {
+		fmt.Printf("  %-10s -> %s\n", r.Name, r.Locations[0])
+	}
+
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Daily monitoring: each "fetch" is a fresh generation of the same
+	// cluster (prices move, the optional news block comes and goes — the
+	// rules must keep locating the quote fields).
+	fmt.Println("\n== monitoring: three fetches ==")
+	for day := 1; day <= 3; day++ {
+		fetch := corpus.GenerateStocks(corpus.DefaultStockProfile(int64(3000+day), 4))
+		doc, failures := proc.ExtractCluster(fetch.Pages)
+		fmt.Printf("day %d:\n", day)
+		for _, page := range doc.Children {
+			ticker, price, change := text(page, "ticker"), text(page, "last-price"), text(page, "change")
+			fmt.Printf("  %-6s last=%-8s change=%s\n", ticker, price, change)
+		}
+		if len(failures) > 0 {
+			fmt.Println("  failures:", failures)
+		}
+	}
+
+	// A site redesign drops the Volume field: monitoring must notice.
+	fmt.Println("\n== drifted fetch (Volume field removed) ==")
+	drifted, injected := corpus.InjectDrift(cl, "volume", corpus.DriftRemoveMandatory, 1.0, 7)
+	_, failures := proc.ExtractCluster(drifted[:4])
+	fmt.Printf("injected %d drifts; extraction reported %d failure(s):\n",
+		len(injected), len(failures))
+	for _, f := range failures {
+		fmt.Println("  ", f)
+	}
+}
+
+func text(page *extract.Element, comp string) string {
+	if el := page.Find(comp); el != nil {
+		return el.Text
+	}
+	return "-"
+}

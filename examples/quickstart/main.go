@@ -1,0 +1,117 @@
+// Quickstart: the paper's running example, end to end.
+//
+// Builds the mapping rule for the "runtime" component over the 4-page
+// imdb-movies working sample of Table 1 / Figure 4, showing the candidate
+// rule's mismatches, the contextual refinement, and the final Figure 5
+// XML document.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/extract"
+	"repro/internal/rule"
+)
+
+// page builds one movie page in the Figure 4 layout. aka simulates the
+// "Also Known As:" field that shifts later positions; filler changes the
+// info row's index.
+func page(uri, aka, runtime, country string, filler int) *core.Page {
+	var b strings.Builder
+	b.WriteString("<html><body><table>")
+	for i := 0; i < filler; i++ {
+		b.WriteString("<tr><td>boilerplate</td></tr>")
+	}
+	b.WriteString("<tr><td>")
+	if aka != "" {
+		b.WriteString("<b>Also Known As:</b> " + aka + " <br>")
+	}
+	b.WriteString("<b>Runtime:</b> " + runtime + " <br>")
+	b.WriteString("<b>Country:</b> " + country + " <br>")
+	b.WriteString("</td></tr></table></body></html>")
+	return core.NewPage(uri, b.String())
+}
+
+func main() {
+	// The working sample (§3.1): four pages of the imdb-movies cluster
+	// exhibiting the cluster's structural discrepancies.
+	sample := core.Sample{
+		page("http://imdb.com/title/tt0095159/", "", "108 min", "USA/UK", 5),
+		page("http://imdb.com/title/tt0071853/", "", "91 min", "UK", 5),
+		page("http://imdb.com/title/tt0074103/",
+			"The Wing and the Thigh (International: English title)", "104 min", "France", 5),
+		page("http://imdb.com/title/tt0102059/", "", "84 min", "Italy", 3),
+	}
+
+	// The Oracle plays the human operator: it points at the text node
+	// following the "Runtime:" label — Retrozilla's user would click that
+	// value in the browser (§3.2 selection + interpretation).
+	oracle := core.OracleFunc(func(component string, p *core.Page) []*dom.Node {
+		label := dom.FindFirst(p.Doc, func(n *dom.Node) bool {
+			return n.Type == dom.TextNode && strings.TrimSpace(n.Data) == "Runtime:"
+		})
+		if label == nil {
+			return nil
+		}
+		for s := label.Parent.NextSibling; s != nil; s = s.NextSibling {
+			if s.Type == dom.TextNode && strings.TrimSpace(s.Data) != "" {
+				return []*dom.Node{s}
+			}
+		}
+		return nil
+	})
+
+	builder := &core.Builder{Sample: sample, Oracle: oracle}
+
+	// Step 1 — candidate rule (§3.2): precise position-based XPath.
+	candidate, _, err := builder.Candidate("runtime")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== candidate rule ==")
+	fmt.Println(candidate.String())
+
+	// Step 2 — checking (§3.3): Table 1's tabular view.
+	report, err := core.Check(candidate, sample, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== candidate check (Table 1) ==")
+	fmt.Println(report.Table())
+
+	// Step 3 — refinement loop (§3.4) until the rule is valid everywhere.
+	result, err := builder.BuildRule("runtime")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== refinement actions ==")
+	for _, a := range result.Actions {
+		fmt.Println("  -", a)
+	}
+	fmt.Println("\n== refined rule ==")
+	fmt.Println(result.Rule.String())
+	fmt.Println("== check after refinement (Table 3) ==")
+	fmt.Println(result.FinalReport().Table())
+
+	// Step 4 — recording (§3.5) and XML extraction (§4, Figure 5).
+	repo := rule.NewRepository("imdb-movies")
+	if err := repo.Record(result.Rule); err != nil {
+		log.Fatal(err)
+	}
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, failures := proc.ExtractCluster([]*core.Page(sample))
+	fmt.Println("== generated XML (Figure 5) ==")
+	fmt.Print(doc.XMLString())
+	if len(failures) > 0 {
+		fmt.Println("failures:", failures)
+	}
+}

@@ -1,0 +1,294 @@
+// Package baseline implements a RoadRunner-class fully automatic wrapper
+// inducer (Crescenzi et al., VLDB'01 — reference [6] of the paper). The
+// paper positions Retrozilla against such systems in §6: they need no
+// human input, but "all varying chunks of the HTML source code will be
+// part of the extracted data", so their output is untargeted. This
+// implementation exists to quantify that trade-off (experiment E-BASE).
+//
+// The inducer folds the pages of a cluster into a template tree — a
+// union-free pattern with constants, data fields, optionals and
+// iterators — by structural alignment:
+//
+//   - matching elements align their child sequences (LCS on tag
+//     signatures); unmatched runs become optionals;
+//   - consecutive same-tag runs of differing lengths collapse into
+//     iterators whose bodies share fields;
+//   - text nodes that differ across pages generalize to data fields.
+//
+// Extraction walks a page with the template and collects every field
+// value. No semantic names exist — fields are numbered, exactly the
+// limitation §6 describes ("a user intervention is still necessary to
+// give a semantic interpretation to the extracted data").
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/textutil"
+)
+
+// Kind enumerates template node kinds.
+type Kind int
+
+// Template node kinds.
+const (
+	KindElement Kind = iota
+	KindText         // constant text
+	KindField        // variant text: a data field
+	KindOptional
+	KindIterator
+)
+
+// Template is a node of the induced wrapper pattern.
+type Template struct {
+	Kind Kind
+	// Tag for elements; constant content for text nodes.
+	Tag  string
+	Text string
+	// FieldID numbers data fields in template order.
+	FieldID int
+	// Children: element content, or the single-entry body of
+	// optional/iterator nodes.
+	Children []*Template
+}
+
+// signature keys alignment: elements by tag, text-ish nodes all alike.
+func (t *Template) signature() string {
+	switch t.Kind {
+	case KindElement:
+		return "<" + t.Tag + ">"
+	case KindOptional, KindIterator:
+		if len(t.Children) > 0 {
+			return t.Children[0].signature()
+		}
+		return "?"
+	default:
+		return "#text"
+	}
+}
+
+// String renders the template as a compact pattern expression (for
+// debugging and the evaluation report).
+func (t *Template) String() string {
+	var b strings.Builder
+	t.render(&b)
+	return b.String()
+}
+
+func (t *Template) render(b *strings.Builder) {
+	switch t.Kind {
+	case KindElement:
+		b.WriteString("<" + t.Tag + ">")
+		for _, c := range t.Children {
+			c.render(b)
+		}
+		b.WriteString("</" + t.Tag + ">")
+	case KindText:
+		b.WriteString(strings.TrimSpace(t.Text))
+	case KindField:
+		fmt.Fprintf(b, "{F%d}", t.FieldID)
+	case KindOptional:
+		b.WriteString("(")
+		for _, c := range t.Children {
+			c.render(b)
+		}
+		b.WriteString(")?")
+	case KindIterator:
+		b.WriteString("(")
+		for _, c := range t.Children {
+			c.render(b)
+		}
+		b.WriteString(")+")
+	}
+}
+
+// CountFields returns the number of distinct data fields in the template.
+func (t *Template) CountFields() int {
+	n := 0
+	t.walk(func(x *Template) {
+		if x.Kind == KindField {
+			n++
+		}
+	})
+	return n
+}
+
+func (t *Template) walk(f func(*Template)) {
+	f(t)
+	for _, c := range t.Children {
+		c.walk(f)
+	}
+}
+
+// Induce builds the wrapper template from a cluster sample. At least one
+// page is required; more pages generalize the template further.
+func Induce(pages []*dom.Node) (*Template, error) {
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("baseline: no pages")
+	}
+	tpl := fromNode(bodyOf(pages[0]))
+	for _, p := range pages[1:] {
+		tpl = merge(tpl, fromNode(bodyOf(p)))
+	}
+	assignFieldIDs(tpl)
+	return tpl, nil
+}
+
+func bodyOf(doc *dom.Node) *dom.Node {
+	if b := dom.Body(doc); b != nil {
+		return b
+	}
+	return doc
+}
+
+// fromNode converts a DOM subtree into an all-constant template.
+func fromNode(n *dom.Node) *Template {
+	switch n.Type {
+	case dom.TextNode:
+		return &Template{Kind: KindText, Text: textutil.NormalizeSpace(n.Data)}
+	case dom.ElementNode, dom.DocumentNode:
+		t := &Template{Kind: KindElement, Tag: n.Data}
+		if n.Type == dom.DocumentNode {
+			t.Tag = "#document"
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			if c.Type == dom.TextNode || c.Type == dom.ElementNode {
+				t.Children = append(t.Children, fromNode(c))
+			}
+		}
+		collapseRuns(t)
+		return t
+	default:
+		return &Template{Kind: KindText, Text: ""}
+	}
+}
+
+// collapseRuns turns consecutive same-tag element children (length > 1)
+// into an iterator whose body is the merge of the run items — the
+// "square" discovery of RoadRunner.
+func collapseRuns(t *Template) {
+	var out []*Template
+	i := 0
+	for i < len(t.Children) {
+		j := i + 1
+		sig := t.Children[i].signature()
+		for j < len(t.Children) && t.Children[j].signature() == sig &&
+			t.Children[i].Kind == KindElement && t.Children[j].Kind == KindElement {
+			j++
+		}
+		if j-i > 1 {
+			body := t.Children[i]
+			for k := i + 1; k < j; k++ {
+				body = merge(body, t.Children[k])
+			}
+			out = append(out, &Template{Kind: KindIterator, Children: []*Template{body}})
+		} else {
+			out = append(out, t.Children[i])
+		}
+		i = j
+	}
+	t.Children = out
+}
+
+// merge unifies two templates describing the same position.
+func merge(a, b *Template) *Template {
+	if a == nil {
+		return optionalize(b)
+	}
+	if b == nil {
+		return optionalize(a)
+	}
+	switch {
+	case a.Kind == KindIterator || b.Kind == KindIterator:
+		return &Template{Kind: KindIterator, Children: []*Template{merge(bodyOrSelf(a), bodyOrSelf(b))}}
+	case a.Kind == KindOptional || b.Kind == KindOptional:
+		return &Template{Kind: KindOptional, Children: []*Template{merge(bodyOrSelf(a), bodyOrSelf(b))}}
+	case a.Kind == KindElement && b.Kind == KindElement && a.Tag == b.Tag:
+		m := &Template{Kind: KindElement, Tag: a.Tag}
+		m.Children = mergeSequences(a.Children, b.Children)
+		collapseRuns(m)
+		return m
+	case isTextual(a) && isTextual(b):
+		if a.Kind == KindText && b.Kind == KindText && a.Text == b.Text {
+			return &Template{Kind: KindText, Text: a.Text}
+		}
+		return &Template{Kind: KindField}
+	default:
+		// Structurally incompatible: keep both as optionals under a
+		// neutral group (rare; signals cluster heterogeneity).
+		return &Template{Kind: KindOptional, Children: []*Template{a}}
+	}
+}
+
+func bodyOrSelf(t *Template) *Template {
+	if (t.Kind == KindOptional || t.Kind == KindIterator) && len(t.Children) > 0 {
+		return t.Children[0]
+	}
+	return t
+}
+
+func isTextual(t *Template) bool { return t.Kind == KindText || t.Kind == KindField }
+
+func optionalize(t *Template) *Template {
+	if t.Kind == KindOptional {
+		return t
+	}
+	return &Template{Kind: KindOptional, Children: []*Template{t}}
+}
+
+// mergeSequences aligns two child sequences by LCS on signatures, merging
+// matched items and optionalizing the rest.
+func mergeSequences(a, b []*Template) []*Template {
+	n, m := len(a), len(b)
+	// LCS table.
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i].signature() == b[j].signature() {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var out []*Template
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i].signature() == b[j].signature():
+			out = append(out, merge(a[i], b[j]))
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			out = append(out, optionalize(a[i]))
+			i++
+		default:
+			out = append(out, optionalize(b[j]))
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		out = append(out, optionalize(a[i]))
+	}
+	for ; j < m; j++ {
+		out = append(out, optionalize(b[j]))
+	}
+	return out
+}
+
+func assignFieldIDs(t *Template) {
+	id := 0
+	t.walk(func(x *Template) {
+		if x.Kind == KindField {
+			id++
+			x.FieldID = id
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dom"
+)
+
+func docs(srcs ...string) []*dom.Node {
+	out := make([]*dom.Node, len(srcs))
+	for i, s := range srcs {
+		out[i] = dom.Parse(s)
+	}
+	return out
+}
+
+func TestInduceConstantVsField(t *testing.T) {
+	pages := docs(
+		`<body><h1>Title A</h1><p>constant text</p></body>`,
+		`<body><h1>Title B</h1><p>constant text</p></body>`,
+	)
+	tpl, err := Induce(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tpl.CountFields(); n != 1 {
+		t.Fatalf("fields = %d, want 1 (only the H1 text varies): %s", n, tpl)
+	}
+	vals := Values(Extract(tpl, pages[0]))
+	if len(vals) != 1 || vals[0] != "Title A" {
+		t.Errorf("extracted %v", vals)
+	}
+}
+
+func TestInduceOptional(t *testing.T) {
+	pages := docs(
+		`<body><p>intro</p><div>extra block</div><p>outro</p></body>`,
+		`<body><p>intro</p><p>outro</p></body>`,
+	)
+	tpl, err := Induce(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tpl.String()
+	if !strings.Contains(s, ")?") {
+		t.Errorf("expected an optional in template: %s", s)
+	}
+	// Both pages must still extract without error.
+	Extract(tpl, pages[0])
+	Extract(tpl, pages[1])
+}
+
+func TestInduceIterator(t *testing.T) {
+	pages := docs(
+		`<body><ul><li>a</li><li>b</li><li>c</li></ul></body>`,
+		`<body><ul><li>x</li></ul></body>`,
+	)
+	tpl, err := Induce(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tpl.String(), ")+") {
+		t.Fatalf("expected an iterator: %s", tpl)
+	}
+	vals := Values(Extract(tpl, pages[0]))
+	if len(vals) != 3 {
+		t.Errorf("iterator extraction got %v, want 3 values", vals)
+	}
+	// All iterator instances must share one field.
+	fvs := Extract(tpl, pages[0])
+	for _, fv := range fvs[1:] {
+		if fv.FieldID != fvs[0].FieldID {
+			t.Errorf("iterator instances have different field IDs: %v", fvs)
+		}
+	}
+}
+
+func TestInduceUntargetedOutput(t *testing.T) {
+	// The automatic wrapper extracts ALL varying chunks — including ones
+	// no user cares about (the §6 criticism this baseline quantifies).
+	pages := docs(
+		`<body><div>ads: buy now 123</div><h1>Movie A</h1><span>visitor 555</span></body>`,
+		`<body><div>ads: buy now 456</div><h1>Movie B</h1><span>visitor 777</span></body>`,
+	)
+	tpl, err := Induce(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := Values(Extract(tpl, pages[0]))
+	if len(vals) != 3 {
+		t.Errorf("automatic wrapper should extract all 3 varying chunks, got %v", vals)
+	}
+}
+
+func TestBaselineOnCorpus(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(50, 20))
+	var pages []*dom.Node
+	for _, p := range cl.Pages[:10] {
+		pages = append(pages, p.Doc)
+	}
+	tpl, err := Induce(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.CountFields() == 0 {
+		t.Fatal("no fields induced from corpus")
+	}
+	// Recall of targeted values on the template-building pages should be
+	// substantial: most component values are varying text chunks.
+	found, total := 0, 0
+	for _, p := range cl.Pages[:10] {
+		got := map[string]bool{}
+		for _, v := range Values(Extract(tpl, p.Doc)) {
+			got[v] = true
+		}
+		for _, comp := range cl.ComponentNames() {
+			for _, v := range cl.TruthStrings(p, comp) {
+				total++
+				if got[v] {
+					found++
+				}
+			}
+		}
+	}
+	recall := float64(found) / float64(total)
+	if recall < 0.5 {
+		t.Errorf("baseline recall %.2f unreasonably low (%d/%d)", recall, found, total)
+	}
+	t.Logf("baseline recall on build pages: %.2f (%d/%d)", recall, found, total)
+}
+
+func TestInduceEmpty(t *testing.T) {
+	if _, err := Induce(nil); err == nil {
+		t.Error("Induce(nil) must fail")
+	}
+}
+
+func TestExtractOnForeignPage(t *testing.T) {
+	tpl, err := Induce(docs(`<body><h1>A</h1></body>`, `<body><h1>B</h1></body>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally unrelated page extracts nothing but must not panic.
+	vals := Extract(tpl, dom.Parse(`<body><table><tr><td>x</td></tr></table></body>`))
+	if len(vals) != 0 {
+		t.Errorf("foreign page extracted %v", vals)
+	}
+}

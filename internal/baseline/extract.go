@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"repro/internal/dom"
+	"repro/internal/textutil"
+)
+
+// FieldValue is one extracted (field, value) pair.
+type FieldValue struct {
+	FieldID int
+	Value   string
+}
+
+// Extract walks a page with the template and returns every field value
+// found, in document order. Matching is greedy and fault-tolerant: page
+// nodes that do not fit the template are skipped (RoadRunner similarly
+// tolerates mismatching fragments once the wrapper is fixed).
+func Extract(tpl *Template, doc *dom.Node) []FieldValue {
+	var out []FieldValue
+	matchNode(tpl, bodyOf(doc), &out)
+	return out
+}
+
+// matchNode aligns one template node against one DOM node, collecting
+// field values. It reports whether the node was consumed.
+func matchNode(t *Template, n *dom.Node, out *[]FieldValue) bool {
+	if n == nil {
+		return false
+	}
+	switch t.Kind {
+	case KindElement:
+		if n.Type != dom.ElementNode || n.Data != t.Tag {
+			return false
+		}
+		matchChildren(t.Children, contentChildren(n), out)
+		return true
+	case KindText:
+		return n.Type == dom.TextNode &&
+			textutil.NormalizeSpace(n.Data) == t.Text
+	case KindField:
+		if n.Type == dom.TextNode {
+			*out = append(*out, FieldValue{FieldID: t.FieldID,
+				Value: textutil.NormalizeSpace(n.Data)})
+			return true
+		}
+		return false
+	case KindOptional:
+		if len(t.Children) == 0 {
+			return false
+		}
+		return matchNode(t.Children[0], n, out)
+	case KindIterator:
+		if len(t.Children) == 0 {
+			return false
+		}
+		return matchNode(t.Children[0], n, out)
+	default:
+		return false
+	}
+}
+
+// matchChildren aligns a template child sequence against DOM children,
+// greedily: iterators consume maximal same-signature runs, optionals
+// consume at most one matching node, mismatching DOM nodes are skipped
+// when a later template item wants them.
+func matchChildren(tpl []*Template, nodes []*dom.Node, out *[]FieldValue) {
+	ni := 0
+	for _, t := range tpl {
+		switch t.Kind {
+		case KindIterator:
+			// Consume as many consecutive matches as possible.
+			for ni < len(nodes) {
+				var tmp []FieldValue
+				if !matchNode(t, nodes[ni], &tmp) {
+					break
+				}
+				*out = append(*out, tmp...)
+				ni++
+			}
+		case KindOptional:
+			if ni < len(nodes) {
+				var tmp []FieldValue
+				if matchNode(t, nodes[ni], &tmp) {
+					*out = append(*out, tmp...)
+					ni++
+				}
+			}
+		default:
+			// Mandatory item: scan forward for the first node it
+			// accepts, skipping noise.
+			for ni < len(nodes) {
+				var tmp []FieldValue
+				if matchNode(t, nodes[ni], &tmp) {
+					*out = append(*out, tmp...)
+					ni++
+					break
+				}
+				ni++
+			}
+		}
+	}
+}
+
+func contentChildren(n *dom.Node) []*dom.Node {
+	var out []*dom.Node
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.TextNode || c.Type == dom.ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Values returns just the value strings of an extraction.
+func Values(fvs []FieldValue) []string {
+	out := make([]string, len(fvs))
+	for i, fv := range fvs {
+		out[i] = fv.Value
+	}
+	return out
+}

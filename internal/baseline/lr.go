@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LR wrapper induction (Kushmerick, "Wrapper induction: Efficiency and
+// expressiveness", AIJ 2000 — reference [10] of the paper). An LR wrapper
+// locates each attribute by a pair of constant delimiter strings
+// (left, right) learned from labeled example pages; extraction scans the
+// raw HTML for left…right spans. Unlike the tree-based mapping rules this
+// repository reproduces, LR wrappers ignore document structure entirely,
+// which makes them fast but brittle when delimiters shift or appear in
+// noise — exactly the contrast the E-BASE experiment quantifies.
+
+// LabeledPage is one training example: the raw HTML and, per component,
+// the values it contains in document order.
+type LabeledPage struct {
+	HTML   string
+	Values map[string][]string
+}
+
+// LRAttr is the learned delimiter pair for one component.
+type LRAttr struct {
+	Name  string
+	Left  string
+	Right string
+}
+
+// LRWrapper is a learned left-right wrapper.
+type LRWrapper struct {
+	Attrs []LRAttr
+}
+
+// maxDelimiter bounds learned delimiter lengths; longer contexts overfit
+// the training pages.
+const maxDelimiter = 40
+
+// InduceLR learns an LR wrapper from labeled pages. Components for which
+// no consistent delimiter pair exists are omitted from the wrapper (the
+// classic algorithm would reject the whole wrapper class; omission keeps
+// the comparison informative per component).
+func InduceLR(pages []LabeledPage) (*LRWrapper, error) {
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("baseline: no labeled pages")
+	}
+	components := map[string]bool{}
+	for _, p := range pages {
+		for c := range p.Values {
+			components[c] = true
+		}
+	}
+	names := make([]string, 0, len(components))
+	for c := range components {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	w := &LRWrapper{}
+	for _, name := range names {
+		attr, ok := induceAttr(name, pages)
+		if ok {
+			w.Attrs = append(w.Attrs, attr)
+		}
+	}
+	if len(w.Attrs) == 0 {
+		return nil, fmt.Errorf("baseline: no component admits an LR wrapper")
+	}
+	return w, nil
+}
+
+// induceAttr learns (left, right) for one component: the longest common
+// suffix of the text preceding every labeled occurrence, and the longest
+// common prefix of the text following it, truncated to maxDelimiter and
+// validated on the training pages.
+func induceAttr(name string, pages []LabeledPage) (LRAttr, bool) {
+	var lefts, rights []string
+	for _, p := range pages {
+		pos := 0
+		for _, v := range p.Values[name] {
+			idx := strings.Index(p.HTML[pos:], v)
+			if idx < 0 {
+				return LRAttr{}, false
+			}
+			idx += pos
+			lefts = append(lefts, tail(p.HTML[:idx], maxDelimiter))
+			rights = append(rights, head(p.HTML[idx+len(v):], maxDelimiter))
+			pos = idx + len(v)
+		}
+	}
+	if len(lefts) == 0 {
+		return LRAttr{}, false
+	}
+	maxLeft := commonSuffix(lefts)
+	maxRight := commonPrefix(rights)
+	if maxLeft == "" || maxRight == "" {
+		return LRAttr{}, false
+	}
+	// Kushmerick's induction searches the candidate space rather than
+	// taking the maximal delimiters blindly: the longest common prefix of
+	// the following text may swallow the opener of the next instance
+	// (e.g. "</li><" instead of "</li>"), so every (suffix of maxLeft,
+	// prefix of maxRight) pair is tried longest-first and the first pair
+	// that re-extracts all training labels wins.
+	for l := 0; l < len(maxLeft); l++ {
+		left := maxLeft[l:]
+		for r := len(maxRight); r >= 1; r-- {
+			attr := LRAttr{Name: name, Left: left, Right: maxRight[:r]}
+			if validateAttr(attr, name, pages) {
+				return attr, true
+			}
+		}
+	}
+	return LRAttr{}, false
+}
+
+// validateAttr checks that the delimiter pair re-extracts exactly the
+// training labels on every page.
+func validateAttr(attr LRAttr, name string, pages []LabeledPage) bool {
+	for _, p := range pages {
+		got := attr.extract(p.HTML)
+		want := p.Values[name]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if strings.TrimSpace(got[i]) != strings.TrimSpace(want[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Extract applies the wrapper to a page, returning values per component.
+func (w *LRWrapper) Extract(html string) map[string][]string {
+	out := map[string][]string{}
+	for _, a := range w.Attrs {
+		if vs := a.extract(html); len(vs) > 0 {
+			out[a.Name] = vs
+		}
+	}
+	return out
+}
+
+// extract scans for every left…right span.
+func (a LRAttr) extract(html string) []string {
+	var out []string
+	pos := 0
+	for {
+		i := strings.Index(html[pos:], a.Left)
+		if i < 0 {
+			return out
+		}
+		start := pos + i + len(a.Left)
+		j := strings.Index(html[start:], a.Right)
+		if j < 0 {
+			return out
+		}
+		out = append(out, html[start:start+j])
+		pos = start + j + len(a.Right)
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+func head(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func commonSuffix(ss []string) string {
+	suf := ss[0]
+	for _, s := range ss[1:] {
+		for !strings.HasSuffix(s, suf) {
+			if len(suf) == 0 {
+				return ""
+			}
+			suf = suf[1:]
+		}
+	}
+	return suf
+}
+
+func commonPrefix(ss []string) string {
+	pre := ss[0]
+	for _, s := range ss[1:] {
+		for !strings.HasPrefix(s, pre) {
+			if len(pre) == 0 {
+				return ""
+			}
+			pre = pre[:len(pre)-1]
+		}
+	}
+	return pre
+}

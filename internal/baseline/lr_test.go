@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dom"
+)
+
+func TestInduceLRSimple(t *testing.T) {
+	pages := []LabeledPage{
+		{HTML: `<b>Price:</b> $10.00 <br>`, Values: map[string][]string{"price": {"$10.00"}}},
+		{HTML: `<b>Price:</b> $12.50 <br>`, Values: map[string][]string{"price": {"$12.50"}}},
+	}
+	w, err := InduceLR(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.Extract(`<b>Price:</b> $99.99 <br>`)
+	if len(got["price"]) != 1 || strings.TrimSpace(got["price"][0]) != "$99.99" {
+		t.Errorf("extract = %v", got)
+	}
+}
+
+func TestInduceLRMultivalued(t *testing.T) {
+	pages := []LabeledPage{
+		{HTML: `<ul><li>Alice</li><li>Bob</li></ul>`, Values: map[string][]string{"actor": {"Alice", "Bob"}}},
+		{HTML: `<ul><li>Carol</li></ul>`, Values: map[string][]string{"actor": {"Carol"}}},
+	}
+	w, err := InduceLR(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.Extract(`<ul><li>Dan</li><li>Eve</li><li>Fay</li></ul>`)
+	if len(got["actor"]) != 3 {
+		t.Errorf("extract = %v", got)
+	}
+}
+
+func TestInduceLRNoConsistentDelimiters(t *testing.T) {
+	// The value is preceded by completely different contexts and followed
+	// by different ones: no common delimiter pair exists.
+	pages := []LabeledPage{
+		{HTML: `aaaXbbb`, Values: map[string][]string{"x": {"X"}}},
+		{HTML: `cccXddd`, Values: map[string][]string{"x": {"X"}}},
+	}
+	if _, err := InduceLR(pages); err == nil {
+		t.Error("inconsistent delimiters must fail")
+	}
+}
+
+func TestInduceLRRejectsOvermatchingPair(t *testing.T) {
+	// A delimiter pair that would extract extra spurious values on a
+	// training page is rejected by validation.
+	pages := []LabeledPage{
+		{HTML: `<i>x</i><i>noise</i>`, Values: map[string][]string{"v": {"x"}}},
+	}
+	if w, err := InduceLR(pages); err == nil {
+		if got := w.Extract(pages[0].HTML); len(got["v"]) > 1 {
+			t.Errorf("validation should prevent overmatching, got %v", got)
+		}
+	}
+}
+
+func TestInduceLREmpty(t *testing.T) {
+	if _, err := InduceLR(nil); err == nil {
+		t.Error("no pages must fail")
+	}
+}
+
+// TestLRBrittlenessOnShiftedLayouts demonstrates why tree-based rules
+// win: the LR wrapper for the flat movie layout learns "Runtime:" style
+// delimiters which survive shifts, but attributes without constant
+// string context (rating) do not admit an LR wrapper at all.
+func TestLRBrittlenessOnShiftedLayouts(t *testing.T) {
+	// Single-layout corpus: LR can learn label-delimited attributes.
+	prof := corpus.DefaultMovieProfile(71, 24)
+	prof.ProbAltLayout = 0
+	cl := corpus.GenerateMovies(prof)
+	var pages []LabeledPage
+	for _, p := range cl.Pages[:10] {
+		lp := LabeledPage{HTML: dom.Render(p.Doc), Values: map[string][]string{}}
+		for _, comp := range cl.ComponentNames() {
+			if vs := cl.TruthStrings(p, comp); len(vs) > 0 {
+				lp.Values[comp] = vs
+			}
+		}
+		pages = append(pages, lp)
+	}
+	w, err := InduceLR(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := map[string]bool{}
+	for _, a := range w.Attrs {
+		learned[a.Name] = true
+	}
+	if !learned["runtime"] {
+		t.Error("runtime has a constant label; LR should learn it")
+	}
+	// Score on held-out pages: recall will be partial (alt layout pages
+	// use different delimiters), demonstrating the brittleness.
+	found, total := 0, 0
+	for _, p := range cl.Pages[10:] {
+		got := w.Extract(dom.Render(p.Doc))
+		for comp, want := range map[string][]string{"runtime": cl.TruthStrings(p, "runtime")} {
+			for _, v := range want {
+				total++
+				for _, g := range got[comp] {
+					if strings.TrimSpace(g) == v {
+						found++
+						break
+					}
+				}
+			}
+		}
+	}
+	t.Logf("LR runtime recall on held-out: %d/%d", found, total)
+	if total == 0 {
+		t.Fatal("no held-out truth")
+	}
+	if found == 0 {
+		t.Error("label-delimited runtime should be recallable on a single layout")
+	}
+
+	// Mixed-layout corpus: the string-level wrapper cannot reconcile the
+	// two delimiter vocabularies, demonstrating the brittleness that
+	// tree-based rules with alternative paths avoid.
+	prof2 := corpus.DefaultMovieProfile(72, 24)
+	prof2.ProbAltLayout = 0.5
+	cl2 := corpus.GenerateMovies(prof2)
+	var pages2 []LabeledPage
+	for _, p := range cl2.Pages[:12] {
+		lp := LabeledPage{HTML: dom.Render(p.Doc), Values: map[string][]string{}}
+		if vs := cl2.TruthStrings(p, "runtime"); len(vs) > 0 {
+			lp.Values["runtime"] = vs
+		}
+		pages2 = append(pages2, lp)
+	}
+	if w2, err := InduceLR(pages2); err == nil {
+		for _, a := range w2.Attrs {
+			if a.Name == "runtime" {
+				t.Error("mixed layouts should defeat a single LR delimiter pair")
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// mixedSite builds a synthetic multi-cluster site: movies, books and
+// stocks pages interleaved.
+func mixedSite(t *testing.T) ([]PageInfo, map[int]string) {
+	t.Helper()
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(1, 15))
+	books := corpus.GenerateBooks(corpus.DefaultBookProfile(2, 15))
+	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(3, 15))
+	var pages []PageInfo
+	truth := map[int]string{}
+	add := func(cl string, ps []PageInfo) {
+		for _, p := range ps {
+			truth[len(pages)] = cl
+			pages = append(pages, p)
+		}
+	}
+	var m, b, s []PageInfo
+	for _, p := range movies.Pages {
+		m = append(m, PageInfo{URI: p.URI, Doc: p.Doc})
+	}
+	for _, p := range books.Pages {
+		b = append(b, PageInfo{URI: p.URI, Doc: p.Doc})
+	}
+	for _, p := range stocks.Pages {
+		s = append(s, PageInfo{URI: p.URI, Doc: p.Doc})
+	}
+	// Interleave to stress the leader pass.
+	for i := 0; i < 15; i++ {
+		add("movies", m[i:i+1])
+		add("books", b[i:i+1])
+		add("stocks", s[i:i+1])
+	}
+	return pages, truth
+}
+
+func TestClusterRecovery(t *testing.T) {
+	pages, truth := mixedSite(t)
+	results := ClusterPages(pages, DefaultConfig())
+	if len(results) < 3 {
+		t.Fatalf("got %d clusters, want >= 3", len(results))
+	}
+	// Every produced cluster must be pure (all members from one
+	// generating cluster), and the three generating clusters must each be
+	// dominated by one produced cluster.
+	sizeByTruth := map[string]int{}
+	for _, r := range results {
+		seen := map[string]int{}
+		for _, idx := range r.Pages {
+			seen[truth[idx]]++
+		}
+		if len(seen) != 1 {
+			t.Errorf("cluster %q mixes generating clusters: %v", r.Name, seen)
+		}
+		for k, n := range seen {
+			if n > sizeByTruth[k] {
+				sizeByTruth[k] = n
+			}
+		}
+	}
+	for _, k := range []string{"movies", "books", "stocks"} {
+		if sizeByTruth[k] < 12 {
+			t.Errorf("generating cluster %s fragmented: largest recovered size %d/15",
+				k, sizeByTruth[k])
+		}
+	}
+}
+
+func TestClusterNames(t *testing.T) {
+	pages, _ := mixedSite(t)
+	results := ClusterPages(pages, DefaultConfig())
+	for _, r := range results {
+		if r.Name == "" {
+			t.Error("cluster with empty name")
+		}
+	}
+}
+
+func TestDifferentHostsNeverCluster(t *testing.T) {
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(4, 2))
+	a := Fingerprint(PageInfo{URI: "http://a.example/x/1", Doc: movies.Pages[0].Doc})
+	b := Fingerprint(PageInfo{URI: "http://b.example/x/1", Doc: movies.Pages[1].Doc})
+	if Similarity(a, b, DefaultWeights()) != 0 {
+		t.Error("cross-host similarity must be 0")
+	}
+}
+
+func TestURLPatternNormalization(t *testing.T) {
+	_, segs1 := splitURI("http://movies.example/title/tt0095159/")
+	_, segs2 := splitURI("http://movies.example/title/tt0071853/")
+	if len(segs1) != 2 || segs1[1] != "tt#" {
+		t.Errorf("segments = %v", segs1)
+	}
+	if urlSimilarity(segs1, segs2) != 1 {
+		t.Errorf("same-pattern URLs must score 1, got %f", urlSimilarity(segs1, segs2))
+	}
+	_, other := splitURI("http://movies.example/search?q=x")
+	if urlSimilarity(segs1, other) >= 1 {
+		t.Error("different patterns must score < 1")
+	}
+}
+
+func TestFeatureAblationWeights(t *testing.T) {
+	pages, truth := mixedSite(t)
+	// URL-only clustering also separates these clusters (different path
+	// prefixes) — the ablation experiment compares such mixes.
+	results := ClusterPages(pages, Config{Weights: Weights{URL: 1}, Threshold: 0.9})
+	for _, r := range results {
+		seen := map[string]bool{}
+		for _, idx := range r.Pages {
+			seen[truth[idx]] = true
+		}
+		if len(seen) != 1 {
+			t.Errorf("URL-only cluster %q impure", r.Name)
+		}
+	}
+	// Structure-only clustering likewise.
+	results = ClusterPages(pages, Config{Weights: Weights{Structure: 1}, Threshold: 0.5})
+	for _, r := range results {
+		seen := map[string]bool{}
+		for _, idx := range r.Pages {
+			seen[truth[idx]] = true
+		}
+		if len(seen) != 1 {
+			t.Errorf("structure-only cluster %q impure", r.Name)
+		}
+	}
+}
+
+func TestSimilaritySelf(t *testing.T) {
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 1))
+	f := Fingerprint(PageInfo{URI: movies.Pages[0].URI, Doc: movies.Pages[0].Doc})
+	if got := Similarity(f, f, DefaultWeights()); got < 0.999 {
+		t.Errorf("self-similarity = %f", got)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+// Builder drives the mapping-rule building scenario of Figure 3: candidate
+// rule building, rule checking and iterative refinement against a working
+// sample, with the human contribution supplied by an Oracle.
+type Builder struct {
+	Sample Sample
+	Oracle Oracle
+
+	// MaxIterations bounds the refinement loop (default 12).
+	MaxIterations int
+
+	// DisableContext turns off the contextual-information strategy
+	// (ablation: positional-only rules).
+	DisableContext bool
+	// DisableAltPaths turns off the alternative-path strategy (ablation).
+	DisableAltPaths bool
+	// DisableBroaden turns off multivalue broadening (ablation).
+	DisableBroaden bool
+}
+
+// BuildResult records the outcome of building one rule: the final rule,
+// every intermediate check report (the successive tabular views a
+// Retrozilla user would inspect) and the refinement actions applied.
+type BuildResult struct {
+	Rule    rule.Rule
+	Reports []CheckReport
+	Actions []string
+	// OK is true when the final rule retrieves the pertinent component
+	// values in every page of the working sample.
+	OK bool
+}
+
+// FinalReport returns the last check report.
+func (br BuildResult) FinalReport() CheckReport {
+	return br.Reports[len(br.Reports)-1]
+}
+
+func (b *Builder) maxIter() int {
+	if b.MaxIterations > 0 {
+		return b.MaxIterations
+	}
+	return 12
+}
+
+// Candidate builds the candidate mapping rule for a component (§3.2): the
+// oracle selects a value in the first page that has one; the precise
+// position-based XPath is computed automatically; optionality and
+// multiplicity default to mandatory / single-valued; format derives from
+// the selected node's type.
+func (b *Builder) Candidate(component string) (rule.Rule, Path, error) {
+	if err := rule.ValidateName(component); err != nil {
+		return rule.Rule{}, Path{}, err
+	}
+	_, nodes, err := b.Sample.FirstWith(component, b.Oracle)
+	if err != nil {
+		return rule.Rule{}, Path{}, err
+	}
+	value := nodes[0]
+	path, ok := PathTo(value)
+	if !ok {
+		return rule.Rule{}, Path{}, fmt.Errorf("core: cannot locate selected node for %q", component)
+	}
+	format := rule.Text
+	if value.Type == dom.ElementNode {
+		format = rule.Mixed
+	}
+	r := rule.Rule{
+		Name:         component,
+		Optionality:  rule.Mandatory,
+		Multiplicity: rule.SingleValued,
+		Format:       format,
+		Locations:    []string{path.String()},
+	}
+	return r, path, nil
+}
+
+// BuildRule runs the full scenario for one component: candidate building,
+// then check/refine iterations until the rule is valid for every sample
+// page or the iteration budget is exhausted.
+func (b *Builder) BuildRule(component string) (BuildResult, error) {
+	r, primary, err := b.Candidate(component)
+	if err != nil {
+		return BuildResult{}, err
+	}
+	paths := []Path{primary}
+	res := BuildResult{}
+
+	for iter := 0; iter < b.maxIter(); iter++ {
+		rep, err := Check(r, b.Sample, b.Oracle)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		res.Reports = append(res.Reports, rep)
+		if rep.OK(r.Optionality) {
+			res.Rule = r
+			res.OK = true
+			return res, nil
+		}
+
+		action, changed := b.refineOnce(&r, &paths, rep)
+		if !changed {
+			// No strategy can improve the rule further.
+			break
+		}
+		res.Actions = append(res.Actions, action)
+	}
+	res.Rule = r
+	if len(res.Reports) > 0 {
+		res.OK = res.FinalReport().OK(r.Optionality)
+	}
+	return res, nil
+}
+
+// refineOnce applies the highest-priority applicable strategy. Strategy
+// order mirrors §3.4: structural property fixes first (they are cheap and
+// deterministic), then contextual information, then alternative paths as
+// the last resort.
+func (b *Builder) refineOnce(r *rule.Rule, paths *[]Path, rep CheckReport) (string, bool) {
+	// 1. Multivalue broadening.
+	if !b.DisableBroaden {
+		if action, ok := refineMultivalued(r, *paths, rep); ok {
+			return action, true
+		}
+	}
+	// 2. Format promotion.
+	if action, ok := refineFormat(r, *paths, rep); ok {
+		return action, true
+	}
+	// 3. Optionality.
+	if action, ok := refineOptionality(r, rep); ok {
+		return action, true
+	}
+	// 4. Contextual information.
+	if !b.DisableContext && r.Multiplicity == rule.SingleValued {
+		if action, ok := b.refineContext(r, paths, rep); ok {
+			return action, true
+		}
+	}
+	// 5. Alternative path.
+	if !b.DisableAltPaths {
+		if action, ok := b.refineAltPath(r, paths, rep); ok {
+			return action, true
+		}
+	}
+	return "", false
+}
+
+// refineContext implements "Adding contextual information": when a
+// constant label precedes the value in every page, trial paths of
+// escalating generality replace the primary location; the least general
+// trial that fixes every remaining mismatch wins. Trials that do not
+// strictly reduce the number of failing pages are rejected, so the
+// strategy never regresses.
+func (b *Builder) refineContext(r *rule.Rule, paths *[]Path, rep CheckReport) (string, bool) {
+	label, ok := findContextLabel(r.Name, b.Sample, b.Oracle)
+	if !ok {
+		return "", false
+	}
+	baseline := countFailing(rep)
+	for level, trial := range contextCandidates((*paths)[0], label) {
+		trialRule := *r
+		trialPaths := append([]Path{trial}, (*paths)[1:]...)
+		syncLocations(&trialRule, trialPaths)
+		trialRep, err := Check(trialRule, b.Sample, b.Oracle)
+		if err != nil {
+			continue
+		}
+		if okModuloOptionality(trialRep) || countFailing(trialRep) < baseline {
+			*r = trialRule
+			*paths = trialPaths
+			return fmt.Sprintf("added contextual information (label %q, level %d): %s",
+				label, level+1, describePaths(trialPaths)), true
+		}
+	}
+	return "", false
+}
+
+// refineAltPath implements "Adding an alternative path": a value is
+// selected (by the oracle) in a page where the current locations retrieve
+// nothing, and its precise path is appended to the rule.
+func (b *Builder) refineAltPath(r *rule.Rule, paths *[]Path, rep CheckReport) (string, bool) {
+	for _, res := range rep.Results {
+		if res.Verdict != VerdictVoid {
+			continue
+		}
+		alt, ok := PathTo(res.Expected[0])
+		if !ok {
+			continue
+		}
+		if r.Multiplicity == rule.Multivalued && len(res.Expected) > 1 {
+			// Broaden the repetitive step of the new path too.
+			if lastP, ok2 := PathTo(res.Expected[len(res.Expected)-1]); ok2 {
+				if div, ok3 := DivergingStep(alt, lastP); ok3 {
+					first := alt.Steps[div].Index
+					if lastP.Steps[div].Index < first {
+						first = lastP.Steps[div].Index
+					}
+					alt.Steps[div].Broaden = fmt.Sprintf("position()>=%d", first)
+					alt.Steps[div].Index = 0
+				}
+			}
+		}
+		// Reject duplicates (would loop forever).
+		rendered := alt.String()
+		for _, loc := range r.Locations {
+			if loc == rendered {
+				return "", false
+			}
+		}
+		*paths = append(*paths, alt)
+		syncLocations(r, *paths)
+		return fmt.Sprintf("appended alternative path for %s: %s", res.Page.URI, rendered), true
+	}
+	return "", false
+}
+
+// BuildAll builds rules for every named component and records the valid
+// ones in the repository; it returns the per-component results keyed by
+// name.
+func (b *Builder) BuildAll(repo *rule.Repository, components []string) (map[string]BuildResult, error) {
+	out := make(map[string]BuildResult, len(components))
+	for _, comp := range components {
+		res, err := b.BuildRule(comp)
+		if err != nil {
+			return out, fmt.Errorf("core: building rule for %q: %w", comp, err)
+		}
+		out[comp] = res
+		if res.OK {
+			if err := repo.Record(res.Rule); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}

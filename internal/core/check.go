@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/rule"
+	"repro/internal/textutil"
+	"repro/internal/xpath"
+)
+
+// Verdict classifies the outcome of applying a candidate rule to one page
+// of the working sample, following the mismatch taxonomy of §3.4.
+type Verdict int
+
+// Verdict values.
+const (
+	// VerdictMatch: the rule selected exactly the expected value nodes
+	// (Table 1 rows a and b).
+	VerdictMatch Verdict = iota
+	// VerdictVoid: the rule selected nothing although the component is
+	// present (Table 1 row d).
+	VerdictVoid
+	// VerdictUnexpected: the rule selected a wrong value — an instance of
+	// another component or an intrusive fragment (Table 1 row c).
+	VerdictUnexpected
+	// VerdictIncomplete: the rule selected part of the value; the value
+	// mixes text and HTML tags in this page (format must become mixed).
+	VerdictIncomplete
+	// VerdictNeedsMulti: the value is multivalued in this page but the
+	// rule selects a single instance.
+	VerdictNeedsMulti
+	// VerdictAbsent: the component does not occur in this page and the
+	// rule selected nothing. Acceptable once optionality is optional.
+	VerdictAbsent
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictMatch:
+		return "match"
+	case VerdictVoid:
+		return "void"
+	case VerdictUnexpected:
+		return "unexpected"
+	case VerdictIncomplete:
+		return "incomplete"
+	case VerdictNeedsMulti:
+		return "needs-multivalued"
+	case VerdictAbsent:
+		return "absent"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// PageResult is the outcome of checking a rule against one page.
+type PageResult struct {
+	Page     *Page
+	Verdict  Verdict
+	Got      []*dom.Node
+	Expected []*dom.Node
+	// Value is the display string of what the rule retrieved, as shown in
+	// the tabular check view (Table 1); "-" for void results.
+	Value string
+}
+
+// CheckReport aggregates the per-page outcomes of one checking pass
+// (§3.3: "applied on the successive pages of the working sample").
+type CheckReport struct {
+	Component string
+	Results   []PageResult
+}
+
+// OK reports whether the rule retrieved the pertinent component values in
+// every page: only matches and (for optional components) absences.
+func (r CheckReport) OK(opt rule.Optionality) bool {
+	for _, res := range r.Results {
+		switch res.Verdict {
+		case VerdictMatch:
+		case VerdictAbsent:
+			if opt != rule.Optional {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Failing returns the results whose verdicts require refinement given the
+// rule's optionality.
+func (r CheckReport) Failing(opt rule.Optionality) []PageResult {
+	var out []PageResult
+	for _, res := range r.Results {
+		switch res.Verdict {
+		case VerdictMatch:
+		case VerdictAbsent:
+			if opt != rule.Optional {
+				out = append(out, res)
+			}
+		default:
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Table renders the tabular check view the Retrozilla control panel shows
+// (Table 1 of the paper): one row per page with the retrieved value.
+func (r CheckReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s  %s\n", "Page URI", "Component value")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-34s  %s\n", res.Page.URI,
+			textutil.TruncateRunes(res.Value, 60))
+	}
+	return b.String()
+}
+
+// Check applies a candidate rule to every page of the sample and classifies
+// each outcome against the oracle's expectation. This automates the
+// "visual inspection in a tabular view" of §3.3.
+func Check(r rule.Rule, sample Sample, o Oracle) (CheckReport, error) {
+	compiled, err := r.Compile()
+	if err != nil {
+		return CheckReport{}, err
+	}
+	rep := CheckReport{Component: r.Name}
+	for _, p := range sample {
+		expected := o.Select(r.Name, p)
+		got := compiled.ApplyAll(p.Doc)
+		res := PageResult{
+			Page:     p,
+			Got:      got,
+			Expected: expected,
+			Verdict:  classify(got, expected),
+			Value:    displayValue(got),
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// classify compares the retrieved node-set with the expected one.
+func classify(got, expected []*dom.Node) Verdict {
+	if len(expected) == 0 {
+		if len(got) == 0 {
+			return VerdictAbsent
+		}
+		return VerdictUnexpected
+	}
+	if len(got) == 0 {
+		return VerdictVoid
+	}
+	if sameNodes(got, expected) {
+		return VerdictMatch
+	}
+	// got ⊂ expected: either the value mixes tags (expected is one
+	// container holding the retrieved text) or the component is
+	// multivalued (expected sibling instances, got only some).
+	if subsetOf(got, expected) {
+		return VerdictNeedsMulti
+	}
+	if len(expected) == 1 && expected[0].Type == dom.ElementNode && allWithin(got, expected[0]) {
+		return VerdictIncomplete
+	}
+	// Visual-inspection fallback: the check table shows *values*, and a
+	// user accepts a row whose displayed value is the expected one even
+	// if the rule selected, say, the containing element rather than the
+	// inner text node. Compare normalized string values.
+	if displayValue(got) == displayValue(expected) {
+		return VerdictMatch
+	}
+	return VerdictUnexpected
+}
+
+func sameNodes(a, b []*dom.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Both sets are in document order; positional comparison suffices.
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetOf(a, b []*dom.Node) bool {
+	set := make(map[*dom.Node]bool, len(b))
+	for _, n := range b {
+		set[n] = true
+	}
+	for _, n := range a {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func allWithin(nodes []*dom.Node, container *dom.Node) bool {
+	for _, n := range nodes {
+		if n != container && !dom.IsAncestorOf(container, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// displayValue renders a retrieved node-set the way the check table shows
+// it: normalized text, "-" when void, instances joined by " | ".
+func displayValue(nodes []*dom.Node) string {
+	if len(nodes) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		parts = append(parts, textutil.NormalizeSpace(xpath.NodeStringValue(n)))
+	}
+	return strings.Join(parts, " | ")
+}

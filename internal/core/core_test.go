@@ -1,0 +1,433 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/rule"
+	"repro/internal/textutil"
+	"repro/internal/xpath"
+)
+
+// moviePage builds an imdb-movies style page following Figure 4 of the
+// paper. aka inserts the "Also Known As:" field before Runtime (the
+// position shift of page c); rows controls the number of filler rows
+// before the info row (page d uses fewer, so the candidate's TR index
+// misses).
+func moviePage(uri, akaTitle, runtime, country string, fillerRows int) *Page {
+	var b strings.Builder
+	b.WriteString("<html><body><table>")
+	for i := 0; i < fillerRows; i++ {
+		b.WriteString("<tr><td>filler</td></tr>")
+	}
+	b.WriteString("<tr><td>")
+	if akaTitle != "" {
+		b.WriteString("<b>Also Known As:</b> " + akaTitle + " <br>")
+	}
+	b.WriteString("<b>Runtime:</b> " + runtime + " <br>")
+	b.WriteString("<b>Country:</b> " + country + " <br>")
+	b.WriteString("</td></tr></table></body></html>")
+	return NewPage(uri, b.String())
+}
+
+// paperSample reproduces the 4-page working sample of Table 1.
+func paperSample() Sample {
+	return Sample{
+		moviePage("./title/tt0095159/", "", "108 min", "USA/UK", 5),
+		moviePage("./title/tt0071853/", "", "91 min", "UK", 5),
+		moviePage("./title/tt0074103/", "The Wing and the Thigh (International: English title)", "104 min", "France", 5),
+		moviePage("./title/tt0102059/", "", "84 min", "Italy", 3),
+	}
+}
+
+// runtimeOracle points at the text node following the <B>Runtime:</B>
+// label — the scripted equivalent of the user clicking the runtime value.
+func runtimeOracle() Oracle {
+	return OracleFunc(func(component string, p *Page) []*dom.Node {
+		if component != "runtime" {
+			return nil
+		}
+		lbl := dom.FindFirst(p.Doc, func(n *dom.Node) bool {
+			return n.Type == dom.TextNode && strings.TrimSpace(n.Data) == "Runtime:"
+		})
+		if lbl == nil {
+			return nil
+		}
+		// The value is the text node after the label's parent <B>.
+		for s := lbl.Parent.NextSibling; s != nil; s = s.NextSibling {
+			if s.Type == dom.TextNode && strings.TrimSpace(s.Data) != "" {
+				return []*dom.Node{s}
+			}
+		}
+		return nil
+	})
+}
+
+func TestPathToPrecise(t *testing.T) {
+	p := paperSample()[0]
+	val := runtimeOracle().Select("runtime", p)
+	if len(val) != 1 {
+		t.Fatal("oracle setup")
+	}
+	path, ok := PathTo(val[0])
+	if !ok {
+		t.Fatal("PathTo failed")
+	}
+	want := "BODY[1]/TABLE[1]/TR[6]/TD[1]/text()[1]"
+	if got := path.String(); got != want {
+		t.Errorf("precise path = %s, want %s", got, want)
+	}
+	// The generated path must select the same node back.
+	c, err := path.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := c.SelectLocation(p.Doc)
+	if len(ns) != 1 || ns[0] != val[0] {
+		t.Error("path does not round-trip to the selected node")
+	}
+}
+
+func TestPathToElement(t *testing.T) {
+	p := paperSample()[0]
+	td := dom.FindFirst(p.Doc, func(n *dom.Node) bool { return n.TagIs("td") })
+	path, ok := PathTo(td)
+	if !ok {
+		t.Fatal("PathTo failed")
+	}
+	if got := path.String(); got != "BODY[1]/TABLE[1]/TR[1]/TD[1]" {
+		t.Errorf("element path = %s", got)
+	}
+}
+
+func TestCandidateRule(t *testing.T) {
+	b := &Builder{Sample: paperSample(), Oracle: runtimeOracle()}
+	r, _, err := b.Candidate("runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Optionality != rule.Mandatory {
+		t.Error("candidate must default to mandatory")
+	}
+	if r.Multiplicity != rule.SingleValued {
+		t.Error("candidate must default to single-valued")
+	}
+	if r.Format != rule.Text {
+		t.Error("text-node selection must give format=text")
+	}
+	if len(r.Locations) != 1 || !strings.Contains(r.Locations[0], "TR[6]/TD[1]/text()[1]") {
+		t.Errorf("candidate location = %v", r.Locations)
+	}
+}
+
+// TestTable1Verdicts reproduces the exact hit/unexpected/void pattern of
+// the paper's Table 1: pages a,b match; page c retrieves the AKA title;
+// page d retrieves nothing.
+func TestTable1Verdicts(t *testing.T) {
+	sample := paperSample()
+	b := &Builder{Sample: sample, Oracle: runtimeOracle()}
+	r, _, err := b.Candidate("runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(r, sample, b.Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts := []Verdict{VerdictMatch, VerdictMatch, VerdictUnexpected, VerdictVoid}
+	for i, res := range rep.Results {
+		if res.Verdict != wantVerdicts[i] {
+			t.Errorf("page %s: verdict %v, want %v (value %q)",
+				res.Page.URI, res.Verdict, wantVerdicts[i], res.Value)
+		}
+	}
+	if !strings.Contains(rep.Results[2].Value, "The Wing and the Thigh") {
+		t.Errorf("page c must retrieve the AKA title, got %q", rep.Results[2].Value)
+	}
+	if rep.Results[3].Value != "-" {
+		t.Errorf("page d must display '-', got %q", rep.Results[3].Value)
+	}
+	if rep.OK(r.Optionality) {
+		t.Error("candidate must not be OK before refinement")
+	}
+}
+
+// TestTable3Refinement reproduces Table 3: after refinement the rule
+// matches the correct runtime in all four pages.
+func TestTable3Refinement(t *testing.T) {
+	sample := paperSample()
+	b := &Builder{Sample: sample, Oracle: runtimeOracle()}
+	res, err := b.BuildRule("runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("rule did not converge; actions: %v\nfinal rule:\n%s",
+			res.Actions, res.Rule.String())
+	}
+	final := res.FinalReport()
+	want := []string{"108 min", "91 min", "104 min", "84 min"}
+	for i, w := range want {
+		if got := final.Results[i].Value; got != w {
+			t.Errorf("page %d value = %q, want %q", i, got, w)
+		}
+	}
+	// The refined rule must embed the contextual label, as in Table 2b.
+	joined := strings.Join(res.Rule.Locations, " ")
+	if !strings.Contains(joined, "Runtime:") {
+		t.Errorf("refined locations must reference the Runtime: label: %v", res.Rule.Locations)
+	}
+}
+
+func TestContextAblationFailsOnShift(t *testing.T) {
+	sample := paperSample()
+	b := &Builder{Sample: sample, Oracle: runtimeOracle(), DisableContext: true, DisableAltPaths: true}
+	res, err := b.BuildRule("runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Error("positional-only rules must fail on the AKA position shift")
+	}
+}
+
+func TestAltPathsAloneFixVoidOnly(t *testing.T) {
+	// With context disabled but alternative paths on, page d (void) gets
+	// an alternative location; page c (unexpected) cannot be fixed.
+	sample := paperSample()
+	b := &Builder{Sample: sample, Oracle: runtimeOracle(), DisableContext: true}
+	res, err := b.BuildRule("runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.FinalReport()
+	if final.Results[3].Verdict != VerdictMatch {
+		t.Errorf("page d should be fixed by an alternative path, got %v", final.Results[3].Verdict)
+	}
+	if res.OK {
+		t.Error("page c's unexpected value cannot be fixed without context")
+	}
+}
+
+func TestOptionalityRefinement(t *testing.T) {
+	// Component "language" present in pages 1-2 only.
+	mk := func(uri string, lang string) *Page {
+		h := "<html><body><div>"
+		if lang != "" {
+			h += "<b>Language:</b> <span>" + lang + "</span>"
+		}
+		h += "</div></body></html>"
+		return NewPage(uri, h)
+	}
+	sample := Sample{mk("p1", "English"), mk("p2", "French"), mk("p3", "")}
+	oracle := OracleFunc(func(component string, p *Page) []*dom.Node {
+		span := dom.FindFirst(p.Doc, func(n *dom.Node) bool { return n.TagIs("span") })
+		if span == nil {
+			return nil
+		}
+		return []*dom.Node{span.FirstChild}
+	})
+	b := &Builder{Sample: sample, Oracle: oracle}
+	res, err := b.BuildRule("language")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("did not converge: %v", res.Actions)
+	}
+	if res.Rule.Optionality != rule.Optional {
+		t.Errorf("optionality = %s, want optional", res.Rule.Optionality)
+	}
+}
+
+func TestMultivalueRefinement(t *testing.T) {
+	mk := func(uri string, actors ...string) *Page {
+		h := "<html><body><ul>"
+		for _, a := range actors {
+			h += "<li>" + a + "</li>"
+		}
+		h += "</ul></body></html>"
+		return NewPage(uri, h)
+	}
+	sample := Sample{
+		mk("p1", "Alice", "Bob", "Carol"),
+		mk("p2", "Dave"),
+		mk("p3", "Eve", "Frank"),
+	}
+	oracle := OracleFunc(func(component string, p *Page) []*dom.Node {
+		lis := dom.FindAll(p.Doc, func(n *dom.Node) bool { return n.TagIs("li") })
+		var out []*dom.Node
+		for _, li := range lis {
+			out = append(out, li.FirstChild)
+		}
+		return out
+	})
+	b := &Builder{Sample: sample, Oracle: oracle}
+	res, err := b.BuildRule("actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("did not converge: actions %v, rule:\n%s", res.Actions, res.Rule.String())
+	}
+	if res.Rule.Multiplicity != rule.Multivalued {
+		t.Errorf("multiplicity = %s, want multivalued", res.Rule.Multiplicity)
+	}
+	joined := strings.Join(res.Rule.Locations, " ")
+	if !strings.Contains(joined, "position()>=1") {
+		t.Errorf("broadened predicate missing: %v", res.Rule.Locations)
+	}
+	// Applying the final rule to page 1 must yield all three actors.
+	c, err := res.Rule.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Apply(sample[0].Doc)
+	if len(got) != 3 {
+		t.Fatalf("applied rule found %d actors, want 3", len(got))
+	}
+}
+
+func TestMixedFormatRefinement(t *testing.T) {
+	// Component "comment": pure text in page 1, text + <i> markup in
+	// page 2 — the incomplete situation of §3.4.
+	p1 := NewPage("p1", `<html><body><div class="c">plain comment</div></body></html>`)
+	p2 := NewPage("p2", `<html><body><div class="c">styled <i>comment</i> here</div></body></html>`)
+	sample := Sample{p1, p2}
+	oracle := OracleFunc(func(component string, p *Page) []*dom.Node {
+		div := dom.FindFirst(p.Doc, func(n *dom.Node) bool { return n.TagIs("div") })
+		if div == nil {
+			return nil
+		}
+		// Mixed components: the oracle designates the containing element.
+		if p.URI == "p2" {
+			return []*dom.Node{div}
+		}
+		// Pure-text page: the user would click the text itself.
+		return []*dom.Node{div.FirstChild}
+	})
+	b := &Builder{Sample: sample, Oracle: oracle}
+	res, err := b.BuildRule("comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rule.Format != rule.Mixed {
+		t.Errorf("format = %s, want mixed (actions: %v)", res.Rule.Format, res.Actions)
+	}
+}
+
+func TestDivergingStep(t *testing.T) {
+	// Table 2 rows e/f: first/last instance paths differing only in the
+	// TR index deduce TR as the repetitive element.
+	first := Path{Steps: []Step{
+		{Test: "BODY", Index: 1}, {Desc: true, Test: "TABLE", Index: 1},
+		{Test: "TR", Index: 2}, {Test: "TD", Index: 2}, {Test: "text()", Index: 1},
+	}}
+	last := Path{Steps: []Step{
+		{Test: "BODY", Index: 1}, {Desc: true, Test: "TABLE", Index: 1},
+		{Test: "TR", Index: 17}, {Test: "TD", Index: 2}, {Test: "text()", Index: 1},
+	}}
+	idx, ok := DivergingStep(first, last)
+	if !ok || first.Steps[idx].Test != "TR" {
+		t.Fatalf("diverging step = %d, ok=%v", idx, ok)
+	}
+	// Two diverging levels → not a single repetitive element.
+	bad := last.Clone()
+	bad.Steps[3].Index = 5
+	if _, ok := DivergingStep(first, bad); ok {
+		t.Error("two diverging levels must not be accepted")
+	}
+	// Different shapes → not comparable.
+	if _, ok := DivergingStep(first, Path{Steps: first.Steps[:3]}); ok {
+		t.Error("different lengths must not be accepted")
+	}
+}
+
+func TestPathCloneIndependence(t *testing.T) {
+	p := Path{Steps: []Step{{Test: "BODY", Index: 1}, {Test: "text()", Index: 1, Preds: []string{"x"}}}}
+	c := p.Clone()
+	c.Steps[1].Preds[0] = "y"
+	c.Steps[0].Index = 9
+	if p.Steps[1].Preds[0] != "x" || p.Steps[0].Index != 1 {
+		t.Error("Clone must deep-copy steps and predicates")
+	}
+}
+
+func TestPathRendering(t *testing.T) {
+	cases := []struct {
+		path Path
+		want string
+	}{
+		{
+			Path{Steps: []Step{{Test: "BODY", Index: 1}, {Test: "DIV", Index: 2}, {Test: "text()", Index: 1}}},
+			"BODY[1]/DIV[2]/text()[1]",
+		},
+		{
+			Path{Steps: []Step{{Test: "BODY"}, {Desc: true, Test: "TABLE", Index: 1}, {Test: "TR", Broaden: "position()>=1"}}},
+			"BODY//TABLE[1]/TR[position()>=1]",
+		},
+		{
+			Path{Steps: []Step{{Test: "BODY"}, {Desc: true, Test: "text()", Preds: []string{"contains(., 'x')"}}}},
+			"BODY//text()[contains(., 'x')]",
+		},
+	}
+	for _, c := range cases {
+		if got := c.path.String(); got != c.want {
+			t.Errorf("got %s, want %s", got, c.want)
+		}
+		if _, err := xpath.Compile(c.path.String()); err != nil {
+			t.Errorf("rendered path %s does not compile: %v", c.path.String(), err)
+		}
+	}
+}
+
+func TestContextPredicateQuoting(t *testing.T) {
+	for _, label := range []string{"Runtime:", "it's", `say "hi"`, `both ' and "`} {
+		pred := contextPredicate(label)
+		if _, err := xpath.Compile("BODY//text()[" + pred + "]"); err != nil {
+			t.Errorf("predicate for %q does not compile: %v", label, err)
+		}
+	}
+}
+
+func TestCheckTableFormat(t *testing.T) {
+	sample := paperSample()
+	b := &Builder{Sample: sample, Oracle: runtimeOracle()}
+	r, _, _ := b.Candidate("runtime")
+	rep, _ := Check(r, sample, b.Oracle)
+	tbl := rep.Table()
+	if !strings.Contains(tbl, "./title/tt0095159/") || !strings.Contains(tbl, "108 min") {
+		t.Errorf("table missing expected rows:\n%s", tbl)
+	}
+}
+
+func TestBuildAllRecordsOnlyValidRules(t *testing.T) {
+	sample := paperSample()
+	repo := rule.NewRepository("imdb-movies")
+	b := &Builder{Sample: sample, Oracle: runtimeOracle()}
+	results, err := b.BuildAll(repo, []string{"runtime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results["runtime"].OK {
+		t.Fatal("runtime rule should converge")
+	}
+	if _, ok := repo.Lookup("runtime"); !ok {
+		t.Error("valid rule must be recorded in the repository")
+	}
+}
+
+func TestSampleFirstWithMissing(t *testing.T) {
+	b := Sample{NewPage("p", "<html><body></body></html>")}
+	_, _, err := b.FirstWith("nothing", OracleFunc(func(string, *Page) []*dom.Node { return nil }))
+	if err == nil {
+		t.Error("FirstWith must fail for components absent from the sample")
+	}
+}
+
+func TestNormalizeForDisplay(t *testing.T) {
+	if textutil.NormalizeSpace("  108   min ") != "108 min" {
+		t.Error("display normalization")
+	}
+}

@@ -1,0 +1,32 @@
+// Package core implements the paper's primary contribution: the
+// semi-automated construction of mapping rules from a working sample of
+// Web pages (§3 of "Semi-Automated Extraction of Targeted Data from Web
+// Pages", Estiévenart et al., ICDE Workshops 2006).
+//
+// The build scenario (Figure 3 of the paper) is driven by Builder:
+//
+//	sample selection  →  candidate rule building  →  rule checking
+//	        ↑                                            │
+//	        └──────────── rule refinement  ←── mismatch ─┘
+//	                            │
+//	                       rule recording
+//
+// Retrozilla's human operator contributes two inputs: pointing at a
+// component value in a rendered page (selection) and naming it
+// (interpretation). Both are abstracted behind the Oracle interface, so
+// the same code paths serve an interactive CLI and the scripted
+// ground-truth oracle used by the experiments.
+//
+// The refinement strategies of §3.4 are implemented as composable
+// functions over Path, a structured representation of the precise
+// position-based XPaths the candidate generator emits:
+//
+//   - contextual information: replace a fragile position predicate with a
+//     predicate anchored on a constant label that visually precedes the
+//     value (Table 2 row b);
+//   - optionality / multiplicity / format adjustment, including
+//     repetitive-tag deduction by comparing the paths of the first and
+//     last instances (Table 2 rows c–f);
+//   - alternative paths: append a second location computed from a page
+//     the current locations cannot handle.
+package core

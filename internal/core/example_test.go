@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/extract"
+	"repro/internal/rule"
+)
+
+// ExampleBuilder_BuildRule walks the complete §3 scenario on a two-page
+// working sample: the oracle (standing in for the user's click) selects
+// the price value, the builder computes the candidate rule and refines it
+// until it matches both pages.
+func ExampleBuilder_BuildRule() {
+	sample := core.Sample{
+		core.NewPage("p1", `<html><body><div><b>Price:</b> $10.00 <br></div></body></html>`),
+		core.NewPage("p2", `<html><body><div><b>New!</b> today <br><b>Price:</b> $12.50 <br></div></body></html>`),
+	}
+	oracle := core.OracleFunc(func(component string, p *core.Page) []*dom.Node {
+		label := dom.FindFirst(p.Doc, func(n *dom.Node) bool {
+			return n.Type == dom.TextNode && strings.TrimSpace(n.Data) == "Price:"
+		})
+		if label == nil {
+			return nil
+		}
+		for s := label.Parent.NextSibling; s != nil; s = s.NextSibling {
+			if s.Type == dom.TextNode && strings.TrimSpace(s.Data) != "" {
+				return []*dom.Node{s}
+			}
+		}
+		return nil
+	})
+	b := &core.Builder{Sample: sample, Oracle: oracle}
+	res, err := b.BuildRule("price")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("converged:", res.OK)
+	fmt.Println("optionality:", res.Rule.Optionality)
+	fmt.Println("final values:")
+	for _, r := range res.FinalReport().Results {
+		fmt.Printf("  %s -> %s\n", r.Page.URI, r.Value)
+	}
+	// Output:
+	// converged: true
+	// optionality: mandatory
+	// final values:
+	//   p1 -> $10.00
+	//   p2 -> $12.50
+}
+
+// ExampleCheck shows the tabular checking step in isolation: a precise
+// positional rule matches the page it was built from but misses the
+// shifted page (the Table 1 situation).
+func ExampleCheck() {
+	sample := core.Sample{
+		core.NewPage("a", `<html><body><p>first</p><p>target</p></body></html>`),
+		core.NewPage("b", `<html><body><p>extra</p><p>first</p><p>target</p></body></html>`),
+	}
+	oracle := core.OracleFunc(func(component string, p *core.Page) []*dom.Node {
+		ps := dom.FindAll(p.Doc, func(n *dom.Node) bool { return n.TagIs("p") })
+		return []*dom.Node{ps[len(ps)-1].FirstChild}
+	})
+	r := rule.Rule{
+		Name: "target", Optionality: rule.Mandatory,
+		Multiplicity: rule.SingleValued, Format: rule.Text,
+		Locations: []string{"BODY[1]/P[2]/text()[1]"},
+	}
+	rep, _ := core.Check(r, sample, oracle)
+	for _, res := range rep.Results {
+		fmt.Printf("%s: %s (%s)\n", res.Page.URI, res.Verdict, res.Value)
+	}
+	// Output:
+	// a: match (target)
+	// b: unexpected (first)
+}
+
+// ExamplePathTo shows precise location-path generation for a clicked
+// node.
+func ExamplePathTo() {
+	page := core.NewPage("p", `<html><body><table><tr><td>a</td><td><b>x</b></td></tr></table></body></html>`)
+	b := dom.FindFirst(page.Doc, func(n *dom.Node) bool { return n.TagIs("b") })
+	path, _ := core.PathTo(b.FirstChild)
+	fmt.Println(path.String())
+	// Output:
+	// BODY[1]/TABLE[1]/TR[1]/TD[2]/B[1]/text()[1]
+}
+
+// Example_extraction wires a recorded repository into the XML extraction
+// processor (§4).
+func Example_extraction() {
+	repo := rule.NewRepository("products")
+	_ = repo.Record(rule.Rule{
+		Name: "price", Optionality: rule.Mandatory,
+		Multiplicity: rule.SingleValued, Format: rule.Text,
+		Locations: []string{`BODY//text()[preceding::text()[1][contains(., 'Price:')]]`},
+	})
+	proc, _ := extract.NewProcessor(repo)
+	doc, _ := proc.ExtractCluster([]*core.Page{
+		core.NewPage("http://shop.example/1", `<html><body><b>Price:</b> $9.99 <br></body></html>`),
+	})
+	fmt.Print(doc.XMLString())
+	// Output:
+	// <?xml version="1.0" encoding="UTF-8"?>
+	// <products>
+	//   <product uri="http://shop.example/1">
+	//     <price>$9.99</price>
+	//   </product>
+	// </products>
+}

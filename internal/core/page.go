@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+)
+
+// Page is one Web page of a cluster: its URI and parsed document.
+type Page struct {
+	URI string
+	Doc *dom.Node
+}
+
+// NewPage parses src into a Page.
+func NewPage(uri, src string) *Page {
+	return &Page{URI: uri, Doc: dom.Parse(src)}
+}
+
+// Oracle supplies the human contribution of the Retrozilla scenario: given
+// a component name and a page, point at the DOM nodes forming the
+// component value in that page. A nil result means the component is absent
+// from the page (which drives the optionality refinement); multiple nodes
+// mean either a multivalued component (sibling instances) or a mixed
+// value. In the interactive tool the oracle is the user clicking in the
+// browser; in the experiments it is the corpus ground truth.
+type Oracle interface {
+	Select(component string, p *Page) []*dom.Node
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(component string, p *Page) []*dom.Node
+
+// Select implements Oracle.
+func (f OracleFunc) Select(component string, p *Page) []*dom.Node {
+	return f(component, p)
+}
+
+// Sample is a working sample: the representative subset of a page cluster
+// the rules are induced from (§3.1). Practice per the paper: ~10 randomly
+// selected pages usually include most structural variants.
+type Sample []*Page
+
+// FirstWith returns the first page in which the oracle finds the
+// component, mirroring the "randomly chosen page" that seeds candidate
+// rule building (§3.2); deterministic order keeps experiments
+// reproducible.
+func (s Sample) FirstWith(component string, o Oracle) (*Page, []*dom.Node, error) {
+	for _, p := range s {
+		if nodes := o.Select(component, p); len(nodes) > 0 {
+			return p, nodes, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("core: component %q not present in any sample page", component)
+}

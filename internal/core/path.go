@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/xpath"
+)
+
+// Step is one location step of a structured path. Rendering produces the
+// precise position-based XPaths of §3.2 and their refined forms of §3.4.
+type Step struct {
+	// Desc marks the step as reached via // (descendant-or-self) instead
+	// of a direct child step.
+	Desc bool
+	// Test is the node test: an element tag (upper case) or "text()".
+	Test string
+	// Index is the 1-based parent-relative position (TD[3]); 0 omits the
+	// position predicate entirely.
+	Index int
+	// Broaden, when non-empty, replaces the position predicate — used by
+	// multivalue refinement, e.g. "position()>=1" (Table 2 row d).
+	Broaden string
+	// Preds are extra predicates appended after the position predicate,
+	// e.g. the contextual predicate of Table 2 row b.
+	Preds []string
+}
+
+func (s Step) render(first bool) string {
+	var b strings.Builder
+	switch {
+	case s.Desc:
+		b.WriteString("//")
+	case !first:
+		b.WriteString("/")
+	}
+	b.WriteString(s.Test)
+	switch {
+	case s.Broaden != "":
+		fmt.Fprintf(&b, "[%s]", s.Broaden)
+	case s.Index > 0:
+		fmt.Fprintf(&b, "[%d]", s.Index)
+	}
+	for _, p := range s.Preds {
+		fmt.Fprintf(&b, "[%s]", p)
+	}
+	return b.String()
+}
+
+// Path is a structured location path anchored at the document element
+// (its first step is BODY), matching the paper's location notation
+// BODY[1]/DIV[2]/…/text()[1].
+type Path struct {
+	Steps []Step
+}
+
+// String renders the path as an XPath expression.
+func (p Path) String() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		b.WriteString(s.render(i == 0))
+	}
+	return b.String()
+}
+
+// Compile compiles the rendered path.
+func (p Path) Compile() (*xpath.Compiled, error) {
+	return xpath.Compile(p.String())
+}
+
+// Clone deep-copies the path so refinements never alias predicate slices.
+func (p Path) Clone() Path {
+	steps := make([]Step, len(p.Steps))
+	copy(steps, p.Steps)
+	for i := range steps {
+		if len(steps[i].Preds) > 0 {
+			preds := make([]string, len(steps[i].Preds))
+			copy(preds, steps[i].Preds)
+			steps[i].Preds = preds
+		}
+	}
+	return Path{Steps: steps}
+}
+
+// Leaf returns a pointer to the last step. Panics on empty paths, which
+// cannot be produced by PathTo.
+func (p *Path) Leaf() *Step { return &p.Steps[len(p.Steps)-1] }
+
+// PathTo computes the precise position-based path from the document
+// element down to n — the automatic "selection" half of candidate rule
+// building (§3.2): every element step carries its parent-relative
+// position, and a text-node target ends with text()[k].
+//
+// The returned path starts at the outermost ancestor below the document
+// element (BODY for parsed documents). PathTo returns ok=false for
+// detached nodes, attribute nodes and the document element itself.
+func PathTo(n *dom.Node) (Path, bool) {
+	if n == nil || n.Type == dom.AttributeNode || n.Type == dom.DocumentNode {
+		return Path{}, false
+	}
+	var rev []Step
+	switch n.Type {
+	case dom.TextNode:
+		rev = append(rev, Step{Test: "text()", Index: n.TextIndex()})
+	case dom.ElementNode:
+		rev = append(rev, Step{Test: n.Data, Index: n.ElementIndex()})
+	default:
+		return Path{}, false
+	}
+	cur := n.Parent
+	for cur != nil && cur.Type == dom.ElementNode {
+		if cur.Parent != nil && cur.Parent.Type == dom.DocumentNode {
+			// cur is the document element (HTML); paths are anchored just
+			// below it.
+			reverse(rev)
+			return Path{Steps: rev}, true
+		}
+		rev = append(rev, Step{Test: cur.Data, Index: cur.ElementIndex()})
+		cur = cur.Parent
+	}
+	if cur == nil {
+		// Detached fragment: still usable, anchored at its root.
+		reverse(rev)
+		if len(rev) == 0 {
+			return Path{}, false
+		}
+		return Path{Steps: rev}, true
+	}
+	reverse(rev)
+	return Path{Steps: rev}, true
+}
+
+func reverse(s []Step) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// DivergingStep compares the paths of the first and last instances of a
+// multivalued component and returns the index of the deepest common step
+// at which only the position differs — the repetitive tag (§3.4: "if rows
+// e and f lead to the first and the last values, the repetitive element
+// is undoubtedly <TR>"). ok is false when the paths differ in shape, not
+// just position.
+func DivergingStep(first, last Path) (idx int, ok bool) {
+	if len(first.Steps) != len(last.Steps) {
+		return 0, false
+	}
+	idx = -1
+	for i := range first.Steps {
+		a, b := first.Steps[i], last.Steps[i]
+		if a.Test != b.Test || a.Desc != b.Desc {
+			return 0, false
+		}
+		if a.Index != b.Index {
+			if idx >= 0 {
+				// Positions diverge at two levels: instances do not share
+				// a single repetitive element.
+				return 0, false
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// contextPredicate builds the predicate that anchors a value on the
+// constant label that visually precedes it (§3.4 "Adding contextual
+// information"): the candidate node's nearest preceding text node in
+// depth-first document order must contain the label.
+func contextPredicate(label string) string {
+	return fmt.Sprintf("preceding::text()[1][contains(., %s)]", xpathLiteral(label))
+}
+
+// xpathLiteral quotes a string as an XPath literal, picking whichever
+// quote character the string does not contain (XPath 1.0 has no escape
+// sequences; strings containing both quote kinds drop the double quotes).
+func xpathLiteral(s string) string {
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	return "'" + strings.ReplaceAll(s, "'", " ") + "'"
+}

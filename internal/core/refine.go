@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/rule"
+	"repro/internal/textutil"
+)
+
+// Refinement strategies of §3.4. Each strategy inspects a check report,
+// transforms the rule (and its structured path mirror) and reports whether
+// it changed anything, together with a human-readable action description
+// for the build log.
+
+// refineOptionality handles components missing from some pages: a rule
+// whose component is absent in at least one sample page becomes optional.
+func refineOptionality(r *rule.Rule, rep CheckReport) (string, bool) {
+	if r.Optionality == rule.Optional {
+		return "", false
+	}
+	for _, res := range rep.Results {
+		if res.Verdict == VerdictAbsent {
+			r.Optionality = rule.Optional
+			return fmt.Sprintf("set optionality=optional (component absent in %s)",
+				res.Page.URI), true
+		}
+	}
+	return "", false
+}
+
+// refineMultivalued handles values that appear to be multivalued: the
+// repetitive tag is deduced by comparing the precise paths of the first
+// and the last instances (Table 2 rows e/f → repetitive element TR), and
+// the position predicate on that step is broadened (row d).
+func refineMultivalued(r *rule.Rule, paths []Path, rep CheckReport) (string, bool) {
+	var sample *PageResult
+	for i := range rep.Results {
+		if rep.Results[i].Verdict == VerdictNeedsMulti {
+			sample = &rep.Results[i]
+			break
+		}
+	}
+	if sample == nil {
+		return "", false
+	}
+	exp := sample.Expected
+	firstPath, ok1 := PathTo(exp[0])
+	lastPath, ok2 := PathTo(exp[len(exp)-1])
+	if !ok1 || !ok2 {
+		return "", false
+	}
+	div, ok := DivergingStep(firstPath, lastPath)
+	if !ok {
+		return "", false
+	}
+	repTag := firstPath.Steps[div].Test
+	firstIdx := firstPath.Steps[div].Index
+	if lastPath.Steps[div].Index < firstIdx {
+		firstIdx = lastPath.Steps[div].Index
+	}
+	broaden := fmt.Sprintf("position()>=%d", firstIdx)
+	changed := false
+	for i := range paths {
+		// Broaden the matching step in every structurally compatible
+		// location (alternative paths for other layouts are adjusted when
+		// they share the repetitive step shape).
+		if div < len(paths[i].Steps) && paths[i].Steps[div].Test == repTag {
+			paths[i].Steps[div].Broaden = broaden
+			paths[i].Steps[div].Index = 0
+			changed = true
+		}
+	}
+	if !changed {
+		return "", false
+	}
+	r.Multiplicity = rule.Multivalued
+	syncLocations(r, paths)
+	return fmt.Sprintf("set multiplicity=multivalued; repetitive tag <%s>, broadened to [%s]",
+		repTag, broaden), true
+}
+
+// refineFormat handles incomplete values: when the value mixes text and
+// HTML tags in at least one page, the format becomes mixed and the
+// location is retargeted from the leaf text node to its containing
+// element (the component value is then "a list of text nodes separated by
+// HTML tags", §7).
+func refineFormat(r *rule.Rule, paths []Path, rep CheckReport) (string, bool) {
+	hasIncomplete := false
+	for _, res := range rep.Results {
+		if res.Verdict == VerdictIncomplete {
+			hasIncomplete = true
+			break
+		}
+	}
+	if !hasIncomplete || r.Format == rule.Mixed {
+		return "", false
+	}
+	changed := false
+	for i := range paths {
+		if n := len(paths[i].Steps); n > 1 && paths[i].Steps[n-1].Test == "text()" {
+			paths[i].Steps = paths[i].Steps[:n-1]
+			changed = true
+		}
+	}
+	if !changed {
+		return "", false
+	}
+	r.Format = rule.Mixed
+	syncLocations(r, paths)
+	return "set format=mixed; retargeted location to the containing element", true
+}
+
+// findContextLabel looks for a constant character string that always
+// visually appears immediately before the targeted value (§3.4): the
+// nearest preceding non-empty text node in depth-first order, identical
+// across every page where the component occurs.
+func findContextLabel(component string, sample Sample, o Oracle) (string, bool) {
+	label := ""
+	found := false
+	for _, p := range sample {
+		exp := o.Select(component, p)
+		if len(exp) == 0 {
+			continue
+		}
+		l := precedingLabel(exp[0])
+		if l == "" {
+			return "", false
+		}
+		if !found {
+			label, found = l, true
+			continue
+		}
+		if l != label {
+			return "", false
+		}
+	}
+	return label, found && label != ""
+}
+
+// precedingLabel returns the trimmed content of the nearest preceding
+// text node of n in document order, skipping whitespace.
+func precedingLabel(n *dom.Node) string {
+	for cur := dom.PrevInDocument(n); cur != nil; cur = dom.PrevInDocument(cur) {
+		if cur.Type == dom.TextNode {
+			if s := textutil.NormalizeSpace(cur.Data); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// contextCandidates generates refined paths at escalating generality for
+// the contextual-information strategy:
+//
+//	level 1 — keep the precise path, replace the leaf position predicate
+//	          by the contextual predicate;
+//	level 2 — anchor at BODY, keep only the leaf's parent tag:
+//	          BODY//TD/text()[ctx];
+//	level 3 — fully contextual: BODY//text()[ctx].
+//
+// Later levels trade syntactic precision for resilience to position
+// shifts anywhere in the page, exactly the flexibility/precision
+// trade-off §3.4 describes.
+func contextCandidates(primary Path, label string) []Path {
+	pred := contextPredicate(label)
+	var out []Path
+
+	leafTest := primary.Steps[len(primary.Steps)-1].Test
+
+	l1 := primary.Clone()
+	leaf := l1.Leaf()
+	leaf.Index = 0
+	leaf.Broaden = ""
+	leaf.Preds = append(leaf.Preds, pred)
+	out = append(out, l1)
+
+	if len(primary.Steps) >= 2 {
+		parentTest := primary.Steps[len(primary.Steps)-2].Test
+		l2 := Path{Steps: []Step{
+			{Test: primary.Steps[0].Test},
+			{Desc: true, Test: parentTest},
+			{Test: leafTest, Preds: []string{pred}},
+		}}
+		out = append(out, l2)
+	}
+
+	l3 := Path{Steps: []Step{
+		{Test: primary.Steps[0].Test},
+		{Desc: true, Test: leafTest, Preds: []string{pred}},
+	}}
+	out = append(out, l3)
+	return out
+}
+
+// okModuloOptionality reports whether a check has only matches and
+// absences — i.e. would pass once optionality is adjusted.
+func okModuloOptionality(rep CheckReport) bool {
+	for _, res := range rep.Results {
+		if res.Verdict != VerdictMatch && res.Verdict != VerdictAbsent {
+			return false
+		}
+	}
+	return true
+}
+
+func countFailing(rep CheckReport) int {
+	n := 0
+	for _, res := range rep.Results {
+		if res.Verdict != VerdictMatch && res.Verdict != VerdictAbsent {
+			n++
+		}
+	}
+	return n
+}
+
+// syncLocations re-renders the structured paths into the rule's location
+// strings.
+func syncLocations(r *rule.Rule, paths []Path) {
+	locs := make([]string, len(paths))
+	for i := range paths {
+		locs[i] = paths[i].String()
+	}
+	r.Locations = locs
+}
+
+// describePaths summarizes locations for action logs.
+func describePaths(paths []Path) string {
+	parts := make([]string, len(paths))
+	for i := range paths {
+		parts[i] = paths[i].String()
+	}
+	return strings.Join(parts, " | ")
+}

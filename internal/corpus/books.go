@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rule"
+)
+
+// BookProfile configures the books cluster: product-style pages with a
+// price (the paper's data-integration motivation), multivalued authors
+// and an optional publisher.
+type BookProfile struct {
+	Seed          int64
+	Pages         int
+	ProbPublisher float64
+	ProbSubtitle  float64 // shifts the author block when present
+	MaxAuthors    int
+	Reparse       bool
+}
+
+// DefaultBookProfile returns a balanced discrepancy mix.
+func DefaultBookProfile(seed int64, pages int) BookProfile {
+	return BookProfile{
+		Seed: seed, Pages: pages,
+		ProbPublisher: 0.6, ProbSubtitle: 0.3, MaxAuthors: 3, Reparse: true,
+	}
+}
+
+var bookComponents = []ComponentSpec{
+	{Name: "book-title", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "author", Optionality: rule.Mandatory, Multiplicity: rule.Multivalued, Format: rule.Text},
+	{Name: "price", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "isbn", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "publisher", Optionality: rule.Optional, Multiplicity: rule.SingleValued, Format: rule.Text},
+}
+
+var (
+	bookAdjectives = []string{"Practical", "Modern", "Advanced", "Essential", "Applied", "Elegant"}
+	bookTopics     = []string{"Databases", "Compilers", "Networks", "Cryptography", "Algorithms", "Typography"}
+)
+
+// GenerateBooks builds the books cluster.
+func GenerateBooks(p BookProfile) *Cluster {
+	r := rng(p.Seed)
+	if p.Pages <= 0 {
+		p.Pages = 10
+	}
+	if p.MaxAuthors < 1 {
+		p.MaxAuthors = 1
+	}
+	c := &Cluster{
+		Name:       "books",
+		Components: bookComponents,
+		truth:      map[*corePage]map[string][]*domNode{},
+	}
+	for i := 0; i < p.Pages; i++ {
+		uri := fmt.Sprintf("http://books.example/item/%06d", 100000+r.Intn(899999))
+		page, truth := generateBookPage(r, p, uri)
+		c.Pages = append(c.Pages, page)
+		c.truth[page] = truth
+	}
+	return c
+}
+
+func generateBookPage(r *rand.Rand, p BookProfile, uri string) (*corePage, map[string][]*domNode) {
+	pb := newPageBuilder()
+	main := el(pb.body, "DIV", attr("id", "main"))
+
+	h2 := el(main, "H2")
+	pb.record("book-title", txt(h2, pick(r, bookAdjectives)+" "+pick(r, bookTopics)))
+	if r.Float64() < p.ProbSubtitle {
+		sub := el(main, "H3")
+		txt(sub, "A hands-on guide")
+	}
+
+	byline := el(main, "P", attr("class", "byline"))
+	txt(byline, "by ")
+	for n := 1 + r.Intn(p.MaxAuthors); n > 0; n-- {
+		span := el(byline, "SPAN", attr("class", "author"))
+		pb.record("author", txt(span, personName(r)))
+		if n > 1 {
+			txt(byline, ", ")
+		}
+	}
+
+	detail := el(main, "TABLE", attr("class", "detail"))
+	row := func(label, value string) *domNode {
+		tr := el(detail, "TR")
+		th := el(tr, "TH")
+		txt(th, label)
+		td := el(tr, "TD")
+		return txt(td, value)
+	}
+	pb.record("price", row("Price:", fmt.Sprintf("$%d.%02d", 9+r.Intn(90), r.Intn(100))))
+	pb.record("isbn", row("ISBN:", fmt.Sprintf("978-%d-%04d-%04d-%d",
+		r.Intn(10), r.Intn(10000), r.Intn(10000), r.Intn(10))))
+	if r.Float64() < p.ProbPublisher {
+		pb.record("publisher", row("Publisher:", pick(r, lastNames)+" Press"))
+	}
+
+	related := el(main, "UL", attr("class", "related"))
+	for i := 0; i < 2+r.Intn(3); i++ {
+		li := el(related, "LI")
+		a := el(li, "A", attr("href", fmt.Sprintf("/item/%06d", r.Intn(999999))))
+		txt(a, pick(r, bookAdjectives)+" "+pick(r, bookTopics))
+	}
+	return pb.finish(uri, p.Reparse)
+}

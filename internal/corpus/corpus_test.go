@@ -1,0 +1,265 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+func TestGenerateMoviesDeterministic(t *testing.T) {
+	a := GenerateMovies(DefaultMovieProfile(42, 5))
+	b := GenerateMovies(DefaultMovieProfile(42, 5))
+	if len(a.Pages) != 5 || len(b.Pages) != 5 {
+		t.Fatal("page count")
+	}
+	for i := range a.Pages {
+		if a.Pages[i].URI != b.Pages[i].URI {
+			t.Fatalf("URIs differ at %d: %s vs %s", i, a.Pages[i].URI, b.Pages[i].URI)
+		}
+		if dom.Render(a.Pages[i].Doc) != dom.Render(b.Pages[i].Doc) {
+			t.Fatalf("page %d HTML differs across same-seed runs", i)
+		}
+	}
+	c := GenerateMovies(DefaultMovieProfile(43, 5))
+	same := 0
+	for i := range a.Pages {
+		if dom.Render(a.Pages[i].Doc) == dom.Render(c.Pages[i].Doc) {
+			same++
+		}
+	}
+	if same == len(a.Pages) {
+		t.Error("different seeds must produce different pages")
+	}
+}
+
+func TestGroundTruthPointsIntoPage(t *testing.T) {
+	cl := GenerateMovies(DefaultMovieProfile(7, 8))
+	for _, p := range cl.Pages {
+		for _, comp := range cl.ComponentNames() {
+			for _, n := range cl.Truth(p, comp) {
+				if n.Root() != p.Doc {
+					t.Fatalf("%s truth node for %s not in page tree", p.URI, comp)
+				}
+			}
+		}
+		// Mandatory components must always have truth.
+		for _, comp := range []string{"title", "runtime", "country", "director", "genre", "actor", "rating"} {
+			if len(cl.Truth(p, comp)) == 0 {
+				t.Errorf("%s: mandatory component %s missing", p.URI, comp)
+			}
+		}
+	}
+}
+
+func TestDiscrepanciesPresent(t *testing.T) {
+	cl := GenerateMovies(DefaultMovieProfile(11, 60))
+	counts := map[string]int{}
+	for _, p := range cl.Pages {
+		if len(cl.Truth(p, "language")) == 0 {
+			counts["noLanguage"]++
+		}
+		if len(cl.Truth(p, "trivia")) == 0 {
+			counts["noTrivia"]++
+		} else if cl.Truth(p, "trivia")[0].Type == dom.ElementNode {
+			counts["mixedTrivia"]++
+		}
+		if len(cl.Truth(p, "actor")) > 1 {
+			counts["multiActor"]++
+		}
+		if dom.FindFirst(p.Doc, func(n *dom.Node) bool { return n.TagIs("DL") }) != nil {
+			counts["altLayout"]++
+		}
+		if strings.Contains(dom.Render(p.Doc), "Also Known As:") {
+			counts["aka"]++
+		}
+	}
+	for _, k := range []string{"noLanguage", "noTrivia", "mixedTrivia", "multiActor", "altLayout", "aka"} {
+		if counts[k] == 0 {
+			t.Errorf("discrepancy class %s never generated in 60 pages", k)
+		}
+	}
+}
+
+// TestEndToEndRuleInduction is the central integration test: induce rules
+// for every movie component from a 10-page working sample and verify (a)
+// convergence, (b) the induced properties match the component specs, and
+// (c) the rules extract the right values from held-out pages.
+func TestEndToEndRuleInduction(t *testing.T) {
+	cl := GenerateMovies(DefaultMovieProfile(1234, 60))
+	sample, held := cl.RepresentativeSplit(10)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+
+	for _, spec := range cl.Components {
+		res, err := b.BuildRule(spec.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !res.OK {
+			t.Errorf("%s: did not converge; actions=%v\nrule:\n%s\nreport:\n%s",
+				spec.Name, res.Actions, res.Rule.String(), res.FinalReport().Table())
+			continue
+		}
+		r := res.Rule
+		if r.Multiplicity != spec.Multiplicity {
+			t.Errorf("%s: multiplicity %s, want %s", spec.Name, r.Multiplicity, spec.Multiplicity)
+		}
+		// Optionality can legitimately stay mandatory if the sample
+		// happened to contain the component everywhere; with these seeds
+		// and 10 pages the optional ones are absent somewhere.
+		if spec.Optionality == rule.Optional && r.Optionality != rule.Optional {
+			t.Logf("%s: note: sample showed no absence (optionality stayed mandatory)", spec.Name)
+		}
+
+		// Held-out accuracy.
+		compiled, err := r.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", spec.Name, err)
+		}
+		correct, total := 0, 0
+		for _, p := range held {
+			truth := cl.TruthStrings(p, spec.Name)
+			got := compiled.Apply(p.Doc)
+			var gotStrs []string
+			for _, n := range got {
+				gotStrs = append(gotStrs, normalized(n))
+			}
+			if len(truth) == 0 && len(gotStrs) == 0 {
+				correct++
+			} else if strings.Join(truth, "\x00") == strings.Join(gotStrs, "\x00") {
+				correct++
+			}
+			total++
+		}
+		acc := float64(correct) / float64(total)
+		if acc < 0.95 {
+			t.Errorf("%s: held-out accuracy %.2f (%d/%d) below 0.95; rule:\n%s",
+				spec.Name, acc, correct, total, r.String())
+		}
+	}
+}
+
+func normalized(n *dom.Node) string {
+	return strings.Join(strings.Fields(nodeString(n)), " ")
+}
+
+func nodeString(n *dom.Node) string {
+	if n.Type == dom.TextNode {
+		return n.Data
+	}
+	return dom.TextContent(n)
+}
+
+func TestBooksInduction(t *testing.T) {
+	cl := GenerateBooks(DefaultBookProfile(99, 40))
+	sample, _ := cl.Split(10)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	for _, spec := range cl.Components {
+		res, err := b.BuildRule(spec.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !res.OK {
+			t.Errorf("%s: did not converge; actions=%v\n%s", spec.Name, res.Actions, res.Rule.String())
+		}
+	}
+}
+
+func TestStocksInduction(t *testing.T) {
+	cl := GenerateStocks(DefaultStockProfile(5, 30))
+	sample, _ := cl.Split(8)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	for _, spec := range cl.Components {
+		res, err := b.BuildRule(spec.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !res.OK {
+			t.Errorf("%s: did not converge; actions=%v\n%s", spec.Name, res.Actions, res.Rule.String())
+		}
+	}
+}
+
+func TestInjectDriftRemove(t *testing.T) {
+	cl := GenerateMovies(DefaultMovieProfile(3, 10))
+	pages, drifts := InjectDrift(cl, "runtime", DriftRemoveMandatory, 1.0, 1)
+	if len(pages) != 10 {
+		t.Fatal("page count")
+	}
+	if len(drifts) == 0 {
+		t.Fatal("no drifts applied")
+	}
+	// Originals must be untouched.
+	for _, p := range cl.Pages {
+		if len(cl.Truth(p, "runtime")) == 0 {
+			t.Fatal("original cluster mutated")
+		}
+	}
+	// Drifted pages must have lost the runtime text.
+	driftedURIs := map[string]bool{}
+	for _, d := range drifts {
+		driftedURIs[d.PageURI] = true
+	}
+	for _, p := range pages {
+		if driftedURIs[p.URI] && strings.Contains(dom.Render(p.Doc), " min ") {
+			// The label may remain; the value text node must be gone.
+			orig := findPage(cl, p.URI)
+			val := cl.TruthStrings(orig, "runtime")
+			if len(val) > 0 && strings.Contains(dom.Render(p.Doc), val[0]) {
+				t.Errorf("%s: drifted page still contains runtime value %q", p.URI, val[0])
+			}
+		}
+	}
+}
+
+func TestInjectDriftDuplicate(t *testing.T) {
+	cl := GenerateStocks(DefaultStockProfile(8, 10))
+	pages, drifts := InjectDrift(cl, "last-price", DriftDuplicateValue, 1.0, 2)
+	if len(drifts) == 0 {
+		t.Fatal("no drifts applied")
+	}
+	for _, d := range drifts {
+		p := findCorePage(pages, d.PageURI)
+		orig := findPage(cl, d.PageURI)
+		val := cl.TruthStrings(orig, "last-price")[0]
+		if got := strings.Count(dom.Render(p.Doc), val); got < 2 {
+			t.Errorf("%s: duplicated value appears %d times", d.PageURI, got)
+		}
+	}
+}
+
+func findPage(c *Cluster, uri string) *core.Page {
+	for _, p := range c.Pages {
+		if p.URI == uri {
+			return p
+		}
+	}
+	return nil
+}
+
+func findCorePage(pages []*core.Page, uri string) *core.Page {
+	for _, p := range pages {
+		if p.URI == uri {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestReparseConsistency(t *testing.T) {
+	// With Reparse on (default), ground truth must point into the
+	// reparsed tree and the values must match the rendered HTML.
+	cl := GenerateMovies(DefaultMovieProfile(21, 6))
+	for _, p := range cl.Pages {
+		html := dom.Render(p.Doc)
+		for _, comp := range []string{"title", "runtime", "rating"} {
+			for _, v := range cl.TruthStrings(p, comp) {
+				if !strings.Contains(strings.Join(strings.Fields(html), " "), v) {
+					t.Errorf("%s: value %q of %s not in rendered HTML", p.URI, v, comp)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+)
+
+// DriftKind enumerates the page-evolution faults injected for the
+// failure-detection experiment (§7: a failure can "be automatically
+// detected when a mandatory component cannot be found in one page or when
+// the extraction of a single-valued text component returns more than one
+// node").
+type DriftKind int
+
+// Drift kinds.
+const (
+	// DriftRemoveMandatory deletes a mandatory component's subtree.
+	DriftRemoveMandatory DriftKind = iota
+	// DriftDuplicateValue duplicates a single-valued component's value so
+	// the rule selects more than one node.
+	DriftDuplicateValue
+	// DriftRelabel changes the constant label preceding a value, breaking
+	// contextual rules.
+	DriftRelabel
+)
+
+// Drift describes one injected fault.
+type Drift struct {
+	Kind      DriftKind
+	Component string
+	PageURI   string
+}
+
+// InjectDrift clones every page of the cluster and injects the given
+// fault into a fraction of them for the named component. It returns the
+// drifted pages and the record of faults actually applied (a fault that
+// cannot apply to a page — e.g. the component is absent — is skipped).
+func InjectDrift(c *Cluster, component string, kind DriftKind, fraction float64, seed int64) ([]*core.Page, []Drift) {
+	r := rand.New(rand.NewSource(seed))
+	var out []*core.Page
+	var drifts []Drift
+	for _, p := range c.Pages {
+		clone := &core.Page{URI: p.URI, Doc: p.Doc.Clone()}
+		if r.Float64() < fraction {
+			if applyDrift(c, p, clone, component, kind) {
+				drifts = append(drifts, Drift{Kind: kind, Component: component, PageURI: p.URI})
+			}
+		}
+		out = append(out, clone)
+	}
+	return out, drifts
+}
+
+// applyDrift mutates the cloned page. Ground-truth nodes belong to the
+// original tree, so they are re-located in the clone via their precise
+// paths before mutation.
+func applyDrift(c *Cluster, orig, clone *core.Page, component string, kind DriftKind) bool {
+	truth := c.Truth(orig, component)
+	if len(truth) == 0 {
+		return false
+	}
+	target := locateInClone(truth[0], clone)
+	if target == nil {
+		return false
+	}
+	switch kind {
+	case DriftRemoveMandatory:
+		// Remove the whole labelled field (label element + value node)
+		// when a label precedes the value — the realistic page evolution
+		// where a site stops publishing the field. Bare values lose just
+		// the value node.
+		if target.Parent == nil {
+			return false
+		}
+		if label := precedingLabelSibling(target); label != nil {
+			label.Parent.RemoveChild(label)
+		}
+		target.Parent.RemoveChild(target)
+		return true
+	case DriftDuplicateValue:
+		if target.Parent == nil {
+			return false
+		}
+		// Duplicate the labelled region (preceding label element plus the
+		// value), modelling a template change that repeats a field — the
+		// §7 situation where "the extraction of a single-valued text
+		// component returns more than one node".
+		if label := precedingLabelSibling(target); label != nil {
+			labelDup := label.Clone()
+			valueDup := target.Clone()
+			target.Parent.InsertBefore(labelDup, target.NextSibling)
+			target.Parent.InsertBefore(valueDup, labelDup.NextSibling)
+			return true
+		}
+		// Row-style layouts (label cell + value cell): duplicate the row.
+		if target.Parent.Parent != nil && precedingLabelSibling(target.Parent) != nil {
+			row := target.Parent.Parent
+			if row.Parent != nil {
+				row.Parent.InsertBefore(row.Clone(), row.NextSibling)
+				return true
+			}
+		}
+		dup := target.Clone()
+		target.Parent.InsertBefore(dup, target.NextSibling)
+		return true
+	case DriftRelabel:
+		// Find the nearest preceding text node (the label) and rewrite it.
+		for cur := dom.PrevInDocument(target); cur != nil; cur = dom.PrevInDocument(cur) {
+			if cur.Type == dom.TextNode && len(cur.Data) > 0 {
+				cur.Data = "Renamed-Field:"
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// precedingLabelSibling returns the nearest preceding element sibling of
+// n (the label element of a labelled value), or nil.
+func precedingLabelSibling(n *dom.Node) *dom.Node {
+	for s := n.PrevSibling; s != nil; s = s.PrevSibling {
+		if s.Type == dom.ElementNode {
+			return s
+		}
+	}
+	return nil
+}
+
+// locateInClone resolves a node of the original tree to the structurally
+// identical node of the cloned tree via its precise path.
+func locateInClone(n *dom.Node, clone *core.Page) *dom.Node {
+	path, ok := core.PathTo(n)
+	if !ok {
+		return nil
+	}
+	compiled, err := path.Compile()
+	if err != nil {
+		return nil
+	}
+	ns := compiled.SelectLocation(clone.Doc)
+	if len(ns) == 0 {
+		return nil
+	}
+	return ns[0]
+}

@@ -1,0 +1,122 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rule"
+)
+
+// ForumProfile configures the forum-threads cluster: discussion pages
+// whose posts are *multivalued mixed* components (each post value is a
+// container holding text interleaved with markup) — the combination of
+// §3.4's multiplicity and format refinements in one component.
+type ForumProfile struct {
+	Seed     int64
+	Pages    int
+	MaxPosts int
+	// ProbQuote makes a post embed a <BLOCKQUOTE>, keeping its value
+	// mixed rather than pure text.
+	ProbQuote float64
+	// ProbSticky prepends a sticky notice before the post list, shifting
+	// positions.
+	ProbSticky float64
+	Reparse    bool
+}
+
+// DefaultForumProfile returns the standard mix.
+func DefaultForumProfile(seed int64, pages int) ForumProfile {
+	return ForumProfile{
+		Seed: seed, Pages: pages, MaxPosts: 5,
+		ProbQuote: 0.5, ProbSticky: 0.3, Reparse: true,
+	}
+}
+
+var forumComponents = []ComponentSpec{
+	{Name: "thread-title", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "post", Optionality: rule.Mandatory, Multiplicity: rule.Multivalued, Format: rule.Mixed},
+	{Name: "post-author", Optionality: rule.Mandatory, Multiplicity: rule.Multivalued, Format: rule.Text},
+	{Name: "reply-count", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+}
+
+var threadTopics = []string{
+	"Best index for range scans", "Parser rejects my markup",
+	"XPath position predicates", "Migrating a static site",
+	"Monitoring competitor prices", "Schema evolution woes",
+}
+
+var postBodies = []string{
+	"Have you tried rebuilding with a composite key",
+	"This worked for me after clearing the cache",
+	"The documentation covers this in chapter four",
+	"I measured both and the difference was negligible",
+	"Consider normalizing the table first",
+}
+
+// GenerateForum builds the forum-threads cluster.
+func GenerateForum(p ForumProfile) *Cluster {
+	r := rng(p.Seed)
+	if p.Pages <= 0 {
+		p.Pages = 10
+	}
+	if p.MaxPosts < 1 {
+		p.MaxPosts = 1
+	}
+	c := &Cluster{
+		Name:       "forum-threads",
+		Components: forumComponents,
+		truth:      map[*corePage]map[string][]*domNode{},
+	}
+	for i := 0; i < p.Pages; i++ {
+		uri := fmt.Sprintf("http://forum.example/thread/%05d", 10000+r.Intn(89999))
+		page, truth := generateForumPage(r, p, uri)
+		c.Pages = append(c.Pages, page)
+		c.truth[page] = truth
+	}
+	return c
+}
+
+func generateForumPage(r *rand.Rand, p ForumProfile, uri string) (*corePage, map[string][]*domNode) {
+	pb := newPageBuilder()
+	main := el(pb.body, "DIV", attr("id", "thread"))
+
+	h2 := el(main, "H2")
+	pb.record("thread-title", txt(h2, pick(r, threadTopics)))
+
+	meta := el(main, "P", attr("class", "meta"))
+	b := el(meta, "B")
+	txt(b, "Replies:")
+	pb.record("reply-count", txt(meta, fmt.Sprintf(" %d ", r.Intn(40))))
+
+	if r.Float64() < p.ProbSticky {
+		sticky := el(main, "DIV", attr("class", "sticky"))
+		txt(sticky, "Sticky: please read the forum rules before posting.")
+	}
+
+	posts := el(main, "DIV", attr("class", "posts"))
+	for n := 1 + r.Intn(p.MaxPosts); n > 0; n-- {
+		post := el(posts, "DIV", attr("class", "post"))
+		head := el(post, "P", attr("class", "post-head"))
+		span := el(head, "SPAN", attr("class", "author"))
+		pb.record("post-author", txt(span, personName(r)))
+		txt(head, fmt.Sprintf(" wrote on 2006-%02d-%02d:", 1+r.Intn(12), 1+r.Intn(28)))
+
+		body := el(post, "DIV", attr("class", "post-body"))
+		if r.Float64() < p.ProbQuote {
+			q := el(body, "BLOCKQUOTE")
+			txt(q, pick(r, postBodies)+"?")
+			txt(body, " "+pick(r, postBodies)+".")
+		} else {
+			txt(body, pick(r, postBodies)+".")
+		}
+		// The post component's value is the whole body container: mixed
+		// when a quote is embedded, plain otherwise — the oracle always
+		// designates the container, as a user selecting the highlighted
+		// block would.
+		pb.record("post", body)
+	}
+
+	footer := el(main, "P", attr("class", "footer"))
+	txt(footer, "Powered by forum.example")
+	return pb.finish(uri, p.Reparse)
+}

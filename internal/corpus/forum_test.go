@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+func TestForumGeneration(t *testing.T) {
+	cl := GenerateForum(DefaultForumProfile(14, 20))
+	if len(cl.Pages) != 20 {
+		t.Fatal("page count")
+	}
+	multiPost, mixedPost := false, false
+	for _, p := range cl.Pages {
+		posts := cl.Truth(p, "post")
+		if len(posts) == 0 {
+			t.Fatalf("%s has no posts", p.URI)
+		}
+		if len(posts) > 1 {
+			multiPost = true
+		}
+		for _, post := range posts {
+			if post.Type != dom.ElementNode {
+				t.Fatal("post truth must be the container element")
+			}
+			if dom.FindFirst(post, func(n *dom.Node) bool { return n.TagIs("blockquote") }) != nil {
+				mixedPost = true
+			}
+		}
+		if len(cl.Truth(p, "post-author")) != len(posts) {
+			t.Errorf("%s: authors/posts mismatch", p.URI)
+		}
+	}
+	if !multiPost || !mixedPost {
+		t.Error("discrepancy classes missing: multiPost/mixedPost")
+	}
+}
+
+// TestForumInduction exercises the multivalued + mixed combination: the
+// post rule must end up multivalued AND mixed, and extract every post
+// container.
+func TestForumInduction(t *testing.T) {
+	cl := GenerateForum(DefaultForumProfile(15, 30))
+	sample, held := cl.RepresentativeSplit(10)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	for _, spec := range cl.Components {
+		res, err := b.BuildRule(spec.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !res.OK {
+			t.Errorf("%s: not converged: %v\n%s\n%s", spec.Name, res.Actions,
+				res.Rule.String(), res.FinalReport().Table())
+			continue
+		}
+		if res.Rule.Multiplicity != spec.Multiplicity {
+			t.Errorf("%s: multiplicity %s, want %s", spec.Name,
+				res.Rule.Multiplicity, spec.Multiplicity)
+		}
+		if spec.Name == "post" && res.Rule.Format != rule.Mixed {
+			t.Errorf("post format = %s, want mixed", res.Rule.Format)
+		}
+		// Held-out extraction must match truth.
+		c, err := res.Rule.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := 0
+		for _, p := range held {
+			want := cl.TruthStrings(p, spec.Name)
+			var got []string
+			for _, n := range c.Apply(p.Doc) {
+				got = append(got, normalized(n))
+			}
+			if strings.Join(got, "\x00") != strings.Join(want, "\x00") {
+				bad++
+			}
+		}
+		if frac := float64(bad) / float64(len(held)); frac > 0.05 {
+			t.Errorf("%s: %d/%d held-out pages wrong", spec.Name, bad, len(held))
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rule"
+)
+
+// MovieProfile configures the imdb-movies cluster generator. Probabilities
+// are per page; the zero value of each knob disables the corresponding
+// discrepancy.
+type MovieProfile struct {
+	Seed  int64
+	Pages int
+
+	// ProbAKA inserts an "Also Known As:" field before Runtime, shifting
+	// later text positions (the Figure 4 page-c effect).
+	ProbAKA float64
+	// ProbLanguage controls presence of the optional language field.
+	ProbLanguage float64
+	// ProbTrivia controls presence of the optional trivia field, whose
+	// value mixes text and <I> markup in some pages.
+	ProbTrivia float64
+	// ProbTriviaMarkup, given trivia present, makes its value mixed.
+	ProbTriviaMarkup float64
+	// MaxActors bounds the multivalued actor list (at least 1).
+	MaxActors int
+	// MaxGenres bounds the multivalued genre list (at least 1).
+	MaxGenres int
+	// ProbAltLayout renders the page with the alternative layout, whose
+	// rating sits in a structurally different place (drives the
+	// alternative-path refinement).
+	ProbAltLayout float64
+	// NestingDepth wraps the main content in this many extra DIV levels.
+	NestingDepth int
+	// FieldContainers renders each info field inside its own DIV
+	// container (with absent optional fields leaving an empty container),
+	// modelling template-generated fine-grained structure; when false the
+	// info block is the flat label/text/BR run of Figure 4, where
+	// optional fields shift later positions. This is the knob behind the
+	// §7 claim that Retrozilla "is empirically more effective on
+	// fine-grained HTML structures … than on poorly structured documents".
+	FieldContainers bool
+	// FillerRows is the number of boilerplate rows before the info row.
+	FillerRows int
+	// Reparse pushes every page through render→parse so rules run against
+	// trees produced by the real HTML pipeline.
+	Reparse bool
+}
+
+// DefaultMovieProfile mirrors the discrepancy mix visible in the paper's
+// examples: occasional AKA shifts, an optional field, multivalued lists
+// and a minority alternative layout.
+func DefaultMovieProfile(seed int64, pages int) MovieProfile {
+	return MovieProfile{
+		Seed:             seed,
+		Pages:            pages,
+		ProbAKA:          0.25,
+		ProbLanguage:     0.7,
+		ProbTrivia:       0.5,
+		ProbTriviaMarkup: 0.5,
+		MaxActors:        6,
+		MaxGenres:        3,
+		ProbAltLayout:    0.15,
+		NestingDepth:     0,
+		FillerRows:       5,
+		Reparse:          true,
+	}
+}
+
+var movieComponents = []ComponentSpec{
+	{Name: "title", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "runtime", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "country", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "language", Optionality: rule.Optional, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "director", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "genre", Optionality: rule.Mandatory, Multiplicity: rule.Multivalued, Format: rule.Text},
+	{Name: "actor", Optionality: rule.Mandatory, Multiplicity: rule.Multivalued, Format: rule.Text},
+	{Name: "rating", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "trivia", Optionality: rule.Optional, Multiplicity: rule.SingleValued, Format: rule.Mixed},
+}
+
+var (
+	titleWords = []string{
+		"Silent", "Crimson", "Broken", "Golden", "Midnight", "Electric",
+		"Forgotten", "Burning", "Hollow", "Distant", "Savage", "Gentle",
+	}
+	titleNouns = []string{
+		"Horizon", "Empire", "Garden", "Station", "Harbor", "Winter",
+		"Voyage", "Echo", "Covenant", "Paradox", "Meridian", "Lantern",
+	}
+	firstNames = []string{
+		"Ava", "Liam", "Noah", "Emma", "Oliver", "Sophia", "Mason",
+		"Isabella", "Lucas", "Mia", "Ethan", "Clara", "Jonas", "Nora",
+	}
+	lastNames = []string{
+		"Archer", "Bennett", "Calloway", "Dupont", "Eriksen", "Falk",
+		"Garnier", "Holt", "Ivarsson", "Janssen", "Keller", "Laurent",
+	}
+	countries = []string{"USA", "UK", "France", "Italy", "Germany", "Japan", "Spain", "Canada"}
+	languages = []string{"English", "French", "Italian", "German", "Japanese", "Spanish"}
+	genres    = []string{"Drama", "Comedy", "Thriller", "Sci-Fi", "Romance", "Documentary", "Horror", "Western"}
+	trivias   = []string{
+		"The production moved twice during filming",
+		"Most exterior scenes were shot at dawn",
+		"The score was recorded in a single session",
+		"Several props were borrowed from a museum",
+	}
+)
+
+func pick(r *rand.Rand, pool []string) string { return pool[r.Intn(len(pool))] }
+
+func personName(r *rand.Rand) string {
+	return pick(r, firstNames) + " " + pick(r, lastNames)
+}
+
+func movieTitle(r *rand.Rand) string {
+	return "The " + pick(r, titleWords) + " " + pick(r, titleNouns)
+}
+
+// GenerateMovies builds the imdb-movies cluster.
+func GenerateMovies(p MovieProfile) *Cluster {
+	r := rng(p.Seed)
+	if p.Pages <= 0 {
+		p.Pages = 10
+	}
+	if p.MaxActors < 1 {
+		p.MaxActors = 1
+	}
+	if p.MaxGenres < 1 {
+		p.MaxGenres = 1
+	}
+	c := &Cluster{
+		Name:       "imdb-movies",
+		Components: movieComponents,
+		truth:      map[*corePage]map[string][]*domNode{},
+	}
+	for i := 0; i < p.Pages; i++ {
+		uri := fmt.Sprintf("http://movies.example/title/tt%07d/", 100000+r.Intn(900000))
+		page, truth := generateMoviePage(r, p, uri)
+		c.Pages = append(c.Pages, page)
+		c.truth[page] = truth
+	}
+	return c
+}
+
+func generateMoviePage(r *rand.Rand, p MovieProfile, uri string) (*corePage, map[string][]*domNode) {
+	pb := newPageBuilder()
+	content := wrapDepth(pb.body, p.NestingDepth)
+
+	// Header block: title as H1, boilerplate nav.
+	h1 := el(content, "H1")
+	pb.record("title", txt(h1, movieTitle(r)))
+	nav := el(content, "DIV", attr("class", "nav"))
+	for _, item := range []string{"Home", "Top 250", "Coming Soon"} {
+		a := el(nav, "A", attr("href", "/"+item))
+		txt(a, item)
+	}
+
+	alt := r.Float64() < p.ProbAltLayout
+	if alt {
+		generateAltLayout(r, p, pb, content)
+	} else {
+		generateMainLayout(r, p, pb, content)
+	}
+
+	// Footer boilerplate.
+	footer := el(content, "DIV", attr("class", "footer"))
+	txt(footer, "Copyright 2006 movies.example")
+	return pb.finish(uri, p.Reparse)
+}
+
+// generateMainLayout emits the Figure 4 style layout: a layout table whose
+// info row holds <B>Label:</B> value <BR> sequences, followed by genre
+// links, an actor list, rating and trivia blocks.
+func generateMainLayout(r *rand.Rand, p MovieProfile, pb *pageBuilder, content *domNode) {
+	table := el(content, "TABLE", attr("class", "layout"))
+	for i := 0; i < p.FillerRows; i++ {
+		tr := el(table, "TR")
+		td := el(tr, "TD")
+		txt(td, fmt.Sprintf("boilerplate %d", i+1))
+	}
+	infoTR := el(table, "TR")
+	infoTD := el(infoTR, "TD")
+	if p.FieldContainers {
+		// Fine-grained structure: one container per field, kept even when
+		// the optional field is absent, so positions never shift.
+		field := func(label, value string, present bool) *domNode {
+			div := el(infoTD, "DIV", attr("class", "field"))
+			if !present {
+				return nil
+			}
+			b := el(div, "B")
+			txt(b, label)
+			span := el(div, "SPAN")
+			return txt(span, value)
+		}
+		field("Also Known As:", movieTitle(r)+" (International: English title)",
+			r.Float64() < p.ProbAKA)
+		pb.record("runtime", field("Runtime:", fmt.Sprintf("%d min", 70+r.Intn(120)), true))
+		pb.record("country", field("Country:", pick(r, countries), true))
+		if v := field("Language:", pick(r, languages), r.Float64() < p.ProbLanguage); v != nil {
+			pb.record("language", v)
+		}
+		pb.record("director", field("Director:", personName(r), true))
+	} else {
+		if r.Float64() < p.ProbAKA {
+			labeled(infoTD, "Also Known As:", movieTitle(r)+" (International: English title)")
+		}
+		pb.record("runtime", labeled(infoTD, "Runtime:", fmt.Sprintf("%d min", 70+r.Intn(120))))
+		pb.record("country", labeled(infoTD, "Country:", pick(r, countries)))
+		if r.Float64() < p.ProbLanguage {
+			pb.record("language", labeled(infoTD, "Language:", pick(r, languages)))
+		}
+		pb.record("director", labeled(infoTD, "Director:", personName(r)))
+	}
+
+	// Genres: consecutive <A> links inside a genre paragraph.
+	genreP := el(content, "P", attr("class", "genres"))
+	b := el(genreP, "B")
+	txt(b, "Genre:")
+	seen := map[string]bool{}
+	for n := 1 + r.Intn(p.MaxGenres); n > 0; n-- {
+		g := pick(r, genres)
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		a := el(genreP, "A", attr("href", "/genre/"+g))
+		pb.record("genre", txt(a, g))
+	}
+
+	// Actors: UL/LI list.
+	castDiv := el(content, "DIV", attr("class", "cast"))
+	h3 := el(castDiv, "H3")
+	txt(h3, "Cast")
+	ul := el(castDiv, "UL")
+	for n := 1 + r.Intn(p.MaxActors); n > 0; n-- {
+		li := el(ul, "LI")
+		pb.record("actor", txt(li, personName(r)))
+	}
+
+	// Rating: a dedicated block, main-layout position.
+	ratingDiv := el(content, "DIV", attr("class", "rating"))
+	span := el(ratingDiv, "SPAN")
+	pb.record("rating", txt(span, fmt.Sprintf("%.1f/10", 1+r.Float64()*9)))
+	txt(ratingDiv, fmt.Sprintf(" (%d votes)", 100+r.Intn(90000)))
+
+	generateTrivia(r, p, pb, content)
+}
+
+// generateAltLayout is the minority page variant: the info block uses a
+// DL definition list (labels in DT, values in DD) and the rating hangs in
+// a structurally different place with no constant preceding label, so
+// positional and contextual strategies both miss it and only an
+// alternative path can locate it.
+func generateAltLayout(r *rand.Rand, p MovieProfile, pb *pageBuilder, content *domNode) {
+	// Rating first, bare inside a table cell.
+	top := el(content, "TABLE", attr("class", "althead"))
+	tr := el(top, "TR")
+	td1 := el(tr, "TD")
+	txt(td1, fmt.Sprintf("#%d of 250", 1+r.Intn(250)))
+	td2 := el(tr, "TD")
+	em := el(td2, "EM")
+	pb.record("rating", txt(em, fmt.Sprintf("%.1f/10", 1+r.Float64()*9)))
+
+	dl := el(content, "DL", attr("class", "info"))
+	put := func(label, value string) *domNode {
+		dt := el(dl, "DT")
+		txt(dt, label)
+		dd := el(dl, "DD")
+		return txt(dd, value)
+	}
+	if r.Float64() < p.ProbAKA {
+		put("Also Known As:", movieTitle(r))
+	}
+	pb.record("runtime", put("Runtime:", fmt.Sprintf("%d min", 70+r.Intn(120))))
+	pb.record("country", put("Country:", pick(r, countries)))
+	if r.Float64() < p.ProbLanguage {
+		pb.record("language", put("Language:", pick(r, languages)))
+	}
+	pb.record("director", put("Director:", personName(r)))
+
+	genreP := el(content, "P", attr("class", "genres"))
+	bb := el(genreP, "B")
+	txt(bb, "Genre:")
+	seen := map[string]bool{}
+	for n := 1 + r.Intn(p.MaxGenres); n > 0; n-- {
+		g := pick(r, genres)
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		a := el(genreP, "A", attr("href", "/genre/"+g))
+		pb.record("genre", txt(a, g))
+	}
+
+	castDiv := el(content, "DIV", attr("class", "cast"))
+	h3 := el(castDiv, "H3")
+	txt(h3, "Cast")
+	ul := el(castDiv, "UL")
+	for n := 1 + r.Intn(p.MaxActors); n > 0; n-- {
+		li := el(ul, "LI")
+		pb.record("actor", txt(li, personName(r)))
+	}
+
+	generateTrivia(r, p, pb, content)
+}
+
+// generateTrivia emits the optional, possibly mixed trivia block. The
+// component value is the containing DIV when markup is present; the
+// oracle designates the container in that case, the inner text otherwise
+// (mirroring what a user would click).
+func generateTrivia(r *rand.Rand, p MovieProfile, pb *pageBuilder, content *domNode) {
+	if r.Float64() >= p.ProbTrivia {
+		return
+	}
+	outer := el(content, "DIV", attr("class", "trivia"))
+	h4 := el(outer, "H4")
+	txt(h4, "Trivia")
+	val := el(outer, "DIV", attr("class", "trivia-text"))
+	if r.Float64() < p.ProbTriviaMarkup {
+		txt(val, pick(r, trivias)+" — see ")
+		i := el(val, "I")
+		txt(i, movieTitle(r))
+		txt(val, " for details.")
+		pb.record("trivia", val)
+	} else {
+		pb.record("trivia", txt(val, pick(r, trivias)+"."))
+	}
+}

@@ -1,0 +1,117 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+)
+
+// pageFeatures fingerprints the structural discrepancies a page exhibits,
+// from the rule builder's perspective: per component its presence, arity
+// and mixedness, plus the page's layout signature.
+func (c *Cluster) pageFeatures(p *core.Page) map[string]bool {
+	// Layout signature: the set of tag paths distinguishes layout
+	// variants (TABLE-based vs DL-based info blocks, shifted blocks, …).
+	paths := dom.TagPaths(p.Doc)
+	sort.Strings(paths)
+	var sig uint64 = 1469598103934665603 // FNV-1a offset basis
+	last := ""
+	for _, tp := range paths {
+		if tp == last {
+			continue
+		}
+		last = tp
+		for i := 0; i < len(tp); i++ {
+			sig ^= uint64(tp[i])
+			sig *= 1099511628211
+		}
+		sig ^= '\n'
+		sig *= 1099511628211
+	}
+	layout := fmt.Sprintf("%x", sig)
+
+	f := map[string]bool{}
+	for _, spec := range c.Components {
+		truth := c.Truth(p, spec.Name)
+		var state string
+		switch {
+		case len(truth) == 0:
+			state = "absent:" + spec.Name
+		case len(truth) > 1:
+			state = "multi:" + spec.Name
+		default:
+			state = "single:" + spec.Name
+		}
+		if len(truth) > 0 && truth[0].Type == dom.ElementNode {
+			f["mixed:"+spec.Name] = true
+			f["mixed:"+spec.Name+"@"+layout] = true
+		}
+		f[state] = true
+		// Conjunction with the layout: a discrepancy class occurring in
+		// one layout variant tells the rule builder nothing about the
+		// other variant, so both conjunctions must be covered.
+		f[state+"@"+layout] = true
+	}
+	for _, tp := range paths {
+		f["path:"+tp] = true
+	}
+	return f
+}
+
+// RepresentativeSplit selects a working sample of k pages that greedily
+// maximizes coverage of the cluster's structural discrepancies — the
+// paper's guidance that sample pages "must ideally exhibit the major
+// structural discrepancies that can be found amongst the pages of this
+// cluster" (§3.1). The remaining pages form the held-out set.
+//
+// Selection is deterministic: ties break on page order.
+func (c *Cluster) RepresentativeSplit(k int) (core.Sample, []*core.Page) {
+	if k >= len(c.Pages) {
+		return core.Sample(c.Pages), nil
+	}
+	features := make([]map[string]bool, len(c.Pages))
+	for i, p := range c.Pages {
+		features[i] = c.pageFeatures(p)
+	}
+	covered := map[string]bool{}
+	chosen := make([]bool, len(c.Pages))
+	var sampleIdx []int
+	for len(sampleIdx) < k {
+		best, bestGain := -1, -1
+		for i := range c.Pages {
+			if chosen[i] {
+				continue
+			}
+			gain := 0
+			for f := range features[i] {
+				if !covered[f] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		sampleIdx = append(sampleIdx, best)
+		for f := range features[best] {
+			covered[f] = true
+		}
+	}
+	sort.Ints(sampleIdx)
+	var sample core.Sample
+	var held []*core.Page
+	for i, p := range c.Pages {
+		if chosen[i] {
+			sample = append(sample, p)
+		} else {
+			held = append(held, p)
+		}
+	}
+	return sample, held
+}

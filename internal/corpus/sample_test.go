@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+)
+
+func TestRepresentativeSplitCoversDiscrepancies(t *testing.T) {
+	cl := GenerateMovies(DefaultMovieProfile(99, 80))
+	sample, held := cl.RepresentativeSplit(10)
+	if len(sample) != 10 || len(held) != 70 {
+		t.Fatalf("split sizes: %d / %d", len(sample), len(held))
+	}
+	// Discrepancy classes the sample must exhibit (they all exist in 80
+	// pages at the default rates).
+	var hasAbsentLanguage, hasMultiActor, hasMixedTrivia, hasAltLayout bool
+	for _, p := range sample {
+		if len(cl.Truth(p, "language")) == 0 {
+			hasAbsentLanguage = true
+		}
+		if len(cl.Truth(p, "actor")) > 1 {
+			hasMultiActor = true
+		}
+		if tr := cl.Truth(p, "trivia"); len(tr) > 0 && tr[0].Type == dom.ElementNode {
+			hasMixedTrivia = true
+		}
+		if dom.FindFirst(p.Doc, func(n *dom.Node) bool { return n.TagIs("DL") }) != nil {
+			hasAltLayout = true
+		}
+	}
+	if !hasAbsentLanguage || !hasMultiActor || !hasMixedTrivia || !hasAltLayout {
+		t.Errorf("sample misses discrepancy classes: absentLang=%v multiActor=%v mixedTrivia=%v altLayout=%v",
+			hasAbsentLanguage, hasMultiActor, hasMixedTrivia, hasAltLayout)
+	}
+}
+
+func TestRepresentativeSplitDeterministic(t *testing.T) {
+	cl := GenerateMovies(DefaultMovieProfile(99, 40))
+	s1, _ := cl.RepresentativeSplit(8)
+	s2, _ := cl.RepresentativeSplit(8)
+	if len(s1) != len(s2) {
+		t.Fatal("sizes differ")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("selection not deterministic")
+		}
+	}
+}
+
+func TestRepresentativeSplitKTooLarge(t *testing.T) {
+	cl := GenerateStocks(DefaultStockProfile(1, 5))
+	sample, held := cl.RepresentativeSplit(50)
+	if len(sample) != 5 || len(held) != 0 {
+		t.Errorf("oversized k: %d/%d", len(sample), len(held))
+	}
+}
+
+func TestSplitPreservesOrder(t *testing.T) {
+	cl := GenerateStocks(DefaultStockProfile(1, 10))
+	sample, held := cl.Split(4)
+	if len(sample) != 4 || len(held) != 6 {
+		t.Fatal("split sizes")
+	}
+	for i, p := range sample {
+		if p != cl.Pages[i] {
+			t.Fatal("sample must be the page prefix")
+		}
+	}
+}

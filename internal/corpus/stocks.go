@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rule"
+)
+
+// StockProfile configures the stocks cluster: quote pages for the
+// information-monitoring use case the paper's conclusion names ("the
+// monitoring of Web data such as concurrent prices or stock rankings").
+type StockProfile struct {
+	Seed     int64
+	Pages    int
+	ProbNews float64 // optional news block before the quote table (shift)
+	Reparse  bool
+}
+
+// DefaultStockProfile returns the standard mix.
+func DefaultStockProfile(seed int64, pages int) StockProfile {
+	return StockProfile{Seed: seed, Pages: pages, ProbNews: 0.4, Reparse: true}
+}
+
+var stockComponents = []ComponentSpec{
+	{Name: "ticker", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "last-price", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "change", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+	{Name: "volume", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued, Format: rule.Text},
+}
+
+var tickers = []string{"ACME", "GLOBX", "NMRK", "RETRO", "WEBX", "XTRCT", "MAPR", "DOMC"}
+
+// GenerateStocks builds the stocks cluster.
+func GenerateStocks(p StockProfile) *Cluster {
+	r := rng(p.Seed)
+	if p.Pages <= 0 {
+		p.Pages = 10
+	}
+	c := &Cluster{
+		Name:       "stocks",
+		Components: stockComponents,
+		truth:      map[*corePage]map[string][]*domNode{},
+	}
+	for i := 0; i < p.Pages; i++ {
+		t := tickers[r.Intn(len(tickers))]
+		uri := fmt.Sprintf("http://quotes.example/q/%s/%d", t, i)
+		page, truth := generateStockPage(r, p, uri, t)
+		c.Pages = append(c.Pages, page)
+		c.truth[page] = truth
+	}
+	return c
+}
+
+func generateStockPage(r *rand.Rand, p StockProfile, uri, ticker string) (*corePage, map[string][]*domNode) {
+	pb := newPageBuilder()
+	main := el(pb.body, "DIV", attr("id", "quote"))
+
+	h2 := el(main, "H2")
+	pb.record("ticker", txt(h2, ticker))
+
+	if r.Float64() < p.ProbNews {
+		news := el(main, "DIV", attr("class", "news"))
+		h4 := el(news, "H4")
+		txt(h4, "Latest headlines")
+		ul := el(news, "UL")
+		for i := 0; i < 1+r.Intn(3); i++ {
+			li := el(ul, "LI")
+			txt(li, fmt.Sprintf("Quarterly report item %d", i+1))
+		}
+	}
+
+	table := el(main, "TABLE", attr("class", "quote"))
+	row := func(label, value string) *domNode {
+		tr := el(table, "TR")
+		td1 := el(tr, "TD")
+		txt(td1, label)
+		td2 := el(tr, "TD")
+		return txt(td2, value)
+	}
+	price := 5 + r.Float64()*500
+	delta := (r.Float64() - 0.5) * 10
+	pb.record("last-price", row("Last:", fmt.Sprintf("%.2f", price)))
+	pb.record("change", row("Change:", fmt.Sprintf("%+.2f", delta)))
+	pb.record("volume", row("Volume:", fmt.Sprintf("%d", 10000+r.Intn(5000000))))
+	return pb.finish(uri, p.Reparse)
+}

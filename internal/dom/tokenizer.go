@@ -1,0 +1,288 @@
+package dom
+
+import (
+	"strings"
+)
+
+// TokenType classifies lexical tokens produced by the Tokenizer.
+type TokenType int
+
+// Token kinds.
+const (
+	ErrorToken TokenType = iota // end of input
+	TextToken
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+// Token is one lexical token of an HTML document.
+type Token struct {
+	Type TokenType
+	// Data is the tag name (upper-cased) for tag tokens, the decoded text
+	// for text tokens, and the raw content for comments/doctypes.
+	Data string
+	Attr []Attribute
+}
+
+// Tokenizer scans an HTML document into tokens. It never returns an error
+// other than end-of-input: malformed constructs are interpreted leniently
+// the way browsers interpret them (a stray '<' becomes text, unterminated
+// comments run to EOF, attribute quotes may be missing).
+type Tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, is the element whose raw text content is
+	// being consumed (SCRIPT, STYLE, TEXTAREA, TITLE, XMP).
+	rawTag string
+}
+
+// NewTokenizer returns a Tokenizer reading from src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+var rawTextTags = map[string]bool{
+	"SCRIPT": true, "STYLE": true, "TEXTAREA": true, "TITLE": true, "XMP": true,
+}
+
+// Next returns the next token. After the input is exhausted it returns
+// a Token with Type ErrorToken forever.
+func (z *Tokenizer) Next() Token {
+	if z.pos >= len(z.src) {
+		return Token{Type: ErrorToken}
+	}
+	if z.rawTag != "" {
+		return z.nextRawText()
+	}
+	if z.src[z.pos] != '<' {
+		return z.nextText()
+	}
+	// '<' at z.pos: decide among comment, doctype, end tag, start tag, or
+	// literal text (e.g. "<3").
+	rest := z.src[z.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return z.nextComment()
+	case strings.HasPrefix(rest, "<!"):
+		return z.nextDoctype()
+	case strings.HasPrefix(rest, "</"):
+		return z.nextEndTag()
+	case len(rest) > 1 && isTagNameStart(rest[1]):
+		return z.nextStartTag()
+	default:
+		// A lone '<' not starting a tag is literal text.
+		return z.textUpTo(z.findNextLT(z.pos + 1))
+	}
+}
+
+func isTagNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func (z *Tokenizer) findNextLT(from int) int {
+	i := strings.IndexByte(z.src[from:], '<')
+	if i < 0 {
+		return len(z.src)
+	}
+	return from + i
+}
+
+func (z *Tokenizer) textUpTo(end int) Token {
+	t := Token{Type: TextToken, Data: UnescapeEntities(z.src[z.pos:end])}
+	z.pos = end
+	return t
+}
+
+func (z *Tokenizer) nextText() Token {
+	return z.textUpTo(z.findNextLT(z.pos))
+}
+
+func (z *Tokenizer) nextRawText() Token {
+	closer := "</" + strings.ToLower(z.rawTag)
+	low := strings.ToLower(z.src[z.pos:])
+	idx := strings.Index(low, closer)
+	tag := z.rawTag
+	if idx < 0 {
+		// Unterminated raw element: consume to EOF.
+		t := Token{Type: TextToken, Data: z.src[z.pos:]}
+		z.pos = len(z.src)
+		z.rawTag = ""
+		if t.Data == "" {
+			return Token{Type: EndTagToken, Data: tag}
+		}
+		return t
+	}
+	if idx == 0 {
+		// At the closing tag itself.
+		z.rawTag = ""
+		return z.nextEndTag()
+	}
+	t := Token{Type: TextToken, Data: z.src[z.pos : z.pos+idx]}
+	z.pos += idx
+	z.rawTag = ""
+	return t
+}
+
+func (z *Tokenizer) nextComment() Token {
+	start := z.pos + 4 // skip <!--
+	end := strings.Index(z.src[start:], "-->")
+	if end < 0 {
+		t := Token{Type: CommentToken, Data: z.src[start:]}
+		z.pos = len(z.src)
+		return t
+	}
+	t := Token{Type: CommentToken, Data: z.src[start : start+end]}
+	z.pos = start + end + 3
+	return t
+}
+
+func (z *Tokenizer) nextDoctype() Token {
+	start := z.pos + 2 // skip <!
+	end := strings.IndexByte(z.src[start:], '>')
+	if end < 0 {
+		t := Token{Type: DoctypeToken, Data: z.src[start:]}
+		z.pos = len(z.src)
+		return t
+	}
+	t := Token{Type: DoctypeToken, Data: z.src[start : start+end]}
+	z.pos = start + end + 1
+	return t
+}
+
+func (z *Tokenizer) nextEndTag() Token {
+	i := z.pos + 2 // skip </
+	j := i
+	for j < len(z.src) && isNameByte(z.src[j]) {
+		j++
+	}
+	name := strings.ToUpper(z.src[i:j])
+	// Skip to closing '>'.
+	k := strings.IndexByte(z.src[j:], '>')
+	if k < 0 {
+		z.pos = len(z.src)
+	} else {
+		z.pos = j + k + 1
+	}
+	if name == "" {
+		// "</>" or "</ ..." — browsers drop these; emit as comment-ish skip
+		// by recursing to the next token.
+		return z.Next()
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}
+
+func (z *Tokenizer) nextStartTag() Token {
+	i := z.pos + 1
+	j := i
+	for j < len(z.src) && isNameByte(z.src[j]) {
+		j++
+	}
+	name := strings.ToUpper(z.src[i:j])
+	tok := Token{Type: StartTagToken, Data: name}
+	z.pos = j
+	z.parseAttrs(&tok)
+	if rawTextTags[name] && tok.Type == StartTagToken {
+		z.rawTag = name
+	}
+	return tok
+}
+
+// parseAttrs consumes attributes and the tag terminator ('>' or '/>'),
+// setting tok.Type to SelfClosingTagToken for the latter.
+func (z *Tokenizer) parseAttrs(tok *Token) {
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			return
+		}
+		switch z.src[z.pos] {
+		case '>':
+			z.pos++
+			return
+		case '/':
+			z.pos++
+			z.skipSpace()
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+				tok.Type = SelfClosingTagToken
+				return
+			}
+			continue // stray slash inside a tag: ignore
+		}
+		key := z.readAttrName()
+		if key == "" {
+			// Unparseable byte inside the tag; skip it to guarantee progress.
+			z.pos++
+			continue
+		}
+		z.skipSpace()
+		val := ""
+		if z.pos < len(z.src) && z.src[z.pos] == '=' {
+			z.pos++
+			z.skipSpace()
+			val = z.readAttrValue()
+		}
+		tok.Attr = append(tok.Attr, Attribute{Key: strings.ToLower(key), Val: val})
+	}
+}
+
+func (z *Tokenizer) skipSpace() {
+	for z.pos < len(z.src) {
+		switch z.src[z.pos] {
+		case ' ', '\t', '\n', '\r', '\f':
+			z.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) readAttrName() string {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '=' || c == '>' || c == '/' || c == ' ' || c == '\t' ||
+			c == '\n' || c == '\r' || c == '\f' {
+			break
+		}
+		z.pos++
+	}
+	return z.src[start:z.pos]
+}
+
+func (z *Tokenizer) readAttrValue() string {
+	if z.pos >= len(z.src) {
+		return ""
+	}
+	quote := z.src[z.pos]
+	if quote == '"' || quote == '\'' {
+		z.pos++
+		end := strings.IndexByte(z.src[z.pos:], quote)
+		if end < 0 {
+			v := z.src[z.pos:]
+			z.pos = len(z.src)
+			return UnescapeEntities(v)
+		}
+		v := z.src[z.pos : z.pos+end]
+		z.pos += end + 1
+		return UnescapeEntities(v)
+	}
+	// Unquoted value: up to whitespace or '>'.
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '>' || c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' {
+			break
+		}
+		z.pos++
+	}
+	return UnescapeEntities(z.src[start:z.pos])
+}

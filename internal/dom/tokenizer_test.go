@@ -1,0 +1,157 @@
+package dom
+
+import "testing"
+
+// collect drains the tokenizer.
+func collect(src string) []Token {
+	z := NewTokenizer(src)
+	var out []Token
+	for {
+		tok := z.Next()
+		if tok.Type == ErrorToken {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestTokenizerBasic(t *testing.T) {
+	toks := collect(`<p class="x">hi</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Data != "P" {
+		t.Errorf("start = %+v", toks[0])
+	}
+	if len(toks[0].Attr) != 1 || toks[0].Attr[0].Key != "class" || toks[0].Attr[0].Val != "x" {
+		t.Errorf("attrs = %+v", toks[0].Attr)
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "hi" {
+		t.Errorf("text = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "P" {
+		t.Errorf("end = %+v", toks[2])
+	}
+}
+
+func TestTokenizerSelfClosing(t *testing.T) {
+	toks := collect(`<br/><img src="x"/>`)
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	for _, tok := range toks {
+		if tok.Type != SelfClosingTagToken {
+			t.Errorf("want self-closing: %+v", tok)
+		}
+	}
+}
+
+func TestTokenizerStrayLT(t *testing.T) {
+	toks := collect(`a < b and <3 hearts`)
+	// Everything is text: stray '<' does not open tags.
+	for _, tok := range toks {
+		if tok.Type != TextToken {
+			t.Fatalf("stray < created %+v", tok)
+		}
+	}
+}
+
+func TestTokenizerCommentAndDoctype(t *testing.T) {
+	toks := collect(`<!DOCTYPE html><!-- note --><p>x</p>`)
+	if toks[0].Type != DoctypeToken {
+		t.Errorf("doctype = %+v", toks[0])
+	}
+	if toks[1].Type != CommentToken || toks[1].Data != " note " {
+		t.Errorf("comment = %+v", toks[1])
+	}
+}
+
+func TestTokenizerUnterminatedConstructs(t *testing.T) {
+	cases := []string{
+		`<!-- never closed`,
+		`<p never closed`,
+		`<p attr="never`,
+		`<!DOCTYPE never`,
+		`</`,
+	}
+	for _, src := range cases {
+		toks := collect(src) // must terminate without panic
+		_ = toks
+	}
+}
+
+func TestTokenizerRawText(t *testing.T) {
+	toks := collect(`<script>a<b</script>after`)
+	if toks[0].Type != StartTagToken || toks[0].Data != "SCRIPT" {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "a<b" {
+		t.Errorf("raw text = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "SCRIPT" {
+		t.Errorf("end = %+v", toks[2])
+	}
+	if toks[3].Type != TextToken || toks[3].Data != "after" {
+		t.Errorf("after = %+v", toks[3])
+	}
+}
+
+func TestTokenizerRawTextCaseInsensitiveClose(t *testing.T) {
+	toks := collect(`<SCRIPT>x</ScRiPt>done`)
+	if len(toks) < 4 || toks[2].Type != EndTagToken {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+func TestTokenizerAttributeVariants(t *testing.T) {
+	toks := collect(`<a one two=2 three='3' four="4" five = 5 >x</a>`)
+	attrs := toks[0].Attr
+	want := map[string]string{"one": "", "two": "2", "three": "3", "four": "4", "five": "5"}
+	if len(attrs) != len(want) {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+	for _, a := range attrs {
+		if want[a.Key] != a.Val {
+			t.Errorf("attr %s = %q, want %q", a.Key, a.Val, want[a.Key])
+		}
+	}
+}
+
+func TestTokenizerEmptyEndTagSkipped(t *testing.T) {
+	toks := collect(`a</>b`)
+	// "</>" is dropped entirely; both text runs survive.
+	text := ""
+	for _, tok := range toks {
+		if tok.Type == TextToken {
+			text += tok.Data
+		}
+	}
+	if text != "ab" {
+		t.Errorf("text = %q", text)
+	}
+}
+
+func TestOuterHTMLShort(t *testing.T) {
+	doc := Parse(`<div id="x"><p>some long text content here</p></div>`)
+	div := FindFirst(doc, func(n *Node) bool { return n.TagIs("div") })
+	s := OuterHTMLShort(div, 10)
+	if s != `<DIV id="x">…</DIV>` {
+		t.Errorf("OuterHTMLShort = %q", s)
+	}
+	txt := FindFirst(doc, func(n *Node) bool { return n.Type == TextNode })
+	ts := OuterHTMLShort(txt, 9)
+	if ts != "#text(some long…)" {
+		t.Errorf("text short = %q", ts)
+	}
+	if OuterHTMLShort(nil, 5) != "<nil>" {
+		t.Error("nil case")
+	}
+}
+
+func TestInnerHTML(t *testing.T) {
+	doc := Parse(`<div><b>x</b>y</div>`)
+	div := FindFirst(doc, func(n *Node) bool { return n.TagIs("div") })
+	if got := InnerHTML(div); got != "<B>x</B>y" {
+		t.Errorf("InnerHTML = %q", got)
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperSampleShape(t *testing.T) {
+	s := PaperSample()
+	if len(s) != 4 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	o := PaperOracle()
+	for i, p := range s {
+		nodes := o.Select("runtime", p)
+		if len(nodes) != 1 {
+			t.Errorf("page %d: oracle found %d nodes", i, len(nodes))
+		}
+	}
+	if o.Select("nosuch", s[0]) != nil {
+		t.Error("oracle must only know runtime")
+	}
+}
+
+func TestScoreArithmetic(t *testing.T) {
+	s := scoreValues([]string{"a", "b", "x"}, []string{"a", "b", "c"})
+	if s.TP != 2 || s.Predicted != 3 || s.Truth != 3 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.Precision() != 2.0/3 || s.Recall() != 2.0/3 {
+		t.Errorf("P=%f R=%f", s.Precision(), s.Recall())
+	}
+	if f1 := s.F1(); f1 < 0.66 || f1 > 0.67 {
+		t.Errorf("F1=%f", f1)
+	}
+	// Multiset semantics: duplicates are not double-counted.
+	d := scoreValues([]string{"a", "a"}, []string{"a"})
+	if d.TP != 1 {
+		t.Errorf("duplicate TP = %d", d.TP)
+	}
+	// Empty cases.
+	e := scoreValues(nil, nil)
+	if e.Precision() != 1 || e.Recall() != 1 {
+		t.Error("empty vs empty must be perfect")
+	}
+	miss := scoreValues(nil, []string{"a"})
+	if miss.Precision() != 0 || miss.Recall() != 0 {
+		t.Error("missing prediction scoring")
+	}
+}
+
+func TestTableOneMetrics(t *testing.T) {
+	r := TableOneCandidateCheck()
+	if r.Metrics["match"] != 2 || r.Metrics["unexpected"] != 1 || r.Metrics["void"] != 1 {
+		t.Errorf("Table 1 pattern: %v", r.Metrics)
+	}
+	if !strings.Contains(r.Text, "tt0074103") {
+		t.Error("Table 1 text missing page c")
+	}
+}
+
+func TestTableTwoMetrics(t *testing.T) {
+	r := TableTwoXPathShapes()
+	want := map[string]float64{
+		"count_a": 1, "count_b": 1, "count_c": 1, "count_d": 3, "count_e": 1, "count_f": 0,
+	}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Errorf("%s = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+}
+
+func TestTableThreeMetrics(t *testing.T) {
+	r := TableThreeRefined()
+	if r.Metrics["matches"] != 4 || r.Metrics["converged"] != 1 {
+		t.Errorf("Table 3: %v", r.Metrics)
+	}
+	if !strings.Contains(r.Text, "Runtime:") {
+		t.Error("refined rule must mention the contextual label")
+	}
+}
+
+func TestFigureFiveMetrics(t *testing.T) {
+	r := FigureFiveXML()
+	if r.Metrics["pages"] != 4 || r.Metrics["failures"] != 0 {
+		t.Errorf("Figure 5: %v", r.Metrics)
+	}
+	for _, want := range []string{"<imdb-movies>", "<runtime>108 min</runtime>", "</imdb-movies>"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Figure 5 XML missing %q", want)
+		}
+	}
+}
+
+func TestTableFourAllVerified(t *testing.T) {
+	r := TableFourFeatures()
+	if r.Metrics["verified"] != r.Metrics["total"] {
+		t.Errorf("Table 4: %v", r.Metrics)
+	}
+}
+
+func TestSchemaGenerationExperiment(t *testing.T) {
+	r := SchemaGeneration()
+	if r.Metrics["violations"] != 0 {
+		t.Errorf("XSD experiment: %v\n%s", r.Metrics, r.Text)
+	}
+	if !strings.Contains(r.Text, "users-opinion") {
+		t.Error("enhanced structure missing from schema")
+	}
+}
+
+func TestFigureThreeConverges(t *testing.T) {
+	r := FigureThreeScenario()
+	if r.Metrics["converged"] != r.Metrics["total"] {
+		t.Errorf("Figure 3: %v\n%s", r.Metrics, r.Text)
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if _, ok := ByID("t1"); !ok {
+		t.Error("ByID must be case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID accepted")
+	}
+}
+
+// Heavy experiments run under -short as smoke checks with full runs in
+// the benchmark harness.
+
+func TestFigureOnePipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	r := FigureOnePipeline()
+	if r.Metrics["clusters"] < 3 {
+		t.Errorf("F1 clusters: %v", r.Metrics)
+	}
+	if r.Metrics["pureClusters"] != r.Metrics["clusters"] {
+		t.Errorf("impure clusters: %v", r.Metrics)
+	}
+	if r.Metrics["componentsOK"] != r.Metrics["componentsTotal"] {
+		t.Errorf("F1 convergence: %v\n%s", r.Metrics, r.Text)
+	}
+}
+
+func TestConvergenceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	r := Convergence()
+	if r.Metrics["f1_k1"] >= r.Metrics["f1_k10"] {
+		t.Errorf("convergence must rise: %v", r.Metrics)
+	}
+	if r.Metrics["f1_k10"] < 0.95 {
+		t.Errorf("k=10 must plateau: %v", r.Metrics)
+	}
+}
+
+func TestBaselineComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	r := BaselineComparison()
+	for _, cl := range []string{"movies", "books", "stocks"} {
+		if r.Metrics[cl+"_semiP"] < 0.99 {
+			t.Errorf("%s semi precision: %v", cl, r.Metrics[cl+"_semiP"])
+		}
+		if r.Metrics[cl+"_autoP"] >= r.Metrics[cl+"_semiP"] {
+			t.Errorf("%s: automatic precision must trail semi", cl)
+		}
+	}
+}
+
+func TestNestingDepthShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	r := NestingDepth()
+	if r.Metrics["flat_pos"] >= r.Metrics["fine0_pos"] {
+		t.Errorf("nesting shape: %v", r.Metrics)
+	}
+}
+
+func TestFailureDetectionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	r := FailureDetection()
+	if r.Metrics["remove-mandatory_rating"] < 0.9 || r.Metrics["relabel_runtime"] < 0.9 {
+		t.Errorf("detection rates: %v", r.Metrics)
+	}
+}

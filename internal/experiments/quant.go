@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/extract"
+)
+
+// Convergence regenerates the §3.1 claim study: "a sample of about ten
+// randomly selected pages usually includes most of these variants" and
+// "mapping rules converge after the analysis of about 5 pages" [6]. For
+// each working-sample size k the rules are induced from k randomly chosen
+// pages and scored (mean F1 over components) on the held-out remainder;
+// the ablation series repeats the sweep with the contextual-information
+// strategy disabled.
+func Convergence() Report {
+	const (
+		pages  = 120
+		trials = 4
+	)
+	ks := []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 15}
+	full := make([]float64, len(ks))
+	noCtx := make([]float64, len(ks))
+	for t := 0; t < trials; t++ {
+		cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(int64(7000+t), pages))
+		perm := shuffled(cl.Pages, int64(900+t))
+		for ki, k := range ks {
+			sample := core.Sample(perm[:k])
+			held := perm[k:]
+			for _, ablate := range []bool{false, true} {
+				b := &core.Builder{DisableContext: ablate}
+				_, _, compiled, err := buildRepo(cl, sample, b)
+				if err != nil {
+					continue
+				}
+				f1 := meanF1(evalRules(cl, compiled, held))
+				if ablate {
+					noCtx[ki] += f1 / trials
+				} else {
+					full[ki] += f1 / trials
+				}
+			}
+		}
+	}
+	var text strings.Builder
+	fmt.Fprintf(&text, "%4s  %-22s  %-22s\n", "k", "mean F1 (full)", "mean F1 (no context)")
+	for ki, k := range ks {
+		fmt.Fprintf(&text, "%4d  %-22s  %-22s  %s\n",
+			k, fmtPct(full[ki]), fmtPct(noCtx[ki]), bar(full[ki]))
+	}
+	text.WriteString("\nexpected shape: steep rise, plateau near 1.0 around k≈5-10;\n")
+	text.WriteString("the no-context ablation plateaus lower (position shifts stay unresolved).\n")
+	return Report{
+		ID:    "CONV",
+		Title: "E-CONV — rule quality vs working-sample size (held-out F1)",
+		Text:  text.String(),
+		Metrics: map[string]float64{
+			"f1_k1":        full[0],
+			"f1_k5":        full[4],
+			"f1_k10":       full[7],
+			"f1_k10_noctx": noCtx[7],
+		},
+	}
+}
+
+func bar(f float64) string {
+	n := int(f*30 + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > 30 {
+		n = 30
+	}
+	return strings.Repeat("█", n)
+}
+
+// BaselineComparison regenerates the §6 positioning against
+// RoadRunner-class automatic systems: targeted precision/recall and
+// output volume of the semi-automated rules vs the automatic wrapper, on
+// the same clusters and samples.
+func BaselineComparison() Report {
+	var text strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&text, "%-12s  %-24s  %-24s  %-24s  %s\n", "cluster",
+		"semi-automated (P / R)", "RoadRunner-class (P / R)", "LR wrapper (P / R)",
+		"values/page (semi vs auto)")
+	for i, gen := range []func() *corpus.Cluster{
+		func() *corpus.Cluster { return corpus.GenerateMovies(corpus.DefaultMovieProfile(201, 100)) },
+		func() *corpus.Cluster { return corpus.GenerateBooks(corpus.DefaultBookProfile(202, 100)) },
+		func() *corpus.Cluster { return corpus.GenerateStocks(corpus.DefaultStockProfile(203, 100)) },
+	} {
+		cl := gen()
+		sample, held := cl.RepresentativeSplit(10)
+
+		// Semi-automated: induced mapping rules.
+		b := &core.Builder{}
+		_, _, compiled, err := buildRepo(cl, sample, b)
+		if err != nil {
+			text.WriteString("ERROR: " + err.Error() + "\n")
+			continue
+		}
+		var semi Score
+		semiValues := 0
+		for _, sc := range evalRules(cl, compiled, held) {
+			semi.Add(sc)
+		}
+		for _, p := range held {
+			for _, c := range compiled {
+				semiValues += len(c.Apply(p.Doc))
+			}
+		}
+
+		// Automatic baseline: RoadRunner-style template from the same
+		// sample pages.
+		docs := make([]*dom.Node, 0, len(sample))
+		for _, p := range sample {
+			docs = append(docs, p.Doc)
+		}
+		tpl, err := baseline.Induce(docs)
+		if err != nil {
+			text.WriteString("ERROR: " + err.Error() + "\n")
+			continue
+		}
+		var auto Score
+		autoValues := 0
+		for _, p := range held {
+			predicted := baseline.Values(baseline.Extract(tpl, p.Doc))
+			autoValues += len(predicted)
+			var truth []string
+			for _, comp := range cl.ComponentNames() {
+				truth = append(truth, cl.TruthStrings(p, comp)...)
+			}
+			auto.Add(scoreValues(predicted, truth))
+		}
+
+		// LR wrapper baseline (Kushmerick [10]): trained on the same
+		// sample pages with the same ground-truth labels.
+		var labeled []baseline.LabeledPage
+		for _, p := range sample {
+			lp := baseline.LabeledPage{HTML: dom.Render(p.Doc), Values: map[string][]string{}}
+			for _, comp := range cl.ComponentNames() {
+				if vs := cl.TruthStrings(p, comp); len(vs) > 0 {
+					lp.Values[comp] = vs
+				}
+			}
+			labeled = append(labeled, lp)
+		}
+		var lr Score
+		if w, err := baseline.InduceLR(labeled); err == nil {
+			for _, p := range held {
+				got := w.Extract(dom.Render(p.Doc))
+				for _, comp := range cl.ComponentNames() {
+					var predicted []string
+					for _, g := range got[comp] {
+						predicted = append(predicted, strings.Join(strings.Fields(g), " "))
+					}
+					lr.Add(scoreValues(predicted, cl.TruthStrings(p, comp)))
+				}
+			}
+		} else {
+			// No component admits an LR wrapper: everything is missed.
+			for _, p := range held {
+				for _, comp := range cl.ComponentNames() {
+					lr.Add(scoreValues(nil, cl.TruthStrings(p, comp)))
+				}
+			}
+		}
+
+		semiPerPage := float64(semiValues) / float64(len(held))
+		autoPerPage := float64(autoValues) / float64(len(held))
+		fmt.Fprintf(&text, "%-12s  %s / %s          %s / %s          %s / %s          %.1f vs %.1f\n",
+			cl.Name, fmtPct(semi.Precision()), fmtPct(semi.Recall()),
+			fmtPct(auto.Precision()), fmtPct(auto.Recall()),
+			fmtPct(lr.Precision()), fmtPct(lr.Recall()),
+			semiPerPage, autoPerPage)
+		metricsLR(metrics, i, lr)
+		prefix := []string{"movies", "books", "stocks"}[i]
+		metrics[prefix+"_semiP"] = semi.Precision()
+		metrics[prefix+"_semiR"] = semi.Recall()
+		metrics[prefix+"_autoP"] = auto.Precision()
+		metrics[prefix+"_autoR"] = auto.Recall()
+		metrics[prefix+"_autoVol"] = autoPerPage
+		metrics[prefix+"_semiVol"] = semiPerPage
+	}
+	text.WriteString("\nexpected shape: semi-automated precision ≈ 1 (only targeted data);\n")
+	text.WriteString("the automatic wrapper reaches comparable recall but emits every varying\n")
+	text.WriteString("chunk, so its targeted precision is far lower and its volume far higher\n")
+	text.WriteString("(§6: \"documents containing data that do not interest some classes of end-users\");\n")
+	text.WriteString("the string-level LR wrapper is precise where labels are constant but loses\n")
+	text.WriteString("recall to layout variants a single delimiter pair cannot cover.\n")
+	return Report{
+		ID:      "BASE",
+		Title:   "E-BASE — semi-automated rules vs RoadRunner-class automatic wrapper",
+		Text:    text.String(),
+		Metrics: metrics,
+	}
+}
+
+// metricsLR stores the LR baseline's scores under the cluster prefix.
+func metricsLR(metrics map[string]float64, i int, lr Score) {
+	prefix := []string{"movies", "books", "stocks"}[i]
+	metrics[prefix+"_lrP"] = lr.Precision()
+	metrics[prefix+"_lrR"] = lr.Recall()
+}
+
+// NestingDepth regenerates the §7 claim: "Retrozilla is empirically more
+// effective on fine-grained HTML structures (i.e., highly nested
+// documents) rather than on poorly structured (i.e., relatively flat)
+// documents." Positional-only rules (the candidate generator's output,
+// context/alternative strategies disabled) are induced on a flat layout
+// and on a fine-grained layout, at several extra nesting depths, and
+// scored on held-out pages. The full strategy stack is shown for
+// comparison.
+func NestingDepth() Report {
+	var text strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&text, "%-26s  %-18s  %-18s\n", "layout",
+		"positional-only F1", "full strategies F1")
+	type cfg struct {
+		label string
+		key   string
+		prof  corpus.MovieProfile
+	}
+	mk := func(containers bool, depth int, seed int64) corpus.MovieProfile {
+		p := corpus.DefaultMovieProfile(seed, 80)
+		p.FieldContainers = containers
+		p.NestingDepth = depth
+		p.ProbAltLayout = 0 // isolate the nesting variable
+		return p
+	}
+	cfgs := []cfg{
+		{"flat (Figure 4 style)", "flat", mk(false, 0, 301)},
+		{"fine-grained, depth+0", "fine0", mk(true, 0, 302)},
+		{"fine-grained, depth+2", "fine2", mk(true, 2, 303)},
+		{"fine-grained, depth+4", "fine4", mk(true, 4, 304)},
+	}
+	for _, c := range cfgs {
+		cl := corpus.GenerateMovies(c.prof)
+		sample, held := cl.RepresentativeSplit(10)
+		scores := map[string]float64{}
+		for _, mode := range []string{"positional", "full"} {
+			b := &core.Builder{}
+			if mode == "positional" {
+				b.DisableContext = true
+				b.DisableAltPaths = true
+			}
+			_, _, compiled, err := buildRepo(cl, sample, b)
+			if err != nil {
+				text.WriteString("ERROR: " + err.Error() + "\n")
+				continue
+			}
+			scores[mode] = meanF1(evalRules(cl, compiled, held))
+		}
+		fmt.Fprintf(&text, "%-26s  %-18s  %-18s\n", c.label,
+			fmtPct(scores["positional"]), fmtPct(scores["full"]))
+		metrics[c.key+"_pos"] = scores["positional"]
+		metrics[c.key+"_full"] = scores["full"]
+	}
+	text.WriteString("\nexpected shape: positional-only rules are much weaker on the flat\n")
+	text.WriteString("layout (optional fields shift text positions) and close to perfect on\n")
+	text.WriteString("fine-grained layouts; the full strategy stack is strong everywhere.\n")
+	return Report{
+		ID:      "NEST",
+		Title:   "E-NEST — rule accuracy vs document structure granularity",
+		Text:    text.String(),
+		Metrics: metrics,
+	}
+}
+
+// FailureDetection regenerates the §7 future-work sketch that this
+// implementation completes: detecting extraction failures when pages
+// drift (a mandatory component disappears, a single-valued component
+// yields several nodes, a label is renamed).
+func FailureDetection() Report {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(401, 60))
+	sample, _ := cl.RepresentativeSplit(10)
+	b := &core.Builder{}
+	repo, _, _, err := buildRepo(cl, sample, b)
+	if err != nil {
+		return Report{ID: "FAIL", Text: "ERROR: " + err.Error()}
+	}
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		return Report{ID: "FAIL", Text: "ERROR: " + err.Error()}
+	}
+
+	var text strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&text, "%-22s %-10s %10s %10s %10s\n",
+		"drift kind", "component", "injected", "detected", "rate")
+	cases := []struct {
+		kind corpus.DriftKind
+		name string
+		comp string
+	}{
+		{corpus.DriftRemoveMandatory, "remove-mandatory", "runtime"},
+		{corpus.DriftRemoveMandatory, "remove-mandatory", "rating"},
+		{corpus.DriftDuplicateValue, "duplicate-value", "runtime"},
+		{corpus.DriftDuplicateValue, "duplicate-value", "country"},
+		{corpus.DriftRelabel, "relabel", "runtime"},
+	}
+	for i, c := range cases {
+		pages, drifts := corpus.InjectDrift(cl, c.comp, c.kind, 0.5, int64(1000+i))
+		_, failures := proc.ExtractCluster(pages)
+		detected := 0
+		driftedPages := map[string]bool{}
+		for _, d := range drifts {
+			driftedPages[d.PageURI] = true
+		}
+		seen := map[string]bool{}
+		for _, f := range failures {
+			if f.Component == c.comp && driftedPages[f.PageURI] && !seen[f.PageURI] {
+				seen[f.PageURI] = true
+				detected++
+			}
+		}
+		rate := 0.0
+		if len(drifts) > 0 {
+			rate = float64(detected) / float64(len(drifts))
+		}
+		fmt.Fprintf(&text, "%-22s %-10s %10d %10d %9.0f%%\n",
+			c.name, c.comp, len(drifts), detected, 100*rate)
+		metrics[fmt.Sprintf("%s_%s", c.name, c.comp)] = rate
+	}
+	text.WriteString("\nexpected shape: removals and relabelings surface as missing-mandatory\n")
+	text.WriteString("failures; duplicated labelled regions surface as multiple-values failures\n")
+	text.WriteString("on contextual rules (positional rules stay silent — they pick one node).\n")
+	return Report{
+		ID:      "FAIL",
+		Title:   "E-FAIL — semi-automatic detection of extraction failures under page drift",
+		Text:    text.String(),
+		Metrics: metrics,
+	}
+}

@@ -1,0 +1,170 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// Deeper coverage of the enhanced-structure (aggregation) machinery and
+// the conformance checker.
+
+func multiLevelRepo(t *testing.T) *rule.Repository {
+	t.Helper()
+	repo := rule.NewRepository("imdb-movies")
+	rules := []rule.Rule{
+		{Name: "title", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued,
+			Format: rule.Text, Locations: []string{"BODY/H1[1]/text()[1]"}},
+		{Name: "runtime", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued,
+			Format: rule.Text, Locations: []string{"BODY/DIV[1]/SPAN[1]/text()[1]"}},
+		{Name: "comment", Optionality: rule.Optional, Multiplicity: rule.Multivalued,
+			Format: rule.Text, Locations: []string{"BODY/DIV[2]/P[position()>=1]/text()[1]"}},
+	}
+	for _, r := range rules {
+		if err := repo.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := repo.SetStructure([]rule.StructureNode{
+		{Name: "title", Component: "title"},
+		{Name: "details", Children: []rule.StructureNode{
+			{Name: "runtime", Component: "runtime"},
+			{Name: "opinions", Children: []rule.StructureNode{
+				{Name: "comment", Component: "comment"},
+			}},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func moviePage(t *testing.T, comments int) *core.Page {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`<html><body><h1>A Movie</h1><div><span>99 min</span></div><div>`)
+	for i := 0; i < comments; i++ {
+		b.WriteString("<p>comment</p>")
+	}
+	b.WriteString(`</div></body></html>`)
+	return core.NewPage("u", b.String())
+}
+
+func TestNestedAggregates(t *testing.T) {
+	repo := multiLevelRepo(t)
+	p, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, failures := p.ExtractPage(moviePage(t, 2))
+	if len(failures) != 0 {
+		t.Fatalf("failures: %v", failures)
+	}
+	details := el.Find("details")
+	if details == nil {
+		t.Fatalf("details missing:\n%s", el.XMLString())
+	}
+	opinions := details.Find("opinions")
+	if opinions == nil || len(opinions.FindAll("comment")) != 2 {
+		t.Fatalf("nested aggregate wrong:\n%s", el.XMLString())
+	}
+}
+
+func TestEmptyAggregateOmitted(t *testing.T) {
+	repo := multiLevelRepo(t)
+	p, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, _ := p.ExtractPage(moviePage(t, 0))
+	details := el.Find("details")
+	if details == nil {
+		t.Fatal("details must exist (runtime present)")
+	}
+	if details.Find("opinions") != nil {
+		t.Errorf("empty opinions aggregate must be omitted:\n%s", el.XMLString())
+	}
+}
+
+func TestValidateAgainstRepoWithStructure(t *testing.T) {
+	repo := multiLevelRepo(t)
+	p, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := p.ExtractCluster([]*core.Page{moviePage(t, 1)})
+	if v := ValidateAgainstRepo(doc, repo); len(v) != 0 {
+		t.Fatalf("violations on valid doc: %v", v)
+	}
+	// Remove the mandatory runtime leaf: the checker must flag it even
+	// through the nested structure.
+	page := doc.Children[0]
+	details := page.Find("details")
+	for i, c := range details.Children {
+		if c.Name == "runtime" {
+			details.Children = append(details.Children[:i], details.Children[i+1:]...)
+			break
+		}
+	}
+	v := ValidateAgainstRepo(doc, repo)
+	if len(v) != 1 || !strings.Contains(v[0], "runtime") {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestValidateAgainstRepoWrongRoot(t *testing.T) {
+	repo := multiLevelRepo(t)
+	doc := NewElement("not-the-cluster")
+	v := ValidateAgainstRepo(doc, repo)
+	if len(v) == 0 {
+		t.Error("wrong root must be flagged")
+	}
+}
+
+func TestValidateAgainstRepoDuplicateSingle(t *testing.T) {
+	repo := rule.NewRepository("stocks")
+	if err := repo.Record(rule.Rule{
+		Name: "price", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued,
+		Format: rule.Text, Locations: []string{"BODY//SPAN/text()"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	doc := NewElement("stocks")
+	page := doc.Add(NewElement("stock"))
+	page.SetAttr("uri", "u")
+	a := page.Add(NewElement("price"))
+	a.Text = "1"
+	b := page.Add(NewElement("price"))
+	b.Text = "2"
+	v := ValidateAgainstRepo(doc, repo)
+	if len(v) != 1 || !strings.Contains(v[0], "occurs 2 times") {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestExtractPageOrderStable(t *testing.T) {
+	// Without an enhanced structure, components appear in rule order.
+	repo := rule.NewRepository("c")
+	for _, name := range []string{"zz", "aa", "mm"} {
+		if err := repo.Record(rule.Rule{
+			Name: name, Optionality: rule.Optional, Multiplicity: rule.SingleValued,
+			Format: rule.Text, Locations: []string{"BODY/P[1]/text()[1]"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, _ := p.ExtractPage(core.NewPage("u", `<html><body><p>v</p></body></html>`))
+	var order []string
+	for _, c := range el.Children {
+		order = append(order, c.Name)
+	}
+	if strings.Join(order, ",") != "zz,aa,mm" {
+		t.Errorf("order = %v (must follow rule order, not alphabetical)", order)
+	}
+}

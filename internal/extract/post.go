@@ -1,0 +1,43 @@
+package extract
+
+import "strings"
+
+// Common post-processors for the noise-stripping the paper identifies
+// (§3.3: "the 'min' suffix will have to be removed in order to get the
+// proper data"; §7 suggests finer intra-node selection as future work).
+
+// TrimSuffixPost removes a literal suffix (and surrounding space).
+func TrimSuffixPost(suffix string) Postprocessor {
+	return func(s string) string {
+		return strings.TrimSpace(strings.TrimSuffix(s, suffix))
+	}
+}
+
+// TrimPrefixPost removes a literal prefix (and surrounding space).
+func TrimPrefixPost(prefix string) Postprocessor {
+	return func(s string) string {
+		return strings.TrimSpace(strings.TrimPrefix(s, prefix))
+	}
+}
+
+// ChainPost composes post-processors left to right.
+func ChainPost(ps ...Postprocessor) Postprocessor {
+	return func(s string) string {
+		for _, p := range ps {
+			s = p(s)
+		}
+		return s
+	}
+}
+
+// FirstFieldPost keeps only the first whitespace-separated field — e.g.
+// "108 min" → "108".
+func FirstFieldPost() Postprocessor {
+	return func(s string) string {
+		fields := strings.Fields(s)
+		if len(fields) == 0 {
+			return ""
+		}
+		return fields[0]
+	}
+}

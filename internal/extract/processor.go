@@ -1,0 +1,170 @@
+package extract
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/rule"
+	"repro/internal/textutil"
+	"repro/internal/xpath"
+)
+
+// FailureKind classifies extraction failures (§7).
+type FailureKind int
+
+// Failure kinds.
+const (
+	// FailureMissingMandatory: a mandatory component could not be found
+	// in a page.
+	FailureMissingMandatory FailureKind = iota
+	// FailureMultipleValues: a single-valued component's location
+	// returned more than one node.
+	FailureMultipleValues
+)
+
+// String names the failure kind.
+func (k FailureKind) String() string {
+	switch k {
+	case FailureMissingMandatory:
+		return "missing-mandatory"
+	case FailureMultipleValues:
+		return "multiple-values"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// Failure is one detected extraction failure.
+type Failure struct {
+	PageURI   string
+	Component string
+	Kind      FailureKind
+	Detail    string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s: component %q: %s (%s)", f.PageURI, f.Component, f.Kind, f.Detail)
+}
+
+// Postprocessor transforms an extracted raw value into its clean form —
+// the paper notes the "min" suffix of "108 min" would need removing and
+// suggests finer intra-text-node selection as future work (§7). The
+// processor always normalizes whitespace first.
+type Postprocessor func(string) string
+
+// Processor applies a repository's rules to pages and assembles the XML
+// document.
+type Processor struct {
+	Repo *rule.Repository
+	// Post holds optional per-component value post-processors.
+	Post map[string]Postprocessor
+
+	compiled map[string]*rule.Compiled
+}
+
+// NewProcessor compiles the repository's rules.
+func NewProcessor(repo *rule.Repository) (*Processor, error) {
+	compiled, err := repo.CompileAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Processor{Repo: repo, Post: map[string]Postprocessor{}, compiled: compiled}, nil
+}
+
+// ExtractPage extracts every component of one page into a page element.
+// Failures are appended to the returned slice.
+func (p *Processor) ExtractPage(page *core.Page) (*Element, []Failure) {
+	el := NewElement(p.Repo.PageElementName())
+	el.SetAttr("uri", page.URI)
+	var failures []Failure
+
+	values := map[string][]string{}
+	for _, r := range p.Repo.Rules {
+		c := p.compiled[r.Name]
+		nodes := c.ApplyAll(page.Doc)
+		if len(nodes) == 0 {
+			if r.Optionality == rule.Mandatory {
+				failures = append(failures, Failure{
+					PageURI: page.URI, Component: r.Name,
+					Kind:   FailureMissingMandatory,
+					Detail: "no node matched any location",
+				})
+			}
+			continue
+		}
+		if r.Multiplicity == rule.SingleValued && len(nodes) > 1 {
+			failures = append(failures, Failure{
+				PageURI: page.URI, Component: r.Name,
+				Kind:   FailureMultipleValues,
+				Detail: fmt.Sprintf("%d nodes matched a single-valued component", len(nodes)),
+			})
+			nodes = nodes[:1]
+		}
+		for _, n := range nodes {
+			values[r.Name] = append(values[r.Name], p.values(c, n)...)
+		}
+	}
+
+	if len(p.Repo.Structure) > 0 {
+		for _, sn := range p.Repo.Structure {
+			buildStructured(el, sn, values)
+		}
+	} else {
+		// Default flat structure: components in rule order.
+		for _, r := range p.Repo.Rules {
+			for _, v := range values[r.Name] {
+				leaf := el.Add(NewElement(r.Name))
+				leaf.Text = v
+			}
+		}
+	}
+	return el, failures
+}
+
+// buildStructured emits the enhanced nested structure recorded in the
+// repository (§4: iterative aggregation of component elements).
+func buildStructured(parent *Element, sn rule.StructureNode, values map[string][]string) {
+	if sn.Component != "" {
+		for _, v := range values[sn.Component] {
+			leaf := parent.Add(NewElement(sn.Name))
+			leaf.Text = v
+		}
+		return
+	}
+	group := NewElement(sn.Name)
+	for _, child := range sn.Children {
+		buildStructured(group, child, values)
+	}
+	// Empty aggregates (all inner components absent) are omitted.
+	if len(group.Children) > 0 {
+		parent.Add(group)
+	}
+}
+
+// values renders one component value node as its extracted string(s):
+// whitespace normalization, then the rule's intra-node refinement (§7
+// regex/split extension), then any registered post-processor.
+func (p *Processor) values(c *rule.Compiled, n *dom.Node) []string {
+	raw := textutil.NormalizeSpace(xpath.NodeStringValue(n))
+	vals := c.RefineValue(raw)
+	if post := p.Post[c.Name]; post != nil {
+		for i := range vals {
+			vals[i] = post(vals[i])
+		}
+	}
+	return vals
+}
+
+// ExtractCluster extracts every page into the three-level (or enhanced)
+// document rooted at the cluster element.
+func (p *Processor) ExtractCluster(pages []*core.Page) (*Element, []Failure) {
+	root := NewElement(p.Repo.Cluster)
+	var failures []Failure
+	for _, page := range pages {
+		el, fs := p.ExtractPage(page)
+		root.Add(el)
+		failures = append(failures, fs...)
+	}
+	return root, failures
+}

@@ -1,0 +1,147 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rule"
+)
+
+// GenerateSchema produces the XML Schema document describing the
+// extraction output (§4): the name property of a mapping rule becomes an
+// element name, while optionality and multiplicity become cardinality
+// constraints (minOccurs/maxOccurs). A recorded enhanced structure yields
+// the corresponding nested complex types.
+func GenerateSchema(repo *rule.Repository) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" elementFormDefault="qualified">` + "\n")
+	fmt.Fprintf(&b, `  <xs:element name="%s">`+"\n", repo.Cluster)
+	b.WriteString("    <xs:complexType>\n      <xs:sequence>\n")
+	fmt.Fprintf(&b, `        <xs:element name="%s" minOccurs="0" maxOccurs="unbounded">`+"\n",
+		repo.PageElementName())
+	b.WriteString("          <xs:complexType>\n            <xs:sequence>\n")
+	if len(repo.Structure) > 0 {
+		for _, sn := range repo.Structure {
+			writeStructureSchema(&b, repo, sn, 14)
+		}
+	} else {
+		for _, r := range repo.Rules {
+			writeComponentSchema(&b, r, r.Name, 14)
+		}
+	}
+	b.WriteString("            </xs:sequence>\n")
+	b.WriteString(`            <xs:attribute name="uri" type="xs:anyURI"/>` + "\n")
+	b.WriteString("          </xs:complexType>\n")
+	b.WriteString("        </xs:element>\n")
+	b.WriteString("      </xs:sequence>\n    </xs:complexType>\n  </xs:element>\n")
+	b.WriteString("</xs:schema>\n")
+	return b.String()
+}
+
+func writeComponentSchema(b *strings.Builder, r rule.Rule, name string, indent int) {
+	ind := strings.Repeat(" ", indent)
+	minOccurs := "1"
+	if r.Optionality == rule.Optional {
+		minOccurs = "0"
+	}
+	maxOccurs := "1"
+	if r.Multiplicity == rule.Multivalued {
+		maxOccurs = "unbounded"
+	}
+	fmt.Fprintf(b, `%s<xs:element name="%s" type="xs:string" minOccurs="%s" maxOccurs="%s"/>`+"\n",
+		ind, name, minOccurs, maxOccurs)
+}
+
+// writeStructureSchema emits the schema for an enhanced-structure node: a
+// leaf inherits cardinalities from its rule; an aggregate becomes an
+// optional complex element wrapping its children.
+func writeStructureSchema(b *strings.Builder, repo *rule.Repository, sn rule.StructureNode, indent int) {
+	ind := strings.Repeat(" ", indent)
+	if sn.Component != "" {
+		if r, ok := repo.Lookup(sn.Component); ok {
+			writeComponentSchema(b, *r, sn.Name, indent)
+		}
+		return
+	}
+	fmt.Fprintf(b, `%s<xs:element name="%s" minOccurs="0" maxOccurs="1">`+"\n", ind, sn.Name)
+	fmt.Fprintf(b, "%s  <xs:complexType>\n%s    <xs:sequence>\n", ind, ind)
+	for _, child := range sn.Children {
+		writeStructureSchema(b, repo, child, indent+6)
+	}
+	fmt.Fprintf(b, "%s    </xs:sequence>\n%s  </xs:complexType>\n%s</xs:element>\n", ind, ind, ind)
+}
+
+// ValidateAgainstRepo checks an extracted document against the
+// cardinality constraints the schema would impose: every mandatory
+// component present in each page element, single-valued components at
+// most once. It returns the violations found (nil means conformant).
+// This is a structural conformance check, not a full XSD validator.
+func ValidateAgainstRepo(doc *Element, repo *rule.Repository) []string {
+	var violations []string
+	pageName := repo.PageElementName()
+	if doc.Name != repo.Cluster {
+		violations = append(violations,
+			fmt.Sprintf("root element %q, want %q", doc.Name, repo.Cluster))
+	}
+	for _, page := range doc.Children {
+		if page.Name != pageName {
+			violations = append(violations,
+				fmt.Sprintf("unexpected page element %q", page.Name))
+			continue
+		}
+		counts := map[string]int{}
+		countComponents(page, repo, counts)
+		for _, r := range repo.Rules {
+			n := counts[r.Name]
+			if r.Optionality == rule.Mandatory && n == 0 {
+				violations = append(violations,
+					fmt.Sprintf("%s: mandatory component %q missing", pageAttr(page), r.Name))
+			}
+			if r.Multiplicity == rule.SingleValued && n > 1 {
+				violations = append(violations,
+					fmt.Sprintf("%s: single-valued component %q occurs %d times", pageAttr(page), r.Name, n))
+			}
+		}
+	}
+	return violations
+}
+
+// countComponents tallies leaf occurrences by component, descending
+// through aggregate elements. With an enhanced structure the element name
+// may differ from the component name; the structure mapping resolves it.
+func countComponents(el *Element, repo *rule.Repository, counts map[string]int) {
+	nameToComponent := map[string]string{}
+	var collect func(ns []rule.StructureNode)
+	collect = func(ns []rule.StructureNode) {
+		for _, n := range ns {
+			if n.Component != "" {
+				nameToComponent[n.Name] = n.Component
+			} else {
+				collect(n.Children)
+			}
+		}
+	}
+	collect(repo.Structure)
+	var walk func(e *Element)
+	walk = func(e *Element) {
+		for _, c := range e.Children {
+			if comp, ok := nameToComponent[c.Name]; ok {
+				counts[comp]++
+			} else if _, isRule := repo.Lookup(c.Name); isRule {
+				counts[c.Name]++
+			}
+			walk(c)
+		}
+	}
+	walk(el)
+}
+
+func pageAttr(page *Element) string {
+	for _, a := range page.Attrs {
+		if a.Name == "uri" {
+			return a.Value
+		}
+	}
+	return page.Name
+}

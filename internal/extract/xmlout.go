@@ -1,0 +1,140 @@
+// Package extract implements the XML extraction processor of §4: it
+// interprets the mapping rules of a repository to produce an XML document
+// containing the targeted data (the primitive three-level structure of
+// Figure 5, or a nested structure when the repository records an enhanced
+// structure) and an XML Schema describing it, with cardinality constraints
+// derived from the optionality and multiplicity properties.
+//
+// The processor also performs the semi-automatic failure detection the
+// paper sketches in §7: a mandatory component that cannot be found in a
+// page, or a single-valued component whose location returns more than one
+// node, is reported as an extraction failure.
+package extract
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Element is a node of the produced XML document. Leaves carry Text;
+// inner elements carry Children. Attributes are kept as an ordered list
+// for deterministic output.
+type Element struct {
+	Name     string
+	Attrs    []Attr
+	Text     string
+	Children []*Element
+}
+
+// Attr is one attribute of an output element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// NewElement creates an element.
+func NewElement(name string) *Element { return &Element{Name: name} }
+
+// Add appends a child and returns it for chaining.
+func (e *Element) Add(child *Element) *Element {
+	e.Children = append(e.Children, child)
+	return child
+}
+
+// SetAttr appends an attribute.
+func (e *Element) SetAttr(name, value string) {
+	e.Attrs = append(e.Attrs, Attr{Name: name, Value: value})
+}
+
+// Find returns the first direct child with the given name, or nil.
+func (e *Element) Find(name string) *Element {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// FindAll returns every direct child with the given name.
+func (e *Element) FindAll(name string) []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteXML serializes the element tree with two-space indentation and an
+// XML declaration, matching the Figure 5 layout.
+func (e *Element) WriteXML(w io.Writer) error {
+	if _, err := io.WriteString(w, `<?xml version="1.0" encoding="UTF-8"?>`+"\n"); err != nil {
+		return err
+	}
+	return e.write(w, 0)
+}
+
+// XMLString returns the serialized document.
+func (e *Element) XMLString() string {
+	var b strings.Builder
+	_ = e.WriteXML(&b)
+	return b.String()
+}
+
+func (e *Element) write(w io.Writer, depth int) error {
+	ind := strings.Repeat("  ", depth)
+	var open strings.Builder
+	open.WriteString(ind)
+	open.WriteByte('<')
+	open.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		fmt.Fprintf(&open, ` %s="%s"`, a.Name, escapeAttr(a.Value))
+	}
+	switch {
+	case len(e.Children) == 0 && e.Text == "":
+		open.WriteString("/>\n")
+		_, err := io.WriteString(w, open.String())
+		return err
+	case len(e.Children) == 0:
+		fmt.Fprintf(&open, ">%s</%s>\n", escapeText(e.Text), e.Name)
+		_, err := io.WriteString(w, open.String())
+		return err
+	default:
+		open.WriteString(">\n")
+		if _, err := io.WriteString(w, open.String()); err != nil {
+			return err
+		}
+		for _, c := range e.Children {
+			if err := c.write(w, depth+1); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s</%s>\n", ind, e.Name)
+		return err
+	}
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SortChildren orders direct children by name then text — used only by
+// tests that compare documents structurally.
+func (e *Element) SortChildren() {
+	sort.SliceStable(e.Children, func(i, j int) bool {
+		if e.Children[i].Name != e.Children[j].Name {
+			return e.Children[i].Name < e.Children[j].Name
+		}
+		return e.Children[i].Text < e.Children[j].Text
+	})
+}

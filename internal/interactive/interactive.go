@@ -1,0 +1,219 @@
+// Package interactive supplies a terminal stand-in for the Retrozilla
+// GUI (Figure 6 of the paper): the working sample's candidate values are
+// listed with their visual context, the operator picks one by number
+// (selection) and has already named the component (interpretation), and
+// the rule builder takes over. The same Oracle then answers refinement
+// queries for the remaining pages from the recorded choice, falling back
+// to asking again when the choice does not transfer.
+//
+// All prompts read from an io.Reader and write to an io.Writer, so the
+// scenario is fully scriptable in tests.
+//
+// Limitation: candidates are text nodes, so mixed components (whose value
+// is a container element) cannot be selected in this terminal UI; use the
+// truth-driven batch mode or the library API for those.
+package interactive
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/textutil"
+)
+
+// Candidate is one selectable value in a page.
+type Candidate struct {
+	Node *dom.Node
+	// Value is the normalized text of the node.
+	Value string
+	// Context is the label-like text that visually precedes the value.
+	Context string
+}
+
+// Candidates enumerates the selectable values of a page: every non-empty
+// text node, with its preceding context — what the operator sees when
+// hovering values in the browser.
+func Candidates(p *core.Page) []Candidate {
+	var out []Candidate
+	body := dom.Body(p.Doc)
+	if body == nil {
+		body = p.Doc
+	}
+	dom.Walk(body, func(n *dom.Node) bool {
+		if n.Type != dom.TextNode {
+			return true
+		}
+		v := textutil.NormalizeSpace(n.Data)
+		if v == "" {
+			return true
+		}
+		out = append(out, Candidate{
+			Node:    n,
+			Value:   v,
+			Context: precedingContext(n),
+		})
+		return true
+	})
+	return out
+}
+
+func precedingContext(n *dom.Node) string {
+	for cur := dom.PrevInDocument(n); cur != nil; cur = dom.PrevInDocument(cur) {
+		if cur.Type == dom.TextNode {
+			if s := textutil.NormalizeSpace(cur.Data); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// Session drives interactive rule building over a working sample.
+type Session struct {
+	In  io.Reader
+	Out io.Writer
+
+	reader *bufio.Reader
+	// remembered value-selection strategy per component: the context
+	// label of the first selection, reused to answer queries on other
+	// pages without re-prompting.
+	memory map[string]selection
+	// answers caches the per-(component, page) decision so the repeated
+	// checks of the refinement loop never re-prompt the operator.
+	answers map[string]map[string]*dom.Node
+}
+
+// selection records how the operator identified a value, so the oracle
+// can transfer the choice to sibling pages.
+type selection struct {
+	context string
+	value   string
+}
+
+// NewSession creates a session reading operator input from in.
+func NewSession(in io.Reader, out io.Writer) *Session {
+	return &Session{In: in, Out: out, reader: bufio.NewReader(in),
+		memory:  map[string]selection{},
+		answers: map[string]map[string]*dom.Node{}}
+}
+
+// Oracle returns the core.Oracle backed by this session. Per component
+// and page the operator is consulted at most once: the first selection's
+// context label transfers silently to pages where it identifies a value;
+// pages where it does not (absent component, renamed label, label-less
+// value) are prompted once, and "skip" records absence.
+func (s *Session) Oracle() core.Oracle {
+	return core.OracleFunc(func(component string, p *core.Page) []*dom.Node {
+		if byPage, ok := s.answers[component]; ok {
+			if n, done := byPage[p.URI]; done {
+				if n == nil {
+					return nil
+				}
+				return []*dom.Node{n}
+			}
+		} else {
+			s.answers[component] = map[string]*dom.Node{}
+		}
+		var n *dom.Node
+		if sel, ok := s.memory[component]; ok && sel.context != "" {
+			n = findByContext(p, sel.context)
+		}
+		if n == nil {
+			if _, asked := s.memory[component]; !asked {
+				n = s.prompt(component, p)
+				if n != nil {
+					s.memory[component] = selection{
+						context: precedingContext(n),
+						value:   textutil.NormalizeSpace(n.Data),
+					}
+				} else {
+					s.memory[component] = selection{}
+				}
+			} else {
+				// Transfer failed on this page: one follow-up prompt.
+				n = s.prompt(component, p)
+			}
+		}
+		s.answers[component][p.URI] = n
+		if n == nil {
+			return nil
+		}
+		return []*dom.Node{n}
+	})
+}
+
+// findByContext locates the text node whose nearest preceding text equals
+// the remembered context label.
+func findByContext(p *core.Page, context string) *dom.Node {
+	if context == "" {
+		return nil
+	}
+	cands := Candidates(p)
+	for _, c := range cands {
+		if c.Context == context {
+			return c.Node
+		}
+	}
+	return nil
+}
+
+// prompt lists the page's candidate values and reads the operator's pick.
+// An empty line or "skip" means the component is absent from this page.
+func (s *Session) prompt(component string, p *core.Page) *dom.Node {
+	cands := Candidates(p)
+	fmt.Fprintf(s.Out, "\npage %s — select the value of %q (empty/skip = absent):\n",
+		p.URI, component)
+	for i, c := range cands {
+		ctx := c.Context
+		if ctx != "" {
+			ctx = " [after " + textutil.TruncateRunes(ctx, 24) + "]"
+		}
+		fmt.Fprintf(s.Out, "  %2d. %s%s\n", i+1,
+			textutil.TruncateRunes(c.Value, 48), ctx)
+	}
+	for {
+		fmt.Fprintf(s.Out, "> ")
+		line, err := s.reader.ReadString('\n')
+		if err != nil && line == "" {
+			return nil
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.EqualFold(line, "skip") {
+			return nil
+		}
+		idx, err := strconv.Atoi(line)
+		if err != nil || idx < 1 || idx > len(cands) {
+			fmt.Fprintf(s.Out, "enter 1..%d\n", len(cands))
+			continue
+		}
+		return cands[idx-1].Node
+	}
+}
+
+// BuildRules runs the full interactive scenario for the named components
+// and returns the per-component results (only converged rules should be
+// recorded by the caller).
+func (s *Session) BuildRules(sample core.Sample, components []string) (map[string]core.BuildResult, error) {
+	b := &core.Builder{Sample: sample, Oracle: s.Oracle()}
+	out := map[string]core.BuildResult{}
+	for _, comp := range components {
+		res, err := b.BuildRule(comp)
+		if err != nil {
+			fmt.Fprintf(s.Out, "component %s: %v\n", comp, err)
+			continue
+		}
+		out[comp] = res
+		status := "OK"
+		if !res.OK {
+			status = "NOT CONVERGED"
+		}
+		fmt.Fprintf(s.Out, "component %-12s -> %s\n%s\n", comp, status,
+			res.FinalReport().Table())
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package interactive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+)
+
+func samplePages() core.Sample {
+	mk := func(uri, aka, runtime string) *core.Page {
+		var b strings.Builder
+		b.WriteString(`<html><body><table><tr><td>filler</td></tr><tr><td>`)
+		if aka != "" {
+			b.WriteString(`<b>Also Known As:</b> ` + aka + ` <br>`)
+		}
+		b.WriteString(`<b>Runtime:</b> ` + runtime + ` <br>`)
+		b.WriteString(`<b>Country:</b> X <br></td></tr></table></body></html>`)
+		return core.NewPage(uri, b.String())
+	}
+	return core.Sample{
+		mk("p1", "", "108 min"),
+		mk("p2", "", "91 min"),
+		mk("p3", "Other Title", "104 min"),
+	}
+}
+
+func TestCandidatesEnumeration(t *testing.T) {
+	cands := Candidates(samplePages()[0])
+	// filler, Runtime:, 108 min, Country:, X
+	if len(cands) != 5 {
+		t.Fatalf("candidates = %d: %+v", len(cands), cands)
+	}
+	// The runtime value carries its label as context.
+	found := false
+	for _, c := range cands {
+		if c.Value == "108 min" && c.Context == "Runtime:" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("runtime candidate missing context: %+v", cands)
+	}
+}
+
+func TestInteractiveSessionBuildsRule(t *testing.T) {
+	// The scripted operator answers the single prompt by picking the
+	// "108 min" entry (index 3 in the enumeration of page 1).
+	in := strings.NewReader("3\n")
+	var out strings.Builder
+	s := NewSession(in, &out)
+	results, err := s.BuildRules(samplePages(), []string{"runtime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results["runtime"]
+	if !res.OK {
+		t.Fatalf("interactive rule not converged:\n%s\noutput:\n%s",
+			res.Rule.String(), out.String())
+	}
+	final := res.FinalReport()
+	want := []string{"108 min", "91 min", "104 min"}
+	for i, w := range want {
+		if final.Results[i].Value != w {
+			t.Errorf("page %d = %q, want %q", i, final.Results[i].Value, w)
+		}
+	}
+	// The prompt must have been shown exactly once (memory answers the
+	// refinement queries).
+	if got := strings.Count(out.String(), "select the value"); got != 1 {
+		t.Errorf("prompted %d times, want 1", got)
+	}
+}
+
+func TestInteractiveInvalidThenValidInput(t *testing.T) {
+	in := strings.NewReader("zz\n99\n3\n")
+	var out strings.Builder
+	s := NewSession(in, &out)
+	o := s.Oracle()
+	nodes := o.Select("runtime", samplePages()[0])
+	if len(nodes) != 1 {
+		t.Fatalf("selection failed after retries")
+	}
+	if !strings.Contains(out.String(), "enter 1..") {
+		t.Error("invalid input must re-prompt")
+	}
+}
+
+func TestInteractiveSkipMeansAbsent(t *testing.T) {
+	in := strings.NewReader("skip\n")
+	var out strings.Builder
+	s := NewSession(in, &out)
+	o := s.Oracle()
+	if nodes := o.Select("runtime", samplePages()[0]); nodes != nil {
+		t.Errorf("skip must mean absent, got %v", nodes)
+	}
+}
+
+func TestInteractiveEOFMeansAbsent(t *testing.T) {
+	s := NewSession(strings.NewReader(""), &strings.Builder{})
+	o := s.Oracle()
+	if nodes := o.Select("runtime", samplePages()[0]); nodes != nil {
+		t.Error("EOF must mean absent")
+	}
+}
+
+func TestMemoryTransfersAcrossPages(t *testing.T) {
+	// One pick on page 1, then a "skip" when the label-less page 4 cannot
+	// be answered by transfer and triggers a follow-up prompt.
+	in := strings.NewReader("3\nskip\n")
+	var out strings.Builder
+	s := NewSession(in, &out)
+	o := s.Oracle()
+	pages := samplePages()
+	first := o.Select("runtime", pages[0])
+	if len(first) != 1 {
+		t.Fatal("first selection")
+	}
+	// Page 3 has the AKA shift; the remembered "Runtime:" context must
+	// still find the right node without prompting.
+	third := o.Select("runtime", pages[2])
+	if len(third) != 1 {
+		t.Fatal("transfer failed")
+	}
+	if got := strings.TrimSpace(third[0].Data); got != "104 min" {
+		t.Errorf("transferred selection = %q", got)
+	}
+	// A page without the label triggers one follow-up prompt; the
+	// scripted "skip" records absence, and the answer is cached so the
+	// next query for the same page does not prompt again.
+	empty := core.NewPage("p4", `<html><body><p>nothing here</p></body></html>`)
+	if nodes := o.Select("runtime", empty); nodes != nil {
+		t.Error("skip must mean absent")
+	}
+	promptsBefore := strings.Count(out.String(), "select the value")
+	if nodes := o.Select("runtime", empty); nodes != nil {
+		t.Error("cached absence must persist")
+	}
+	if got := strings.Count(out.String(), "select the value"); got != promptsBefore {
+		t.Error("cached answer must not re-prompt")
+	}
+}
+
+func TestCandidatesSkipEmptyPages(t *testing.T) {
+	p := core.NewPage("p", `<html><body></body></html>`)
+	if cands := Candidates(p); len(cands) != 0 {
+		t.Errorf("candidates on empty page: %v", cands)
+	}
+}
+
+func TestPrecedingContextFirstText(t *testing.T) {
+	p := core.NewPage("p", `<html><body><h1>first</h1></body></html>`)
+	h := dom.FindFirst(p.Doc, func(n *dom.Node) bool { return n.TagIs("h1") })
+	if got := precedingContext(h.FirstChild); got != "" {
+		t.Errorf("first text has context %q", got)
+	}
+}

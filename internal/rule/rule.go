@@ -1,0 +1,200 @@
+// Package rule defines mapping rules — the central artifact of the paper
+// (§2.3): the formalization of a page component's properties
+// (name, optionality, multiplicity, format, location) — together with the
+// rule repository that records validated rules (§3.5) and the optional
+// enhanced (aggregated) structure used by the XML extractor (§4).
+package rule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/xpath"
+)
+
+// Optionality states whether the component may be missing in some pages.
+type Optionality string
+
+// Multiplicity states whether one or several consecutive instances of the
+// component can appear in a page.
+type Multiplicity string
+
+// Format distinguishes pure-text component values from values mixing text
+// and formatting elements.
+type Format string
+
+// Property values, exactly as the paper's EBNF defines them:
+//
+//	optionality  ::= 'optional' | 'mandatory'
+//	multiplicity ::= 'single-valued' | 'multivalued'
+//	format       ::= 'text' | 'mixed'
+const (
+	Mandatory Optionality = "mandatory"
+	Optional  Optionality = "optional"
+
+	SingleValued Multiplicity = "single-valued"
+	Multivalued  Multiplicity = "multivalued"
+
+	Text  Format = "text"
+	Mixed Format = "mixed"
+)
+
+// Rule is a mapping rule addressing exactly one page component. Locations
+// holds one or more XPath expressions; the tail entries are the
+// alternative paths appended during refinement (§3.4 "Adding an
+// alternative path"). Evaluation unions all locations.
+type Rule struct {
+	Name         string       `json:"name"`
+	Optionality  Optionality  `json:"optionality"`
+	Multiplicity Multiplicity `json:"multiplicity"`
+	Format       Format       `json:"format"`
+	Locations    []string     `json:"locations"`
+	// Refine optionally selects the component value *within* the located
+	// text (regular-expression extraction and/or list splitting) — the
+	// §7 extension for values XPath alone cannot isolate.
+	Refine *Refinement `json:"refine,omitempty"`
+}
+
+// ValidateName checks the paper's EBNF for component names:
+// name ::= [a-zA-Z]([a-zA-Z] | [-_] | [0-9])*
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("rule: empty component name")
+	}
+	c := name[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+		return fmt.Errorf("rule: name %q must start with a letter", name)
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '-' || c == '_' {
+			continue
+		}
+		return fmt.Errorf("rule: name %q contains invalid character %q", name, c)
+	}
+	return nil
+}
+
+// Validate checks every property of the rule, including that each location
+// compiles.
+func (r *Rule) Validate() error {
+	if err := ValidateName(r.Name); err != nil {
+		return err
+	}
+	switch r.Optionality {
+	case Mandatory, Optional:
+	default:
+		return fmt.Errorf("rule %s: bad optionality %q", r.Name, r.Optionality)
+	}
+	switch r.Multiplicity {
+	case SingleValued, Multivalued:
+	default:
+		return fmt.Errorf("rule %s: bad multiplicity %q", r.Name, r.Multiplicity)
+	}
+	switch r.Format {
+	case Text, Mixed:
+	default:
+		return fmt.Errorf("rule %s: bad format %q", r.Name, r.Format)
+	}
+	if len(r.Locations) == 0 {
+		return fmt.Errorf("rule %s: no location", r.Name)
+	}
+	for _, loc := range r.Locations {
+		if _, err := xpath.Compile(loc); err != nil {
+			return fmt.Errorf("rule %s: bad location: %w", r.Name, err)
+		}
+	}
+	if _, err := r.Refine.compile(r.Name, r.Multiplicity); err != nil {
+		return err
+	}
+	return nil
+}
+
+// String renders the rule in the tuple layout used by the paper (§2.3).
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name         : %s\n", r.Name)
+	fmt.Fprintf(&b, "optionality  : %s\n", r.Optionality)
+	fmt.Fprintf(&b, "multiplicity : %s\n", r.Multiplicity)
+	fmt.Fprintf(&b, "format       : %s\n", r.Format)
+	for i, loc := range r.Locations {
+		label := "location     "
+		if i > 0 {
+			label = "alt-location "
+		}
+		fmt.Fprintf(&b, "%s: %s\n", label, loc)
+	}
+	return b.String()
+}
+
+// Compiled is a rule with pre-compiled locations, ready for repeated
+// application to documents.
+type Compiled struct {
+	Rule
+	paths  []*xpath.Compiled
+	refine *compiledRefinement
+}
+
+// Compile validates and compiles the rule's locations.
+func (r *Rule) Compile() (*Compiled, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Rule: *r}
+	for _, loc := range r.Locations {
+		p, err := xpath.Compile(loc)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Name, err)
+		}
+		c.paths = append(c.paths, p)
+	}
+	var err error
+	c.refine, err = r.Refine.compile(r.Name, r.Multiplicity)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RefineValue applies the rule's intra-node refinement (§7 extension) to
+// one located raw value, returning the final component value(s). Rules
+// without a refinement pass the value through unchanged.
+func (c *Compiled) RefineValue(raw string) []string {
+	return c.refine.apply(raw)
+}
+
+// Apply evaluates the rule against a document, returning the selected
+// component-value nodes in document order. Alternative locations are
+// tried in order; the first location that selects anything wins, which
+// keeps a later, more general alternative from double-matching pages the
+// primary location already handles.
+func (c *Compiled) Apply(doc *dom.Node) []*dom.Node {
+	for _, p := range c.paths {
+		ns := p.SelectLocation(doc)
+		if len(ns) > 0 {
+			if c.Multiplicity == SingleValued && len(ns) > 1 {
+				// A single-valued rule keeps only the first hit; the
+				// extraction processor reports the anomaly separately
+				// (§7 failure detection, via ApplyAll).
+				return []*dom.Node{ns[0]}
+			}
+			return ns
+		}
+	}
+	return nil
+}
+
+// ApplyAll is Apply without the single-valued truncation: every node every
+// location selects, for failure detection (a single-valued rule returning
+// more than one node signals a drifted page, §7).
+func (c *Compiled) ApplyAll(doc *dom.Node) []*dom.Node {
+	for _, p := range c.paths {
+		ns := p.SelectLocation(doc)
+		if len(ns) > 0 {
+			return ns
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package rule
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+func validRule(name string) Rule {
+	return Rule{
+		Name:         name,
+		Optionality:  Mandatory,
+		Multiplicity: SingleValued,
+		Format:       Text,
+		Locations:    []string{"BODY//TR[6]/TD[1]/text()[1]"},
+	}
+}
+
+func TestValidateNameEBNF(t *testing.T) {
+	// name ::= [a-zA-Z]([a-zA-Z] | [-_] | [0-9])*
+	good := []string{"runtime", "Runtime", "imdb-movies", "a", "x_1", "A2-b_C3"}
+	for _, n := range good {
+		if err := ValidateName(n); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{"", "1abc", "-abc", "_abc", "run time", "a.b", "été", "a/b"}
+	for _, n := range bad {
+		if err := ValidateName(n); err == nil {
+			t.Errorf("ValidateName(%q) should fail", n)
+		}
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	r := validRule("runtime")
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Rule)
+		desc   string
+	}{
+		{func(r *Rule) { r.Name = "9bad" }, "bad name"},
+		{func(r *Rule) { r.Optionality = "maybe" }, "bad optionality"},
+		{func(r *Rule) { r.Multiplicity = "many" }, "bad multiplicity"},
+		{func(r *Rule) { r.Format = "rich" }, "bad format"},
+		{func(r *Rule) { r.Locations = nil }, "no locations"},
+		{func(r *Rule) { r.Locations = []string{"]["} }, "bad xpath"},
+	}
+	for _, c := range cases {
+		r := validRule("runtime")
+		c.mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", c.desc)
+		}
+	}
+}
+
+func TestRuleStringTupleLayout(t *testing.T) {
+	r := validRule("runtime")
+	r.Locations = append(r.Locations, "BODY//DD/text()[1]")
+	s := r.String()
+	for _, want := range []string{
+		"name         : runtime",
+		"optionality  : mandatory",
+		"multiplicity : single-valued",
+		"format       : text",
+		"location     : BODY//TR[6]/TD[1]/text()[1]",
+		"alt-location : BODY//DD/text()[1]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompiledApplySingleVsMulti(t *testing.T) {
+	doc := dom.Parse(`<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>`)
+	multi := Rule{
+		Name: "item", Optionality: Mandatory, Multiplicity: Multivalued,
+		Format: Text, Locations: []string{"BODY//LI[position()>=1]/text()"},
+	}
+	c, err := multi.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Apply(doc); len(got) != 3 {
+		t.Errorf("multivalued Apply = %d nodes, want 3", len(got))
+	}
+	single := multi
+	single.Multiplicity = SingleValued
+	cs, err := single.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Apply(doc); len(got) != 1 {
+		t.Errorf("single-valued Apply = %d nodes, want 1 (truncated)", len(got))
+	}
+	if got := cs.ApplyAll(doc); len(got) != 3 {
+		t.Errorf("ApplyAll = %d nodes, want 3 (for failure detection)", len(got))
+	}
+}
+
+func TestCompiledApplyAlternativeOrder(t *testing.T) {
+	// The first location that selects anything wins.
+	doc := dom.Parse(`<html><body><p>primary</p><span>alt</span></body></html>`)
+	r := Rule{
+		Name: "x", Optionality: Mandatory, Multiplicity: SingleValued, Format: Text,
+		Locations: []string{"BODY/P[1]/text()[1]", "BODY/SPAN[1]/text()[1]"},
+	}
+	c, err := r.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Apply(doc)
+	if len(got) != 1 || got[0].Data != "primary" {
+		t.Errorf("Apply = %v", got)
+	}
+	// Page without the primary structure falls through to the alternative.
+	doc2 := dom.Parse(`<html><body><span>alt</span></body></html>`)
+	got2 := c.Apply(doc2)
+	if len(got2) != 1 || got2[0].Data != "alt" {
+		t.Errorf("Apply alt = %v", got2)
+	}
+}
+
+func TestRepositoryRecordReplace(t *testing.T) {
+	repo := NewRepository("imdb-movies")
+	if err := repo.Record(validRule("runtime")); err != nil {
+		t.Fatal(err)
+	}
+	r2 := validRule("runtime")
+	r2.Optionality = Optional
+	if err := repo.Record(r2); err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Rules) != 1 {
+		t.Fatalf("one rule per component: got %d", len(repo.Rules))
+	}
+	got, _ := repo.Lookup("runtime")
+	if got.Optionality != Optional {
+		t.Error("Record must replace the existing rule")
+	}
+}
+
+func TestRepositoryRemoveAndNames(t *testing.T) {
+	repo := NewRepository("c")
+	_ = repo.Record(validRule("b-comp"))
+	_ = repo.Record(validRule("a-comp"))
+	names := repo.ComponentNames()
+	if len(names) != 2 || names[0] != "a-comp" || names[1] != "b-comp" {
+		t.Errorf("ComponentNames = %v", names)
+	}
+	if !repo.Remove("a-comp") || repo.Remove("a-comp") {
+		t.Error("Remove semantics")
+	}
+	if _, ok := repo.Lookup("a-comp"); ok {
+		t.Error("removed rule still present")
+	}
+}
+
+func TestPageElementName(t *testing.T) {
+	cases := []struct{ cluster, pageEl, want string }{
+		{"imdb-movies", "", "imdb-movie"},
+		{"books", "", "book"},
+		{"x", "", "x-page"},
+		{"stocks", "quote", "quote"},
+	}
+	for _, c := range cases {
+		repo := NewRepository(c.cluster)
+		repo.PageElement = c.pageEl
+		if got := repo.PageElementName(); got != c.want {
+			t.Errorf("%s: PageElementName = %q, want %q", c.cluster, got, c.want)
+		}
+	}
+}
+
+func TestStructureValidation(t *testing.T) {
+	repo := NewRepository("imdb-movies")
+	_ = repo.Record(validRule("rating"))
+	_ = repo.Record(validRule("comment"))
+
+	ok := []StructureNode{
+		{Name: "users-opinion", Children: []StructureNode{
+			{Name: "rating", Component: "rating"},
+			{Name: "comment", Component: "comment"},
+		}},
+	}
+	if err := repo.SetStructure(ok); err != nil {
+		t.Fatalf("valid structure rejected: %v", err)
+	}
+
+	bad := [][]StructureNode{
+		// unknown component
+		{{Name: "x", Component: "nosuch"}},
+		// duplicate component reference
+		{{Name: "a", Component: "rating"}, {Name: "b", Component: "rating"}},
+		// leaf with children
+		{{Name: "a", Component: "rating", Children: []StructureNode{{Name: "x", Component: "comment"}}}},
+		// invalid aggregate name
+		{{Name: "9bad", Children: []StructureNode{{Name: "r", Component: "rating"}}}},
+	}
+	for i, s := range bad {
+		if err := repo.SetStructure(s); err == nil {
+			t.Errorf("bad structure %d accepted", i)
+		}
+	}
+}
+
+func TestRepositorySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.json")
+	repo := NewRepository("imdb-movies")
+	r := validRule("runtime")
+	r.Locations = append(r.Locations, "BODY//DD/text()[1]")
+	_ = repo.Record(r)
+	opt := validRule("language")
+	opt.Optionality = Optional
+	_ = repo.Record(opt)
+	_ = repo.SetStructure([]StructureNode{
+		{Name: "info", Children: []StructureNode{
+			{Name: "runtime", Component: "runtime"},
+			{Name: "language", Component: "language"},
+		}},
+	})
+	if err := repo.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cluster != repo.Cluster || len(loaded.Rules) != 2 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	lr, ok := loaded.Lookup("runtime")
+	if !ok || len(lr.Locations) != 2 {
+		t.Errorf("runtime rule lost alternatives: %+v", lr)
+	}
+	if len(loaded.Structure) != 1 || loaded.Structure[0].Name != "info" {
+		t.Errorf("structure lost: %+v", loaded.Structure)
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"badjson.json":    `{not json`,
+		"badrule.json":    `{"cluster":"c","rules":[{"name":"9x","optionality":"mandatory","multiplicity":"single-valued","format":"text","locations":["BODY"]}]}`,
+		"badxpath.json":   `{"cluster":"c","rules":[{"name":"x","optionality":"mandatory","multiplicity":"single-valued","format":"text","locations":["]]"]}]}`,
+		"dupe.json":       `{"cluster":"c","rules":[{"name":"x","optionality":"mandatory","multiplicity":"single-valued","format":"text","locations":["BODY"]},{"name":"x","optionality":"mandatory","multiplicity":"single-valued","format":"text","locations":["BODY"]}]}`,
+		"badcluster.json": `{"cluster":"9c","rules":[]}`,
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: Load should fail", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of missing file should fail")
+	}
+}
+
+func TestCompileAll(t *testing.T) {
+	repo := NewRepository("c")
+	_ = repo.Record(validRule("a"))
+	_ = repo.Record(validRule("b"))
+	compiled, err := repo.CompileAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compiled) != 2 || compiled["a"] == nil || compiled["b"] == nil {
+		t.Errorf("CompileAll = %v", compiled)
+	}
+}

@@ -1,0 +1,236 @@
+// Package schema implements the paper's §7 future-work direction of
+// building mapping rules "according to a pre-existing data structure
+// (XML Schema, RDF, OWL)":
+//
+//   - TargetSchema declares the components a rule set must provide, with
+//     their expected cardinalities (the reusable, shareable contract);
+//   - ImportXSD reads the XML Schema subset the extraction processor
+//     emits back into a TargetSchema, enabling schema reuse across sites;
+//   - GuidedBuilder drives the ordinary semi-automated build loop once
+//     per declared component and then *verifies* the induced properties
+//     against the declared ones, reporting mismatches the way SG-WRAP
+//     [14] validates wrappers against a predefined schema.
+package schema
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// Target declares one expected component.
+type Target struct {
+	Name         string
+	Optionality  rule.Optionality
+	Multiplicity rule.Multiplicity
+}
+
+// TargetSchema is a pre-existing data structure to build rules against.
+type TargetSchema struct {
+	Cluster string
+	Targets []Target
+}
+
+// Lookup finds a target by component name.
+func (s *TargetSchema) Lookup(name string) (Target, bool) {
+	for _, t := range s.Targets {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Target{}, false
+}
+
+// Validate checks schema well-formedness.
+func (s *TargetSchema) Validate() error {
+	if err := rule.ValidateName(s.Cluster); err != nil {
+		return fmt.Errorf("schema: bad cluster name: %w", err)
+	}
+	seen := map[string]bool{}
+	for _, t := range s.Targets {
+		if err := rule.ValidateName(t.Name); err != nil {
+			return fmt.Errorf("schema: %w", err)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("schema: duplicate target %q", t.Name)
+		}
+		seen[t.Name] = true
+		switch t.Optionality {
+		case rule.Mandatory, rule.Optional:
+		default:
+			return fmt.Errorf("schema: target %q: bad optionality %q", t.Name, t.Optionality)
+		}
+		switch t.Multiplicity {
+		case rule.SingleValued, rule.Multivalued:
+		default:
+			return fmt.Errorf("schema: target %q: bad multiplicity %q", t.Name, t.Multiplicity)
+		}
+	}
+	return nil
+}
+
+// Mismatch is one disagreement between a declared target and the induced
+// rule.
+type Mismatch struct {
+	Component string
+	Property  string
+	Declared  string
+	Induced   string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s: %s declared %q, induced %q",
+		m.Component, m.Property, m.Declared, m.Induced)
+}
+
+// GuidedResult is the outcome of a schema-guided build.
+type GuidedResult struct {
+	Repo *rule.Repository
+	// Builds holds the per-component build results.
+	Builds map[string]core.BuildResult
+	// Mismatches lists property disagreements between schema and induced
+	// rules (the schema wins for cardinality *widening* only: an induced
+	// mandatory rule satisfies an optional target, an induced
+	// single-valued rule satisfies a multivalued target).
+	Mismatches []Mismatch
+	// Missing lists targets whose rules did not converge.
+	Missing []string
+}
+
+// OK reports whether every target has a converged rule with compatible
+// properties.
+func (r GuidedResult) OK() bool {
+	return len(r.Mismatches) == 0 && len(r.Missing) == 0
+}
+
+// Build runs the semi-automated scenario for every target of the schema
+// and verifies the induced properties.
+func Build(s *TargetSchema, b *core.Builder) (GuidedResult, error) {
+	if err := s.Validate(); err != nil {
+		return GuidedResult{}, err
+	}
+	res := GuidedResult{
+		Repo:   rule.NewRepository(s.Cluster),
+		Builds: map[string]core.BuildResult{},
+	}
+	for _, target := range s.Targets {
+		br, err := b.BuildRule(target.Name)
+		if err != nil {
+			res.Missing = append(res.Missing, target.Name)
+			continue
+		}
+		res.Builds[target.Name] = br
+		if !br.OK {
+			res.Missing = append(res.Missing, target.Name)
+			continue
+		}
+		res.Mismatches = append(res.Mismatches, verify(target, br.Rule)...)
+		if err := res.Repo.Record(br.Rule); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// verify checks an induced rule against its declared target. Compatible
+// narrowings pass: mandatory satisfies optional, single-valued satisfies
+// multivalued. Incompatible widenings (induced optional vs declared
+// mandatory — the data cannot guarantee presence) are mismatches.
+func verify(t Target, r rule.Rule) []Mismatch {
+	var out []Mismatch
+	if t.Optionality == rule.Mandatory && r.Optionality == rule.Optional {
+		out = append(out, Mismatch{
+			Component: t.Name, Property: "optionality",
+			Declared: string(t.Optionality), Induced: string(r.Optionality),
+		})
+	}
+	if t.Multiplicity == rule.SingleValued && r.Multiplicity == rule.Multivalued {
+		out = append(out, Mismatch{
+			Component: t.Name, Property: "multiplicity",
+			Declared: string(t.Multiplicity), Induced: string(r.Multiplicity),
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// XSD import.
+
+// xsd* types model the XML Schema subset emitted by extract.GenerateSchema.
+type xsdSchema struct {
+	XMLName xml.Name   `xml:"schema"`
+	Element xsdElement `xml:"element"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	Type        string          `xml:"type,attr"`
+	MinOccurs   string          `xml:"minOccurs,attr"`
+	MaxOccurs   string          `xml:"maxOccurs,attr"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+}
+
+type xsdComplexType struct {
+	Sequence xsdSequence `xml:"sequence"`
+}
+
+type xsdSequence struct {
+	Elements []xsdElement `xml:"element"`
+}
+
+// ImportXSD parses an XML Schema document (of the shape GenerateSchema
+// produces: cluster element > page element > component elements, possibly
+// nested in aggregates) into a TargetSchema. Aggregate elements are
+// flattened: their leaf components become targets.
+func ImportXSD(data []byte) (*TargetSchema, error) {
+	var doc xsdSchema
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("schema: parsing XSD: %w", err)
+	}
+	root := doc.Element
+	if root.Name == "" || root.ComplexType == nil {
+		return nil, fmt.Errorf("schema: XSD has no root element declaration")
+	}
+	out := &TargetSchema{Cluster: root.Name}
+	if len(root.ComplexType.Sequence.Elements) == 0 {
+		return nil, fmt.Errorf("schema: XSD root has no page element")
+	}
+	pageEl := root.ComplexType.Sequence.Elements[0]
+	if pageEl.ComplexType == nil {
+		return nil, fmt.Errorf("schema: page element %q has no content model", pageEl.Name)
+	}
+	collectTargets(pageEl.ComplexType.Sequence.Elements, out)
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectTargets flattens component declarations, descending through
+// aggregate elements.
+func collectTargets(els []xsdElement, out *TargetSchema) {
+	for _, el := range els {
+		if el.ComplexType != nil {
+			collectTargets(el.ComplexType.Sequence.Elements, out)
+			continue
+		}
+		if !strings.HasPrefix(el.Type, "xs:string") {
+			continue
+		}
+		t := Target{
+			Name:         el.Name,
+			Optionality:  rule.Mandatory,
+			Multiplicity: rule.SingleValued,
+		}
+		if el.MinOccurs == "0" {
+			t.Optionality = rule.Optional
+		}
+		if el.MaxOccurs == "unbounded" {
+			t.Multiplicity = rule.Multivalued
+		}
+		out.Targets = append(out.Targets, t)
+	}
+}

@@ -1,0 +1,264 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/rule"
+)
+
+func movieSchema() *TargetSchema {
+	return &TargetSchema{
+		Cluster: "imdb-movies",
+		Targets: []Target{
+			{Name: "title", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued},
+			{Name: "runtime", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued},
+			{Name: "language", Optionality: rule.Optional, Multiplicity: rule.SingleValued},
+			{Name: "actor", Optionality: rule.Mandatory, Multiplicity: rule.Multivalued},
+		},
+	}
+}
+
+func TestTargetSchemaValidate(t *testing.T) {
+	if err := movieSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	bad := []*TargetSchema{
+		{Cluster: "9x"},
+		{Cluster: "c", Targets: []Target{{Name: "a", Optionality: "sometimes", Multiplicity: rule.SingleValued}}},
+		{Cluster: "c", Targets: []Target{{Name: "a", Optionality: rule.Mandatory, Multiplicity: "lots"}}},
+		{Cluster: "c", Targets: []Target{
+			{Name: "a", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued},
+			{Name: "a", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued},
+		}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+}
+
+func TestGuidedBuildAgainstCorpus(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(808, 40))
+	sample, _ := cl.RepresentativeSplit(10)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	res, err := Build(movieSchema(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("guided build not OK: mismatches=%v missing=%v", res.Mismatches, res.Missing)
+	}
+	if len(res.Repo.Rules) != 4 {
+		t.Errorf("repo has %d rules, want 4", len(res.Repo.Rules))
+	}
+}
+
+func TestGuidedBuildReportsMismatch(t *testing.T) {
+	// Declare actor single-valued although the data is multivalued: the
+	// induced rule widens the cardinality, which must be reported.
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(808, 40))
+	sample, _ := cl.RepresentativeSplit(10)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	s := &TargetSchema{
+		Cluster: "imdb-movies",
+		Targets: []Target{
+			{Name: "actor", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued},
+		},
+	}
+	res, err := Build(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("multiplicity widening must be reported")
+	}
+	found := false
+	for _, m := range res.Mismatches {
+		if m.Component == "actor" && m.Property == "multiplicity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mismatches = %v", res.Mismatches)
+	}
+}
+
+func TestGuidedBuildMissingComponent(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(808, 20))
+	sample, _ := cl.RepresentativeSplit(8)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	s := &TargetSchema{
+		Cluster: "imdb-movies",
+		Targets: []Target{
+			{Name: "nosuch-component", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued},
+		},
+	}
+	res, err := Build(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != "nosuch-component" {
+		t.Errorf("missing = %v", res.Missing)
+	}
+}
+
+func TestNarrowingsAreCompatible(t *testing.T) {
+	// Induced mandatory satisfies declared optional; induced
+	// single-valued satisfies declared multivalued.
+	t1 := Target{Name: "x", Optionality: rule.Optional, Multiplicity: rule.Multivalued}
+	r := rule.Rule{Name: "x", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued,
+		Format: rule.Text, Locations: []string{"BODY"}}
+	if ms := verify(t1, r); len(ms) != 0 {
+		t.Errorf("narrowing reported as mismatch: %v", ms)
+	}
+	// The reverse directions are mismatches.
+	t2 := Target{Name: "x", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued}
+	r2 := rule.Rule{Name: "x", Optionality: rule.Optional, Multiplicity: rule.Multivalued,
+		Format: rule.Text, Locations: []string{"BODY"}}
+	if ms := verify(t2, r2); len(ms) != 2 {
+		t.Errorf("widenings not reported: %v", ms)
+	}
+}
+
+// TestXSDRoundTrip: a repository's generated schema imports back into a
+// TargetSchema with the same components and cardinalities — the paper's
+// "schema reusability and sharing".
+func TestXSDRoundTrip(t *testing.T) {
+	repo := rule.NewRepository("imdb-movies")
+	rules := []rule.Rule{
+		{Name: "runtime", Optionality: rule.Mandatory, Multiplicity: rule.SingleValued,
+			Format: rule.Text, Locations: []string{"BODY//text()[1]"}},
+		{Name: "language", Optionality: rule.Optional, Multiplicity: rule.SingleValued,
+			Format: rule.Text, Locations: []string{"BODY//text()[1]"}},
+		{Name: "actor", Optionality: rule.Mandatory, Multiplicity: rule.Multivalued,
+			Format: rule.Text, Locations: []string{"BODY//LI/text()"}},
+	}
+	for _, r := range rules {
+		if err := repo.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xsd := extract.GenerateSchema(repo)
+	imported, err := ImportXSD([]byte(xsd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Cluster != "imdb-movies" {
+		t.Errorf("cluster = %q", imported.Cluster)
+	}
+	if len(imported.Targets) != 3 {
+		t.Fatalf("targets = %v", imported.Targets)
+	}
+	for _, r := range rules {
+		target, ok := imported.Lookup(r.Name)
+		if !ok {
+			t.Errorf("target %s missing", r.Name)
+			continue
+		}
+		if target.Optionality != r.Optionality || target.Multiplicity != r.Multiplicity {
+			t.Errorf("%s: imported %+v, want %s/%s", r.Name, target, r.Optionality, r.Multiplicity)
+		}
+	}
+}
+
+// TestXSDRoundTripWithAggregates: aggregates flatten to their leaf
+// components.
+func TestXSDRoundTripWithAggregates(t *testing.T) {
+	repo := rule.NewRepository("imdb-movies")
+	for _, name := range []string{"rating", "comment"} {
+		r := rule.Rule{Name: name, Optionality: rule.Mandatory, Multiplicity: rule.SingleValued,
+			Format: rule.Text, Locations: []string{"BODY//text()[1]"}}
+		if err := repo.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := repo.SetStructure([]rule.StructureNode{
+		{Name: "users-opinion", Children: []rule.StructureNode{
+			{Name: "rating", Component: "rating"},
+			{Name: "comment", Component: "comment"},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	xsd := extract.GenerateSchema(repo)
+	imported, err := ImportXSD([]byte(xsd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imported.Targets) != 2 {
+		t.Fatalf("targets = %+v", imported.Targets)
+	}
+	for _, n := range []string{"rating", "comment"} {
+		if _, ok := imported.Lookup(n); !ok {
+			t.Errorf("flattened target %s missing", n)
+		}
+	}
+}
+
+func TestImportXSDErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`not xml at all`,
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"></xs:schema>`,
+	}
+	for i, s := range bad {
+		if _, err := ImportXSD([]byte(s)); err == nil {
+			t.Errorf("bad XSD %d accepted", i)
+		}
+	}
+}
+
+// TestSchemaGuidedAcrossSites: the schema induced on one site guides rule
+// building on a second site publishing the same concept with a different
+// layout — the integration-oriented reuse §7 motivates.
+func TestSchemaGuidedAcrossSites(t *testing.T) {
+	// Site A: derive schema from its repository.
+	siteA := corpus.GenerateBooks(corpus.DefaultBookProfile(21, 30))
+	sampleA, _ := siteA.RepresentativeSplit(8)
+	bA := &core.Builder{Sample: sampleA, Oracle: siteA.Oracle()}
+	repoA := rule.NewRepository(siteA.Name)
+	if _, err := bA.BuildAll(repoA, siteA.ComponentNames()); err != nil {
+		t.Fatal(err)
+	}
+	xsd := extract.GenerateSchema(repoA)
+	shared, err := ImportXSD([]byte(xsd))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Site B: same concept, different profile; build under the shared
+	// schema.
+	profB := corpus.DefaultBookProfile(22, 30)
+	profB.ProbSubtitle = 0.9
+	siteB := corpus.GenerateBooks(profB)
+	sampleB, _ := siteB.RepresentativeSplit(8)
+	bB := &core.Builder{Sample: sampleB, Oracle: siteB.Oracle()}
+	res, err := Build(shared, bB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 0 {
+		t.Errorf("missing on site B: %v", res.Missing)
+	}
+	// Optionality may legitimately differ between sites (publisher
+	// presence rates differ); only hard failures count here.
+	for _, m := range res.Mismatches {
+		if m.Property == "multiplicity" {
+			t.Errorf("unexpected multiplicity mismatch: %v", m)
+		}
+	}
+}
+
+func TestMismatchString(t *testing.T) {
+	m := Mismatch{Component: "actor", Property: "multiplicity",
+		Declared: "single-valued", Induced: "multivalued"}
+	s := m.String()
+	if !strings.Contains(s, "actor") || !strings.Contains(s, "multiplicity") {
+		t.Errorf("Mismatch.String = %q", s)
+	}
+}

@@ -1,0 +1,167 @@
+// Package textutil provides small text-processing primitives shared by the
+// clustering, rule-induction and corpus packages: whitespace normalization,
+// token shingling, set-similarity metrics and edit distance.
+//
+// The package is dependency-free and purely functional; all functions are
+// safe for concurrent use.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// NormalizeSpace collapses every run of Unicode whitespace in s into a
+// single ASCII space and trims leading/trailing whitespace. It mirrors the
+// XPath 1.0 normalize-space() function, which the extraction processor uses
+// to clean component values before post-processing.
+func NormalizeSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inSpace := false
+	started := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			inSpace = true
+			continue
+		}
+		if inSpace && started {
+			b.WriteByte(' ')
+		}
+		inSpace = false
+		started = true
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Tokens splits s into lower-cased alphanumeric word tokens. Used by the
+// keyword-frequency clustering feature (Tonella et al. [22] in the paper).
+func Tokens(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Shingles returns the set of k-grams over the token slice. A k of 1
+// degrades to the token set itself. Shingling tag paths is how the page
+// clusterer fingerprints HTML structure.
+func Shingles(tokens []string, k int) map[string]struct{} {
+	set := make(map[string]struct{})
+	if k <= 0 {
+		k = 1
+	}
+	if len(tokens) < k {
+		if len(tokens) > 0 {
+			set[strings.Join(tokens, "\x00")] = struct{}{}
+		}
+		return set
+	}
+	for i := 0; i+k <= len(tokens); i++ {
+		set[strings.Join(tokens[i:i+k], "\x00")] = struct{}{}
+	}
+	return set
+}
+
+// Jaccard computes |a∩b| / |a∪b| for two string sets. Returns 1 when both
+// sets are empty (two empty structures are identical, not dissimilar).
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// LevenshteinLimit computes the Levenshtein edit distance between a and b,
+// giving up (returning limit+1) as soon as the distance provably exceeds
+// limit. A negative limit disables the cutoff. The URL-similarity feature
+// of the clusterer compares path segments with a small edit budget.
+func LevenshteinLimit(a, b string, limit int) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	if limit >= 0 && len(rb)-len(ra) > limit {
+		return limit + 1
+	}
+	prev := make([]int, len(ra)+1)
+	cur := make([]int, len(ra)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(rb); j++ {
+		cur[0] = j
+		rowMin := cur[0]
+		for i := 1; i <= len(ra); i++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[i] = min3(prev[i]+1, cur[i-1]+1, prev[i-1]+cost)
+			if cur[i] < rowMin {
+				rowMin = cur[i]
+			}
+		}
+		if limit >= 0 && rowMin > limit {
+			return limit + 1
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(ra)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// CommonPrefixLen returns the number of leading elements shared by a and b.
+func CommonPrefixLen(a, b []string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// TruncateRunes shortens s to at most n runes, appending "…" when truncated.
+// Used by the tabular rule-checking reports (paper Table 1 style).
+func TruncateRunes(s string, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	runes := []rune(s)
+	if len(runes) <= n {
+		return s
+	}
+	return string(runes[:n-1]) + "…"
+}

@@ -1,0 +1,209 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestNormalizeSpace(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"   ", ""},
+		{"a", "a"},
+		{"  a  ", "a"},
+		{"a   b", "a b"},
+		{"\ta\n b\r\nc ", "a b c"},
+		{"108 min", "108 min"},
+		{"a b", "a b"}, // non-breaking space is Unicode whitespace
+	}
+	for _, c := range cases {
+		if got := NormalizeSpace(c.in); got != c.want {
+			t.Errorf("NormalizeSpace(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeSpaceIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizeSpace(s)
+		return NormalizeSpace(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeSpaceNoEdgeOrDoubleSpaces(t *testing.T) {
+	f := func(s string) bool {
+		out := NormalizeSpace(s)
+		if out != strings.TrimSpace(out) {
+			return false
+		}
+		return !strings.Contains(out, "  ")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	got := Tokens("The Quick-Brown FOX, 42 jumps!")
+	want := []string{"the", "quick", "brown", "fox", "42", "jumps"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokens("")) != 0 || len(Tokens("!!!")) != 0 {
+		t.Error("empty inputs must yield no tokens")
+	}
+}
+
+func TestTokensAreLowerAlnum(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokens(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				if r != unicode.ToLower(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShingles(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	s2 := Shingles(toks, 2)
+	if len(s2) != 3 {
+		t.Errorf("2-shingles of 4 tokens: %d, want 3", len(s2))
+	}
+	s1 := Shingles(toks, 1)
+	if len(s1) != 4 {
+		t.Errorf("1-shingles: %d, want 4", len(s1))
+	}
+	// k <= 0 degrades to 1.
+	if len(Shingles(toks, 0)) != 4 {
+		t.Error("k=0 must behave like k=1")
+	}
+	// Short input: single shingle of the whole sequence.
+	if len(Shingles([]string{"x"}, 3)) != 1 {
+		t.Error("short input must give one shingle")
+	}
+	if len(Shingles(nil, 2)) != 0 {
+		t.Error("empty input must give no shingles")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	set := func(xs ...string) map[string]struct{} {
+		m := map[string]struct{}{}
+		for _, x := range xs {
+			m[x] = struct{}{}
+		}
+		return m
+	}
+	if Jaccard(nil, nil) != 1 {
+		t.Error("two empty sets are identical")
+	}
+	if Jaccard(set("a"), nil) != 0 {
+		t.Error("empty vs non-empty = 0")
+	}
+	if got := Jaccard(set("a", "b"), set("b", "c")); got != 1.0/3 {
+		t.Errorf("Jaccard = %f, want 1/3", got)
+	}
+	if Jaccard(set("a", "b"), set("a", "b")) != 1 {
+		t.Error("identical sets = 1")
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	mk := func(xs []string) map[string]struct{} {
+		m := map[string]struct{}{}
+		for _, x := range xs {
+			m[x] = struct{}{}
+		}
+		return m
+	}
+	f := func(a, b []string) bool {
+		x, y := mk(a), mk(b)
+		j1, j2 := Jaccard(x, y), Jaccard(y, x)
+		if j1 != j2 {
+			return false // symmetry
+		}
+		return j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinLimit(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		limit int
+		want  int
+	}{
+		{"", "", -1, 0},
+		{"abc", "abc", -1, 0},
+		{"abc", "abd", -1, 1},
+		{"abc", "", -1, 3},
+		{"kitten", "sitting", -1, 3},
+		{"tt0095159", "tt0071853", -1, 4},
+		{"abc", "xyz", 1, 2}, // cutoff: anything > limit reported as limit+1
+		{"abcdefgh", "a", 2, 3},
+	}
+	for _, c := range cases {
+		if got := LevenshteinLimit(c.a, c.b, c.limit); got != c.want {
+			t.Errorf("LevenshteinLimit(%q,%q,%d) = %d, want %d", c.a, c.b, c.limit, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetricNoLimit(t *testing.T) {
+	f := func(a, b string) bool {
+		return LevenshteinLimit(a, b, -1) == LevenshteinLimit(b, a, -1)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	if CommonPrefixLen([]string{"a", "b", "c"}, []string{"a", "b", "x"}) != 2 {
+		t.Error("common prefix")
+	}
+	if CommonPrefixLen(nil, []string{"a"}) != 0 {
+		t.Error("nil prefix")
+	}
+}
+
+func TestTruncateRunes(t *testing.T) {
+	if TruncateRunes("hello", 10) != "hello" {
+		t.Error("no truncation needed")
+	}
+	if got := TruncateRunes("hello world", 6); got != "hello…" {
+		t.Errorf("truncated = %q", got)
+	}
+	if TruncateRunes("héllo wörld", 4) != "hél…" {
+		t.Errorf("rune-aware truncation: %q", TruncateRunes("héllo wörld", 4))
+	}
+	if TruncateRunes("x", 0) != "" {
+		t.Error("zero width")
+	}
+}

@@ -1,0 +1,215 @@
+// Package webfetch supplies the page-gathering step that precedes the
+// paper's pipeline (the "Web site" input of Figure 1): a polite,
+// same-host breadth-first crawler that turns a live site into the page
+// set the clusterer consumes, and an http.Handler that serves the
+// synthetic corpus as a real Web site so the whole pipeline — fetch,
+// cluster, analyze, extract — runs over HTTP exactly as Retrozilla's
+// Mozilla host would see it.
+package webfetch
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+)
+
+// Fetcher crawls a site breadth-first, restricted to the start URL's
+// host.
+type Fetcher struct {
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// MaxPages bounds the crawl (default 200).
+	MaxPages int
+	// MaxBody bounds each response body in bytes (default 4 MiB).
+	MaxBody int64
+	// Delay is an optional pause between requests.
+	Delay time.Duration
+}
+
+func (f *Fetcher) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Fetcher) maxPages() int {
+	if f.MaxPages > 0 {
+		return f.MaxPages
+	}
+	return 200
+}
+
+func (f *Fetcher) maxBody() int64 {
+	if f.MaxBody > 0 {
+		return f.MaxBody
+	}
+	return 4 << 20
+}
+
+// Crawl fetches pages breadth-first from startURL, following same-host
+// links found in A/@href attributes, until MaxPages pages are gathered or
+// the frontier empties. Fetch errors on individual pages are skipped; an
+// unreachable start page is an error.
+func (f *Fetcher) Crawl(startURL string) ([]*core.Page, error) {
+	start, err := url.Parse(startURL)
+	if err != nil {
+		return nil, fmt.Errorf("webfetch: bad start URL: %w", err)
+	}
+	if start.Host == "" {
+		return nil, fmt.Errorf("webfetch: start URL %q has no host", startURL)
+	}
+	seen := map[string]bool{canonical(start): true}
+	queue := []*url.URL{start}
+	var pages []*core.Page
+	first := true
+	for len(queue) > 0 && len(pages) < f.maxPages() {
+		u := queue[0]
+		queue = queue[1:]
+		doc, err := f.fetch(u)
+		if err != nil {
+			if first {
+				return nil, err
+			}
+			continue
+		}
+		first = false
+		page := &core.Page{URI: u.String(), Doc: doc}
+		pages = append(pages, page)
+		for _, link := range Links(doc, u) {
+			if link.Host != start.Host {
+				continue
+			}
+			key := canonical(link)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, link)
+		}
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+	}
+	return pages, nil
+}
+
+func (f *Fetcher) fetch(u *url.URL) (*dom.Node, error) {
+	resp, err := f.client().Get(u.String())
+	if err != nil {
+		return nil, fmt.Errorf("webfetch: GET %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webfetch: GET %s: status %d", u, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, f.maxBody()))
+	if err != nil {
+		return nil, fmt.Errorf("webfetch: reading %s: %w", u, err)
+	}
+	return dom.Parse(string(body)), nil
+}
+
+// canonical normalizes a URL for deduplication: scheme+host+path+query,
+// fragment dropped, trailing slash preserved (sites distinguish them).
+func canonical(u *url.URL) string {
+	c := *u
+	c.Fragment = ""
+	return c.String()
+}
+
+// Links extracts the resolved target URLs of every <A href> under doc,
+// in document order, dropping unparsable and non-HTTP targets.
+func Links(doc *dom.Node, base *url.URL) []*url.URL {
+	var out []*url.URL
+	dom.Walk(doc, func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode && n.Data == "A" {
+			if href, ok := n.AttrVal("href"); ok && href != "" {
+				if u, err := base.Parse(href); err == nil &&
+					(u.Scheme == "http" || u.Scheme == "https") {
+					out = append(out, u)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Serving synthetic sites.
+
+// SiteHandler serves corpus clusters as a browsable site: every page at
+// its URI's path, plus an index page per cluster and a root index — so a
+// crawl starting at "/" reaches every page.
+type SiteHandler struct {
+	byPath   map[string]*core.Page
+	clusters []*corpus.Cluster
+}
+
+// NewSiteHandler builds the handler. Pages whose URIs share a path are
+// rejected.
+func NewSiteHandler(clusters ...*corpus.Cluster) (*SiteHandler, error) {
+	h := &SiteHandler{byPath: map[string]*core.Page{}, clusters: clusters}
+	for _, cl := range clusters {
+		for _, p := range cl.Pages {
+			u, err := url.Parse(p.URI)
+			if err != nil {
+				return nil, fmt.Errorf("webfetch: bad page URI %q: %w", p.URI, err)
+			}
+			path := u.Path
+			if path == "" {
+				path = "/"
+			}
+			if _, dup := h.byPath[path]; dup {
+				return nil, fmt.Errorf("webfetch: duplicate page path %q", path)
+			}
+			h.byPath[path] = p
+		}
+	}
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *SiteHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/" {
+		h.serveIndex(w)
+		return
+	}
+	if page, ok := h.byPath[r.URL.Path]; ok {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = io.WriteString(w, dom.Render(page.Doc))
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// serveIndex emits a root page linking every cluster page (grouped per
+// cluster), giving the crawler a complete frontier.
+func (h *SiteHandler) serveIndex(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<html><head><title>site index</title></head><body><h1>Index</h1>")
+	paths := make([]string, 0, len(h.byPath))
+	for p := range h.byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	b.WriteString("<ul>")
+	for _, p := range paths {
+		fmt.Fprintf(&b, `<li><a href="%s">%s</a></li>`, p, p)
+	}
+	b.WriteString("</ul></body></html>")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// PageCount returns the number of servable pages.
+func (h *SiteHandler) PageCount() int { return len(h.byPath) }

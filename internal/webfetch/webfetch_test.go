@@ -1,0 +1,264 @@
+package webfetch
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+func testSite(t *testing.T) (*httptest.Server, *SiteHandler, []*corpus.Cluster) {
+	t.Helper()
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(1, 8))
+	books := corpus.GenerateBooks(corpus.DefaultBookProfile(2, 8))
+	h, err := NewSiteHandler(movies, books)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, h, []*corpus.Cluster{movies, books}
+}
+
+func TestSiteHandlerServesPages(t *testing.T) {
+	srv, h, cls := testSite(t)
+	if h.PageCount() != 16 {
+		t.Fatalf("PageCount = %d", h.PageCount())
+	}
+	u, _ := url.Parse(cls[0].Pages[0].URI)
+	resp, err := http.Get(srv.URL + u.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d for %s", resp.StatusCode, u.Path)
+	}
+	// Unknown paths 404.
+	resp2, err := http.Get(srv.URL + "/no/such/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Errorf("status %d for missing page", resp2.StatusCode)
+	}
+}
+
+func TestCrawlReachesEveryPage(t *testing.T) {
+	srv, h, _ := testSite(t)
+	f := &Fetcher{}
+	pages, err := f.Crawl(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index page + all cluster pages.
+	if len(pages) != h.PageCount()+1 {
+		t.Fatalf("crawled %d pages, want %d", len(pages), h.PageCount()+1)
+	}
+}
+
+func TestCrawlRespectsMaxPages(t *testing.T) {
+	srv, _, _ := testSite(t)
+	f := &Fetcher{MaxPages: 5}
+	pages, err := f.Crawl(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 5 {
+		t.Fatalf("crawled %d, want 5", len(pages))
+	}
+}
+
+func TestCrawlStaysOnHost(t *testing.T) {
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("crawler followed a cross-host link")
+	}))
+	defer other.Close()
+	main := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><body><a href="` + other.URL + `/x">off-site</a><a href="/self">self</a></body></html>`))
+	}))
+	defer main.Close()
+	f := &Fetcher{MaxPages: 10}
+	pages, err := f.Crawl(main.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 { // "/" and "/self"
+		t.Errorf("crawled %d pages, want 2", len(pages))
+	}
+}
+
+func TestCrawlDeduplicates(t *testing.T) {
+	hits := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits[r.URL.Path]++
+		w.Write([]byte(`<html><body><a href="/a">a</a><a href="/a">a again</a><a href="/a#frag">frag</a></body></html>`))
+	}))
+	defer srv.Close()
+	f := &Fetcher{MaxPages: 10}
+	if _, err := f.Crawl(srv.URL + "/"); err != nil {
+		t.Fatal(err)
+	}
+	if hits["/a"] != 1 {
+		t.Errorf("/a fetched %d times, want 1", hits["/a"])
+	}
+}
+
+func TestCrawlBadStart(t *testing.T) {
+	f := &Fetcher{}
+	if _, err := f.Crawl("http://127.0.0.1:1/unreachable"); err == nil {
+		t.Error("unreachable start must error")
+	}
+	if _, err := f.Crawl("not a url at all\x00"); err == nil {
+		t.Error("unparsable start must error")
+	}
+	if _, err := f.Crawl("/relative/only"); err == nil {
+		t.Error("host-less start must error")
+	}
+}
+
+func TestCrawlSkipsBrokenPages(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			w.Write([]byte(`<html><body><a href="/boom">x</a><a href="/ok">y</a></body></html>`))
+		case "/boom":
+			http.Error(w, "nope", 500)
+		default:
+			w.Write([]byte(`<html><body>fine</body></html>`))
+		}
+	}))
+	defer srv.Close()
+	f := &Fetcher{}
+	pages, err := f.Crawl(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 {
+		t.Errorf("crawled %d pages, want 2 (the 500 page is skipped)", len(pages))
+	}
+}
+
+func TestLinksExtraction(t *testing.T) {
+	doc := dom.Parse(`<html><body>
+		<a href="/a">a</a>
+		<a href="b/c">rel</a>
+		<a href="http://other.example/x">abs</a>
+		<a href="mailto:x@example.com">mail</a>
+		<a href="javascript:void(0)">js</a>
+		<a>no href</a>
+	</body></html>`)
+	base, _ := url.Parse("http://site.example/dir/page.html")
+	links := Links(doc, base)
+	if len(links) != 3 {
+		t.Fatalf("links = %v", links)
+	}
+	if links[0].String() != "http://site.example/a" {
+		t.Errorf("abs path: %s", links[0])
+	}
+	if links[1].String() != "http://site.example/dir/b/c" {
+		t.Errorf("relative: %s", links[1])
+	}
+	if links[2].Host != "other.example" {
+		t.Errorf("cross host: %s", links[2])
+	}
+}
+
+// TestFullPipelineOverHTTP wires everything: serve a mixed synthetic site,
+// crawl it, cluster the crawled pages, induce rules for the movies
+// cluster from file-free truth (matching by page path), and extract.
+func TestFullPipelineOverHTTP(t *testing.T) {
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(5, 12))
+	books := corpus.GenerateBooks(corpus.DefaultBookProfile(6, 12))
+	h, err := NewSiteHandler(movies, books)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Fetch.
+	f := &Fetcher{}
+	crawled, err := f.Crawl(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cluster (drop the index page by letting clustering isolate it).
+	var infos []cluster.PageInfo
+	for _, p := range crawled {
+		infos = append(infos, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
+	}
+	results := cluster.ClusterPages(infos, cluster.DefaultConfig())
+	var movieIdx []int
+	for _, r := range results {
+		// Identify the movies cluster by a member path.
+		for _, idx := range r.Pages {
+			if strings.Contains(infos[idx].URI, "/title/") {
+				movieIdx = r.Pages
+			}
+			break
+		}
+	}
+	if len(movieIdx) != 12 {
+		t.Fatalf("movies cluster has %d pages, want 12", len(movieIdx))
+	}
+
+	// Oracle: map crawled pages back to generated ground truth via path.
+	byPath := map[string]*core.Page{}
+	for _, p := range movies.Pages {
+		u, _ := url.Parse(p.URI)
+		byPath[u.Path] = p
+	}
+	oracle := core.OracleFunc(func(component string, p *core.Page) []*dom.Node {
+		u, err := url.Parse(p.URI)
+		if err != nil {
+			return nil
+		}
+		orig := byPath[u.Path]
+		if orig == nil {
+			return nil
+		}
+		// Relocate truth nodes into the crawled tree via precise paths.
+		var out []*dom.Node
+		for _, n := range movies.Truth(orig, component) {
+			path, ok := core.PathTo(n)
+			if !ok {
+				continue
+			}
+			c, err := path.Compile()
+			if err != nil {
+				continue
+			}
+			if m := c.SelectLocation(p.Doc); len(m) > 0 {
+				out = append(out, m[0])
+			}
+		}
+		return out
+	})
+
+	var sample core.Sample
+	for _, idx := range movieIdx {
+		sample = append(sample, crawled[idx])
+	}
+	b := &core.Builder{Sample: sample[:8], Oracle: oracle}
+	repo := rule.NewRepository("imdb-movies")
+	res, err := b.BuildRule("runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("runtime rule over HTTP did not converge: %v", res.Actions)
+	}
+	if err := repo.Record(res.Rule); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+package xpath
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// axis identifies a tree-navigation axis.
+type axis int
+
+const (
+	axisChild axis = iota
+	axisDescendant
+	axisDescendantOrSelf
+	axisSelf
+	axisParent
+	axisAncestor
+	axisAncestorOrSelf
+	axisFollowingSibling
+	axisPrecedingSibling
+	axisFollowing
+	axisPreceding
+	axisAttribute
+)
+
+var axisNames = map[string]axis{
+	"child":              axisChild,
+	"descendant":         axisDescendant,
+	"descendant-or-self": axisDescendantOrSelf,
+	"self":               axisSelf,
+	"parent":             axisParent,
+	"ancestor":           axisAncestor,
+	"ancestor-or-self":   axisAncestorOrSelf,
+	"following-sibling":  axisFollowingSibling,
+	"preceding-sibling":  axisPrecedingSibling,
+	"following":          axisFollowing,
+	"preceding":          axisPreceding,
+	"attribute":          axisAttribute,
+}
+
+var axisStrings = func() map[axis]string {
+	m := make(map[axis]string, len(axisNames))
+	for k, v := range axisNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// reverseAxis reports whether positions along the axis count backwards in
+// document order (XPath 1.0 §2.4: ancestor, ancestor-or-self, preceding,
+// preceding-sibling are reverse axes).
+func (a axis) reverse() bool {
+	switch a {
+	case axisAncestor, axisAncestorOrSelf, axisPreceding, axisPrecedingSibling:
+		return true
+	}
+	return false
+}
+
+// testKind classifies node tests.
+type testKind int
+
+const (
+	testName    testKind = iota // element (or attribute) name
+	testStar                    // *
+	testText                    // text()
+	testNode                    // node()
+	testComment                 // comment()
+)
+
+// nodeTest is the node-test part of a step.
+type nodeTest struct {
+	kind testKind
+	name string // for testName
+}
+
+func (t nodeTest) matches(ax axis, n *dom.Node) bool {
+	if ax == axisAttribute {
+		// Attribute nodes carry their key in Data.
+		switch t.kind {
+		case testStar, testNode:
+			return true
+		case testName:
+			return strings.EqualFold(t.name, n.Data)
+		default:
+			return false
+		}
+	}
+	switch t.kind {
+	case testName:
+		return n.Type == dom.ElementNode && strings.EqualFold(t.name, n.Data)
+	case testStar:
+		return n.Type == dom.ElementNode
+	case testText:
+		return n.Type == dom.TextNode
+	case testComment:
+		return n.Type == dom.CommentNode
+	case testNode:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t nodeTest) String() string {
+	switch t.kind {
+	case testName:
+		return t.name
+	case testStar:
+		return "*"
+	case testText:
+		return "text()"
+	case testComment:
+		return "comment()"
+	default:
+		return "node()"
+	}
+}
+
+// step is one location step: axis::nodeTest[pred]...
+type step struct {
+	axis  axis
+	test  nodeTest
+	preds []expr
+}
+
+func (s *step) String() string {
+	var b strings.Builder
+	switch {
+	case s.axis == axisChild:
+	case s.axis == axisAttribute:
+		b.WriteByte('@')
+	case s.axis == axisSelf && s.test.kind == testNode && len(s.preds) == 0:
+		return "."
+	case s.axis == axisParent && s.test.kind == testNode && len(s.preds) == 0:
+		return ".."
+	default:
+		b.WriteString(axisStrings[s.axis])
+		b.WriteString("::")
+	}
+	b.WriteString(s.test.String())
+	for _, p := range s.preds {
+		b.WriteByte('[')
+		b.WriteString(p.String())
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// expr is a compiled XPath expression node.
+type expr interface {
+	eval(ctx *context) Value
+	String() string
+}
+
+// context carries the evaluation state for one node.
+type context struct {
+	node *dom.Node
+	pos  int // 1-based position() within the current node list
+	size int // last()
+}
+
+// pathExpr is a location path, optionally rooted at a filter expression
+// (e.g. a function call followed by /step — rare but legal).
+type pathExpr struct {
+	absolute bool
+	start    expr // nil for plain location paths
+	steps    []*step
+}
+
+// unionExpr is lhs | rhs | ... — mapping rules encode alternative
+// locations (§3.4 "Adding an alternative path") as unions.
+type unionExpr struct{ parts []expr }
+
+// binaryExpr covers boolean, relational and arithmetic operators.
+type binaryExpr struct {
+	op       string // "or" "and" "=" "!=" "<" "<=" ">" ">=" "+" "-" "*" "div" "mod"
+	lhs, rhs expr
+}
+
+// negExpr is unary minus.
+type negExpr struct{ e expr }
+
+// filterExpr is a primary expression with predicates: f(x)[1].
+type filterExpr struct {
+	primary expr
+	preds   []expr
+}
+
+type numberLit float64
+
+type stringLit string
+
+// funcCall invokes a core-library function.
+type funcCall struct {
+	name string
+	args []expr
+}
+
+func (e *pathExpr) String() string {
+	var b strings.Builder
+	if e.start != nil {
+		b.WriteString(e.start.String())
+	}
+	if e.absolute {
+		b.WriteByte('/')
+	}
+	for i, s := range e.steps {
+		if i > 0 || e.start != nil && !e.absolute {
+			// Collapse /descendant-or-self::node()/ back to // for
+			// readability when printing.
+			b.WriteByte('/')
+		}
+		if i == 0 && e.absolute {
+			// already wrote leading /
+		}
+		b.WriteString(s.String())
+		if i < len(e.steps)-1 {
+			continue
+		}
+	}
+	return cleanupAbbrev(b.String())
+}
+
+// cleanupAbbrev rewrites the verbose descendant-or-self spelling back to
+// the // abbreviation so that printed rules look like the paper's.
+func cleanupAbbrev(s string) string {
+	s = strings.ReplaceAll(s, "/descendant-or-self::node()/", "//")
+	s = strings.ReplaceAll(s, "descendant-or-self::node()/", "//")
+	return s
+}
+
+func (e *unionExpr) String() string {
+	parts := make([]string, len(e.parts))
+	for i, p := range e.parts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (e *binaryExpr) String() string {
+	return e.lhs.String() + " " + e.op + " " + e.rhs.String()
+}
+
+func (e *negExpr) String() string { return "-" + e.e.String() }
+
+func (e *filterExpr) String() string {
+	var b strings.Builder
+	b.WriteString(e.primary.String())
+	for _, p := range e.preds {
+		b.WriteByte('[')
+		b.WriteString(p.String())
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+func (e numberLit) String() string { return formatNumber(float64(e)) }
+
+func (e stringLit) String() string {
+	if strings.Contains(string(e), "'") {
+		return `"` + string(e) + `"`
+	}
+	return "'" + string(e) + "'"
+}
+
+func (e *funcCall) String() string {
+	args := make([]string, len(e.args))
+	for i, a := range e.args {
+		args[i] = a.String()
+	}
+	return e.name + "(" + strings.Join(args, ", ") + ")"
+}

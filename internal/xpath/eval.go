@@ -1,0 +1,372 @@
+package xpath
+
+import (
+	"math"
+
+	"repro/internal/dom"
+)
+
+// Eval evaluates the expression with n as the context node and returns the
+// raw XPath value (NodeSet, string, float64 or bool).
+func (c *Compiled) Eval(n *dom.Node) Value {
+	ctx := &context{node: n, pos: 1, size: 1}
+	return c.root.eval(ctx)
+}
+
+// Select evaluates the expression and returns the resulting node-set.
+// Non-node-set results yield nil — mapping-rule locations always denote
+// node-sets, so a non-node result is a void match.
+func (c *Compiled) Select(n *dom.Node) NodeSet {
+	v := c.Eval(n)
+	if ns, ok := v.(NodeSet); ok {
+		return ns
+	}
+	return nil
+}
+
+// SelectLocation evaluates a mapping-rule location against a document.
+// The paper anchors rule locations at the BODY element
+// (e.g. BODY[1]/DIV[2]/…/text()[1]), i.e. the location is a path relative
+// to the *document element*. SelectLocation therefore uses the document's
+// root element as the context node for relative paths; absolute paths
+// (starting with /) behave as usual.
+func (c *Compiled) SelectLocation(doc *dom.Node) NodeSet {
+	ctx := doc
+	if doc != nil && doc.Type == dom.DocumentNode {
+		for ch := doc.FirstChild; ch != nil; ch = ch.NextSibling {
+			if ch.Type == dom.ElementNode {
+				ctx = ch
+				break
+			}
+		}
+	}
+	return c.Select(ctx)
+}
+
+// SelectFirst returns the first node of Select, or nil.
+func (c *Compiled) SelectFirst(n *dom.Node) *dom.Node {
+	ns := c.Select(n)
+	if len(ns) == 0 {
+		return nil
+	}
+	return ns[0]
+}
+
+func (e *pathExpr) eval(ctx *context) Value {
+	var current NodeSet
+	switch {
+	case e.start != nil:
+		v := e.start.eval(ctx)
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return NodeSet(nil)
+		}
+		current = ns
+	case e.absolute:
+		current = NodeSet{ctx.node.Root()}
+	default:
+		current = NodeSet{ctx.node}
+	}
+	for _, s := range e.steps {
+		current = evalStep(s, current)
+		if len(current) == 0 {
+			return NodeSet(nil)
+		}
+	}
+	return current
+}
+
+// evalStep applies one location step to every node of the input set and
+// merges the results in document order.
+func evalStep(s *step, input NodeSet) NodeSet {
+	var out NodeSet
+	seen := map[*dom.Node]bool{}
+	for _, n := range input {
+		candidates := axisNodes(s.axis, n)
+		// Filter by node test first; predicate positions are relative to
+		// the filtered list in axis order.
+		matched := candidates[:0:0]
+		for _, c := range candidates {
+			if s.test.matches(s.axis, c) {
+				matched = append(matched, c)
+			}
+		}
+		for _, p := range s.preds {
+			matched = applyPredicate(p, matched)
+			if len(matched) == 0 {
+				break
+			}
+		}
+		if s.axis.reverse() {
+			// Predicates counted positions along the reverse axis; the
+			// resulting node-set reverts to document order.
+			for i, j := 0, len(matched)-1; i < j; i, j = i+1, j-1 {
+				matched[i], matched[j] = matched[j], matched[i]
+			}
+		}
+		for _, m := range matched {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	if len(input) > 1 {
+		out = sortDocOrder(out)
+	}
+	return out
+}
+
+// applyPredicate filters nodes by a predicate expression, handling the
+// numeric position abbreviation.
+func applyPredicate(p expr, nodes NodeSet) NodeSet {
+	out := nodes[:0:0]
+	size := len(nodes)
+	for i, n := range nodes {
+		ctx := &context{node: n, pos: i + 1, size: size}
+		v := p.eval(ctx)
+		if num, ok := v.(float64); ok {
+			// A numeric predicate [N] means [position() = N].
+			if float64(ctx.pos) == num {
+				out = append(out, n)
+			}
+			continue
+		}
+		if BoolValue(v) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// axisNodes returns candidate nodes along the axis from n, in axis order
+// (reverse axes yield nearest-first ordering so that positional predicates
+// count correctly; the results are re-sorted into document order by the
+// caller via sortDocOrder when merging multiple context nodes).
+func axisNodes(a axis, n *dom.Node) []*dom.Node {
+	switch a {
+	case axisChild:
+		return n.Children()
+	case axisSelf:
+		return []*dom.Node{n}
+	case axisParent:
+		if n.Parent == nil {
+			return nil
+		}
+		return []*dom.Node{n.Parent}
+	case axisDescendant:
+		return dom.Descendants(n)
+	case axisDescendantOrSelf:
+		return append([]*dom.Node{n}, dom.Descendants(n)...)
+	case axisAncestor:
+		var out []*dom.Node
+		for p := n.Parent; p != nil; p = p.Parent {
+			out = append(out, p)
+		}
+		return out
+	case axisAncestorOrSelf:
+		out := []*dom.Node{n}
+		for p := n.Parent; p != nil; p = p.Parent {
+			out = append(out, p)
+		}
+		return out
+	case axisFollowingSibling:
+		var out []*dom.Node
+		for s := n.NextSibling; s != nil; s = s.NextSibling {
+			out = append(out, s)
+		}
+		return out
+	case axisPrecedingSibling:
+		var out []*dom.Node
+		for s := n.PrevSibling; s != nil; s = s.PrevSibling {
+			out = append(out, s)
+		}
+		return out
+	case axisFollowing:
+		// Everything after n in document order, excluding descendants.
+		var out []*dom.Node
+		for cur := n; cur != nil; cur = cur.Parent {
+			for s := cur.NextSibling; s != nil; s = s.NextSibling {
+				dom.Walk(s, func(d *dom.Node) bool {
+					out = append(out, d)
+					return true
+				})
+			}
+		}
+		return out
+	case axisPreceding:
+		// Everything before n in document order, excluding ancestors,
+		// nearest first (reverse document order per XPath 1.0 §2.4).
+		var out []*dom.Node
+		for cur := n; cur != nil; cur = cur.Parent {
+			for s := cur.PrevSibling; s != nil; s = s.PrevSibling {
+				dom.Walk(s, func(d *dom.Node) bool {
+					out = append(out, d)
+					return true
+				})
+			}
+		}
+		sortReverseDoc(out)
+		return out
+	case axisAttribute:
+		out := make([]*dom.Node, 0, len(n.Attr))
+		for _, at := range n.Attr {
+			out = append(out, &dom.Node{
+				Type:   dom.AttributeNode,
+				Data:   at.Key,
+				Attr:   []dom.Attribute{at},
+				Parent: n, // anchor to the owner for document-order comparisons
+			})
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// sortReverseDoc sorts nodes into reverse document order (nearest
+// preceding node first).
+func sortReverseDoc(ns []*dom.Node) {
+	for i := 1; i < len(ns); i++ {
+		j := i
+		for j > 0 && dom.CompareDocumentOrder(ns[j-1], ns[j]) < 0 {
+			ns[j-1], ns[j] = ns[j], ns[j-1]
+			j--
+		}
+	}
+}
+
+func (e *unionExpr) eval(ctx *context) Value {
+	var out NodeSet
+	seen := map[*dom.Node]bool{}
+	for _, p := range e.parts {
+		v := p.eval(ctx)
+		ns, ok := v.(NodeSet)
+		if !ok {
+			continue
+		}
+		for _, n := range ns {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return sortDocOrder(out)
+}
+
+func (e *binaryExpr) eval(ctx *context) Value {
+	switch e.op {
+	case "or":
+		return BoolValue(e.lhs.eval(ctx)) || BoolValue(e.rhs.eval(ctx))
+	case "and":
+		return BoolValue(e.lhs.eval(ctx)) && BoolValue(e.rhs.eval(ctx))
+	case "=", "!=":
+		return evalEquality(e.op, e.lhs.eval(ctx), e.rhs.eval(ctx))
+	case "<", "<=", ">", ">=":
+		return evalRelational(e.op, e.lhs.eval(ctx), e.rhs.eval(ctx))
+	case "+":
+		return NumberValue(e.lhs.eval(ctx)) + NumberValue(e.rhs.eval(ctx))
+	case "-":
+		return NumberValue(e.lhs.eval(ctx)) - NumberValue(e.rhs.eval(ctx))
+	case "*":
+		return NumberValue(e.lhs.eval(ctx)) * NumberValue(e.rhs.eval(ctx))
+	case "div":
+		return NumberValue(e.lhs.eval(ctx)) / NumberValue(e.rhs.eval(ctx))
+	case "mod":
+		return math.Mod(NumberValue(e.lhs.eval(ctx)), NumberValue(e.rhs.eval(ctx)))
+	default:
+		return false
+	}
+}
+
+// evalEquality implements XPath 1.0 §3.4 comparison semantics, including
+// the existential node-set comparisons.
+func evalEquality(op string, a, b Value) bool {
+	eq := func(x, y Value) bool {
+		switch {
+		case isBool(x) || isBool(y):
+			return BoolValue(x) == BoolValue(y)
+		case isNum(x) || isNum(y):
+			return NumberValue(x) == NumberValue(y)
+		default:
+			return StringValue(x) == StringValue(y)
+		}
+	}
+	result := false
+	na, aIs := a.(NodeSet)
+	nb, bIs := b.(NodeSet)
+	switch {
+	case aIs && bIs:
+		for _, x := range na {
+			for _, y := range nb {
+				if eq(NodeStringValue(x), NodeStringValue(y)) {
+					result = true
+				}
+			}
+		}
+	case aIs:
+		for _, x := range na {
+			if eq(NodeStringValue(x), b) {
+				result = true
+			}
+		}
+	case bIs:
+		for _, y := range nb {
+			if eq(a, NodeStringValue(y)) {
+				result = true
+			}
+		}
+	default:
+		result = eq(a, b)
+	}
+	if op == "!=" {
+		// Note: existential semantics make != not the negation of = for
+		// node-sets; for the simple values used in mapping-rule
+		// predicates the practical difference is nil, and we follow the
+		// simple negation here.
+		return !result
+	}
+	return result
+}
+
+func evalRelational(op string, a, b Value) bool {
+	x, y := NumberValue(a), NumberValue(b)
+	switch op {
+	case "<":
+		return x < y
+	case "<=":
+		return x <= y
+	case ">":
+		return x > y
+	default:
+		return x >= y
+	}
+}
+
+func isBool(v Value) bool { _, ok := v.(bool); return ok }
+func isNum(v Value) bool  { _, ok := v.(float64); return ok }
+
+func (e *negExpr) eval(ctx *context) Value {
+	return -NumberValue(e.e.eval(ctx))
+}
+
+func (e *filterExpr) eval(ctx *context) Value {
+	v := e.primary.eval(ctx)
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return v
+	}
+	for _, p := range e.preds {
+		ns = applyPredicate(p, ns)
+	}
+	return ns
+}
+
+func (e numberLit) eval(*context) Value { return float64(e) }
+
+func (e stringLit) eval(*context) Value { return string(e) }
+
+func (e *funcCall) eval(ctx *context) Value {
+	return coreFunctions[e.name](ctx, e.args)
+}

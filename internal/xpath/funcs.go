@@ -1,0 +1,230 @@
+package xpath
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/textutil"
+)
+
+// xpathFunc is a core-library function implementation. Argument arity is
+// validated loosely at evaluation time: missing optional arguments default
+// to the context node per XPath 1.0.
+type xpathFunc func(ctx *context, args []expr) Value
+
+// coreFunctions is the XPath 1.0 core function library subset. The
+// one-argument contains() leniency mirrors the paper's
+// text()[contains("Runtime:")] notation from Table 2.
+var coreFunctions map[string]xpathFunc
+
+func init() {
+	// Assigned in init to allow the map values to reference helpers that
+	// themselves consult the map (none today, but keeps vet happy about
+	// initialization cycles if added).
+	coreFunctions = map[string]xpathFunc{
+		"last":     fnLast,
+		"position": fnPosition,
+		"count":    fnCount,
+		"name":     fnName,
+		"string":   fnString,
+		"concat":   fnConcat,
+		"starts-with": func(ctx *context, args []expr) Value {
+			a, b := argString(ctx, args, 0), argString(ctx, args, 1)
+			return strings.HasPrefix(a, b)
+		},
+		"ends-with": func(ctx *context, args []expr) Value {
+			a, b := argString(ctx, args, 0), argString(ctx, args, 1)
+			return strings.HasSuffix(a, b)
+		},
+		"contains":         fnContains,
+		"substring-before": fnSubstringBefore,
+		"substring-after":  fnSubstringAfter,
+		"substring":        fnSubstring,
+		"string-length":    fnStringLength,
+		"normalize-space":  fnNormalizeSpace,
+		"translate":        fnTranslate,
+		"boolean": func(ctx *context, args []expr) Value {
+			return BoolValue(evalArg(ctx, args, 0))
+		},
+		"not": func(ctx *context, args []expr) Value {
+			return !BoolValue(evalArg(ctx, args, 0))
+		},
+		"true":  func(*context, []expr) Value { return true },
+		"false": func(*context, []expr) Value { return false },
+		"number": func(ctx *context, args []expr) Value {
+			if len(args) == 0 {
+				return NumberValue(NodeStringValue(ctx.node))
+			}
+			return NumberValue(evalArg(ctx, args, 0))
+		},
+		"sum":     fnSum,
+		"floor":   func(ctx *context, args []expr) Value { return math.Floor(argNumber(ctx, args, 0)) },
+		"ceiling": func(ctx *context, args []expr) Value { return math.Ceil(argNumber(ctx, args, 0)) },
+		"round": func(ctx *context, args []expr) Value {
+			return math.Floor(argNumber(ctx, args, 0) + 0.5)
+		},
+	}
+}
+
+func evalArg(ctx *context, args []expr, i int) Value {
+	if i >= len(args) {
+		return NodeSet{ctx.node}
+	}
+	return args[i].eval(ctx)
+}
+
+func argString(ctx *context, args []expr, i int) string {
+	return StringValue(evalArg(ctx, args, i))
+}
+
+func argNumber(ctx *context, args []expr, i int) float64 {
+	return NumberValue(evalArg(ctx, args, i))
+}
+
+func fnLast(ctx *context, _ []expr) Value     { return float64(ctx.size) }
+func fnPosition(ctx *context, _ []expr) Value { return float64(ctx.pos) }
+
+func fnCount(ctx *context, args []expr) Value {
+	v := evalArg(ctx, args, 0)
+	if ns, ok := v.(NodeSet); ok {
+		return float64(len(ns))
+	}
+	return float64(0)
+}
+
+func fnName(ctx *context, args []expr) Value {
+	n := ctx.node
+	if len(args) > 0 {
+		ns, ok := evalArg(ctx, args, 0).(NodeSet)
+		if !ok || len(ns) == 0 {
+			return ""
+		}
+		n = ns[0]
+	}
+	if n.Type == dom.ElementNode || n.Type == dom.AttributeNode {
+		return n.Data
+	}
+	return ""
+}
+
+func fnString(ctx *context, args []expr) Value {
+	if len(args) == 0 {
+		return NodeStringValue(ctx.node)
+	}
+	return StringValue(evalArg(ctx, args, 0))
+}
+
+func fnConcat(ctx *context, args []expr) Value {
+	var b strings.Builder
+	for i := range args {
+		b.WriteString(argString(ctx, args, i))
+	}
+	return b.String()
+}
+
+// fnContains implements both the standard contains(a, b) and the paper's
+// one-argument contains(s) ≡ contains(string(.), s).
+func fnContains(ctx *context, args []expr) Value {
+	if len(args) == 1 {
+		return strings.Contains(NodeStringValue(ctx.node), argString(ctx, args, 0))
+	}
+	return strings.Contains(argString(ctx, args, 0), argString(ctx, args, 1))
+}
+
+func fnSubstringBefore(ctx *context, args []expr) Value {
+	a, b := argString(ctx, args, 0), argString(ctx, args, 1)
+	if i := strings.Index(a, b); i >= 0 {
+		return a[:i]
+	}
+	return ""
+}
+
+func fnSubstringAfter(ctx *context, args []expr) Value {
+	a, b := argString(ctx, args, 0), argString(ctx, args, 1)
+	if i := strings.Index(a, b); i >= 0 {
+		return a[i+len(b):]
+	}
+	return ""
+}
+
+// fnSubstring implements substring(s, start[, length]) with XPath's
+// 1-based, rounded, NaN-aware semantics.
+func fnSubstring(ctx *context, args []expr) Value {
+	s := []rune(argString(ctx, args, 0))
+	start := math.Floor(argNumber(ctx, args, 1) + 0.5)
+	if math.IsNaN(start) {
+		return ""
+	}
+	end := float64(len(s)) + 1
+	if len(args) >= 3 {
+		length := math.Floor(argNumber(ctx, args, 2) + 0.5)
+		if math.IsNaN(length) {
+			return ""
+		}
+		end = start + length
+	}
+	lo := int(math.Max(start, 1)) - 1
+	hi := int(math.Min(end, float64(len(s)+1))) - 1
+	if lo >= len(s) || hi <= lo {
+		return ""
+	}
+	return string(s[lo:hi])
+}
+
+func fnStringLength(ctx *context, args []expr) Value {
+	if len(args) == 0 {
+		return float64(len([]rune(NodeStringValue(ctx.node))))
+	}
+	return float64(len([]rune(argString(ctx, args, 0))))
+}
+
+func fnNormalizeSpace(ctx *context, args []expr) Value {
+	if len(args) == 0 {
+		return textutil.NormalizeSpace(NodeStringValue(ctx.node))
+	}
+	return textutil.NormalizeSpace(argString(ctx, args, 0))
+}
+
+func fnTranslate(ctx *context, args []expr) Value {
+	s := argString(ctx, args, 0)
+	from := []rune(argString(ctx, args, 1))
+	to := []rune(argString(ctx, args, 2))
+	repl := make(map[rune]rune, len(from))
+	drop := make(map[rune]bool)
+	for i, r := range from {
+		if _, dup := repl[r]; dup || drop[r] {
+			continue
+		}
+		if i < len(to) {
+			repl[r] = to[i]
+		} else {
+			drop[r] = true
+		}
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if drop[r] {
+			continue
+		}
+		if out, ok := repl[r]; ok {
+			b.WriteRune(out)
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func fnSum(ctx *context, args []expr) Value {
+	v := evalArg(ctx, args, 0)
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, n := range ns {
+		total += NumberValue(NodeStringValue(n))
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the XPath grammar.
+type tokKind int
+
+const (
+	tokEOF  tokKind = iota
+	tokName         // QName or axis name
+	tokNumber
+	tokLiteral    // 'string' or "string"
+	tokSlash      // /
+	tokSlashSlash // //
+	tokLBracket   // [
+	tokRBracket   // ]
+	tokLParen     // (
+	tokRParen     // )
+	tokAt         // @
+	tokComma      // ,
+	tokDot        // .
+	tokDotDot     // ..
+	tokStar       // *
+	tokPipe       // |
+	tokPlus       // +
+	tokMinus      // -
+	tokEq         // =
+	tokNeq        // !=
+	tokLt         // <
+	tokLe         // <=
+	tokGt         // >
+	tokGe         // >=
+	tokAxis       // name:: (Value holds the axis name)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return fmt.Sprintf("%q", t.text)
+	}
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	default:
+		return fmt.Sprintf("token(%d)", int(t.kind))
+	}
+}
+
+// lexer scans an XPath expression into tokens.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole expression eagerly; XPath expressions in mapping
+// rules are short, so one pass with a slice beats a streaming design.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '/':
+		l.pos++
+		if l.peek() == '/' {
+			l.pos++
+			return token{kind: tokSlashSlash, pos: start}, nil
+		}
+		return token{kind: tokSlash, pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case '@':
+		l.pos++
+		return token{kind: tokAt, pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case '|':
+		l.pos++
+		return token{kind: tokPipe, pos: start}, nil
+	case '+':
+		l.pos++
+		return token{kind: tokPlus, pos: start}, nil
+	case '-':
+		l.pos++
+		return token{kind: tokMinus, pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, pos: start}, nil
+	case '!':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return token{kind: tokNeq, pos: start}, nil
+		}
+		return token{}, fmt.Errorf("xpath: unexpected '!' at offset %d", start)
+	case '<':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return token{kind: tokLe, pos: start}, nil
+		}
+		return token{kind: tokLt, pos: start}, nil
+	case '>':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return token{kind: tokGe, pos: start}, nil
+		}
+		return token{kind: tokGt, pos: start}, nil
+	case '.':
+		l.pos++
+		if l.peek() == '.' {
+			l.pos++
+			return token{kind: tokDotDot, pos: start}, nil
+		}
+		if isDigit(l.peek()) {
+			l.pos = start
+			return l.lexNumber()
+		}
+		return token{kind: tokDot, pos: start}, nil
+	case '\'', '"':
+		return l.lexLiteral(c)
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameStart(rune(c)) {
+		return l.lexName()
+	}
+	return token{}, fmt.Errorf("xpath: unexpected character %q at offset %d", c, start)
+}
+
+func (l *lexer) peek() byte {
+	if l.pos < len(l.src) {
+		return l.src[l.pos]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexLiteral(quote byte) (token, error) {
+	start := l.pos
+	l.pos++
+	end := strings.IndexByte(l.src[l.pos:], quote)
+	if end < 0 {
+		return token{}, fmt.Errorf("xpath: unterminated string literal at offset %d", start)
+	}
+	text := l.src[l.pos : l.pos+end]
+	l.pos += end + 1
+	return token{kind: tokLiteral, text: text, pos: start}, nil
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexName() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if isNameStart(r) || isDigit(l.src[l.pos]) || r == '-' || r == '.' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	name := l.src[start:l.pos]
+	// Axis specifier: name::
+	if strings.HasPrefix(l.src[l.pos:], "::") {
+		l.pos += 2
+		return token{kind: tokAxis, text: name, pos: start}, nil
+	}
+	return token{kind: tokName, text: name, pos: start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}

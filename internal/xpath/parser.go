@@ -1,0 +1,521 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Compiled is a parsed, reusable XPath expression. Compile once, evaluate
+// against many documents — the extraction processor compiles every rule
+// location a single time per run.
+type Compiled struct {
+	src  string
+	root expr
+}
+
+// Compile parses an XPath expression.
+func Compile(src string) (*Compiled, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks, src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("xpath: trailing input at offset %d in %q", p.cur().pos, src)
+	}
+	return &Compiled{src: src, root: e}, nil
+}
+
+// MustCompile is Compile that panics on error; for expressions in tests,
+// tables and generated code paths known to be valid.
+func MustCompile(src string) *Compiled {
+	c, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String returns the original expression source.
+func (c *Compiled) String() string { return c.src }
+
+type exprParser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *exprParser) cur() token  { return p.toks[p.i] }
+func (p *exprParser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *exprParser) advance()    { p.i++ }
+
+func (p *exprParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("xpath: "+format+" (offset %d in %q)",
+		append(args, p.cur().pos, p.src)...)
+}
+
+// nodeTypeNames are names that, followed by '(', denote node tests rather
+// than function calls.
+var nodeTypeNames = map[string]bool{
+	"text": true, "node": true, "comment": true, "processing-instruction": true,
+}
+
+// opNames are names that act as binary operators when they appear where an
+// operator is expected.
+var opNames = map[string]bool{"and": true, "or": true, "div": true, "mod": true}
+
+func (p *exprParser) parseOr() (expr, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokName && p.cur().text == "or" {
+		p.advance()
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: "or", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *exprParser) parseAnd() (expr, error) {
+	lhs, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokName && p.cur().text == "and" {
+		p.advance()
+		rhs, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: "and", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *exprParser) parseEquality() (expr, error) {
+	lhs, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokEq:
+			op = "="
+		case tokNeq:
+			op = "!="
+		default:
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *exprParser) parseRelational() (expr, error) {
+	lhs, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokLt:
+			op = "<"
+		case tokLe:
+			op = "<="
+		case tokGt:
+			op = ">"
+		case tokGe:
+			op = ">="
+		default:
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *exprParser) parseAdditive() (expr, error) {
+	lhs, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *exprParser) parseMultiplicative() (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.cur().kind == tokStar:
+			op = "*"
+		case p.cur().kind == tokName && (p.cur().text == "div" || p.cur().text == "mod"):
+			op = p.cur().text
+		default:
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *exprParser) parseUnary() (expr, error) {
+	if p.cur().kind == tokMinus {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &negExpr{e: e}, nil
+	}
+	return p.parseUnion()
+}
+
+func (p *exprParser) parseUnion() (expr, error) {
+	first, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokPipe {
+		return first, nil
+	}
+	u := &unionExpr{parts: []expr{first}}
+	for p.cur().kind == tokPipe {
+		p.advance()
+		next, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		u.parts = append(u.parts, next)
+	}
+	return u, nil
+}
+
+// parsePath parses a PathExpr: either a location path, or a filter
+// expression optionally continued by /relative-path.
+func (p *exprParser) parsePath() (expr, error) {
+	if p.startsFilterExpr() {
+		fe, err := p.parseFilter()
+		if err != nil {
+			return nil, err
+		}
+		switch p.cur().kind {
+		case tokSlash:
+			p.advance()
+			steps, err := p.parseRelativeSteps()
+			if err != nil {
+				return nil, err
+			}
+			return &pathExpr{start: fe, steps: steps}, nil
+		case tokSlashSlash:
+			p.advance()
+			steps, err := p.parseRelativeSteps()
+			if err != nil {
+				return nil, err
+			}
+			all := append([]*step{descOrSelfStep()}, steps...)
+			return &pathExpr{start: fe, steps: all}, nil
+		default:
+			return fe, nil
+		}
+	}
+	return p.parseLocationPath()
+}
+
+// startsFilterExpr reports whether the upcoming tokens begin a primary
+// expression (literal, number, parenthesis, or non-node-type function
+// call) rather than a location path.
+func (p *exprParser) startsFilterExpr() bool {
+	switch p.cur().kind {
+	case tokLiteral, tokNumber, tokLParen:
+		return true
+	case tokName:
+		return p.peek().kind == tokLParen &&
+			!nodeTypeNames[p.cur().text] && !opNames[p.cur().text]
+	default:
+		return false
+	}
+}
+
+func (p *exprParser) parseFilter() (expr, error) {
+	var primary expr
+	switch p.cur().kind {
+	case tokLiteral:
+		primary = stringLit(p.cur().text)
+		p.advance()
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.cur().text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.cur().text)
+		}
+		primary = numberLit(f)
+		p.advance()
+	case tokLParen:
+		p.advance()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errf("expected ')'")
+		}
+		p.advance()
+		primary = inner
+	case tokName:
+		fc, err := p.parseFuncCall()
+		if err != nil {
+			return nil, err
+		}
+		primary = fc
+	default:
+		return nil, p.errf("expected primary expression, got %s", p.cur())
+	}
+	preds, err := p.parsePredicates()
+	if err != nil {
+		return nil, err
+	}
+	if len(preds) == 0 {
+		return primary, nil
+	}
+	return &filterExpr{primary: primary, preds: preds}, nil
+}
+
+func (p *exprParser) parseFuncCall() (expr, error) {
+	name := p.cur().text
+	p.advance() // name
+	if p.cur().kind != tokLParen {
+		return nil, p.errf("expected '(' after function name %q", name)
+	}
+	p.advance()
+	var args []expr
+	if p.cur().kind != tokRParen {
+		for {
+			a, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.cur().kind != tokRParen {
+		return nil, p.errf("expected ')' in call to %q", name)
+	}
+	p.advance()
+	if _, ok := coreFunctions[name]; !ok {
+		return nil, p.errf("unknown function %q", name)
+	}
+	return &funcCall{name: name, args: args}, nil
+}
+
+func descOrSelfStep() *step {
+	return &step{axis: axisDescendantOrSelf, test: nodeTest{kind: testNode}}
+}
+
+func (p *exprParser) parseLocationPath() (expr, error) {
+	pe := &pathExpr{}
+	switch p.cur().kind {
+	case tokSlash:
+		pe.absolute = true
+		p.advance()
+		if !p.startsStep() {
+			return pe, nil // bare "/" selects the root
+		}
+	case tokSlashSlash:
+		pe.absolute = true
+		p.advance()
+		pe.steps = append(pe.steps, descOrSelfStep())
+	}
+	steps, err := p.parseRelativeSteps()
+	if err != nil {
+		return nil, err
+	}
+	pe.steps = append(pe.steps, steps...)
+	if len(pe.steps) == 0 && !pe.absolute {
+		return nil, p.errf("expected location step, got %s", p.cur())
+	}
+	return pe, nil
+}
+
+func (p *exprParser) startsStep() bool {
+	switch p.cur().kind {
+	case tokName, tokStar, tokAt, tokDot, tokDotDot, tokAxis:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *exprParser) parseRelativeSteps() ([]*step, error) {
+	var steps []*step
+	for {
+		s, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, s)
+		switch p.cur().kind {
+		case tokSlash:
+			p.advance()
+		case tokSlashSlash:
+			p.advance()
+			steps = append(steps, descOrSelfStep())
+		default:
+			return steps, nil
+		}
+	}
+}
+
+func (p *exprParser) parseStep() (*step, error) {
+	s := &step{axis: axisChild}
+	switch p.cur().kind {
+	case tokDot:
+		p.advance()
+		s.axis, s.test = axisSelf, nodeTest{kind: testNode}
+		return s, nil
+	case tokDotDot:
+		p.advance()
+		s.axis, s.test = axisParent, nodeTest{kind: testNode}
+		return s, nil
+	case tokAt:
+		p.advance()
+		s.axis = axisAttribute
+	case tokAxis:
+		ax, ok := axisNames[p.cur().text]
+		if !ok {
+			return nil, p.errf("unknown axis %q", p.cur().text)
+		}
+		s.axis = ax
+		p.advance()
+	}
+	// Node test.
+	switch p.cur().kind {
+	case tokStar:
+		s.test = nodeTest{kind: testStar}
+		p.advance()
+	case tokName:
+		name := p.cur().text
+		if p.peek().kind == tokLParen && nodeTypeNames[name] {
+			p.advance() // name
+			p.advance() // (
+			if p.cur().kind != tokRParen {
+				return nil, p.errf("node test %s() takes no arguments", name)
+			}
+			p.advance()
+			switch name {
+			case "text":
+				s.test = nodeTest{kind: testText}
+			case "comment":
+				s.test = nodeTest{kind: testComment}
+			default:
+				s.test = nodeTest{kind: testNode}
+			}
+		} else if ax, ok := axisNames[name]; ok && s.axis == axisChild &&
+			(p.peek().kind == tokSlash || p.peek().kind == tokSlashSlash ||
+				p.peek().kind == tokLBracket || p.peek().kind == tokEOF ||
+				p.peek().kind == tokRBracket) && !isPlausibleTag(name) {
+			// Paper-style leniency: an axis name written without "::"
+			// (e.g. ancestor-or-self/preceding-sibling//text()) is that
+			// axis applied to node().
+			s.axis = ax
+			s.test = nodeTest{kind: testNode}
+			p.advance()
+		} else {
+			s.test = nodeTest{kind: testName, name: name}
+			p.advance()
+		}
+	default:
+		return nil, p.errf("expected node test, got %s", p.cur())
+	}
+	preds, err := p.parsePredicates()
+	if err != nil {
+		return nil, err
+	}
+	s.preds = preds
+	return s, nil
+}
+
+// isPlausibleTag guards the axis-name leniency: single-word axis names
+// that are also realistic element names are kept as name tests.
+func isPlausibleTag(name string) bool {
+	switch name {
+	case "self", "parent", "child", "following", "preceding", "attribute",
+		"descendant", "ancestor":
+		// Could in principle be custom elements, but never are in HTML;
+		// the multi-word forms (ancestor-or-self etc.) are unambiguous.
+		// We accept the leniency only for hyphenated axis names plus
+		// "ancestor"/"descendant", which never name HTML elements.
+		return name == "self" || name == "parent" || name == "child" ||
+			name == "following" || name == "preceding" || name == "attribute"
+	default:
+		return false
+	}
+}
+
+func (p *exprParser) parsePredicates() ([]expr, error) {
+	var preds []expr
+	for p.cur().kind == tokLBracket {
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRBracket {
+			return nil, p.errf("expected ']'")
+		}
+		p.advance()
+		preds = append(preds, e)
+	}
+	return preds, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+package xpath
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+func TestExplicitAxisSyntax(t *testing.T) {
+	doc := fixtureDoc()
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"child::BODY", 1},
+		{"descendant::TABLE", 2},
+		{"descendant-or-self::HTML", 1},
+		{"//B[1]/self::B", 1},
+		{"//B[1]/self::I", 0},
+		{"//B[1]/parent::TD", 1},
+		{"//B[1]/ancestor::TABLE", 1},
+		{"//B[1]/ancestor-or-self::B", 1},
+		{"//TABLE[1]/TR[1]/following-sibling::TR", 5},
+		{"//TABLE[2]/TR[2]/preceding-sibling::TR", 1},
+		{"//TABLE[1]/following::TABLE", 1},
+		{"//TABLE[2]/preceding::H1", 1},
+		{"//TD[1]/attribute::nosuch", 0},
+	}
+	for _, c := range cases {
+		cc, err := Compile(c.expr)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", c.expr, err)
+			continue
+		}
+		ns := cc.SelectLocation(doc)
+		if len(ns) != c.want {
+			t.Errorf("%s: got %d nodes, want %d", c.expr, len(ns), c.want)
+		}
+	}
+}
+
+func TestParenthesizedNodeSet(t *testing.T) {
+	doc := fixtureDoc()
+	// (//TD)[2] selects the second TD of the whole document — different
+	// from //TD[2] (second TD within each parent).
+	c := MustCompile("(//TD)[2]")
+	ns := c.SelectLocation(doc)
+	if len(ns) != 1 {
+		t.Fatalf("got %d", len(ns))
+	}
+	all := MustCompile("//TD").SelectLocation(doc)
+	if ns[0] != all[1] {
+		t.Error("(//TD)[2] must be the second TD overall")
+	}
+	// Filter expression continued by a path: (//TR)[1]/TD.
+	c2 := MustCompile("(//TR)[1]/TD")
+	if got := c2.SelectLocation(doc); len(got) != 1 {
+		t.Errorf("(//TR)[1]/TD: %d", len(got))
+	}
+	// Filter with // continuation.
+	c3 := MustCompile("(//TABLE)[2]//text()")
+	if got := c3.SelectLocation(doc); len(got) != 6 {
+		t.Errorf("(//TABLE)[2]//text(): %d, want 6 cells", len(got))
+	}
+}
+
+func TestPredicateWithLastArithmetic(t *testing.T) {
+	doc := fixtureDoc()
+	// Second-to-last row of the second table.
+	c := MustCompile("BODY//TABLE[2]/TR[last()-1]")
+	ns := c.SelectLocation(doc)
+	if len(ns) != 1 || !strings.Contains(dom.TextContent(ns[0]), "r2c1") {
+		t.Errorf("TR[last()-1]: %v", texts(ns))
+	}
+}
+
+func TestNestedPredicates(t *testing.T) {
+	doc := fixtureDoc()
+	// Rows whose first cell's text contains "r2".
+	c := MustCompile(`BODY//TABLE[2]/TR[TD[1][contains(., 'r2')]]`)
+	ns := c.SelectLocation(doc)
+	if len(ns) != 1 {
+		t.Fatalf("nested predicate: %d", len(ns))
+	}
+}
+
+func TestBooleanPredicateCombinations(t *testing.T) {
+	doc := fixtureDoc()
+	c := MustCompile(`BODY//TABLE[2]/TR[position()>1 and position()<3]`)
+	if ns := c.SelectLocation(doc); len(ns) != 1 {
+		t.Errorf("and-predicate: %d", len(ns))
+	}
+	c2 := MustCompile(`BODY//TABLE[2]/TR[position()=1 or position()=3]`)
+	if ns := c2.SelectLocation(doc); len(ns) != 2 {
+		t.Errorf("or-predicate: %d", len(ns))
+	}
+	c3 := MustCompile(`BODY//TABLE[2]/TR[not(position()=2)]`)
+	if ns := c3.SelectLocation(doc); len(ns) != 2 {
+		t.Errorf("not-predicate: %d", len(ns))
+	}
+}
+
+func TestSubstringEdgeCases(t *testing.T) {
+	doc := fixtureDoc()
+	cases := []struct {
+		expr string
+		want string
+	}{
+		// XPath 1.0 spec examples.
+		{`substring('12345', 2, 3)`, "234"},
+		{`substring('12345', 2)`, "2345"},
+		{`substring('12345', 1.5, 2.6)`, "234"},
+		{`substring('12345', 0, 3)`, "12"},
+		{`substring('12345', 0 div 0, 3)`, ""},
+		{`substring('12345', -42)`, "12345"},
+	}
+	for _, c := range cases {
+		got := MustCompile(c.expr).Eval(doc)
+		if got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestTranslateEdgeCases(t *testing.T) {
+	doc := fixtureDoc()
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`translate('bar', 'abc', 'ABC')`, "BAr"},
+		{`translate('--aaa--', 'abc-', 'ABC')`, "AAA"},
+		// Duplicate mapping: first wins.
+		{`translate('aaa', 'aa', 'bc')`, "bbb"},
+	}
+	for _, c := range cases {
+		got := MustCompile(c.expr).Eval(doc)
+		if got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestNumberFormatting(t *testing.T) {
+	doc := fixtureDoc()
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`string(1)`, "1"},
+		{`string(1.5)`, "1.5"},
+		{`string(-0.5)`, "-0.5"},
+		{`string(1 div 0)`, "Infinity"},
+		{`string(-1 div 0)`, "-Infinity"},
+		{`string(0 div 0)`, "NaN"},
+	}
+	for _, c := range cases {
+		got := MustCompile(c.expr).Eval(doc)
+		if got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestNaNComparisons(t *testing.T) {
+	doc := fixtureDoc()
+	if got := MustCompile(`0 div 0 = 0 div 0`).Eval(doc); got != false {
+		t.Error("NaN = NaN must be false")
+	}
+	if got := MustCompile(`0 div 0 < 1`).Eval(doc); got != false {
+		t.Error("NaN < x must be false")
+	}
+}
+
+func TestSumAndRound(t *testing.T) {
+	doc := dom.Parse(`<body><i>1</i><i>2.5</i><i>3</i></body>`)
+	if got := MustCompile(`sum(//I)`).Eval(doc).(float64); got != 6.5 {
+		t.Errorf("sum = %v", got)
+	}
+	if got := MustCompile(`round(-1.5)`).Eval(doc).(float64); got != -1 {
+		// XPath: round(-1.5) = -1 (rounds toward +inf on ties).
+		t.Errorf("round(-1.5) = %v", got)
+	}
+	if got := MustCompile(`sum(//NOSUCH)`).Eval(doc).(float64); got != 0 {
+		t.Errorf("sum of empty = %v", got)
+	}
+}
+
+func TestStringLengthOfContext(t *testing.T) {
+	doc := dom.Parse(`<body><p>abcd</p></body>`)
+	c := MustCompile(`//P[string-length() = 4]`)
+	if ns := c.SelectLocation(doc); len(ns) != 1 {
+		t.Error("string-length() on context node")
+	}
+	c2 := MustCompile(`//P[string-length(.) > 10]`)
+	if ns := c2.SelectLocation(doc); len(ns) != 0 {
+		t.Error("string-length(.) comparison")
+	}
+}
+
+func TestNameFunction(t *testing.T) {
+	doc := fixtureDoc()
+	if got := MustCompile(`name(//TABLE[1])`).Eval(doc); got != "TABLE" {
+		t.Errorf("name() = %q", got)
+	}
+	if got := MustCompile(`name(//NOSUCH)`).Eval(doc); got != "" {
+		t.Errorf("name(empty) = %q", got)
+	}
+}
+
+func TestEndsWithExtension(t *testing.T) {
+	doc := fixtureDoc()
+	ns := MustCompile(`//text()[ends-with(normalize-space(.), 'min')]`).SelectLocation(doc)
+	if len(ns) != 1 {
+		t.Errorf("ends-with: %d nodes", len(ns))
+	}
+}
+
+func TestMathNaNPropagation(t *testing.T) {
+	if !math.IsNaN(NumberValue("not a number")) {
+		t.Error("NumberValue of junk must be NaN")
+	}
+	if !math.IsNaN(NumberValue(NodeSet(nil))) {
+		// Empty node-set → "" → NaN.
+		t.Error("NumberValue of empty node-set must be NaN")
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	// Deeply parenthesized expressions must parse without stack issues.
+	expr := strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50)
+	c, err := Compile(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(fixtureDoc()); got != 1.0 {
+		t.Errorf("nested parens = %v", got)
+	}
+}
+
+func TestWhitespaceTolerantParsing(t *testing.T) {
+	doc := fixtureDoc()
+	a := MustCompile("BODY//TABLE[2]/TR[position()>=1]").SelectLocation(doc)
+	b := MustCompile("  BODY // TABLE[ 2 ] / TR[ position() >= 1 ]  ").SelectLocation(doc)
+	if len(a) != len(b) {
+		t.Errorf("whitespace changes results: %d vs %d", len(a), len(b))
+	}
+}

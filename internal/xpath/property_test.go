@@ -1,0 +1,221 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// randomDoc builds a random but realistic page-like document.
+func randomDoc(r *rand.Rand) *dom.Node {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	blocks := 1 + r.Intn(5)
+	for i := 0; i < blocks; i++ {
+		switch r.Intn(3) {
+		case 0:
+			b.WriteString("<table>")
+			rows := 1 + r.Intn(4)
+			for j := 0; j < rows; j++ {
+				b.WriteString("<tr>")
+				cells := 1 + r.Intn(3)
+				for k := 0; k < cells; k++ {
+					fmt.Fprintf(&b, "<td>cell%d-%d-%d</td>", i, j, k)
+				}
+				b.WriteString("</tr>")
+			}
+			b.WriteString("</table>")
+		case 1:
+			b.WriteString("<ul>")
+			for j := 0; j < 1+r.Intn(4); j++ {
+				fmt.Fprintf(&b, "<li>item%d-%d</li>", i, j)
+			}
+			b.WriteString("</ul>")
+		default:
+			fmt.Fprintf(&b, "<div><b>Label%d:</b> value%d <br></div>", i, i)
+		}
+	}
+	b.WriteString("</body></html>")
+	return dom.Parse(b.String())
+}
+
+// TestPropertyNodeSetInvariants: every location-path evaluation yields a
+// duplicate-free node-set in document order whose nodes belong to the
+// evaluated tree.
+func TestPropertyNodeSetInvariants(t *testing.T) {
+	exprs := []string{
+		"//TD", "//TR/TD", "//TABLE//text()", "//UL/LI[1]", "//LI[last()]",
+		"//TD | //LI", "//DIV/B/following-sibling::text()", "//B/..",
+		"//TR[position()>=2]/TD", "//text()[contains(., 'value')]",
+		"descendant::*", "//TD/ancestor::TABLE", "//LI/preceding-sibling::LI",
+		"//B/following::text()", "//TD/preceding::node()",
+	}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		doc := randomDoc(r)
+		inTree := map[*dom.Node]bool{}
+		dom.Walk(doc, func(n *dom.Node) bool {
+			inTree[n] = true
+			return true
+		})
+		for _, src := range exprs {
+			c := MustCompile(src)
+			ns := c.SelectLocation(doc)
+			seen := map[*dom.Node]bool{}
+			for i, n := range ns {
+				if seen[n] {
+					t.Fatalf("%s: duplicate node in result", src)
+				}
+				seen[n] = true
+				if !inTree[n] {
+					t.Fatalf("%s: node outside evaluated tree", src)
+				}
+				if i > 0 && dom.CompareDocumentOrder(ns[i-1], n) >= 0 {
+					t.Fatalf("%s: result not in document order", src)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyPositionalDecomposition: for any element kind, //X[k] over
+// each parent enumerates exactly the same nodes as //X filtered by
+// ElementIndex == k.
+func TestPropertyPositionalDecomposition(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		doc := randomDoc(r)
+		for _, tag := range []string{"TD", "LI", "TR"} {
+			all := MustCompile("//" + tag).SelectLocation(doc)
+			for k := 1; k <= 3; k++ {
+				got := MustCompile(fmt.Sprintf("//%s[%d]", tag, k)).SelectLocation(doc)
+				var want int
+				for _, n := range all {
+					if n.ElementIndex() == k {
+						want++
+					}
+				}
+				if len(got) != want {
+					t.Fatalf("//%s[%d]: got %d, want %d", tag, k, len(got), want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyUnionEquivalence: A | B selects exactly union(A, B).
+func TestPropertyUnionEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	pairs := [][2]string{
+		{"//TD", "//LI"},
+		{"//TR[1]", "//TR[2]"},
+		{"//B", "//B"}, // self-union: no duplicates
+		{"//text()", "//TD/text()"},
+	}
+	for trial := 0; trial < 30; trial++ {
+		doc := randomDoc(r)
+		for _, p := range pairs {
+			a := MustCompile(p[0]).SelectLocation(doc)
+			b := MustCompile(p[1]).SelectLocation(doc)
+			u := MustCompile(p[0] + " | " + p[1]).SelectLocation(doc)
+			set := map[*dom.Node]bool{}
+			for _, n := range a {
+				set[n] = true
+			}
+			for _, n := range b {
+				set[n] = true
+			}
+			if len(u) != len(set) {
+				t.Fatalf("%s | %s: got %d nodes, want %d", p[0], p[1], len(u), len(set))
+			}
+			for _, n := range u {
+				if !set[n] {
+					t.Fatalf("%s | %s: stray node", p[0], p[1])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCountAgrees: count(expr) equals len(Select(expr)).
+func TestPropertyCountAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	exprs := []string{"//TD", "//LI", "//TABLE", "//text()", "//NOSUCH"}
+	for trial := 0; trial < 30; trial++ {
+		doc := randomDoc(r)
+		for _, e := range exprs {
+			ns := MustCompile(e).SelectLocation(doc)
+			cnt := MustCompile("count(" + e + ")").Eval(findDocEl(doc))
+			if float64(len(ns)) != cnt.(float64) {
+				t.Fatalf("count(%s) = %v, len = %d", e, cnt, len(ns))
+			}
+		}
+	}
+}
+
+func findDocEl(doc *dom.Node) *dom.Node {
+	for c := doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.ElementNode {
+			return c
+		}
+	}
+	return doc
+}
+
+// TestPropertyReverseAxisFirstIsNearest: preceding-sibling::*[1] always
+// selects the immediately preceding element sibling.
+func TestPropertyReverseAxisFirstIsNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		doc := randomDoc(r)
+		cmp := MustCompile("preceding-sibling::*[1]")
+		dom.Walk(doc, func(n *dom.Node) bool {
+			if n.Type != dom.ElementNode {
+				return true
+			}
+			got := cmp.Select(n)
+			var want *dom.Node
+			for s := n.PrevSibling; s != nil; s = s.PrevSibling {
+				if s.Type == dom.ElementNode {
+					want = s
+					break
+				}
+			}
+			switch {
+			case want == nil && len(got) != 0:
+				t.Fatalf("expected empty, got %d", len(got))
+			case want != nil && (len(got) != 1 || got[0] != want):
+				t.Fatalf("nearest preceding sibling wrong")
+			}
+			return true
+		})
+	}
+}
+
+// TestPropertyStringValueConcatenation: the string-value of an element is
+// the concatenation of its text-node descendants in document order.
+func TestPropertyStringValueConcatenation(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		doc := randomDoc(r)
+		dom.Walk(doc, func(n *dom.Node) bool {
+			if n.Type != dom.ElementNode {
+				return true
+			}
+			var b strings.Builder
+			dom.Walk(n, func(d *dom.Node) bool {
+				if d.Type == dom.TextNode {
+					b.WriteString(d.Data)
+				}
+				return true
+			})
+			if NodeStringValue(n) != b.String() {
+				t.Fatalf("string-value mismatch on %s", n.Data)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,159 @@
+// Package xpath implements the XPath 1.0 subset used by the Retrozilla
+// mapping-rule system: location paths over the dom package's trees with
+// the child, descendant(-or-self), self, parent, ancestor(-or-self),
+// preceding(-sibling), following(-sibling) and attribute axes, positional
+// and boolean predicates, the core function library, and union
+// expressions (which mapping rules use for alternative paths, §3.4 of the
+// paper).
+//
+// Two deliberate leniencies mirror the notation used in the paper:
+//
+//   - A step whose name matches an axis name (e.g. "ancestor-or-self"
+//     written without "::") is interpreted as that axis applied to
+//     node() — Table 2 row b writes
+//     text()[ancestor-or-self/preceding-sibling//text()[...]].
+//   - contains() accepts a one-argument form, contains(s), equivalent to
+//     contains(string(.), s).
+//
+// Everything else follows XPath 1.0 semantics: node-sets are kept in
+// document order without duplicates, predicates see position()/last()
+// relative to the axis direction, and numeric predicates abbreviate
+// position()=N.
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// Value is the result of evaluating an XPath expression: one of
+// NodeSet, string, float64 or bool.
+type Value interface{}
+
+// NodeSet is an ordered, duplicate-free set of nodes in document order.
+type NodeSet []*dom.Node
+
+// StringValue converts any Value to its XPath string-value.
+func StringValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case float64:
+		return formatNumber(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case NodeSet:
+		if len(x) == 0 {
+			return ""
+		}
+		return NodeStringValue(x[0])
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// NodeStringValue returns the XPath string-value of a single node: the
+// concatenated text content for elements and documents, the data for text
+// and comment nodes.
+func NodeStringValue(n *dom.Node) string {
+	switch n.Type {
+	case dom.TextNode, dom.CommentNode:
+		return n.Data
+	case dom.AttributeNode:
+		if len(n.Attr) > 0 {
+			return n.Attr[0].Val
+		}
+		return ""
+	default:
+		return dom.TextContent(n)
+	}
+}
+
+// NumberValue converts any Value to its XPath number-value. Unconvertible
+// strings yield NaN, as the spec requires.
+func NumberValue(v Value) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case string:
+		f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	case NodeSet:
+		return NumberValue(StringValue(x))
+	default:
+		return math.NaN()
+	}
+}
+
+// BoolValue converts any Value to its XPath boolean-value: non-empty
+// node-set, non-empty string, non-zero non-NaN number.
+func BoolValue(v Value) bool {
+	switch x := v.(type) {
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	case NodeSet:
+		return len(x) > 0
+	default:
+		return false
+	}
+}
+
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// sortDocOrder sorts ns in document order and removes duplicates,
+// in place; it returns the possibly shortened slice.
+func sortDocOrder(ns NodeSet) NodeSet {
+	if len(ns) < 2 {
+		return ns
+	}
+	// Insertion sort on document order: node-sets produced by single axis
+	// steps are already nearly sorted, so this is cheap in practice.
+	for i := 1; i < len(ns); i++ {
+		j := i
+		for j > 0 && dom.CompareDocumentOrder(ns[j-1], ns[j]) > 0 {
+			ns[j-1], ns[j] = ns[j], ns[j-1]
+			j--
+		}
+	}
+	out := ns[:1]
+	for _, n := range ns[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

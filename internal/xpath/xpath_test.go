@@ -1,0 +1,493 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// fixtureDoc builds the running example of the paper's Figure 4 (left
+// page): a movie-details table with labelled rows.
+func fixtureDoc() *dom.Node {
+	return dom.Parse(`
+<html><body>
+<h1>The Movie</h1>
+<table>
+  <tr><td>header</td></tr>
+  <tr><td>nav</td></tr>
+  <tr><td>x</td></tr>
+  <tr><td>y</td></tr>
+  <tr><td>z</td></tr>
+  <tr>
+    <td>
+      <b>Runtime:</b>
+      108 min
+      <br>
+      <b>Country:</b>
+      USA/UK
+      <br>
+      <b>Language:</b>
+      English/Italian/Russian
+      <br>
+    </td>
+  </tr>
+</table>
+<table>
+  <tr><td>r1c1</td><td>r1c2</td></tr>
+  <tr><td>r2c1</td><td>r2c2</td></tr>
+  <tr><td>r3c1</td><td>r3c2</td></tr>
+</table>
+</body></html>`)
+}
+
+func sel(t *testing.T, doc *dom.Node, expr string) NodeSet {
+	t.Helper()
+	c, err := Compile(expr)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", expr, err)
+	}
+	return c.SelectLocation(doc)
+}
+
+func texts(ns NodeSet) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = strings.TrimSpace(NodeStringValue(n))
+	}
+	return out
+}
+
+func TestAbsoluteChildPath(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "/HTML/BODY/H1")
+	if len(ns) != 1 || strings.TrimSpace(dom.TextContent(ns[0])) != "The Movie" {
+		t.Fatalf("got %v", texts(ns))
+	}
+}
+
+func TestPositionalIndexing(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "BODY//TABLE[1]/TR[6]/TD[1]")
+	if len(ns) != 1 {
+		t.Fatalf("got %d nodes", len(ns))
+	}
+	if !strings.Contains(dom.TextContent(ns[0]), "108 min") {
+		t.Errorf("TD content = %q", dom.TextContent(ns[0]))
+	}
+}
+
+func TestTable2RowA(t *testing.T) {
+	// Paper Table 2 row a: BODY//TR[6]/TD[1]/text()[1]
+	doc := fixtureDoc()
+	ns := sel(t, doc, "BODY//TR[6]/TD[1]/text()[1]")
+	if len(ns) != 1 {
+		t.Fatalf("got %d nodes", len(ns))
+	}
+	got := strings.TrimSpace(ns[0].Data)
+	if got != "108 min" {
+		t.Errorf("got %q, want %q", got, "108 min")
+	}
+}
+
+func TestTable2RowB_ContextualPredicate(t *testing.T) {
+	// Paper Table 2 row b (with the paper's loose axis syntax):
+	// BODY//TR[6]/TD[1]/text()[ancestor-or-self/preceding-sibling//text()[contains("Runtime:")]]
+	doc := fixtureDoc()
+	expr := `BODY//TR[6]/TD[1]/text()[ancestor-or-self::node()/preceding-sibling::node()[1]//text()[contains("Runtime:")]]`
+	ns := sel(t, doc, expr)
+	if len(ns) != 1 {
+		t.Fatalf("got %d nodes: %v", len(ns), texts(ns))
+	}
+	if got := strings.TrimSpace(ns[0].Data); got != "108 min" {
+		t.Errorf("got %q, want 108 min", got)
+	}
+}
+
+func TestTable2RowB_PaperSyntax(t *testing.T) {
+	// The exact loose notation from the paper must also compile thanks to
+	// the axis-name leniency.
+	doc := fixtureDoc()
+	expr := `BODY//TR[6]/TD[1]/text()[ancestor-or-self/preceding-sibling[1]//text()[contains("Runtime:")]]`
+	ns := sel(t, doc, expr)
+	if len(ns) != 1 {
+		t.Fatalf("paper-syntax expr: got %d nodes: %v", len(ns), texts(ns))
+	}
+	if got := strings.TrimSpace(ns[0].Data); got != "108 min" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTable2RowCD_RowSelection(t *testing.T) {
+	doc := fixtureDoc()
+	// row c: first row of a table
+	c := sel(t, doc, "BODY//TABLE[2]/TR[1]")
+	if len(c) != 1 || !strings.Contains(dom.TextContent(c[0]), "r1c1") {
+		t.Fatalf("row c: %v", texts(c))
+	}
+	// row d: every row via broadened predicate
+	d := sel(t, doc, "BODY//TABLE[2]/TR[position()>=1]")
+	if len(d) != 3 {
+		t.Fatalf("row d: got %d rows, want 3", len(d))
+	}
+}
+
+func TestTable2RowEF_CellText(t *testing.T) {
+	doc := fixtureDoc()
+	e := sel(t, doc, "BODY//TABLE[2]/TR[2]/TD[2]/text()")
+	if len(e) != 1 || strings.TrimSpace(e[0].Data) != "r2c2" {
+		t.Fatalf("row e: %v", texts(e))
+	}
+	// row f uses TR[17] — out of range here, must select nothing (void).
+	f := sel(t, doc, "BODY//TABLE[2]/TR[17]/TD[2]/text()")
+	if len(f) != 0 {
+		t.Fatalf("row f: want void, got %v", texts(f))
+	}
+}
+
+func TestDescendantOrSelfAbbrev(t *testing.T) {
+	doc := fixtureDoc()
+	all := sel(t, doc, "//TD")
+	if len(all) != 12 {
+		t.Errorf("//TD found %d, want 12", len(all))
+	}
+	bs := sel(t, doc, "//B")
+	if len(bs) != 3 {
+		t.Errorf("//B found %d, want 3", len(bs))
+	}
+}
+
+func TestTextNodeIndexing(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "BODY//TR[6]/TD[1]/text()[2]")
+	if len(ns) != 1 {
+		t.Fatalf("got %d", len(ns))
+	}
+	if got := strings.TrimSpace(ns[0].Data); got != "USA/UK" {
+		t.Errorf("text()[2] = %q, want USA/UK", got)
+	}
+}
+
+func TestLastFunction(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "BODY//TABLE[2]/TR[last()]")
+	if len(ns) != 1 || !strings.Contains(dom.TextContent(ns[0]), "r3c1") {
+		t.Fatalf("TR[last()]: %v", texts(ns))
+	}
+}
+
+func TestUnionAlternativePaths(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "BODY//TABLE[2]/TR[1]/TD[1]/text() | BODY//TABLE[2]/TR[3]/TD[1]/text()")
+	if len(ns) != 2 {
+		t.Fatalf("union: got %d", len(ns))
+	}
+	got := texts(ns)
+	if got[0] != "r1c1" || got[1] != "r3c1" {
+		t.Errorf("union order/content: %v (must be document order)", got)
+	}
+}
+
+func TestAttributeAxis(t *testing.T) {
+	doc := dom.Parse(`<body><a href="one">1</a><a href="two">2</a><a>3</a></body>`)
+	ns := sel(t, doc, "//A/@href")
+	if len(ns) != 2 {
+		t.Fatalf("@href: got %d", len(ns))
+	}
+	if StringValue(NodeSet{ns[0]}) != "one" {
+		t.Errorf("first @href = %q", StringValue(NodeSet{ns[0]}))
+	}
+	withHref := sel(t, doc, "//A[@href]")
+	if len(withHref) != 2 {
+		t.Errorf("A[@href]: got %d, want 2", len(withHref))
+	}
+	eq := sel(t, doc, `//A[@href="two"]`)
+	if len(eq) != 1 || dom.TextContent(eq[0]) != "2" {
+		t.Errorf(`A[@href="two"]: %v`, texts(eq))
+	}
+}
+
+func TestParentAndDotDot(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "//B[contains(., 'Country')]/..")
+	if len(ns) != 1 || !ns[0].TagIs("TD") {
+		t.Fatalf(".. : %v", ns)
+	}
+}
+
+func TestPrecedingSiblingAxis(t *testing.T) {
+	doc := fixtureDoc()
+	// The B immediately preceding the "USA/UK" text is Country:.
+	ns := sel(t, doc, "BODY//TR[6]/TD[1]/text()[2]/preceding-sibling::B[1]")
+	if len(ns) != 1 {
+		t.Fatalf("got %d", len(ns))
+	}
+	if got := dom.TextContent(ns[0]); got != "Country:" {
+		t.Errorf("nearest preceding B = %q, want Country: (reverse axis position 1)", got)
+	}
+}
+
+func TestFollowingSiblingAxis(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "//B[contains(., 'Runtime')]/following-sibling::text()[1]")
+	if len(ns) != 1 {
+		t.Fatalf("got %d", len(ns))
+	}
+	if got := strings.TrimSpace(ns[0].Data); got != "108 min" {
+		t.Errorf("following text = %q", got)
+	}
+}
+
+func TestAncestorAxis(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, "//B[1]/ancestor::TABLE")
+	if len(ns) != 1 {
+		t.Fatalf("ancestor::TABLE: %d", len(ns))
+	}
+	all := sel(t, doc, "//B[1]/ancestor::*")
+	// TD, TR, TABLE, BODY, HTML
+	if len(all) != 5 {
+		t.Errorf("ancestor::* = %d elements, want 5", len(all))
+	}
+}
+
+func TestFollowingPrecedingAxes(t *testing.T) {
+	doc := dom.Parse(`<body><div><p>a</p></div><div><p>b</p></div><div><p>c</p></div></body>`)
+	mid := sel(t, doc, "//DIV[2]")
+	if len(mid) != 1 {
+		t.Fatal("setup")
+	}
+	cmp, _ := Compile("following::P")
+	f := cmp.Select(mid[0])
+	if len(f) != 1 || dom.TextContent(f[0]) != "c" {
+		t.Errorf("following::P = %v", texts(f))
+	}
+	cmp2, _ := Compile("preceding::P[1]")
+	p := cmp2.Select(mid[0])
+	if len(p) != 1 || dom.TextContent(p[0]) != "a" {
+		t.Errorf("preceding::P[1] = %v", texts(p))
+	}
+}
+
+func TestCoreFunctions(t *testing.T) {
+	doc := fixtureDoc()
+	cases := []struct {
+		expr string
+		want Value
+	}{
+		{`count(//TABLE)`, 2.0},
+		{`count(//TABLE[2]/TR)`, 3.0},
+		{`contains('108 min', 'min')`, true},
+		{`starts-with('Runtime: 108', 'Runtime')`, true},
+		{`substring-before('108 min', ' min')`, "108"},
+		{`substring-after('Runtime: 108', ': ')`, "108"},
+		{`substring('abcde', 2, 3)`, "bcd"},
+		{`string-length('abc')`, 3.0},
+		{`normalize-space('  a   b ')`, "a b"},
+		{`translate('abc-def', '-', '_')`, "abc_def"},
+		{`translate('abc', 'c', '')`, "ab"},
+		{`concat('a', 'b', 'c')`, "abc"},
+		{`not(false())`, true},
+		{`number('42') + 1`, 43.0},
+		{`floor(1.9)`, 1.0},
+		{`ceiling(1.1)`, 2.0},
+		{`round(1.5)`, 2.0},
+		{`boolean(//NOSUCH)`, false},
+		{`boolean(//TABLE)`, true},
+		{`3 * 4`, 12.0},
+		{`10 div 4`, 2.5},
+		{`10 mod 3`, 1.0},
+		{`-(3)`, -3.0},
+		{`2 < 3 and 3 <= 3`, true},
+		{`2 > 3 or 3 >= 4`, false},
+		{`'a' = 'a'`, true},
+		{`'a' != 'b'`, true},
+	}
+	for _, c := range cases {
+		cmp, err := Compile(c.expr)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", c.expr, err)
+			continue
+		}
+		got := cmp.Eval(doc)
+		if got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestOneArgContains(t *testing.T) {
+	doc := fixtureDoc()
+	ns := sel(t, doc, `//B[contains("Runtime:")]`)
+	if len(ns) != 1 {
+		t.Fatalf("one-arg contains: got %d", len(ns))
+	}
+	if dom.TextContent(ns[0]) != "Runtime:" {
+		t.Errorf("got %q", dom.TextContent(ns[0]))
+	}
+}
+
+func TestNodeSetEqualityExistential(t *testing.T) {
+	doc := dom.Parse(`<body><span>x</span><span>y</span></body>`)
+	c, _ := Compile(`//SPAN = 'y'`)
+	if got := c.Eval(doc); got != true {
+		t.Errorf("existential =: got %v", got)
+	}
+	c2, _ := Compile(`//SPAN = 'z'`)
+	if got := c2.Eval(doc); got != false {
+		t.Errorf("existential = (no match): got %v", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`//`,
+		`BODY[`,
+		`BODY]`,
+		`contains('a'`,
+		`nosuchfn(1)`,
+		`BODY/text(x)`,
+		`'unterminated`,
+		`BODY | `,
+		`@`,
+		`!`,
+		`BODY//TR[6]/`,
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestCompileStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"BODY//TR[6]/TD[1]/text()[1]",
+		"BODY//TABLE[1]/TR[position()>=1]",
+		"//A[@href]",
+		"BODY//TABLE[1]/TR[1] | BODY//TABLE[2]/TR[1]",
+	}
+	doc := fixtureDoc()
+	for _, src := range exprs {
+		c1 := MustCompile(src)
+		// The canonical printed form must itself compile and select the
+		// same nodes.
+		c2, err := Compile(c1.String())
+		if err != nil {
+			t.Errorf("reprint of %q failed to compile: %v", src, err)
+			continue
+		}
+		a, b := c1.Select(doc), c2.Select(doc)
+		if len(a) != len(b) {
+			t.Errorf("%q: reprint selects %d nodes, original %d", src, len(b), len(a))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%q: node %d differs after reprint", src, i)
+			}
+		}
+	}
+}
+
+func TestVoidOnMissingStructure(t *testing.T) {
+	// The paper's Table 1 row d: a page where the rule matches nothing.
+	doc := dom.Parse(`<body><p>totally different page</p></body>`)
+	ns := sel(t, doc, "BODY//TR[6]/TD[1]/text()[1]")
+	if len(ns) != 0 {
+		t.Fatalf("want void result, got %v", texts(ns))
+	}
+}
+
+func TestDocumentOrderAcrossContexts(t *testing.T) {
+	doc := dom.Parse(`<body><ul><li>1</li><li>2</li></ul><ul><li>3</li></ul></body>`)
+	ns := sel(t, doc, "//UL/LI")
+	if got := strings.Join(texts(ns), ","); got != "1,2,3" {
+		t.Errorf("order = %s", got)
+	}
+}
+
+func TestPredicatePositionPerContextNode(t *testing.T) {
+	// LI[1] must select the first LI of EACH UL (position is relative to
+	// the axis from each context node).
+	doc := dom.Parse(`<body><ul><li>1</li><li>2</li></ul><ul><li>3</li><li>4</li></ul></body>`)
+	ns := sel(t, doc, "//UL/LI[1]")
+	if got := strings.Join(texts(ns), ","); got != "1,3" {
+		t.Errorf("LI[1] per UL = %s, want 1,3", got)
+	}
+}
+
+func TestSelfAxisAndDot(t *testing.T) {
+	doc := fixtureDoc()
+	b := sel(t, doc, "//B[1]")
+	if len(b) != 1 {
+		t.Fatal("setup")
+	}
+	c := MustCompile(".")
+	ns := c.Select(b[0])
+	if len(ns) != 1 || ns[0] != b[0] {
+		t.Error(". must select the context node")
+	}
+	c2 := MustCompile("self::B")
+	if got := c2.Select(b[0]); len(got) != 1 {
+		t.Error("self::B failed")
+	}
+	c3 := MustCompile("self::I")
+	if got := c3.Select(b[0]); len(got) != 0 {
+		t.Error("self::I must be empty on a B element")
+	}
+}
+
+func TestStarNodeTest(t *testing.T) {
+	doc := dom.Parse(`<body><div><p>a</p><span>b</span>text</div></body>`)
+	ns := sel(t, doc, "//DIV/*")
+	if len(ns) != 2 {
+		t.Errorf("* selected %d, want 2 (elements only)", len(ns))
+	}
+}
+
+func TestNodeTest(t *testing.T) {
+	doc := dom.Parse(`<body><div><p>a</p>text<!--c--></div></body>`)
+	ns := sel(t, doc, "//DIV/node()")
+	if len(ns) != 3 {
+		t.Errorf("node() selected %d, want 3", len(ns))
+	}
+	cs := sel(t, doc, "//DIV/comment()")
+	if len(cs) != 1 {
+		t.Errorf("comment() selected %d, want 1", len(cs))
+	}
+}
+
+func TestCaseInsensitiveNameTest(t *testing.T) {
+	doc := fixtureDoc()
+	upper := sel(t, doc, "//TABLE")
+	lower := sel(t, doc, "//table")
+	if len(upper) != len(lower) {
+		t.Errorf("case sensitivity: %d vs %d", len(upper), len(lower))
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if StringValue(1.0) != "1" {
+		t.Errorf("number 1 prints %q", StringValue(1.0))
+	}
+	if StringValue(1.5) != "1.5" {
+		t.Errorf("1.5 prints %q", StringValue(1.5))
+	}
+	if StringValue(true) != "true" || StringValue(false) != "false" {
+		t.Error("bool string values")
+	}
+	if !BoolValue("x") || BoolValue("") {
+		t.Error("string bool values")
+	}
+	if BoolValue(0.0) || !BoolValue(2.0) {
+		t.Error("number bool values")
+	}
+	if NumberValue("  42 ") != 42 {
+		t.Error("string→number with spaces")
+	}
+	if v := NumberValue("abc"); v == v { // NaN check
+		t.Error("unparseable string must be NaN")
+	}
+}

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// TestFacadeEndToEnd exercises the re-exported API exactly as the package
+// documentation advertises it.
+func TestFacadeEndToEnd(t *testing.T) {
+	sample := Sample{
+		NewPage("p1", `<html><body><div><b>Price:</b> $10.00 <br></div></body></html>`),
+		NewPage("p2", `<html><body><div><b>Sale!</b> today <br><b>Price:</b> $12.50 <br></div></body></html>`),
+	}
+	oracle := OracleFunc(func(component string, p *Page) []*dom.Node {
+		label := dom.FindFirst(p.Doc, func(n *dom.Node) bool {
+			return n.Type == dom.TextNode && strings.TrimSpace(n.Data) == "Price:"
+		})
+		if label == nil {
+			return nil
+		}
+		for s := label.Parent.NextSibling; s != nil; s = s.NextSibling {
+			if s.Type == dom.TextNode && strings.TrimSpace(s.Data) != "" {
+				return []*dom.Node{s}
+			}
+		}
+		return nil
+	})
+	b := &Builder{Sample: sample, Oracle: oracle}
+	res, err := b.BuildRule("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("price rule did not converge: %v", res.Actions)
+	}
+	repo := NewRepository("products")
+	if err := repo.Record(res.Rule); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, failures := proc.ExtractCluster([]*Page(sample))
+	if len(failures) != 0 {
+		t.Fatalf("failures: %v", failures)
+	}
+	xml := doc.XMLString()
+	if !strings.Contains(xml, "<price>$10.00</price>") ||
+		!strings.Contains(xml, "<price>$12.50</price>") {
+		t.Errorf("extracted XML wrong:\n%s", xml)
+	}
+	xsd := GenerateSchema(repo)
+	if !strings.Contains(xsd, `<xs:element name="price"`) {
+		t.Errorf("schema wrong:\n%s", xsd)
+	}
+}
