@@ -7,8 +7,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cluster"
@@ -18,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/extract"
 	"repro/internal/rule"
+	"repro/internal/service"
 	"repro/internal/textutil"
 	"repro/internal/xpath"
 )
@@ -269,6 +274,59 @@ func BenchmarkExtractPage(b *testing.B) {
 		if len(el.Children) == 0 {
 			b.Fatal("empty extraction")
 		}
+	}
+}
+
+// BenchmarkExtractdThroughput measures the online-extraction hot path of
+// the extractd service: pages/sec through the bounded worker pool against
+// a hot-loaded movies-corpus repository, with metrics accounting enabled
+// — the number a capacity plan for the daemon starts from.
+func BenchmarkExtractdThroughput(b *testing.B) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 30))
+	sample, _ := cl.RepresentativeSplit(10)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		b.Fatal(err)
+	}
+	reg := service.NewRegistry()
+	entry, err := reg.Load("", repo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	pool := service.NewPool(workers, 4*workers)
+	defer pool.Close()
+	metrics := service.NewMetrics()
+
+	var idx atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			page := cl.Pages[int(idx.Add(1))%len(cl.Pages)]
+			var el *extract.Element
+			var fails []extract.Failure
+			t0 := time.Now()
+			err := pool.Do(context.Background(), func() {
+				el, fails = entry.Proc.ExtractPage(page)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			metrics.Extraction(time.Since(t0), fails)
+			if len(el.Children) == 0 {
+				b.Fatal("empty extraction")
+			}
+		}
+	})
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "pages/sec")
+	}
+	if snap := metrics.Snapshot(); snap.PagesExtracted != int64(b.N) {
+		b.Fatalf("metrics counted %d pages, ran %d", snap.PagesExtracted, b.N)
 	}
 }
 

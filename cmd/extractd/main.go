@@ -1,0 +1,103 @@
+// Command extractd is the online half of the paper's pipeline as a
+// long-running service: it holds a hot-loadable registry of rule
+// repositories (built offline with retrozilla) and serves concurrent
+// extraction traffic through a bounded worker pool.
+//
+// Usage:
+//
+//	extractd -addr :8090 -rules movies=rules.json -rules books.xml
+//
+// then:
+//
+//	curl -X POST --data-binary @page.html 'http://localhost:8090/extract?repo=movies'
+//	curl -X POST 'http://localhost:8090/extract/url?repo=movies&url=http://site/tt0074103.html'
+//	curl -X POST --data-binary @rules.json 'http://localhost:8090/repos?name=movies'   # hot reload
+//	curl 'http://localhost:8090/metrics'
+//
+// Each -rules flag names a repository file (JSON from retrozilla, or the
+// XML interchange form), optionally prefixed "name=" to register it under
+// a name other than its cluster name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/rule"
+	"repro/internal/service"
+	"repro/internal/webfetch"
+)
+
+type rulesFlags []string
+
+func (r *rulesFlags) String() string     { return strings.Join(*r, ",") }
+func (r *rulesFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var rules rulesFlags
+	addr := flag.String("addr", ":8090", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "extraction worker count")
+	queue := flag.Int("queue", 0, "task queue depth (default 4x workers)")
+	noFetch := flag.Bool("no-fetch", false, "disable /extract/url outbound fetching")
+	fetchHosts := flag.String("fetch-hosts", "",
+		"comma-separated host allowlist for /extract/url (empty allows any host)")
+	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *noFetch, *fetchHosts, rules); err != nil {
+		fmt.Fprintln(os.Stderr, "extractd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, noFetch bool, fetchHosts string, rules []string) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	var fetcher *webfetch.Fetcher
+	if !noFetch {
+		fetcher = &webfetch.Fetcher{}
+	}
+	srv := service.NewServer(workers, queue, fetcher)
+	defer srv.Close()
+	if fetchHosts != "" {
+		for _, h := range strings.Split(fetchHosts, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				srv.AllowedHosts = append(srv.AllowedHosts, h)
+			}
+		}
+	}
+
+	for _, spec := range rules {
+		name, path := "", spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+		}
+		var repo *rule.Repository
+		var err error
+		if strings.HasSuffix(path, ".xml") {
+			repo, err = rule.LoadXML(path)
+		} else {
+			repo, err = rule.Load(path)
+		}
+		if err != nil {
+			return err
+		}
+		e, err := srv.Registry.Load(name, repo)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded repository %q (%d components)\n", e.Name, len(e.Repo.Rules))
+	}
+
+	fmt.Printf("extractd listening on %s (%d workers, queue %d, %d repos)\n",
+		addr, workers, queue, srv.Registry.Len())
+	return http.ListenAndServe(addr, srv.Handler())
+}

@@ -118,6 +118,12 @@ func TestFigureThreeConverges(t *testing.T) {
 }
 
 func TestByIDAndIDs(t *testing.T) {
+	if testing.Short() {
+		// IDs/ByID run every experiment eagerly — All() executes the
+		// full suite — so this lookup test is as heavy as three whole
+		// experiment runs.
+		t.Skip("heavy: IDs/ByID execute every experiment")
+	}
 	ids := IDs()
 	if len(ids) != 12 {
 		t.Fatalf("IDs = %v", ids)

@@ -1,0 +1,84 @@
+package extract
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExtractPage proves the freeze-after-construction
+// discipline: after configuration, ExtractPage is safe from many
+// goroutines at once (run under -race). Every goroutine must also see
+// identical output — concurrent evaluation shares only immutable state.
+func TestConcurrentExtractPage(t *testing.T) {
+	repo := figure5Repo(t)
+	p, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPost("runtime", TrimSuffixPost(" min")); err != nil {
+		t.Fatal(err)
+	}
+	pages := moviePages()
+	p.Freeze()
+
+	want := make([]string, len(pages))
+	for i, page := range pages {
+		el, _ := p.ExtractPage(page)
+		want[i] = el.XMLString()
+	}
+
+	const goroutines = 16
+	const rounds = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				idx := (g + i) % len(pages)
+				el, _ := p.ExtractPage(pages[idx])
+				if got := el.XMLString(); got != want[idx] {
+					t.Errorf("goroutine %d: page %d output diverged", g, idx)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent SetPost attempts must fail cleanly, never race.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.SetPost("runtime", nil); err == nil {
+				t.Error("SetPost on a frozen processor must fail")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentExtractCluster exercises the cluster-level entry point
+// under concurrency as well.
+func TestConcurrentExtractCluster(t *testing.T) {
+	repo := figure5Repo(t)
+	p, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := moviePages()
+	ref, _ := p.ExtractCluster(pages)
+	want := ref.XMLString()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doc, _ := p.ExtractCluster(pages)
+			if doc.XMLString() != want {
+				t.Error("concurrent ExtractCluster output diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -76,11 +76,17 @@ func TestPostprocessing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Post["runtime"] = TrimSuffixPost(" min")
+	if err := p.SetPost("runtime", TrimSuffixPost(" min")); err != nil {
+		t.Fatal(err)
+	}
 	doc, _ := p.ExtractCluster(moviePages()[:1])
 	got := doc.Children[0].Find("runtime").Text
 	if got != "108" {
 		t.Errorf("post-processed runtime = %q, want 108", got)
+	}
+	// The first extraction froze the processor: late SetPost must fail.
+	if err := p.SetPost("runtime", nil); err == nil {
+		t.Error("SetPost after extraction should fail")
 	}
 }
 

@@ -1,0 +1,79 @@
+package extract
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON rendering of extraction output, the service-friendly sibling of
+// the paper's XML document: the same element tree, mapped with a compact
+// XML→JSON convention so records round-trip into ordinary JSON consumers.
+//
+// Mapping rules:
+//
+//   - attributes become "@name" keys;
+//   - a leaf element (no children) contributes its text as a plain string,
+//     or an object carrying "@attrs" plus "#text" when it has attributes;
+//   - children are grouped by element name; a name occurring once maps to
+//     its value, a name occurring several times maps to an array — so
+//     multivalued components ("actor") naturally become JSON arrays;
+//   - an element with both attributes and children merges "@attr" keys
+//     into the children object.
+//
+// The grouping loses sibling interleaving order between *different*
+// component names, which the XML keeps; order among same-named siblings
+// is preserved. That trade is standard for record-oriented consumers —
+// anyone who needs exact document order asks for XML.
+
+// JSONValue returns the element rendered as a generic JSON-ready value
+// (string or map[string]any), following the package's XML→JSON mapping.
+func (e *Element) JSONValue() any {
+	if len(e.Children) == 0 && len(e.Attrs) == 0 {
+		return e.Text
+	}
+	obj := make(map[string]any, len(e.Attrs)+len(e.Children)+1)
+	for _, a := range e.Attrs {
+		obj["@"+a.Name] = a.Value
+	}
+	if len(e.Children) == 0 {
+		if e.Text != "" {
+			obj["#text"] = e.Text
+		}
+		return obj
+	}
+	// Group children by name, preserving per-name order.
+	order := make([]string, 0, len(e.Children))
+	grouped := map[string][]any{}
+	for _, c := range e.Children {
+		if _, seen := grouped[c.Name]; !seen {
+			order = append(order, c.Name)
+		}
+		grouped[c.Name] = append(grouped[c.Name], c.JSONValue())
+	}
+	for _, name := range order {
+		vs := grouped[name]
+		if len(vs) == 1 {
+			obj[name] = vs[0]
+		} else {
+			obj[name] = vs
+		}
+	}
+	return obj
+}
+
+// WriteJSON serializes the element as indented JSON, wrapped in a
+// single-key object naming the element — the JSON analogue of WriteXML.
+func (e *Element) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{e.Name: e.JSONValue()})
+}
+
+// JSONString returns the serialized JSON document.
+func (e *Element) JSONString() string {
+	b, err := json.MarshalIndent(map[string]any{e.Name: e.JSONValue()}, "", "  ")
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}

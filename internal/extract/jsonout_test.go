@@ -1,0 +1,111 @@
+package extract
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONValueLeaf(t *testing.T) {
+	e := NewElement("title")
+	e.Text = "Taxi Driver"
+	if got := e.JSONValue(); got != "Taxi Driver" {
+		t.Fatalf("leaf = %#v", got)
+	}
+}
+
+func TestJSONValueMultivaluedBecomesArray(t *testing.T) {
+	page := NewElement("imdb-movie")
+	page.SetAttr("uri", "http://x/1")
+	page.Add(NewElement("title")).Text = "T"
+	page.Add(NewElement("actor")).Text = "A"
+	page.Add(NewElement("actor")).Text = "B"
+	obj, ok := page.JSONValue().(map[string]any)
+	if !ok {
+		t.Fatalf("page = %#v", page.JSONValue())
+	}
+	if obj["@uri"] != "http://x/1" {
+		t.Errorf("@uri = %v", obj["@uri"])
+	}
+	if obj["title"] != "T" {
+		t.Errorf("single child must stay scalar: %v", obj["title"])
+	}
+	actors, ok := obj["actor"].([]any)
+	if !ok || len(actors) != 2 || actors[0] != "A" || actors[1] != "B" {
+		t.Errorf("actor = %#v", obj["actor"])
+	}
+}
+
+func TestJSONValueNestedAggregate(t *testing.T) {
+	page := NewElement("imdb-movie")
+	op := page.Add(NewElement("users-opinion"))
+	op.Add(NewElement("rating")).Text = "8.5/10"
+	op.Add(NewElement("comment")).Text = "great"
+	op.Add(NewElement("comment")).Text = "loved it"
+	obj := page.JSONValue().(map[string]any)
+	opinion, ok := obj["users-opinion"].(map[string]any)
+	if !ok {
+		t.Fatalf("users-opinion = %#v", obj["users-opinion"])
+	}
+	if opinion["rating"] != "8.5/10" {
+		t.Errorf("rating = %v", opinion["rating"])
+	}
+	if cs, ok := opinion["comment"].([]any); !ok || len(cs) != 2 {
+		t.Errorf("comment = %#v", opinion["comment"])
+	}
+}
+
+func TestJSONValueAttributedLeaf(t *testing.T) {
+	e := NewElement("page")
+	e.SetAttr("uri", "u")
+	e.Text = "body"
+	obj, ok := e.JSONValue().(map[string]any)
+	if !ok || obj["@uri"] != "u" || obj["#text"] != "body" {
+		t.Fatalf("attributed leaf = %#v", e.JSONValue())
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	page := NewElement("movie")
+	page.Add(NewElement("title")).Text = "T <&> \"q\""
+	var b strings.Builder
+	if err := page.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	movie := decoded["movie"].(map[string]any)
+	if movie["title"] != "T <&> \"q\"" {
+		t.Errorf("title = %v", movie["title"])
+	}
+	if b.String() != page.JSONString()+"\n" {
+		t.Error("JSONString and WriteJSON disagree")
+	}
+}
+
+// TestJSONMatchesExtraction ties the encoder to real extraction output:
+// the Figure 5 movie pages rendered as JSON carry the same values as the
+// XML document.
+func TestJSONMatchesExtraction(t *testing.T) {
+	repo := figure5Repo(t)
+	p, err := NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := moviePages()
+	el, _ := p.ExtractPage(pages[0])
+	obj, ok := el.JSONValue().(map[string]any)
+	if !ok {
+		t.Fatalf("JSONValue = %#v", el.JSONValue())
+	}
+	if obj["@uri"] != pages[0].URI {
+		t.Errorf("@uri = %v", obj["@uri"])
+	}
+	for _, c := range el.Children {
+		if _, present := obj[c.Name]; !present {
+			t.Errorf("component %q missing from JSON", c.Name)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package extract
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dom"
@@ -55,10 +57,18 @@ type Postprocessor func(string) string
 
 // Processor applies a repository's rules to pages and assembles the XML
 // document.
+//
+// A Processor follows a freeze-after-construction discipline: configure
+// post-processors with SetPost, then extract. The first extraction (or an
+// explicit Freeze call) freezes the configuration, after which ExtractPage
+// and ExtractCluster are safe to call from any number of goroutines —
+// compiled rules and the post-processor table are read-only from then on.
 type Processor struct {
 	Repo *rule.Repository
-	// Post holds optional per-component value post-processors.
-	Post map[string]Postprocessor
+
+	mu     sync.Mutex
+	frozen atomic.Bool
+	post   map[string]Postprocessor
 
 	compiled map[string]*rule.Compiled
 }
@@ -69,12 +79,48 @@ func NewProcessor(repo *rule.Repository) (*Processor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Processor{Repo: repo, Post: map[string]Postprocessor{}, compiled: compiled}, nil
+	return &Processor{Repo: repo, post: map[string]Postprocessor{}, compiled: compiled}, nil
+}
+
+// SetPost registers (or clears, with a nil fn) the post-processor for a
+// component. It fails once the processor is frozen — configuration must
+// finish before the first extraction.
+func (p *Processor) SetPost(component string, fn Postprocessor) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen.Load() {
+		return fmt.Errorf("extract: processor already frozen; SetPost(%q) rejected", component)
+	}
+	if fn == nil {
+		delete(p.post, component)
+	} else {
+		p.post[component] = fn
+	}
+	return nil
+}
+
+// Freeze ends the configuration phase. It is idempotent, called implicitly
+// by the first extraction, and returns the processor for chaining. After
+// Freeze, concurrent extractions are safe: every SetPost write
+// happens-before the freeze under the same mutex, so the post table and
+// compiled rules are immutable shared state.
+func (p *Processor) Freeze() *Processor {
+	// Fast path: already frozen — an atomic load keeps the per-page cost
+	// of the implicit Freeze in ExtractPage off the mutex, so concurrent
+	// extractions don't bounce a lock cache line.
+	if p.frozen.Load() {
+		return p
+	}
+	p.mu.Lock()
+	p.frozen.Store(true)
+	p.mu.Unlock()
+	return p
 }
 
 // ExtractPage extracts every component of one page into a page element.
 // Failures are appended to the returned slice.
 func (p *Processor) ExtractPage(page *core.Page) (*Element, []Failure) {
+	p.Freeze()
 	el := NewElement(p.Repo.PageElementName())
 	el.SetAttr("uri", page.URI)
 	var failures []Failure
@@ -148,7 +194,7 @@ func buildStructured(parent *Element, sn rule.StructureNode, values map[string][
 func (p *Processor) values(c *rule.Compiled, n *dom.Node) []string {
 	raw := textutil.NormalizeSpace(xpath.NodeStringValue(n))
 	vals := c.RefineValue(raw)
-	if post := p.Post[c.Name]; post != nil {
+	if post := p.post[c.Name]; post != nil {
 		for i := range vals {
 			vals[i] = post(vals[i])
 		}

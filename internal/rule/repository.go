@@ -196,18 +196,29 @@ func (repo *Repository) Save(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// Parse decodes and validates a repository from its JSON serialization —
+// the in-memory counterpart of Load, used by services that receive
+// repositories over the wire rather than from disk.
+func Parse(data []byte) (*Repository, error) {
+	var repo Repository
+	if err := json.Unmarshal(data, &repo); err != nil {
+		return nil, fmt.Errorf("rule: parsing repository: %w", err)
+	}
+	if err := repo.Validate(); err != nil {
+		return nil, fmt.Errorf("rule: validating repository: %w", err)
+	}
+	return &repo, nil
+}
+
 // Load reads a repository saved by Save and validates it.
 func Load(path string) (*Repository, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var repo Repository
-	if err := json.Unmarshal(data, &repo); err != nil {
-		return nil, fmt.Errorf("rule: parsing %s: %w", path, err)
+	repo, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("rule: %s: %w", path, err)
 	}
-	if err := repo.Validate(); err != nil {
-		return nil, fmt.Errorf("rule: validating %s: %w", path, err)
-	}
-	return &repo, nil
+	return repo, nil
 }

@@ -1,0 +1,483 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/rule"
+	"repro/internal/webfetch"
+)
+
+// Server is the extractd HTTP service: a repository registry, a bounded
+// extraction worker pool, metrics, and the handlers tying them together.
+//
+// Endpoints:
+//
+//	POST /repos          load/reload a repository (JSON body, ?name= override)
+//	GET  /repos          list loaded repositories
+//	DELETE /repos        unload a repository (?name=)
+//	POST /extract        extract one page: raw HTML body, ?repo= &uri= &format=json|xml
+//	POST /extract/batch  extract many pages: NDJSON {"uri","html"} in, NDJSON out
+//	POST /extract/url    fetch ?url= then extract against ?repo=
+//	GET  /healthz        liveness + registry/pool summary
+//	GET  /metrics        counters, failure breakdown, latency histogram
+type Server struct {
+	Registry *Registry
+	Pool     *Pool
+	Metrics  *Metrics
+	// Fetcher serves /extract/url. Nil disables URL fetching (for
+	// deployments that must not make outbound requests).
+	Fetcher *webfetch.Fetcher
+	// AllowedHosts, when non-empty, restricts /extract/url targets to
+	// these hosts (exact match on URL host, port included). An open
+	// fetch endpoint is an SSRF hole — a caller could point the daemon
+	// at internal addresses — so production deployments should either
+	// set this or disable Fetcher.
+	AllowedHosts []string
+	// MaxBody bounds request bodies in bytes (default 8 MiB). Larger
+	// requests are rejected with 413, never truncated.
+	MaxBody int64
+}
+
+// NewServer assembles a server with a fresh registry and metrics and a
+// bounded pool. workers ≤ 0 defaults to GOMAXPROCS (extraction is
+// CPU-bound); queue ≤ 0 defaults to 4× workers. fetcher may be nil to
+// disable /extract/url.
+func NewServer(workers, queue int, fetcher *webfetch.Fetcher) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	return &Server{
+		Registry: NewRegistry(),
+		Pool:     NewPool(workers, queue),
+		Metrics:  NewMetrics(),
+		Fetcher:  fetcher,
+	}
+}
+
+// Close releases the worker pool.
+func (s *Server) Close() { s.Pool.Close() }
+
+func (s *Server) maxBody() int64 {
+	if s.MaxBody > 0 {
+		return s.MaxBody
+	}
+	return 8 << 20
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repos", s.handleRepos)
+	mux.HandleFunc("/extract", s.handleExtract)
+	mux.HandleFunc("/extract/batch", s.handleExtractBatch)
+	mux.HandleFunc("/extract/url", s.handleExtractURL)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// ---------------------------------------------------------------------------
+// Response plumbing.
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// readBody reads a request body up to the server's limit, rejecting —
+// not truncating — anything larger: a silently cut-off HTML page would
+// extract to a wrong-but-200 record.
+func (s *Server) readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody()+1))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "reading body: %v", err)
+	}
+	if int64(len(body)) > s.maxBody() {
+		return nil, errf(http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", s.maxBody())
+	}
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// endpoint wraps a handler with request counting and error rendering.
+func (s *Server) endpoint(name string, w http.ResponseWriter, r *http.Request, fn func() error) {
+	err := fn()
+	s.Metrics.Request(name, err != nil)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if he, ok := err.(*httpError); ok {
+			status = he.status
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Repository management.
+
+type repoInfo struct {
+	Name        string   `json:"name"`
+	Cluster     string   `json:"cluster"`
+	Components  []string `json:"components"`
+	Generation  int      `json:"generation"`
+	PageElement string   `json:"pageElement"`
+}
+
+func info(e *RepoEntry) repoInfo {
+	return repoInfo{
+		Name:        e.Name,
+		Cluster:     e.Repo.Cluster,
+		Components:  e.Repo.ComponentNames(),
+		Generation:  e.Generation,
+		PageElement: e.Repo.PageElementName(),
+	}
+}
+
+func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.endpoint("repos.list", w, r, func() error {
+			entries := s.Registry.List()
+			infos := make([]repoInfo, 0, len(entries))
+			for _, e := range entries {
+				infos = append(infos, info(e))
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"repos": infos})
+			return nil
+		})
+	case http.MethodPost:
+		s.endpoint("repos.load", w, r, func() error {
+			body, err := s.readBody(r)
+			if err != nil {
+				return err
+			}
+			repo, err := rule.Parse(body)
+			if err != nil {
+				return errf(http.StatusUnprocessableEntity, "%v", err)
+			}
+			e, err := s.Registry.Load(r.URL.Query().Get("name"), repo)
+			if err != nil {
+				return errf(http.StatusUnprocessableEntity, "%v", err)
+			}
+			writeJSON(w, http.StatusOK, info(e))
+			return nil
+		})
+	case http.MethodDelete:
+		s.endpoint("repos.delete", w, r, func() error {
+			name := r.URL.Query().Get("name")
+			if name == "" {
+				return errf(http.StatusBadRequest, "name parameter required")
+			}
+			if !s.Registry.Remove(name) {
+				return errf(http.StatusNotFound, "repository %q not loaded", name)
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+			return nil
+		})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extraction.
+
+// extractResult is the JSON envelope of one extracted page.
+type extractResult struct {
+	URI        string   `json:"uri"`
+	Repo       string   `json:"repo"`
+	Generation int      `json:"generation"`
+	Record     any      `json:"record"`
+	Failures   []string `json:"failures,omitempty"`
+}
+
+func (s *Server) lookupRepo(r *http.Request) (*RepoEntry, error) {
+	name := r.URL.Query().Get("repo")
+	if name == "" {
+		return nil, errf(http.StatusBadRequest, "repo parameter required")
+	}
+	e, ok := s.Registry.Get(name)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "repository %q not loaded", name)
+	}
+	return e, nil
+}
+
+// extractPage runs one page extraction on the worker pool, recording
+// latency and failure metrics.
+func (s *Server) extractPage(r *http.Request, e *RepoEntry, page *core.Page) (*extract.Element, []extract.Failure, error) {
+	var el *extract.Element
+	var fails []extract.Failure
+	start := time.Now()
+	err := s.Pool.Do(r.Context(), func() {
+		el, fails = e.Proc.ExtractPage(page)
+	})
+	if err != nil {
+		return nil, nil, errf(http.StatusServiceUnavailable, "extraction not scheduled: %v", err)
+	}
+	s.Metrics.Extraction(time.Since(start), fails)
+	return el, fails, nil
+}
+
+func failureStrings(fails []extract.Failure) []string {
+	out := make([]string, 0, len(fails))
+	for _, f := range fails {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+// writeResult renders one extraction as JSON (default) or the paper's XML.
+func writeResult(w http.ResponseWriter, r *http.Request, e *RepoEntry, page *core.Page, el *extract.Element, fails []extract.Failure) error {
+	if r.URL.Query().Get("format") == "xml" {
+		w.Header().Set("Content-Type", "application/xml")
+		return el.WriteXML(w)
+	}
+	writeJSON(w, http.StatusOK, extractResult{
+		URI:        page.URI,
+		Repo:       e.Name,
+		Generation: e.Generation,
+		Record:     el.JSONValue(),
+		Failures:   failureStrings(fails),
+	})
+	return nil
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.endpoint("extract", w, r, func() error {
+		e, err := s.lookupRepo(r)
+		if err != nil {
+			return err
+		}
+		body, err := s.readBody(r)
+		if err != nil {
+			return err
+		}
+		if len(bytes.TrimSpace(body)) == 0 {
+			return errf(http.StatusBadRequest, "empty HTML body")
+		}
+		uri := r.URL.Query().Get("uri")
+		if uri == "" {
+			uri = "request:body"
+		}
+		page := core.NewPage(uri, string(body))
+		el, fails, err := s.extractPage(r, e, page)
+		if err != nil {
+			return err
+		}
+		return writeResult(w, r, e, page, el, fails)
+	})
+}
+
+// batchLine is one input line of /extract/batch.
+type batchLine struct {
+	URI  string `json:"uri"`
+	HTML string `json:"html"`
+
+	// err records a per-line decode problem; the line still occupies its
+	// slot so responses stay positionally aligned with the input.
+	err error `json:"-"`
+	// lineNo is the physical line number in the request body, for error
+	// messages and synthetic URIs an operator can grep for.
+	lineNo int `json:"-"`
+}
+
+// readBatch parses an NDJSON batch body into its lines, keeping malformed
+// lines as error entries. Blank lines are skipped but still counted, so
+// reported line numbers match the physical input. maxLine bounds one
+// line's length — sized from the server's body cap so any page accepted
+// by /extract also fits on a batch line.
+func readBatch(body io.Reader, maxLine int) ([]batchLine, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	var lines []batchLine
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var in batchLine
+		if err := json.Unmarshal([]byte(raw), &in); err != nil {
+			lines = append(lines, batchLine{err: err, lineNo: lineNo})
+			continue
+		}
+		in.lineNo = lineNo
+		if in.URI == "" {
+			in.URI = fmt.Sprintf("request:line-%d", lineNo)
+		}
+		lines = append(lines, in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return lines, nil
+}
+
+func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.endpoint("extract.batch", w, r, func() error {
+		e, err := s.lookupRepo(r)
+		if err != nil {
+			return err
+		}
+		// Read the whole batch before the first response write: HTTP/1.x
+		// servers close the request body once the response starts, so
+		// interleaving scan and stream would truncate the input. The
+		// body is bounded by MaxBody, so buffering it is safe.
+		body, err := s.readBody(r)
+		if err != nil {
+			return err
+		}
+		lines, err := readBatch(bytes.NewReader(body), int(s.maxBody()))
+		if err != nil {
+			return errf(http.StatusBadRequest, "reading batch: %v", err)
+		}
+		if len(lines) == 0 {
+			return errf(http.StatusBadRequest, "empty batch")
+		}
+
+		// Fan the pages out across the worker pool, then stream results
+		// back in input order as each finishes.
+		out := make([]any, len(lines))
+		done := make([]chan struct{}, len(lines))
+		for i := range lines {
+			done[i] = make(chan struct{})
+			go func(i int) {
+				defer close(done[i])
+				in := lines[i]
+				if in.err != nil {
+					out[i] = map[string]string{"error": fmt.Sprintf("line %d: %v", in.lineNo, in.err)}
+					return
+				}
+				page := core.NewPage(in.URI, in.HTML)
+				el, fails, err := s.extractPage(r, e, page)
+				if err != nil {
+					out[i] = map[string]string{"uri": in.URI, "error": err.Error()}
+					return
+				}
+				out[i] = extractResult{
+					URI:        page.URI,
+					Repo:       e.Name,
+					Generation: e.Generation,
+					Record:     el.JSONValue(),
+					Failures:   failureStrings(fails),
+				}
+			}(i)
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for i := range out {
+			<-done[i]
+			_ = enc.Encode(out[i])
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return nil
+	})
+}
+
+func (s *Server) handleExtractURL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.endpoint("extract.url", w, r, func() error {
+		if s.Fetcher == nil {
+			return errf(http.StatusNotImplemented, "URL fetching disabled")
+		}
+		e, err := s.lookupRepo(r)
+		if err != nil {
+			return err
+		}
+		target := r.URL.Query().Get("url")
+		if target == "" {
+			return errf(http.StatusBadRequest, "url parameter required")
+		}
+		if err := s.checkFetchTarget(target); err != nil {
+			return err
+		}
+		page, err := s.Fetcher.FetchPage(target)
+		if err != nil {
+			return errf(http.StatusBadGateway, "%v", err)
+		}
+		el, fails, err := s.extractPage(r, e, page)
+		if err != nil {
+			return err
+		}
+		return writeResult(w, r, e, page, el, fails)
+	})
+}
+
+// checkFetchTarget enforces the AllowedHosts allowlist on /extract/url
+// targets.
+func (s *Server) checkFetchTarget(target string) error {
+	if len(s.AllowedHosts) == 0 {
+		return nil
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad url: %v", err)
+	}
+	for _, h := range s.AllowedHosts {
+		if u.Host == h {
+			return nil
+		}
+	}
+	return errf(http.StatusForbidden, "host %q not in fetch allowlist", u.Host)
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.endpoint("healthz", w, r, func() error {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"repos":  s.Registry.Len(),
+		})
+		return nil
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Reading metrics is not itself counted as traffic.
+	writeJSON(w, http.StatusOK, s.Metrics.Snapshot())
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/extract"
+)
+
+// latencyBuckets are the upper bounds (inclusive) of the latency
+// histogram, in seconds — a coarse log-ish scale from sub-millisecond to
+// multi-second extractions. The implicit last bucket is +Inf.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Metrics accumulates extractd's operational counters: requests and
+// errors per endpoint, extraction failures by FailureKind, pages
+// extracted, and an extraction-latency histogram. All methods are safe
+// for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  map[string]int64 // endpoint → count
+	errors    map[string]int64 // endpoint → non-2xx count
+	failures  map[string]int64 // FailureKind.String() → count
+	pages     int64
+	histogram []int64 // len(latencyBuckets)+1, last is +Inf
+	latSum    float64
+	latCount  int64
+}
+
+// NewMetrics creates zeroed metrics with the uptime clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		requests:  map[string]int64{},
+		errors:    map[string]int64{},
+		failures:  map[string]int64{},
+		histogram: make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+// Request records one request to an endpoint and whether it errored.
+func (m *Metrics) Request(endpoint string, isError bool) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	if isError {
+		m.errors[endpoint]++
+	}
+	m.mu.Unlock()
+}
+
+// Extraction records one completed page extraction: its latency and any
+// detected failures.
+func (m *Metrics) Extraction(d time.Duration, failures []extract.Failure) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	m.pages++
+	m.latSum += secs
+	m.latCount++
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	m.histogram[i]++
+	for _, f := range failures {
+		m.failures[f.Kind.String()]++
+	}
+	m.mu.Unlock()
+}
+
+// HistogramBucket is one latency bucket of the snapshot.
+type HistogramBucket struct {
+	// LE is the bucket's inclusive upper bound in seconds; 0 marks +Inf.
+	LE    float64 `json:"le,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of the counters, shaped for JSON.
+type Snapshot struct {
+	UptimeSeconds      float64           `json:"uptimeSeconds"`
+	Requests           map[string]int64  `json:"requests"`
+	Errors             map[string]int64  `json:"errors,omitempty"`
+	ExtractionFailures map[string]int64  `json:"extractionFailures,omitempty"`
+	PagesExtracted     int64             `json:"pagesExtracted"`
+	LatencySumSeconds  float64           `json:"latencySumSeconds"`
+	LatencyCount       int64             `json:"latencyCount"`
+	LatencyHistogram   []HistogramBucket `json:"latencyHistogram"`
+}
+
+// Snapshot returns a consistent copy of every counter.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeSeconds:      time.Since(m.start).Seconds(),
+		Requests:           make(map[string]int64, len(m.requests)),
+		Errors:             make(map[string]int64, len(m.errors)),
+		ExtractionFailures: make(map[string]int64, len(m.failures)),
+		PagesExtracted:     m.pages,
+		LatencySumSeconds:  m.latSum,
+		LatencyCount:       m.latCount,
+	}
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	for k, v := range m.errors {
+		s.Errors[k] = v
+	}
+	for k, v := range m.failures {
+		s.ExtractionFailures[k] = v
+	}
+	s.LatencyHistogram = make([]HistogramBucket, 0, len(m.histogram))
+	for i, c := range m.histogram {
+		b := HistogramBucket{Count: c}
+		if i < len(latencyBuckets) {
+			b.LE = latencyBuckets[i]
+		}
+		s.LatencyHistogram = append(s.LatencyHistogram, b)
+	}
+	return s
+}

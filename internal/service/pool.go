@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool is a bounded worker pool: a fixed number of goroutines drain a
+// task queue, putting a hard ceiling on extraction concurrency no matter
+// how many HTTP requests arrive at once. Extraction is CPU-bound (XPath
+// evaluation over a parsed DOM), so the right bound is near GOMAXPROCS;
+// the queue gives short bursts somewhere to wait instead of failing.
+type Pool struct {
+	tasks chan poolTask
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type poolTask struct {
+	fn   func()
+	done chan struct{}
+}
+
+// NewPool starts a pool of `workers` goroutines with a task queue of
+// `queue` slots (0 means unbuffered: a submit waits for a free worker).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan poolTask, queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		t.fn()
+		close(t.done)
+	}
+}
+
+// Do runs fn on a pool worker and waits for it to finish. It returns
+// without running fn when ctx is done before a worker accepts the task,
+// or when the pool is closed.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	t := poolTask{fn: fn, done: make(chan struct{})}
+	// The read-lock spans the enqueue so Close cannot close the task
+	// channel under a blocked send: Close's write-lock waits the senders
+	// out while live workers keep draining the queue.
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return fmt.Errorf("service: pool closed")
+	}
+	select {
+	case p.tasks <- t:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return ctx.Err()
+	}
+	// Once enqueued the task always runs — workers drain the queue to
+	// empty before exiting — so this wait cannot leak.
+	<-t.done
+	return nil
+}
+
+// Close stops accepting tasks, waits for queued work to finish and for
+// every worker to exit. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

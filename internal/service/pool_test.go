@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() { n.Add(1) }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 0)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Do(context.Background(), func() {
+				c := cur.Add(1)
+				for {
+					pk := peak.Load()
+					if c <= pk || peak.CompareAndSwap(pk, c) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	p := NewPool(1, 0)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), func() { close(started); <-block })
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The single worker is occupied and the queue is unbuffered, so this
+	// submit must fail with the context error instead of running.
+	if err := p.Do(ctx, func() { t.Error("cancelled task ran") }); err == nil {
+		t.Fatal("expected context error")
+	}
+	close(block)
+}
+
+func TestPoolCloseRejectsAndDrains(t *testing.T) {
+	p := NewPool(2, 4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Do(context.Background(), func() { n.Add(1) })
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if n.Load() != 10 {
+		t.Fatalf("drained %d tasks, want 10", n.Load())
+	}
+	if err := p.Do(context.Background(), func() {}); err == nil {
+		t.Fatal("Do after Close should fail")
+	}
+	p.Close() // idempotent
+}

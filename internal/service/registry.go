@@ -1,0 +1,113 @@
+// Package service turns the paper's offline rule *execution* step (§4)
+// into a long-running concurrent system: a registry of compiled rule
+// repositories that can be hot-loaded at runtime, a bounded worker pool
+// that executes extractions, request metrics, and the HTTP handlers that
+// expose them as the extractd daemon.
+//
+// The split mirrors the paper's architecture: rule *construction*
+// (internal/core, driven by retrozilla) stays an offline activity; its
+// artifact — the rule repository — is what operators publish to a running
+// extractd, which then serves extraction traffic against it.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/extract"
+	"repro/internal/rule"
+)
+
+// RepoEntry is one registered repository: the immutable source repository
+// and its compiled, concurrency-safe processor. Entries are replaced
+// wholesale on reload, never mutated.
+type RepoEntry struct {
+	Name string
+	Repo *rule.Repository
+	Proc *extract.Processor
+	// Generation counts loads under this name, starting at 1; a reload
+	// bumps it, so clients can detect that rules changed under them.
+	Generation int
+}
+
+// Registry is a concurrency-safe map of named rule repositories. Load
+// compiles eagerly (via extract.NewProcessor → rule.CompileAll) and
+// freezes the processor, so every entry handed out is safe for concurrent
+// ExtractPage calls and a bad repository is rejected at publish time, not
+// at request time.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*RepoEntry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*RepoEntry{}}
+}
+
+// Load validates, compiles and registers a repository under name (the
+// repository's cluster name when name is empty). Loading an existing name
+// atomically replaces the previous entry — in-flight extractions keep
+// using the entry they already hold; new requests see the new one.
+func (g *Registry) Load(name string, repo *rule.Repository) (*RepoEntry, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("service: nil repository")
+	}
+	if name == "" {
+		name = repo.Cluster
+	}
+	if name == "" {
+		return nil, fmt.Errorf("service: repository has no name")
+	}
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		return nil, fmt.Errorf("service: compiling %q: %w", name, err)
+	}
+	proc.Freeze()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gen := 1
+	if prev, ok := g.entries[name]; ok {
+		gen = prev.Generation + 1
+	}
+	e := &RepoEntry{Name: name, Repo: repo, Proc: proc, Generation: gen}
+	g.entries[name] = e
+	return e, nil
+}
+
+// Get returns the current entry for name.
+func (g *Registry) Get(name string) (*RepoEntry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.entries[name]
+	return e, ok
+}
+
+// Remove unregisters a repository, reporting whether it existed.
+func (g *Registry) Remove(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.entries[name]
+	delete(g.entries, name)
+	return ok
+}
+
+// List returns the current entries sorted by name.
+func (g *Registry) List() []*RepoEntry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*RepoEntry, 0, len(g.entries))
+	for _, e := range g.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered repositories.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func testRepo(t *testing.T, cluster string) *rule.Repository {
+	t.Helper()
+	repo := rule.NewRepository(cluster)
+	err := repo.Record(rule.Rule{
+		Name:         "title",
+		Optionality:  rule.Mandatory,
+		Multiplicity: rule.SingleValued,
+		Format:       rule.Text,
+		Locations:    []string{"BODY//H1[1]/text()[1]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestRegistryLoadGetList(t *testing.T) {
+	g := NewRegistry()
+	if _, ok := g.Get("movies"); ok {
+		t.Fatal("empty registry should miss")
+	}
+	e, err := g.Load("", testRepo(t, "movies"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "movies" || e.Generation != 1 {
+		t.Fatalf("entry = %q gen %d", e.Name, e.Generation)
+	}
+	if _, ok := g.Get("movies"); !ok {
+		t.Fatal("loaded repo not found")
+	}
+	if _, err := g.Load("alias", testRepo(t, "movies")); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, e := range g.List() {
+		names = append(names, e.Name)
+	}
+	if len(names) != 2 || names[0] != "alias" || names[1] != "movies" {
+		t.Fatalf("List = %v", names)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestRegistryReloadBumpsGeneration(t *testing.T) {
+	g := NewRegistry()
+	e1, err := g.Load("movies", testRepo(t, "movies"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.Load("movies", testRepo(t, "movies"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Generation != e1.Generation+1 {
+		t.Fatalf("generations %d -> %d", e1.Generation, e2.Generation)
+	}
+	got, _ := g.Get("movies")
+	if got != e2 {
+		t.Fatal("Get should return the newest entry")
+	}
+	// The old entry object is untouched — in-flight extractions holding
+	// it keep working against the rules they started with.
+	if e1.Proc == e2.Proc {
+		t.Fatal("reload must compile a fresh processor")
+	}
+}
+
+func TestRegistryRejectsBadRepo(t *testing.T) {
+	g := NewRegistry()
+	if _, err := g.Load("", nil); err == nil {
+		t.Fatal("nil repository accepted")
+	}
+	bad := &rule.Repository{Cluster: "movies", Rules: []rule.Rule{{
+		Name:         "title",
+		Optionality:  rule.Mandatory,
+		Multiplicity: rule.SingleValued,
+		Format:       rule.Text,
+		Locations:    []string{"BODY//["},
+	}}}
+	if _, err := g.Load("", bad); err == nil {
+		t.Fatal("uncompilable repository accepted")
+	}
+	if g.Len() != 0 {
+		t.Fatal("failed load must not register")
+	}
+}
+
+func TestRegistryRemove(t *testing.T) {
+	g := NewRegistry()
+	if g.Remove("movies") {
+		t.Fatal("removing a missing repo should report false")
+	}
+	if _, err := g.Load("movies", testRepo(t, "movies")); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Remove("movies") {
+		t.Fatal("remove failed")
+	}
+	if g.Len() != 0 {
+		t.Fatal("repo still present")
+	}
+}

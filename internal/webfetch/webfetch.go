@@ -102,6 +102,24 @@ func (f *Fetcher) Crawl(startURL string) ([]*core.Page, error) {
 	return pages, nil
 }
 
+// FetchPage fetches and parses a single page — the online-extraction
+// entry point: a service that already knows which page it wants skips the
+// crawl and goes straight from URL to parsed core.Page.
+func (f *Fetcher) FetchPage(pageURL string) (*core.Page, error) {
+	u, err := url.Parse(pageURL)
+	if err != nil {
+		return nil, fmt.Errorf("webfetch: bad URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("webfetch: URL %q is not http(s)", pageURL)
+	}
+	doc, err := f.fetch(u)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Page{URI: u.String(), Doc: doc}, nil
+}
+
 func (f *Fetcher) fetch(u *url.URL) (*dom.Node, error) {
 	resp, err := f.client().Get(u.String())
 	if err != nil {
