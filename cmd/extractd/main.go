@@ -12,7 +12,13 @@
 //	curl -X POST --data-binary @page.html 'http://localhost:8090/extract?repo=movies'
 //	curl -X POST 'http://localhost:8090/extract/url?repo=movies&url=http://site/tt0074103.html'
 //	curl -X POST --data-binary @rules.json 'http://localhost:8090/repos?name=movies'   # hot reload
+//	curl 'http://localhost:8090/repos/movies/health'                                   # drift monitor
+//	curl -X POST 'http://localhost:8090/repos/movies/repair'                           # rebuild broken rules
+//	curl -X POST 'http://localhost:8090/repos/movies/rollback'                         # previous version
 //	curl 'http://localhost:8090/metrics'
+//
+// With -auto-repair the daemon runs the repair → stage → shadow-evaluate
+// → promote sequence on its own when a repository's drift alarm trips.
 //
 // Each -rules flag names a repository file (JSON from retrozilla, or the
 // XML interchange form), optionally prefixed "name=" to register it under
@@ -27,6 +33,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/lifecycle"
 	"repro/internal/rule"
 	"repro/internal/service"
 	"repro/internal/webfetch"
@@ -45,16 +52,23 @@ func main() {
 	noFetch := flag.Bool("no-fetch", false, "disable /extract/url outbound fetching")
 	fetchHosts := flag.String("fetch-hosts", "",
 		"comma-separated host allowlist for /extract/url (empty allows any host)")
+	autoRepair := flag.Bool("auto-repair", false,
+		"repair and promote a repository automatically when its drift alarm trips")
+	driftWindow := flag.Int("drift-window", 0,
+		"drift-detection sliding window size in pages (default 50)")
+	driftRatio := flag.Float64("drift-ratio", 0,
+		"failing-page ratio that trips the drift alarm (default 0.3)")
 	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *noFetch, *fetchHosts, rules); err != nil {
+	lc := lifecycle.Config{WindowSize: *driftWindow, TripRatio: *driftRatio}
+	if err := run(*addr, *workers, *queue, *noFetch, *autoRepair, *fetchHosts, lc, rules); err != nil {
 		fmt.Fprintln(os.Stderr, "extractd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, noFetch bool, fetchHosts string, rules []string) error {
+func run(addr string, workers, queue int, noFetch, autoRepair bool, fetchHosts string, lc lifecycle.Config, rules []string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -67,6 +81,8 @@ func run(addr string, workers, queue int, noFetch bool, fetchHosts string, rules
 	}
 	srv := service.NewServer(workers, queue, fetcher)
 	defer srv.Close()
+	srv.AutoRepair = autoRepair
+	srv.Lifecycle = lc
 	if fetchHosts != "" {
 		for _, h := range strings.Split(fetchHosts, ",") {
 			if h = strings.TrimSpace(h); h != "" {

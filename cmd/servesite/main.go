@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/corpus"
 	"repro/internal/webfetch"
@@ -22,13 +23,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pages := flag.Int("pages", 30, "pages per cluster")
 	seed := flag.Int64("seed", 42, "generator seed")
+	drift := flag.String("drift", "",
+		"simulate page evolution before serving: component[:remove|duplicate|relabel] (movies cluster)")
 	flag.Parse()
 
-	h, err := webfetch.NewSiteHandler(
-		corpus.GenerateMovies(corpus.DefaultMovieProfile(*seed, *pages)),
-		corpus.GenerateBooks(corpus.DefaultBookProfile(*seed+1, *pages)),
-		corpus.GenerateStocks(corpus.DefaultStockProfile(*seed+2, *pages)),
-	)
+	h, clusters, err := webfetch.DefaultSite(*seed, *pages)
+	if err == nil && *drift != "" {
+		err = applyDrift(h, clusters[0], *drift, *seed)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "servesite:", err)
 		os.Exit(1)
@@ -38,4 +40,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "servesite:", err)
 		os.Exit(1)
 	}
+}
+
+// applyDrift mutates the served pages before startup — the local way to
+// exercise extractd's drift detection and repair against a "evolved"
+// site without editing any HTML by hand.
+func applyDrift(h *webfetch.SiteHandler, cl *corpus.Cluster, spec string, seed int64) error {
+	component, kindName := spec, "relabel"
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		component, kindName = spec[:i], spec[i+1:]
+	}
+	var kind corpus.DriftKind
+	switch kindName {
+	case "remove":
+		kind = corpus.DriftRemoveMandatory
+	case "duplicate":
+		kind = corpus.DriftDuplicateValue
+	case "relabel":
+		kind = corpus.DriftRelabel
+	default:
+		return fmt.Errorf("unknown drift kind %q", kindName)
+	}
+	pages, drifts := corpus.InjectDrift(cl, component, kind, 1.0, seed)
+	if len(drifts) == 0 {
+		return fmt.Errorf("drift %q did not apply to any page (unknown component?)", spec)
+	}
+	if err := h.SetPages(pages); err != nil {
+		return err
+	}
+	fmt.Printf("injected %s drift on %q into %d pages\n", kindName, component, len(drifts))
+	return nil
 }

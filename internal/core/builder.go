@@ -138,8 +138,11 @@ func (b *Builder) refineOnce(r *rule.Rule, paths *[]Path, rep CheckReport) (stri
 	if action, ok := refineOptionality(r, rep); ok {
 		return action, true
 	}
-	// 4. Contextual information.
-	if !b.DisableContext && r.Multiplicity == rule.SingleValued {
+	// 4. Contextual information. Applies to multivalued rules too: a
+	// broadened position predicate that overshoots (selects sibling
+	// values of *other* components) is narrowed back by the constant
+	// label, which every instance of the component shares.
+	if !b.DisableContext {
 		if action, ok := b.refineContext(r, paths, rep); ok {
 			return action, true
 		}

@@ -133,11 +133,19 @@ func Check(r rule.Rule, sample Sample, o Oracle) (CheckReport, error) {
 	for _, p := range sample {
 		expected := o.Select(r.Name, p)
 		got := compiled.ApplyAll(p.Doc)
+		verdict := classify(got, expected)
+		if verdict == VerdictMatch && r.Multiplicity == rule.SingleValued && len(expected) > 1 {
+			// The locations retrieve every instance, but the rule still
+			// declares the component single-valued — the §7
+			// multi-valued-singleton situation. The multiplicity must be
+			// refined, so a plain match is not good enough.
+			verdict = VerdictNeedsMulti
+		}
 		res := PageResult{
 			Page:     p,
 			Got:      got,
 			Expected: expected,
-			Verdict:  classify(got, expected),
+			Verdict:  verdict,
 			Value:    displayValue(got),
 		}
 		rep.Results = append(rep.Results, res)

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/textutil"
+	"repro/internal/xpath"
+)
+
+// ValueOracle adapts remembered component values into the Oracle the
+// builder and repair scenario need, replacing the human operator in a
+// long-running service. The §7 repair sketch assumes an operator pointing
+// at the pertinent values on the pages where extraction failed; an
+// unattended service has no operator, but it does have the values it
+// extracted successfully before the page evolved. The oracle answers a
+// selection by re-locating those golden values in the (possibly drifted)
+// page: page evolution that moves, relabels or duplicates a value leaves
+// the value text itself intact, so a string match recovers the operator's
+// click.
+//
+// lookup returns the golden values per component for a page URI (nil when
+// the page was never successfully extracted). Selection precedence:
+//
+//  1. text nodes whose normalized content equals a golden value;
+//  2. deepest elements whose whole normalized string value equals a
+//     golden value (mixed-format components);
+//  3. text nodes *containing* a golden value (values produced by an
+//     intra-node refinement are substrings of their text node).
+//
+// A component whose value genuinely disappeared from the page yields nil
+// — the absence that drives the optionality refinement.
+func ValueOracle(lookup func(uri string) map[string][]string) Oracle {
+	return OracleFunc(func(component string, p *Page) []*dom.Node {
+		golden := lookup(p.URI)
+		if golden == nil {
+			return nil
+		}
+		want := make(map[string]bool, len(golden[component]))
+		for _, v := range golden[component] {
+			if v != "" {
+				want[v] = true
+			}
+		}
+		if len(want) == 0 {
+			return nil
+		}
+
+		var exact []*dom.Node
+		dom.Walk(p.Doc, func(n *dom.Node) bool {
+			if n.Type == dom.TextNode && want[textutil.NormalizeSpace(n.Data)] {
+				exact = append(exact, n)
+			}
+			return true
+		})
+		if len(exact) > 0 {
+			return exact
+		}
+
+		// Mixed-format values: the golden value is the string value of a
+		// containing element. Keep only the deepest matching element of
+		// each chain — ancestors of a match carry the same string value
+		// when the value is their only content.
+		var elems []*dom.Node
+		dom.Walk(p.Doc, func(n *dom.Node) bool {
+			if n.Type != dom.ElementNode {
+				return true
+			}
+			if want[textutil.NormalizeSpace(xpath.NodeStringValue(n))] {
+				if len(elems) > 0 && dom.IsAncestorOf(elems[len(elems)-1], n) {
+					elems[len(elems)-1] = n
+				} else {
+					elems = append(elems, n)
+				}
+			}
+			return true
+		})
+		if len(elems) > 0 {
+			return elems
+		}
+
+		// Refined values ("108" out of "108 min") are substrings of their
+		// text node. Require some length so a short fragment does not match
+		// half the page.
+		var within []*dom.Node
+		dom.Walk(p.Doc, func(n *dom.Node) bool {
+			if n.Type != dom.TextNode {
+				return true
+			}
+			ns := textutil.NormalizeSpace(n.Data)
+			for v := range want {
+				if len(v) >= 3 && strings.Contains(ns, v) {
+					within = append(within, n)
+					break
+				}
+			}
+			return true
+		})
+		return within
+	})
+}

@@ -101,8 +101,11 @@ func (z *Tokenizer) nextText() Token {
 }
 
 func (z *Tokenizer) nextRawText() Token {
-	closer := "</" + strings.ToLower(z.rawTag)
-	low := strings.ToLower(z.src[z.pos:])
+	closer := "</" + lowerASCII(z.rawTag)
+	// ASCII-only fold: strings.ToLower would widen invalid UTF-8 bytes
+	// into replacement runes, desynchronizing the found index from byte
+	// offsets in the original source.
+	low := lowerASCII(z.src[z.pos:])
 	idx := strings.Index(low, closer)
 	tag := z.rawTag
 	if idx < 0 {
@@ -124,6 +127,28 @@ func (z *Tokenizer) nextRawText() Token {
 	z.pos += idx
 	z.rawTag = ""
 	return t
+}
+
+// lowerASCII lowercases A-Z byte-wise, leaving every other byte — and
+// therefore every byte offset — untouched.
+func lowerASCII(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
 }
 
 func (z *Tokenizer) nextComment() Token {

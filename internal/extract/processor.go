@@ -120,6 +120,15 @@ func (p *Processor) Freeze() *Processor {
 // ExtractPage extracts every component of one page into a page element.
 // Failures are appended to the returned slice.
 func (p *Processor) ExtractPage(page *core.Page) (*Element, []Failure) {
+	el, _, failures := p.ExtractPageValues(page)
+	return el, failures
+}
+
+// ExtractPageValues is ExtractPage returning also the flat per-component
+// value map the page element was assembled from. Health monitors use the
+// map to harvest last-known-good values without reverse-engineering the
+// (possibly aggregated) element structure.
+func (p *Processor) ExtractPageValues(page *core.Page) (*Element, map[string][]string, []Failure) {
 	p.Freeze()
 	el := NewElement(p.Repo.PageElementName())
 	el.SetAttr("uri", page.URI)
@@ -165,7 +174,7 @@ func (p *Processor) ExtractPage(page *core.Page) (*Element, []Failure) {
 			}
 		}
 	}
-	return el, failures
+	return el, values, failures
 }
 
 // buildStructured emits the enhanced nested structure recorded in the

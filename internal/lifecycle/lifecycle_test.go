@@ -1,0 +1,275 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/rule"
+)
+
+// buildRepo induces rules for the named components the way retrozilla
+// would offline.
+func buildRepo(t *testing.T, cl *corpus.Cluster, components []string) *rule.Repository {
+	t.Helper()
+	sample, _ := cl.RepresentativeSplit(10)
+	b := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := b.BuildAll(repo, components); err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range components {
+		if _, ok := repo.Lookup(comp); !ok {
+			t.Fatalf("rule for %q did not converge", comp)
+		}
+	}
+	return repo
+}
+
+// feed extracts every page through proc and observes the monitor,
+// returning how many observations reported a tripped alarm edge.
+func feed(t *testing.T, m *Monitor, proc *extract.Processor, pages []*core.Page) (trips int) {
+	t.Helper()
+	for _, p := range pages {
+		_, values, fails := proc.ExtractPageValues(p)
+		if _, just := m.Observe(p, values, fails); just {
+			trips++
+		}
+	}
+	return trips
+}
+
+func testConfig() Config {
+	return Config{WindowSize: 20, MinSamples: 5, TripRatio: 0.3, BufferSize: 64, RepairSample: 10}
+}
+
+// TestMonitorDetectsRelabelDriftAndRepairs is the offline version of the
+// service loop: healthy traffic, relabel drift, alarm, repair via golden
+// values, candidate shadow-evaluates clean.
+func TestMonitorDetectsRelabelDriftAndRepairs(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(2026, 30))
+	repo := buildRepo(t, cl, []string{"title", "runtime"})
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMonitor(testConfig())
+	if trips := feed(t, m, proc, cl.Pages); trips != 0 {
+		t.Fatalf("healthy traffic tripped the alarm %d times", trips)
+	}
+	if m.Tripped() {
+		t.Fatal("alarm tripped on healthy traffic")
+	}
+	h := m.Health()
+	if h.Status != "ok" || h.BufferedFailing != 0 {
+		t.Fatalf("healthy snapshot: %+v", h)
+	}
+
+	drifted, injected := corpus.InjectDrift(cl, "runtime", corpus.DriftRelabel, 1.0, 5)
+	if len(injected) == 0 {
+		t.Fatal("no drift injected")
+	}
+	trips := feed(t, m, proc, drifted)
+	if trips != 1 {
+		t.Fatalf("drift tripped the alarm %d times, want exactly 1", trips)
+	}
+	h = m.Health()
+	if h.Status != "drifting" {
+		t.Fatalf("status = %q, want drifting", h.Status)
+	}
+	if h.FailuresByKind["missing-mandatory"] == 0 {
+		t.Fatalf("mandatory-void detector silent: %+v", h.FailuresByKind)
+	}
+	if h.FailuresByComponent["runtime"] == 0 {
+		t.Fatalf("component breakdown missing runtime: %+v", h.FailuresByComponent)
+	}
+
+	// The §3.4 verdict drill-down names the broken component as void.
+	verdicts := m.Verdicts(repo)
+	if verdicts["runtime"]["void"] == 0 {
+		t.Fatalf("verdicts = %v, want runtime void > 0", verdicts)
+	}
+	if verdicts["title"]["match"] == 0 {
+		t.Fatalf("verdicts = %v, want title matches", verdicts)
+	}
+
+	candidate, report, err := m.Repair(repo, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Components["runtime"].Outcome; got != "rebuilt" {
+		t.Fatalf("runtime outcome = %q (report %+v)", got, report)
+	}
+	if got := report.Components["title"].Outcome; got != "healthy" {
+		t.Fatalf("title outcome = %q, want healthy (untouched)", got)
+	}
+	if !report.Improved || report.FailingAfter != 0 {
+		t.Fatalf("shadow evaluation: %+v", report)
+	}
+	if report.GoldenMismatches != 0 {
+		t.Fatalf("candidate lost golden values: %+v", report)
+	}
+
+	// The current repository was never mutated.
+	cur, _ := repo.Lookup("runtime")
+	cand, _ := candidate.Lookup("runtime")
+	if cur.String() == cand.String() {
+		t.Fatal("repair did not change the candidate rule")
+	}
+
+	// Post-repair extraction over the drifted site matches the pre-drift
+	// golden values.
+	candProc, err := extract.NewProcessor(candidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range drifted {
+		_, fails := candProc.ExtractPage(p)
+		if len(fails) > 0 {
+			t.Fatalf("page %s still failing after repair: %v", p.URI, fails)
+		}
+	}
+}
+
+// TestMonitorRepairRemovedMandatory: a field the site stopped publishing
+// becomes optional rather than error-looping a rebuild.
+func TestMonitorRepairRemovedMandatory(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(7, 24))
+	repo := buildRepo(t, cl, []string{"title", "runtime"})
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(testConfig())
+	feed(t, m, proc, cl.Pages)
+
+	drifted, injected := corpus.InjectDrift(cl, "runtime", corpus.DriftRemoveMandatory, 1.0, 3)
+	if len(injected) == 0 {
+		t.Fatal("no drift injected")
+	}
+	// Only feed drifted pages so every buffered copy lacks the field.
+	feed(t, m, proc, drifted)
+	if !m.Tripped() {
+		t.Fatal("remove-mandatory drift did not trip the alarm")
+	}
+
+	candidate, report, err := m.Repair(repo, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := candidate.Lookup("runtime")
+	if r.Optionality != rule.Optional {
+		t.Fatalf("runtime optionality = %s, want optional (report %+v)", r.Optionality, report)
+	}
+	if !report.Improved || report.FailingAfter != 0 {
+		t.Fatalf("shadow evaluation: %+v", report)
+	}
+}
+
+// TestMonitorRepairRequiresEvidence: with nothing failing there is
+// nothing to repair from.
+func TestMonitorRepairRequiresEvidence(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 12))
+	repo := buildRepo(t, cl, []string{"title"})
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(testConfig())
+	feed(t, m, proc, cl.Pages)
+	if _, _, err := m.Repair(repo, proc); err == nil {
+		t.Fatal("repair without failing samples must refuse")
+	}
+}
+
+// TestMonitorWindowAndReset: alarm trips on the configured ratio, reset
+// rearms it, and buffered golden values survive the reset.
+func TestMonitorWindowAndReset(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(11, 20))
+	repo := buildRepo(t, cl, []string{"title", "runtime"})
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(Config{WindowSize: 10, MinSamples: 4, TripRatio: 0.5, BufferSize: 8, RepairSample: 4})
+
+	feed(t, m, proc, cl.Pages)
+	drifted, _ := corpus.InjectDrift(cl, "runtime", corpus.DriftRelabel, 1.0, 2)
+	feed(t, m, proc, drifted[:6])
+	if !m.Tripped() {
+		t.Fatal("alarm should trip at 100% failure rate")
+	}
+	m.ResetWindow()
+	if m.Tripped() {
+		t.Fatal("reset must clear the alarm")
+	}
+	h := m.Health()
+	if h.WindowSize != 0 {
+		t.Fatalf("window not cleared: %+v", h)
+	}
+	if h.BufferedPages == 0 {
+		t.Fatal("reset must keep the sample buffer")
+	}
+	// Eviction respected the cap.
+	if h.BufferedPages > 8 {
+		t.Fatalf("buffer exceeded cap: %d", h.BufferedPages)
+	}
+
+	// Singleflight guard.
+	if !m.TryBeginRepair() {
+		t.Fatal("first TryBeginRepair must win")
+	}
+	if m.TryBeginRepair() {
+		t.Fatal("second TryBeginRepair must lose")
+	}
+	m.EndRepair()
+	if !m.TryBeginRepair() {
+		t.Fatal("EndRepair must release the guard")
+	}
+	m.EndRepair()
+}
+
+// TestDuplicateValueDriftRepair: the multi-valued-singleton detector
+// fires and repair broadens the rule so extraction stops failing.
+func TestDuplicateValueDriftRepair(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(21, 24))
+	repo := buildRepo(t, cl, []string{"title", "runtime"})
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(testConfig())
+	feed(t, m, proc, cl.Pages)
+
+	drifted, injected := corpus.InjectDrift(cl, "runtime", corpus.DriftDuplicateValue, 1.0, 4)
+	if len(injected) == 0 {
+		t.Fatal("no drift injected")
+	}
+	feed(t, m, proc, drifted)
+	h := m.Health()
+	if h.FailuresByKind["multiple-values"] == 0 {
+		t.Fatalf("multi-valued-singleton detector silent: %+v", h.FailuresByKind)
+	}
+	if !m.Tripped() {
+		t.Fatal("duplicate-value drift did not trip the alarm")
+	}
+
+	candidate, report, err := m.Repair(repo, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FailingAfter >= report.FailingBefore {
+		t.Fatalf("candidate did not improve: %+v", report)
+	}
+	candProc, err := extract.NewProcessor(candidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range drifted {
+		if _, fails := candProc.ExtractPage(p); len(fails) > 0 {
+			t.Fatalf("page %s still failing after repair: %v", p.URI, fails)
+		}
+	}
+}

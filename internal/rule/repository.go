@@ -54,6 +54,35 @@ func (repo *Repository) PageElementName() string {
 	return name + "-page"
 }
 
+// Clone returns a deep copy of the repository: mutating the copy's rules,
+// locations or structure never touches the original. Services use this to
+// stage a candidate repaired repository while the original keeps serving.
+func (repo *Repository) Clone() *Repository {
+	out := &Repository{Cluster: repo.Cluster, PageElement: repo.PageElement}
+	if repo.Rules != nil {
+		out.Rules = make([]Rule, len(repo.Rules))
+		for i, r := range repo.Rules {
+			out.Rules[i] = *r.Clone()
+		}
+	}
+	if repo.Structure != nil {
+		out.Structure = cloneStructure(repo.Structure)
+	}
+	return out
+}
+
+func cloneStructure(nodes []StructureNode) []StructureNode {
+	out := make([]StructureNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = n
+		out[i].Children = cloneStructure(n.Children)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // Record adds or replaces the rule for the rule's component, keeping one
 // rule per component (the paper: "a page component can be mapped by
 // exactly one mapping rule").

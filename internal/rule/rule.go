@@ -56,6 +56,17 @@ type Rule struct {
 	Refine *Refinement `json:"refine,omitempty"`
 }
 
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	out := *r
+	out.Locations = append([]string(nil), r.Locations...)
+	if r.Refine != nil {
+		rf := *r.Refine
+		out.Refine = &rf
+	}
+	return &out
+}
+
 // ValidateName checks the paper's EBNF for component names:
 // name ::= [a-zA-Z]([a-zA-Z] | [-_] | [0-9])*
 func ValidateName(name string) error {

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,10 +11,12 @@ import (
 	"net/url"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/lifecycle"
 	"repro/internal/rule"
 	"repro/internal/webfetch"
 )
@@ -23,14 +26,18 @@ import (
 //
 // Endpoints:
 //
-//	POST /repos          load/reload a repository (JSON body, ?name= override)
-//	GET  /repos          list loaded repositories
-//	DELETE /repos        unload a repository (?name=)
-//	POST /extract        extract one page: raw HTML body, ?repo= &uri= &format=json|xml
-//	POST /extract/batch  extract many pages: NDJSON {"uri","html"} in, NDJSON out
-//	POST /extract/url    fetch ?url= then extract against ?repo=
-//	GET  /healthz        liveness + registry/pool summary
-//	GET  /metrics        counters, failure breakdown, latency histogram
+//	POST /repos                  load/reload a repository (JSON body, ?name= override)
+//	GET  /repos                  list loaded repositories
+//	DELETE /repos                unload a repository (?name=)
+//	POST /extract                extract one page: raw HTML body, ?repo= &uri= &format=json|xml
+//	POST /extract/batch          extract many pages: NDJSON {"uri","html"} in, NDJSON out
+//	POST /extract/url            fetch ?url= then extract against ?repo=
+//	GET  /repos/{name}/health    drift monitor + version history (+?verdicts=1)
+//	GET  /repos/{name}/versions  retained repository versions + per-version stats
+//	POST /repos/{name}/repair    rebuild broken rules from the sample buffer (?promote=auto|never|force)
+//	POST /repos/{name}/rollback  re-activate the previous version
+//	GET  /healthz                liveness + registry/pool summary
+//	GET  /metrics                counters, failure breakdown, latency histogram, lifecycle events
 type Server struct {
 	Registry *Registry
 	Pool     *Pool
@@ -47,6 +54,15 @@ type Server struct {
 	// MaxBody bounds request bodies in bytes (default 8 MiB). Larger
 	// requests are rejected with 413, never truncated.
 	MaxBody int64
+	// Lifecycle tunes the per-repository drift monitors (zero value:
+	// lifecycle defaults).
+	Lifecycle lifecycle.Config
+	// AutoRepair, when true, reacts to a tripped drift alarm by running
+	// repair → stage → shadow-evaluate → promote without an operator.
+	AutoRepair bool
+
+	monMu    sync.Mutex
+	monitors map[string]*lifecycle.Monitor
 }
 
 // NewServer assembles a server with a fresh registry and metrics and a
@@ -82,6 +98,10 @@ func (s *Server) maxBody() int64 {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/repos", s.handleRepos)
+	mux.HandleFunc("GET /repos/{name}/health", s.handleRepoHealth)
+	mux.HandleFunc("GET /repos/{name}/versions", s.handleRepoVersions)
+	mux.HandleFunc("POST /repos/{name}/repair", s.handleRepoRepair)
+	mux.HandleFunc("POST /repos/{name}/rollback", s.handleRepoRollback)
 	mux.HandleFunc("/extract", s.handleExtract)
 	mux.HandleFunc("/extract/batch", s.handleExtractBatch)
 	mux.HandleFunc("/extract/url", s.handleExtractURL)
@@ -147,6 +167,7 @@ type repoInfo struct {
 	Name        string   `json:"name"`
 	Cluster     string   `json:"cluster"`
 	Components  []string `json:"components"`
+	Version     int      `json:"version"`
 	Generation  int      `json:"generation"`
 	PageElement string   `json:"pageElement"`
 }
@@ -156,6 +177,7 @@ func info(e *RepoEntry) repoInfo {
 		Name:        e.Name,
 		Cluster:     e.Repo.Cluster,
 		Components:  e.Repo.ComponentNames(),
+		Version:     e.Version,
 		Generation:  e.Generation,
 		PageElement: e.Repo.PageElementName(),
 	}
@@ -187,6 +209,10 @@ func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return errf(http.StatusUnprocessableEntity, "%v", err)
 			}
+			// A manual reload is an operator fixing things: like a
+			// repair-promote, the fresh version earns a fresh failure
+			// window, and a tripped alarm re-arms.
+			s.monitor(e.Name).ResetWindow()
 			writeJSON(w, http.StatusOK, info(e))
 			return nil
 		})
@@ -199,6 +225,7 @@ func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
 			if !s.Registry.Remove(name) {
 				return errf(http.StatusNotFound, "repository %q not loaded", name)
 			}
+			s.dropMonitor(name)
 			writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 			return nil
 		})
@@ -232,19 +259,44 @@ func (s *Server) lookupRepo(r *http.Request) (*RepoEntry, error) {
 }
 
 // extractPage runs one page extraction on the worker pool, recording
-// latency and failure metrics.
+// latency and failure metrics, per-version stats and the drift monitor
+// observation — and, when AutoRepair is on and this page tripped the
+// repository's drift alarm, kicking the background repair.
 func (s *Server) extractPage(r *http.Request, e *RepoEntry, page *core.Page) (*extract.Element, []extract.Failure, error) {
 	var el *extract.Element
+	var values map[string][]string
 	var fails []extract.Failure
 	start := time.Now()
 	err := s.Pool.Do(r.Context(), func() {
-		el, fails = e.Proc.ExtractPage(page)
+		el, values, fails = e.Proc.ExtractPageValues(page)
 	})
 	if err != nil {
 		return nil, nil, errf(http.StatusServiceUnavailable, "extraction not scheduled: %v", err)
 	}
 	s.Metrics.Extraction(time.Since(start), fails)
+	e.Stats.Record(len(fails))
+	mon := s.monitor(e.Name)
+	_, justTripped := mon.Observe(page, values, fails)
+	if justTripped {
+		s.Metrics.Lifecycle("drift.alarm")
+	}
+	// While the alarm stays tripped the monitor paces retry attempts, so
+	// a repair that sampled too early (buffer still dominated by
+	// pre-drift pages) gets another shot as evolved pages accumulate.
+	if s.AutoRepair && mon.NeedsRepair() {
+		go s.autoRepair(e.Name)
+	}
 	return el, fails, nil
+}
+
+// syntheticURI names a page that arrived without a URI by its content,
+// so the drift monitor's URI-keyed sample buffer keeps distinct pages
+// distinct (and re-posts of the same page land on the same sample)
+// instead of collapsing every anonymous request into one entry whose
+// golden values would mix unrelated pages.
+func syntheticURI(html []byte) string {
+	sum := sha256.Sum256(html)
+	return fmt.Sprintf("request:%x", sum[:8])
 }
 
 func failureStrings(fails []extract.Failure) []string {
@@ -290,7 +342,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		}
 		uri := r.URL.Query().Get("uri")
 		if uri == "" {
-			uri = "request:body"
+			uri = syntheticURI(body)
 		}
 		page := core.NewPage(uri, string(body))
 		el, fails, err := s.extractPage(r, e, page)
@@ -310,7 +362,7 @@ type batchLine struct {
 	// slot so responses stay positionally aligned with the input.
 	err error `json:"-"`
 	// lineNo is the physical line number in the request body, for error
-	// messages and synthetic URIs an operator can grep for.
+	// messages an operator can grep for.
 	lineNo int `json:"-"`
 }
 
@@ -335,7 +387,7 @@ func readBatch(body io.Reader, maxLine int) ([]batchLine, error) {
 		}
 		in.lineNo = lineNo
 		if in.URI == "" {
-			in.URI = fmt.Sprintf("request:line-%d", lineNo)
+			in.URI = syntheticURI([]byte(in.HTML))
 		}
 		lines = append(lines, in)
 	}

@@ -1,0 +1,373 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/lifecycle"
+	"repro/internal/webfetch"
+)
+
+// Helpers over the lifecycle endpoints.
+
+type healthResponse struct {
+	Repo          string           `json:"repo"`
+	ActiveVersion int              `json:"activeVersion"`
+	Versions      []versionInfo    `json:"versions"`
+	Monitor       lifecycle.Health `json:"monitor"`
+	Verdicts      map[string]map[string]int
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getHealth(t *testing.T, base, name string) healthResponse {
+	t.Helper()
+	var h healthResponse
+	if code := getJSON(t, base+"/repos/"+name+"/health", &h); code != http.StatusOK {
+		t.Fatalf("GET health: %d", code)
+	}
+	return h
+}
+
+// extractViaURL extracts one live-site page through the daemon, returning
+// the JSON record (marshalled back to a comparable string) and failures.
+func extractViaURL(t *testing.T, base, repo, pageURL string) (string, []string) {
+	t.Helper()
+	var res extractResult
+	u := base + "/extract/url?repo=" + repo + "&url=" + url.QueryEscape(pageURL)
+	if code := postJSON(t, u, &res); code != http.StatusOK {
+		t.Fatalf("POST /extract/url %s: %d", pageURL, code)
+	}
+	record, err := json.Marshal(res.Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(record), res.Failures
+}
+
+// postPage extracts one page through POST /extract, returning failures.
+func postPage(t *testing.T, base, repo string, p *core.Page) []string {
+	t.Helper()
+	u := base + "/extract?repo=" + repo + "&uri=" + url.QueryEscape(p.URI)
+	resp, err := http.Post(u, "text/html", strings.NewReader(dom.Render(p.Doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res extractResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /extract %s: %d", p.URI, resp.StatusCode)
+	}
+	return res.Failures
+}
+
+func postPages(t *testing.T, base, repo string, pages []*core.Page) {
+	t.Helper()
+	for _, p := range pages {
+		postPage(t, base, repo, p)
+	}
+}
+
+// TestE2ELifecycleDriftAutoRepair is the headline test of the wrapper
+// lifecycle: a live corpus site is served over HTTP, its rule repository
+// loaded into extractd, and traffic flows clean. Then the site evolves
+// (every page relabels the field the runtime rule anchors on); the §7
+// detectors surface the failures, the drift alarm trips, the auto-
+// repairer rebuilds the broken rule from the retained sample buffer and
+// promotes the repaired repository as a new version — after which
+// extraction over the evolved site matches the pre-drift golden output
+// exactly. Rollback then re-activates the old version and the failures
+// come back, proving the version swap is real.
+func TestE2ELifecycleDriftAutoRepair(t *testing.T) {
+	cl, repo := buildMoviesRepo(t, 17, 24)
+
+	site, err := webfetch.NewSiteHandler(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteSrv := httptest.NewServer(site)
+	defer siteSrv.Close()
+
+	srv, ts := newTestServer(t)
+	srv.AutoRepair = true
+	srv.Lifecycle = lifecycle.Config{
+		WindowSize: 20, MinSamples: 5, TripRatio: 0.3, BufferSize: 64, RepairSample: 10,
+	}
+	postJSONRepo(t, ts.URL, repo, "")
+
+	paths := make([]string, len(cl.Pages))
+	for i, p := range cl.Pages {
+		u, err := url.Parse(p.URI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = u.Path
+	}
+
+	// Phase 1: healthy traffic. Records become the golden reference.
+	golden := make(map[string]string, len(paths))
+	for _, path := range paths {
+		record, fails := extractViaURL(t, ts.URL, cl.Name, siteSrv.URL+path)
+		if len(fails) > 0 {
+			t.Fatalf("pre-drift failures on %s: %v", path, fails)
+		}
+		golden[path] = record
+	}
+	h := getHealth(t, ts.URL, cl.Name)
+	if h.Monitor.Status != "ok" || h.ActiveVersion != 1 {
+		t.Fatalf("healthy state: %+v", h)
+	}
+	if h.Monitor.BufferedPages == 0 {
+		t.Fatal("monitor buffered no samples")
+	}
+
+	// Phase 2: the site evolves under the running daemon.
+	drifted, injected := corpus.InjectDrift(cl, "runtime", corpus.DriftRelabel, 1.0, 5)
+	if len(injected) != len(cl.Pages) {
+		t.Fatalf("drift applied to %d/%d pages", len(injected), len(cl.Pages))
+	}
+	if err := site.SetPages(drifted); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: drive traffic until the auto-repairer promotes a repaired
+	// version. The monitor paces repair retries as drifted pages displace
+	// pre-drift buffer entries, so a couple of rounds suffice.
+	sawFailure := false
+	deadline := time.Now().Add(30 * time.Second)
+	promoted := false
+	for !promoted && time.Now().Before(deadline) {
+		for _, path := range paths {
+			_, fails := extractViaURL(t, ts.URL, cl.Name, siteSrv.URL+path)
+			if len(fails) > 0 {
+				sawFailure = true
+			}
+		}
+		h = getHealth(t, ts.URL, cl.Name)
+		promoted = h.ActiveVersion > 1 && !h.Monitor.RepairInProgress
+		if !promoted {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !sawFailure {
+		t.Fatal("drift never surfaced as extraction failures")
+	}
+	if !promoted {
+		t.Fatalf("auto-repair did not promote a repaired version before the deadline: %+v", h)
+	}
+	if h.Monitor.DriftAlarms == 0 {
+		t.Fatalf("drift alarm never tripped: %+v", h.Monitor)
+	}
+	if h.Monitor.FailuresByKind["missing-mandatory"] == 0 {
+		t.Fatalf("mandatory-void detector silent: %+v", h.Monitor)
+	}
+
+	// Phase 4: extraction over the evolved site matches the pre-drift
+	// golden records exactly — the repaired rule retrieves the same
+	// values from the same pages.
+	for _, path := range paths {
+		record, fails := extractViaURL(t, ts.URL, cl.Name, siteSrv.URL+path)
+		if len(fails) > 0 {
+			t.Fatalf("post-repair failures on %s: %v", path, fails)
+		}
+		if record != golden[path] {
+			t.Fatalf("post-repair record for %s differs from golden:\n got %s\nwant %s",
+				path, record, golden[path])
+		}
+	}
+
+	// The version history shows the original and the repaired version,
+	// with traffic recorded against both.
+	repairedVersion := h.ActiveVersion
+	if len(h.Versions) < 2 {
+		t.Fatalf("versions = %+v", h.Versions)
+	}
+	var v1Stats, vNewStats VersionStatsSnapshot
+	for _, v := range h.Versions {
+		if v.Version == 1 {
+			v1Stats = v.Stats
+		}
+		if v.Version == repairedVersion {
+			vNewStats = v.Stats
+		}
+	}
+	if v1Stats.Pages == 0 || v1Stats.FailedPages == 0 {
+		t.Fatalf("version 1 stats: %+v", v1Stats)
+	}
+
+	// Metrics carry the lifecycle counters.
+	var snap Snapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	if snap.Lifecycle["drift.alarm"] == 0 || snap.Lifecycle["repair.promoted"] == 0 {
+		t.Fatalf("lifecycle metrics: %+v", snap.Lifecycle)
+	}
+	if snap.ExtractionFailures["missing-mandatory"] == 0 {
+		t.Fatalf("failure metrics: %+v", snap.ExtractionFailures)
+	}
+
+	// Phase 5: rollback steps back through the retained versions (repair
+	// attempts may have staged non-promoted candidates in between) until
+	// the original is active again; the old rule then fails on the
+	// evolved site once more.
+	var rb struct {
+		ActiveVersion int `json:"activeVersion"`
+	}
+	if code := postJSON(t, ts.URL+"/repos/"+cl.Name+"/rollback", &rb); code != http.StatusOK {
+		t.Fatalf("rollback: %d", code)
+	}
+	if rb.ActiveVersion >= repairedVersion {
+		t.Fatalf("rollback landed on version %d", rb.ActiveVersion)
+	}
+	for rb.ActiveVersion > 1 {
+		if code := postJSON(t, ts.URL+"/repos/"+cl.Name+"/rollback", &rb); code != http.StatusOK {
+			t.Fatalf("rollback to original: %d", code)
+		}
+	}
+	failsAfterRollback := 0
+	for _, path := range paths {
+		if _, fails := extractViaURL(t, ts.URL, cl.Name, siteSrv.URL+path); len(fails) > 0 {
+			failsAfterRollback++
+		}
+	}
+	if failsAfterRollback == 0 {
+		t.Fatal("rolled-back rule should fail on the evolved site")
+	}
+
+	// Promote the repaired version back via the repair endpoint's sibling
+	// mechanism: versions listing + explicit request is exercised in the
+	// registry tests; here rollback-of-rollback suffices for cleanliness.
+	_ = vNewStats
+	_ = srv
+}
+
+// TestManualReloadResetsDriftAlarm: an operator POSTing a fixed
+// repository to /repos re-arms the alarm just like a repair-promote —
+// health must not report "drifting" forever after the fix went live.
+func TestManualReloadResetsDriftAlarm(t *testing.T) {
+	cl, repo := buildMoviesRepo(t, 23, 20)
+	srv, ts := newTestServer(t)
+	srv.Lifecycle = lifecycle.Config{WindowSize: 10, MinSamples: 4, TripRatio: 0.3}
+	postJSONRepo(t, ts.URL, repo, "")
+
+	drifted, _ := corpus.InjectDrift(cl, "runtime", corpus.DriftRelabel, 1.0, 7)
+	postPages(t, ts.URL, cl.Name, cl.Pages)
+	postPages(t, ts.URL, cl.Name, drifted)
+	if h := getHealth(t, ts.URL, cl.Name); h.Monitor.Status != "drifting" {
+		t.Fatalf("status = %q, want drifting", h.Monitor.Status)
+	}
+
+	postJSONRepo(t, ts.URL, repo, "") // operator reload
+	h := getHealth(t, ts.URL, cl.Name)
+	if h.Monitor.Status != "ok" {
+		t.Fatalf("status after reload = %q, want ok", h.Monitor.Status)
+	}
+	if h.ActiveVersion != 2 {
+		t.Fatalf("active version after reload = %d", h.ActiveVersion)
+	}
+}
+
+// TestLifecycleEndpointsManualRepair drives the manual repair endpoint
+// (promote=never then an explicit improved pass) without auto-repair.
+func TestLifecycleEndpointsManualRepair(t *testing.T) {
+	cl, repo := buildMoviesRepo(t, 19, 20)
+	_, ts := newTestServer(t)
+	postJSONRepo(t, ts.URL, repo, "")
+
+	// Unknown repo 404s.
+	if code := postJSON(t, ts.URL+"/repos/nope/repair", nil); code != http.StatusNotFound {
+		t.Fatalf("repair unknown repo: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/repos/nope/health", &struct{}{}); code != http.StatusNotFound {
+		t.Fatalf("health unknown repo: %d", code)
+	}
+	// Nothing failing buffered: repair refuses.
+	if code := postJSON(t, ts.URL+"/repos/"+cl.Name+"/repair", nil); code != http.StatusConflict {
+		t.Fatalf("repair without evidence: %d", code)
+	}
+	// No older version: rollback refuses.
+	if code := postJSON(t, ts.URL+"/repos/"+cl.Name+"/rollback", nil); code != http.StatusConflict {
+		t.Fatalf("rollback without history: %d", code)
+	}
+
+	// Feed drifted traffic through /extract so the buffer has evidence.
+	drifted, _ := corpus.InjectDrift(cl, "runtime", corpus.DriftRelabel, 1.0, 7)
+	postPages(t, ts.URL, cl.Name, cl.Pages)
+	postPages(t, ts.URL, cl.Name, drifted)
+
+	// Stage-only repair: a new version exists but v1 stays active.
+	var rr repairResponse
+	if code := postJSON(t, ts.URL+"/repos/"+cl.Name+"/repair?promote=never", &rr); code != http.StatusOK {
+		t.Fatalf("repair: %d", code)
+	}
+	if !rr.Report.Improved {
+		t.Fatalf("repair report not improved: %+v", rr.Report)
+	}
+	if rr.Promoted || rr.ActiveVersion != 1 || rr.StagedVersion != 2 {
+		t.Fatalf("stage-only repair: %+v", rr)
+	}
+	var vl struct {
+		ActiveVersion int           `json:"activeVersion"`
+		Versions      []versionInfo `json:"versions"`
+	}
+	if code := getJSON(t, ts.URL+"/repos/"+cl.Name+"/versions", &vl); code != http.StatusOK {
+		t.Fatalf("versions: %d", code)
+	}
+	if vl.ActiveVersion != 1 || len(vl.Versions) != 2 {
+		t.Fatalf("versions after stage: %+v", vl)
+	}
+
+	// A second repair pass with default promotion activates its candidate.
+	if code := postJSON(t, ts.URL+"/repos/"+cl.Name+"/repair", &rr); code != http.StatusOK {
+		t.Fatalf("repair: %d", code)
+	}
+	if !rr.Promoted || rr.ActiveVersion != rr.StagedVersion {
+		t.Fatalf("promoting repair: %+v", rr)
+	}
+	// The promoted rule serves real traffic without failures.
+	for _, p := range drifted[:4] {
+		if fails := postPage(t, ts.URL, cl.Name, p); len(fails) > 0 {
+			t.Fatalf("post-promote failures: %v", fails)
+		}
+	}
+}

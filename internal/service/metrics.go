@@ -25,6 +25,7 @@ type Metrics struct {
 	requests  map[string]int64 // endpoint → count
 	errors    map[string]int64 // endpoint → non-2xx count
 	failures  map[string]int64 // FailureKind.String() → count
+	events    map[string]int64 // lifecycle event → count
 	pages     int64
 	histogram []int64 // len(latencyBuckets)+1, last is +Inf
 	latSum    float64
@@ -38,8 +39,17 @@ func NewMetrics() *Metrics {
 		requests:  map[string]int64{},
 		errors:    map[string]int64{},
 		failures:  map[string]int64{},
+		events:    map[string]int64{},
 		histogram: make([]int64, len(latencyBuckets)+1),
 	}
+}
+
+// Lifecycle records one wrapper-lifecycle event (drift alarm tripped,
+// repair attempted/promoted/failed, rollback, …).
+func (m *Metrics) Lifecycle(event string) {
+	m.mu.Lock()
+	m.events[event]++
+	m.mu.Unlock()
 }
 
 // Request records one request to an endpoint and whether it errored.
@@ -81,6 +91,7 @@ type Snapshot struct {
 	Requests           map[string]int64  `json:"requests"`
 	Errors             map[string]int64  `json:"errors,omitempty"`
 	ExtractionFailures map[string]int64  `json:"extractionFailures,omitempty"`
+	Lifecycle          map[string]int64  `json:"lifecycle,omitempty"`
 	PagesExtracted     int64             `json:"pagesExtracted"`
 	LatencySumSeconds  float64           `json:"latencySumSeconds"`
 	LatencyCount       int64             `json:"latencyCount"`
@@ -108,6 +119,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.failures {
 		s.ExtractionFailures[k] = v
+	}
+	if len(m.events) > 0 {
+		s.Lifecycle = make(map[string]int64, len(m.events))
+		for k, v := range m.events {
+			s.Lifecycle[k] = v
+		}
 	}
 	s.LatencyHistogram = make([]HistogramBucket, 0, len(m.histogram))
 	for i, c := range m.histogram {

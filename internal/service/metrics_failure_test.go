@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+// TestMetricsFailureKindCounters pins down the /metrics FailureKind
+// accounting for both §7 detectors with exact counts: the
+// mandatory-void case (a mandatory component absent from the page) and
+// the multi-valued-singleton case (a single-valued rule matching more
+// than one node). Exactness matters — an off-by-one here silently skews
+// the drift statistics the lifecycle monitor alarms on.
+func TestMetricsFailureKindCounters(t *testing.T) {
+	srv, ts := newTestServer(t)
+	repo := testRepo(t, "movies") // title: mandatory, single-valued, BODY//H1[1]/text()[1]
+	err := repo.Record(rule.Rule{
+		Name:         "tag",
+		Optionality:  rule.Mandatory,
+		Multiplicity: rule.SingleValued,
+		Format:       rule.Text,
+		Locations:    []string{"BODY//SPAN/text()"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postJSONRepo(t, ts.URL, repo, "")
+
+	post := func(html string) extractResult {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/extract?repo=movies", "text/html", strings.NewReader(html))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /extract: %d", resp.StatusCode)
+		}
+		var res extractResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Page 1: fully healthy — both components present exactly once.
+	res := post("<html><body><h1>T</h1><span>s</span></body></html>")
+	if len(res.Failures) != 0 {
+		t.Fatalf("healthy page failures: %v", res.Failures)
+	}
+
+	// Page 2: mandatory-void — no H1 anywhere, SPAN fine.
+	res = post("<html><body><p>no title here</p><span>s</span></body></html>")
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "missing-mandatory") {
+		t.Fatalf("mandatory-void failures: %v", res.Failures)
+	}
+
+	// Page 3: multi-valued-singleton — two SPANs for a single-valued
+	// rule, H1 fine.
+	res = post("<html><body><h1>T</h1><span>a</span><span>b</span></body></html>")
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "multiple-values") {
+		t.Fatalf("multi-singleton failures: %v", res.Failures)
+	}
+
+	// Page 4: both detectors at once.
+	res = post("<html><body><span>a</span><span>b</span></body></html>")
+	if len(res.Failures) != 2 {
+		t.Fatalf("combined failures: %v", res.Failures)
+	}
+
+	var snap Snapshot
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if got := snap.ExtractionFailures["missing-mandatory"]; got != 2 {
+		t.Errorf("missing-mandatory count = %d, want 2", got)
+	}
+	if got := snap.ExtractionFailures["multiple-values"]; got != 2 {
+		t.Errorf("multiple-values count = %d, want 2", got)
+	}
+	if snap.PagesExtracted != 4 {
+		t.Errorf("pagesExtracted = %d, want 4", snap.PagesExtracted)
+	}
+	if snap.LatencyCount != 4 {
+		t.Errorf("latencyCount = %d, want 4", snap.LatencyCount)
+	}
+
+	// The per-version stats agree: 4 pages, 3 of them failing.
+	e, ok := srv.Registry.Get("movies")
+	if !ok {
+		t.Fatal("repo vanished")
+	}
+	stats := e.Stats.Snapshot()
+	if stats.Pages != 4 || stats.FailedPages != 3 || stats.Failures != 4 {
+		t.Errorf("version stats = %+v, want {4 3 4}", stats)
+	}
+
+	// And the drift monitor saw the same taxonomy.
+	h := srv.monitor("movies").Health()
+	if h.FailuresByKind["missing-mandatory"] != 2 || h.FailuresByKind["multiple-values"] != 2 {
+		t.Errorf("monitor kinds = %+v", h.FailuresByKind)
+	}
+	if h.FailuresByComponent["title"] != 2 || h.FailuresByComponent["tag"] != 2 {
+		t.Errorf("monitor components = %+v", h.FailuresByComponent)
+	}
+}

@@ -1,56 +1,123 @@
 // Package service turns the paper's offline rule *execution* step (§4)
-// into a long-running concurrent system: a registry of compiled rule
-// repositories that can be hot-loaded at runtime, a bounded worker pool
-// that executes extractions, request metrics, and the HTTP handlers that
-// expose them as the extractd daemon.
+// into a long-running concurrent system: a registry of versioned rule
+// repositories that can be hot-loaded, staged, promoted and rolled back
+// at runtime, a bounded worker pool that executes extractions, request
+// metrics, and the HTTP handlers that expose them as the extractd daemon.
 //
 // The split mirrors the paper's architecture: rule *construction*
 // (internal/core, driven by retrozilla) stays an offline activity; its
-// artifact — the rule repository — is what operators publish to a running
-// extractd, which then serves extraction traffic against it.
+// artifact — the rule repository — is what operators (or the lifecycle
+// auto-repairer) publish to a running extractd, which then serves
+// extraction traffic against it.
 package service
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/extract"
 	"repro/internal/rule"
 )
 
-// RepoEntry is one registered repository: the immutable source repository
-// and its compiled, concurrency-safe processor. Entries are replaced
-// wholesale on reload, never mutated.
+// RepoEntry is one immutable repository version: the source repository,
+// its compiled concurrency-safe processor, and live counters for traffic
+// served while this version was active. Entries are never mutated after
+// creation — promote and rollback only swap which entry is active — so a
+// request that holds an entry keeps a fully consistent (repo, processor)
+// pair no matter what the registry does meanwhile.
 type RepoEntry struct {
 	Name string
 	Repo *rule.Repository
 	Proc *extract.Processor
-	// Generation counts loads under this name, starting at 1; a reload
-	// bumps it, so clients can detect that rules changed under them.
+	// Version is the monotonic version id under this name, starting at 1.
+	// Every Load or Stage mints a fresh id; ids are never reused, so
+	// clients can detect that rules changed under them.
+	Version int
+	// Generation aliases Version (the PR-1 wire name).
 	Generation int
+	// Stats counts extraction traffic served by this version.
+	Stats *VersionStats
 }
 
-// Registry is a concurrency-safe map of named rule repositories. Load
-// compiles eagerly (via extract.NewProcessor → rule.CompileAll) and
-// freezes the processor, so every entry handed out is safe for concurrent
-// ExtractPage calls and a bad repository is rejected at publish time, not
-// at request time.
+// VersionStats accumulates per-version extraction counters.
+type VersionStats struct {
+	pages       atomic.Int64
+	failedPages atomic.Int64
+	failures    atomic.Int64
+}
+
+// Record counts one extracted page and its detected failure count.
+func (s *VersionStats) Record(failures int) {
+	s.pages.Add(1)
+	if failures > 0 {
+		s.failedPages.Add(1)
+		s.failures.Add(int64(failures))
+	}
+}
+
+// VersionStatsSnapshot is a point-in-time copy of a version's counters.
+type VersionStatsSnapshot struct {
+	Pages       int64 `json:"pages"`
+	FailedPages int64 `json:"failedPages"`
+	Failures    int64 `json:"failures"`
+}
+
+// Snapshot copies the counters.
+func (s *VersionStats) Snapshot() VersionStatsSnapshot {
+	return VersionStatsSnapshot{
+		Pages:       s.pages.Load(),
+		FailedPages: s.failedPages.Load(),
+		Failures:    s.failures.Load(),
+	}
+}
+
+// repoVersions holds every retained version of one name plus which one is
+// active. Guarded by the registry mutex.
+type repoVersions struct {
+	versions []*RepoEntry // ascending Version order
+	active   *RepoEntry   // nil until the first promote
+	next     int          // next version id to mint
+}
+
+func (rv *repoVersions) find(version int) *RepoEntry {
+	for _, e := range rv.versions {
+		if e.Version == version {
+			return e
+		}
+	}
+	return nil
+}
+
+// Registry is a concurrency-safe map of named, versioned rule
+// repositories. Load and Stage compile eagerly (via extract.NewProcessor
+// → rule.CompileAll) and freeze the processor, so every entry handed out
+// is safe for concurrent ExtractPage calls and a bad repository is
+// rejected at publish time, not at request time.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]*RepoEntry
+	mu    sync.RWMutex
+	repos map[string]*repoVersions
+	// MaxVersions bounds retained versions per name (default 8). The
+	// active version is never evicted.
+	MaxVersions int
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: map[string]*RepoEntry{}}
+	return &Registry{repos: map[string]*repoVersions{}}
 }
 
-// Load validates, compiles and registers a repository under name (the
-// repository's cluster name when name is empty). Loading an existing name
-// atomically replaces the previous entry — in-flight extractions keep
-// using the entry they already hold; new requests see the new one.
-func (g *Registry) Load(name string, repo *rule.Repository) (*RepoEntry, error) {
+func (g *Registry) maxVersions() int {
+	if g.MaxVersions > 0 {
+		return g.MaxVersions
+	}
+	return 8
+}
+
+// compile validates and compiles a repository into an (unregistered)
+// entry, resolving the effective name.
+func compileEntry(name string, repo *rule.Repository) (*RepoEntry, error) {
 	if repo == nil {
 		return nil, fmt.Errorf("service: nil repository")
 	}
@@ -65,49 +132,170 @@ func (g *Registry) Load(name string, repo *rule.Repository) (*RepoEntry, error) 
 		return nil, fmt.Errorf("service: compiling %q: %w", name, err)
 	}
 	proc.Freeze()
+	return &RepoEntry{Name: name, Repo: repo, Proc: proc, Stats: &VersionStats{}}, nil
+}
+
+// stageLocked registers a compiled entry as a new version under its name,
+// minting the version id and enforcing retention. Caller holds g.mu.
+func (g *Registry) stageLocked(e *RepoEntry) *repoVersions {
+	rv, ok := g.repos[e.Name]
+	if !ok {
+		rv = &repoVersions{next: 1}
+		g.repos[e.Name] = rv
+	}
+	e.Version = rv.next
+	e.Generation = e.Version
+	rv.next++
+	rv.versions = append(rv.versions, e)
+	// Evict oldest versions beyond the retention cap. The active entry
+	// and the one just staged are never evicted, so the effective floor
+	// is two retained versions regardless of MaxVersions.
+	maxN := g.maxVersions()
+	for len(rv.versions) > maxN {
+		evicted := false
+		for i, old := range rv.versions {
+			if old != rv.active && old != e {
+				rv.versions = append(rv.versions[:i], rv.versions[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return rv
+}
+
+// Load validates, compiles and registers a repository under name (the
+// repository's cluster name when name is empty) as a new version, and
+// promotes it atomically — in-flight extractions keep using the entry
+// they already hold; new requests see the new one.
+func (g *Registry) Load(name string, repo *rule.Repository) (*RepoEntry, error) {
+	e, err := compileEntry(name, repo)
+	if err != nil {
+		return nil, err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	gen := 1
-	if prev, ok := g.entries[name]; ok {
-		gen = prev.Generation + 1
-	}
-	e := &RepoEntry{Name: name, Repo: repo, Proc: proc, Generation: gen}
-	g.entries[name] = e
+	rv := g.stageLocked(e)
+	rv.active = e
 	return e, nil
 }
 
-// Get returns the current entry for name.
+// Stage registers a repository as a new version *without* activating it:
+// traffic keeps flowing to the current active version while the staged
+// one is shadow-evaluated. Promote makes it live.
+func (g *Registry) Stage(name string, repo *rule.Repository) (*RepoEntry, error) {
+	e, err := compileEntry(name, repo)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stageLocked(e)
+	return e, nil
+}
+
+// Promote atomically makes the given retained version the active one.
+func (g *Registry) Promote(name string, version int) (*RepoEntry, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rv, ok := g.repos[name]
+	if !ok {
+		return nil, fmt.Errorf("service: repository %q not loaded", name)
+	}
+	e := rv.find(version)
+	if e == nil {
+		return nil, fmt.Errorf("service: repository %q has no version %d", name, version)
+	}
+	rv.active = e
+	return e, nil
+}
+
+// Rollback atomically reverts to the newest retained version older than
+// the active one, returning it.
+func (g *Registry) Rollback(name string) (*RepoEntry, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rv, ok := g.repos[name]
+	if !ok || rv.active == nil {
+		return nil, fmt.Errorf("service: repository %q not loaded", name)
+	}
+	var prev *RepoEntry
+	for _, e := range rv.versions {
+		if e.Version < rv.active.Version {
+			prev = e
+		}
+	}
+	if prev == nil {
+		return nil, fmt.Errorf("service: repository %q has no older version to roll back to", name)
+	}
+	rv.active = prev
+	return prev, nil
+}
+
+// Get returns the active entry for name.
 func (g *Registry) Get(name string) (*RepoEntry, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	e, ok := g.entries[name]
-	return e, ok
+	rv, ok := g.repos[name]
+	if !ok || rv.active == nil {
+		return nil, false
+	}
+	return rv.active, true
 }
 
-// Remove unregisters a repository, reporting whether it existed.
+// Versions returns every retained version of a name (ascending) and the
+// active version id (0 when none is active).
+func (g *Registry) Versions(name string) ([]*RepoEntry, int, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	rv, ok := g.repos[name]
+	if !ok {
+		return nil, 0, false
+	}
+	out := append([]*RepoEntry(nil), rv.versions...)
+	activeV := 0
+	if rv.active != nil {
+		activeV = rv.active.Version
+	}
+	return out, activeV, true
+}
+
+// Remove unregisters a repository and all its versions, reporting whether
+// it existed.
 func (g *Registry) Remove(name string) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	_, ok := g.entries[name]
-	delete(g.entries, name)
+	_, ok := g.repos[name]
+	delete(g.repos, name)
 	return ok
 }
 
-// List returns the current entries sorted by name.
+// List returns the active entries sorted by name.
 func (g *Registry) List() []*RepoEntry {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := make([]*RepoEntry, 0, len(g.entries))
-	for _, e := range g.entries {
-		out = append(out, e)
+	out := make([]*RepoEntry, 0, len(g.repos))
+	for _, rv := range g.repos {
+		if rv.active != nil {
+			out = append(out, rv.active)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Len returns the number of registered repositories.
+// Len returns the number of repositories with an active version.
 func (g *Registry) Len() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return len(g.entries)
+	n := 0
+	for _, rv := range g.repos {
+		if rv.active != nil {
+			n++
+		}
+	}
+	return n
 }

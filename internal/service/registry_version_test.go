@@ -1,0 +1,264 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// versionedRepo returns a compilable repository whose PageElement marks
+// the version, so an extraction result betrays which repository actually
+// produced it.
+func versionedRepo(t *testing.T, marker string) *rule.Repository {
+	t.Helper()
+	repo := testRepo(t, "movies")
+	repo.PageElement = marker
+	return repo
+}
+
+func TestRegistryStagePromoteRollback(t *testing.T) {
+	g := NewRegistry()
+
+	// Load activates version 1.
+	e1, err := g.Load("movies", versionedRepo(t, "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Version != 1 || e1.Generation != 1 {
+		t.Fatalf("first load: %+v", e1)
+	}
+
+	// Stage mints version 2 but leaves 1 active.
+	e2, err := g.Stage("movies", versionedRepo(t, "v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != 2 {
+		t.Fatalf("staged version = %d", e2.Version)
+	}
+	if cur, _ := g.Get("movies"); cur != e1 {
+		t.Fatal("stage must not change the active entry")
+	}
+	versions, active, ok := g.Versions("movies")
+	if !ok || len(versions) != 2 || active != 1 {
+		t.Fatalf("versions = %v active %d ok %v", versions, active, ok)
+	}
+
+	// Promote activates the staged version.
+	if _, err := g.Promote("movies", 2); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := g.Get("movies"); cur != e2 {
+		t.Fatal("promote did not activate version 2")
+	}
+	if _, err := g.Promote("movies", 99); err == nil {
+		t.Fatal("promoting an unknown version must fail")
+	}
+	if _, err := g.Promote("nope", 1); err == nil {
+		t.Fatal("promoting an unknown repo must fail")
+	}
+
+	// Rollback steps back to version 1; a second rollback has nowhere to
+	// go.
+	back, err := g.Rollback("movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != e1 {
+		t.Fatalf("rollback landed on version %d", back.Version)
+	}
+	if _, err := g.Rollback("movies"); err == nil {
+		t.Fatal("rollback past the oldest version must fail")
+	}
+	if _, err := g.Rollback("nope"); err == nil {
+		t.Fatal("rollback of an unknown repo must fail")
+	}
+
+	// A staged-only name serves no traffic.
+	if _, err := g.Stage("", versionedRepo(t, "s1")); err != nil {
+		t.Fatal(err)
+	}
+	// The repo's cluster name is "movies": staged under the existing
+	// name. Stage a genuinely fresh name via explicit naming.
+	if _, err := g.Stage("fresh", versionedRepo(t, "s2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Get("fresh"); ok {
+		t.Fatal("staged-only repository must not be active")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (only movies active)", g.Len())
+	}
+	if _, err := g.Promote("fresh", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Get("fresh"); !ok {
+		t.Fatal("promoted staged repository must be active")
+	}
+}
+
+func TestRegistryVersionRetention(t *testing.T) {
+	g := NewRegistry()
+	g.MaxVersions = 3
+	if _, err := g.Load("movies", versionedRepo(t, "v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 6; i++ {
+		if _, err := g.Stage("movies", versionedRepo(t, fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions, active, _ := g.Versions("movies")
+	if len(versions) != 3 {
+		t.Fatalf("retained %d versions, want 3", len(versions))
+	}
+	// The active version (1) survives eviction even though it is oldest.
+	if active != 1 {
+		t.Fatalf("active = %d", active)
+	}
+	found := false
+	for _, v := range versions {
+		if v.Version == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("active version was evicted")
+	}
+	// Version ids keep climbing monotonically after eviction.
+	e, err := g.Stage("movies", versionedRepo(t, "v7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 7 {
+		t.Fatalf("version id reused: %d", e.Version)
+	}
+
+	// Degenerate cap: the just-staged entry must survive eviction so it
+	// stays promotable, and the active entry must stay listed.
+	g1 := NewRegistry()
+	g1.MaxVersions = 1
+	if _, err := g1.Load("movies", versionedRepo(t, "w1")); err != nil {
+		t.Fatal(err)
+	}
+	staged, err := g1.Stage("movies", versionedRepo(t, "w2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g1.Promote("movies", staged.Version); err != nil {
+		t.Fatalf("staged version evicted under MaxVersions=1: %v", err)
+	}
+	versions, active, _ = g1.Versions("movies")
+	found = false
+	for _, v := range versions {
+		if v.Version == active {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("active version %d missing from retained list %v", active, versions)
+	}
+}
+
+// TestRegistryConcurrentPromoteRollback hammers Get+extract against
+// concurrent load/stage/promote/rollback under -race, asserting no
+// reader ever observes a half-swapped repository: the (Repo, Proc) pair
+// of a returned entry must always belong together, which the extraction
+// output's page-element marker proves end to end.
+func TestRegistryConcurrentPromoteRollback(t *testing.T) {
+	g := NewRegistry()
+	if _, err := g.Load("movies", versionedRepo(t, "marker-1")); err != nil {
+		t.Fatal(err)
+	}
+	page := core.NewPage("http://x/p", "<html><body><h1>A Title</h1></body></html>")
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var readers, writers sync.WaitGroup
+
+	// Readers: extract and cross-check entry consistency.
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !stop.Load() {
+				e, ok := g.Get("movies")
+				if !ok {
+					t.Error("active entry vanished")
+					return
+				}
+				if e.Proc == nil || e.Proc.Repo != e.Repo {
+					torn.Add(1)
+					continue
+				}
+				el, fails := e.Proc.ExtractPage(page)
+				if el.Name != e.Repo.PageElementName() {
+					torn.Add(1)
+				}
+				if len(fails) != 0 {
+					t.Errorf("unexpected failures: %v", fails)
+					return
+				}
+				e.Stats.Record(len(fails))
+			}
+		}()
+	}
+
+	// Writer: stage + promote a fresh version repeatedly.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 2; i < 40; i++ {
+			e, err := g.Stage("movies", versionedRepo(t, fmt.Sprintf("marker-%d", i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := g.Promote("movies", e.Version); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Writer: roll back whenever possible.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 40; i++ {
+			_, _ = g.Rollback("movies")
+		}
+	}()
+	// Writer: full reloads race with everything else.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := g.Load("movies", versionedRepo(t, fmt.Sprintf("reload-%d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("observed %d half-swapped entries", torn.Load())
+	}
+	// Every retained version still satisfies the pairing invariant.
+	versions, active, _ := g.Versions("movies")
+	if active == 0 {
+		t.Fatal("no active version after the storm")
+	}
+	for _, v := range versions {
+		if v.Proc.Repo != v.Repo {
+			t.Fatalf("version %d holds a foreign processor", v.Version)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -167,8 +168,11 @@ func Links(doc *dom.Node, base *url.URL) []*url.URL {
 
 // SiteHandler serves corpus clusters as a browsable site: every page at
 // its URI's path, plus an index page per cluster and a root index — so a
-// crawl starting at "/" reaches every page.
+// crawl starting at "/" reaches every page. SetPages swaps served pages
+// at runtime, which is how tests (and the drift quickstart) simulate a
+// site evolving under a running extraction service.
 type SiteHandler struct {
+	mu       sync.RWMutex
 	byPath   map[string]*core.Page
 	clusters []*corpus.Cluster
 }
@@ -196,13 +200,57 @@ func NewSiteHandler(clusters ...*corpus.Cluster) (*SiteHandler, error) {
 	return h, nil
 }
 
+// DefaultSite assembles the stock synthetic multi-cluster site (movies,
+// books, stocks — the servesite command's corpus) and returns the
+// handler together with its clusters, so callers can build rules against
+// the same ground truth the site serves.
+func DefaultSite(seed int64, pagesPerCluster int) (*SiteHandler, []*corpus.Cluster, error) {
+	clusters := []*corpus.Cluster{
+		corpus.GenerateMovies(corpus.DefaultMovieProfile(seed, pagesPerCluster)),
+		corpus.GenerateBooks(corpus.DefaultBookProfile(seed+1, pagesPerCluster)),
+		corpus.GenerateStocks(corpus.DefaultStockProfile(seed+2, pagesPerCluster)),
+	}
+	h, err := NewSiteHandler(clusters...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, clusters, nil
+}
+
+// SetPages atomically replaces the served copy of each given page,
+// matched by URI path. Pages at paths the site does not already serve
+// are an error — the site's link structure must stay intact under page
+// evolution.
+func (h *SiteHandler) SetPages(pages []*core.Page) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range pages {
+		u, err := url.Parse(p.URI)
+		if err != nil {
+			return fmt.Errorf("webfetch: bad page URI %q: %w", p.URI, err)
+		}
+		path := u.Path
+		if path == "" {
+			path = "/"
+		}
+		if _, ok := h.byPath[path]; !ok {
+			return fmt.Errorf("webfetch: no served page at %q", path)
+		}
+		h.byPath[path] = p
+	}
+	return nil
+}
+
 // ServeHTTP implements http.Handler.
 func (h *SiteHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/" {
 		h.serveIndex(w)
 		return
 	}
-	if page, ok := h.byPath[r.URL.Path]; ok {
+	h.mu.RLock()
+	page, ok := h.byPath[r.URL.Path]
+	h.mu.RUnlock()
+	if ok {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		_, _ = io.WriteString(w, dom.Render(page.Doc))
 		return
@@ -216,10 +264,12 @@ func (h *SiteHandler) serveIndex(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	var b strings.Builder
 	b.WriteString("<html><head><title>site index</title></head><body><h1>Index</h1>")
+	h.mu.RLock()
 	paths := make([]string, 0, len(h.byPath))
 	for p := range h.byPath {
 		paths = append(paths, p)
 	}
+	h.mu.RUnlock()
 	sort.Strings(paths)
 	b.WriteString("<ul>")
 	for _, p := range paths {
@@ -230,4 +280,8 @@ func (h *SiteHandler) serveIndex(w http.ResponseWriter) {
 }
 
 // PageCount returns the number of servable pages.
-func (h *SiteHandler) PageCount() int { return len(h.byPath) }
+func (h *SiteHandler) PageCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.byPath)
+}
