@@ -1,0 +1,75 @@
+// Allocation-regression tests: the PR 3 hot-path overhaul is protected by
+// explicit allocs-per-op budgets, so a future change that quietly
+// reintroduces per-step maps or materialized axis slices fails tests, not
+// just drifts a benchmark number.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/rule"
+	"repro/internal/xpath"
+)
+
+// TestExtractPageAllocBudget extracts one page of the Figure 1 movies
+// corpus with a fully induced repository and pins the allocation budget.
+// The pre-PR3 evaluator spent ~6500 allocs/op here; the budget sits ~2×
+// above the current ~600 so legitimate feature work has headroom while a
+// regression to the old regime still fails loudly.
+func TestExtractPageAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus induction is slow")
+	}
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 30))
+	sample, _ := cl.RepresentativeSplit(10)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := cl.Pages[len(cl.Pages)-1]
+	proc.Freeze()
+	// Warm the evaluator's scratch pool before measuring.
+	for i := 0; i < 3; i++ {
+		proc.ExtractPage(page)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		el, _ := proc.ExtractPage(page)
+		if len(el.Children) == 0 {
+			t.Error("empty extraction")
+		}
+	})
+	const budget = 1300
+	if allocs > budget {
+		t.Errorf("ExtractPage allocates %.0f/op, budget %d", allocs, budget)
+	}
+}
+
+// TestFastPathLocationZeroAllocsOnCorpusPage asserts the tentpole's
+// zero-allocation guarantee against a real corpus page rather than a toy
+// document: the canonical positional location of a corpus text node
+// evaluates with 0 allocs/op.
+func TestFastPathLocationZeroAllocsOnCorpusPage(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(3, 2))
+	page := cl.Pages[0]
+	title := xpath.MustCompile("BODY[1]/H1[1]/text()[1]")
+	if !title.IsFastPath() {
+		t.Fatal("canonical location must compile to the fast path")
+	}
+	if title.SelectLocationFirst(page.Doc) == nil {
+		t.Fatal("title location found nothing")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		title.SelectLocationFirst(page.Doc)
+	})
+	if allocs != 0 {
+		t.Errorf("fast-path SelectLocationFirst allocates %.1f/op, want 0", allocs)
+	}
+}

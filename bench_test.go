@@ -240,6 +240,78 @@ func BenchmarkXPathEvalContextual(b *testing.B) {
 	}
 }
 
+// BenchmarkCompareDocumentOrder measures the document-order comparison the
+// evaluator leans on when sorting and deduplicating node-sets — an O(1)
+// stamp compare on parsed trees since PR 3.
+func BenchmarkCompareDocumentOrder(b *testing.B) {
+	doc := dom.Parse(benchHTML)
+	var nodes []*dom.Node
+	dom.Walk(doc, func(n *dom.Node) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	if len(nodes) < 2 {
+		b.Fatal("tiny tree")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := nodes[i%len(nodes)]
+		y := nodes[(i*7+3)%len(nodes)]
+		dom.CompareDocumentOrder(x, y)
+	}
+}
+
+// BenchmarkSelectLocationFastPath measures the zero-allocation compiled
+// child-path walker on the canonical positional location of a real corpus
+// node (BODY[..]/…/text()[k]).
+func BenchmarkSelectLocationFastPath(b *testing.B) {
+	doc := dom.Parse(benchHTML)
+	target := dom.FindFirst(dom.Body(doc), func(n *dom.Node) bool {
+		return n.Type == dom.TextNode && n.Parent.TagIs("TD")
+	})
+	if target == nil {
+		b.Fatal("no table text node in bench page")
+	}
+	path, ok := core.PathTo(target)
+	if !ok {
+		b.Fatal("no positional path to target")
+	}
+	c := xpath.MustCompile(path.String())
+	if !c.IsFastPath() {
+		b.Fatalf("%s did not compile to the fast path", path)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.SelectLocationFirst(doc) != target {
+			b.Fatal("fast path missed the target")
+		}
+	}
+}
+
+// BenchmarkExtractdPageCache measures the service's content-addressed
+// page cache on its hit path (hash + LRU probe) against the dom.Parse it
+// saves — the per-request cost of re-posting an already-seen body.
+func BenchmarkExtractdPageCache(b *testing.B) {
+	cache := service.NewPageCache(64)
+	body := []byte(benchHTML)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := service.PageKeyOf(body)
+		doc, ok := cache.Get(key)
+		if !ok {
+			doc = dom.Parse(string(body))
+			cache.Put(key, doc, int64(len(body)))
+		}
+		if doc == nil {
+			b.Fatal("nil document")
+		}
+	}
+}
+
 func BenchmarkInduceRule(b *testing.B) {
 	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 30))
 	sample, _ := cl.RepresentativeSplit(10)

@@ -20,6 +20,11 @@
 // With -auto-repair the daemon runs the repair → stage → shadow-evaluate
 // → promote sequence on its own when a repository's drift alarm trips.
 //
+// -page-cache sizes the content-addressed LRU of parsed documents
+// (repeated posts of identical HTML skip the parser; hit/miss counters in
+// /metrics). -pprof PORT serves net/http/pprof on localhost only, for
+// profiling the live daemon.
+//
 // Each -rules flag names a repository file (JSON from retrozilla, or the
 // XML interchange form), optionally prefixed "name=" to register it under
 // a name other than its cluster name.
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by the -pprof listener
 	"os"
 	"runtime"
 	"strings"
@@ -58,17 +64,33 @@ func main() {
 		"drift-detection sliding window size in pages (default 50)")
 	driftRatio := flag.Float64("drift-ratio", 0,
 		"failing-page ratio that trips the drift alarm (default 0.3)")
+	pageCache := flag.Int("page-cache", service.DefaultPageCacheSize,
+		"parsed-page LRU cache size in documents (0 disables)")
+	pprofPort := flag.Int("pprof", 0,
+		"serve net/http/pprof on localhost:PORT for live profiling (0 disables)")
 	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
 	flag.Parse()
 
+	if *pprofPort > 0 {
+		// Localhost-only on purpose: the profiler exposes heap contents and
+		// must never ride the public listen address.
+		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
+		go func() {
+			fmt.Printf("pprof listening on http://%s/debug/pprof/\n", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "extractd: pprof:", err)
+			}
+		}()
+	}
+
 	lc := lifecycle.Config{WindowSize: *driftWindow, TripRatio: *driftRatio}
-	if err := run(*addr, *workers, *queue, *noFetch, *autoRepair, *fetchHosts, lc, rules); err != nil {
+	if err := run(*addr, *workers, *queue, *noFetch, *autoRepair, *fetchHosts, *pageCache, lc, rules); err != nil {
 		fmt.Fprintln(os.Stderr, "extractd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, noFetch, autoRepair bool, fetchHosts string, lc lifecycle.Config, rules []string) error {
+func run(addr string, workers, queue int, noFetch, autoRepair bool, fetchHosts string, pageCache int, lc lifecycle.Config, rules []string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -83,6 +105,7 @@ func run(addr string, workers, queue int, noFetch, autoRepair bool, fetchHosts s
 	defer srv.Close()
 	srv.AutoRepair = autoRepair
 	srv.Lifecycle = lc
+	srv.PageCache = service.NewPageCache(pageCache)
 	if fetchHosts != "" {
 		for _, h := range strings.Split(fetchHosts, ",") {
 			if h = strings.TrimSpace(h); h != "" {

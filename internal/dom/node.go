@@ -77,7 +77,20 @@ type Node struct {
 	LastChild   *Node
 	PrevSibling *Node
 	NextSibling *Node
+
+	// ord is the node's document-order stamp: a 1-based depth-first index
+	// assigned to every node of a tree by IndexOrder (Parse stamps
+	// automatically). Zero means unstamped. Stamps are all-or-nothing per
+	// tree — any structural mutation clears the whole tree's stamps — so a
+	// non-zero stamp on any node guarantees the entire tree carries
+	// consistent stamps and CompareDocumentOrder can reduce to one integer
+	// comparison.
+	ord uint64
 }
+
+// OrderIndex returns the node's document-order stamp, or 0 when the tree
+// has not been indexed (or was mutated since).
+func (n *Node) OrderIndex() uint64 { return n.ord }
 
 // NewElement returns a detached element node with the given tag name.
 func NewElement(tag string, attrs ...Attribute) *Node {
@@ -123,11 +136,33 @@ func (n *Node) SetAttr(key, val string) {
 	n.Attr = append(n.Attr, Attribute{Key: key, Val: val})
 }
 
+// invalidateAttach clears document-order stamps ahead of attaching the
+// detached node c under n: the tree gaining a node can no longer trust any
+// stamp, and a stamped fragment joining an unstamped tree would violate
+// the all-or-nothing invariant.
+func invalidateAttach(n, c *Node) {
+	if n.ord != 0 {
+		clearOrder(n.Root())
+	}
+	if c.ord != 0 {
+		clearOrder(c)
+	}
+}
+
+// clearOrder zeroes the stamps of n's subtree.
+func clearOrder(n *Node) {
+	n.ord = 0
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		clearOrder(c)
+	}
+}
+
 // AppendChild adds c as the last child of n. c must be detached.
 func (n *Node) AppendChild(c *Node) {
 	if c.Parent != nil || c.PrevSibling != nil || c.NextSibling != nil {
 		panic("dom: AppendChild called with attached child")
 	}
+	invalidateAttach(n, c)
 	c.Parent = n
 	c.PrevSibling = n.LastChild
 	if n.LastChild != nil {
@@ -151,6 +186,7 @@ func (n *Node) InsertBefore(c, ref *Node) {
 	if c.Parent != nil || c.PrevSibling != nil || c.NextSibling != nil {
 		panic("dom: InsertBefore called with attached child")
 	}
+	invalidateAttach(n, c)
 	c.Parent = n
 	c.NextSibling = ref
 	c.PrevSibling = ref.PrevSibling
@@ -166,6 +202,11 @@ func (n *Node) InsertBefore(c, ref *Node) {
 func (n *Node) RemoveChild(c *Node) {
 	if c.Parent != n {
 		panic("dom: RemoveChild called with non-child")
+	}
+	if n.ord != 0 {
+		// Clearing from the root also zeroes c's subtree, so the detached
+		// fragment leaves unstamped.
+		clearOrder(n.Root())
 	}
 	if c.PrevSibling != nil {
 		c.PrevSibling.NextSibling = c.NextSibling

@@ -1,0 +1,127 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// orderTestHTML exercises head routing, tables, raw text and comments so
+// that DFS stamping is checked against a tree whose creation order differs
+// from its document order (head elements are parsed after BODY exists).
+const orderTestHTML = `<html><head><title>t</title></head><body>
+<h1>Title</h1>
+<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>
+<div><ul><li>x</li><li>y</li></ul></div>
+<!-- c --><p>tail</p>
+</body></html>`
+
+func allNodes(root *Node) []*Node {
+	var out []*Node
+	Walk(root, func(n *Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+func TestParseAssignsDFSOrderStamps(t *testing.T) {
+	doc := Parse(orderTestHTML)
+	nodes := allNodes(doc)
+	for i, n := range nodes {
+		if n.OrderIndex() != uint64(i+1) {
+			t.Fatalf("node %d (%s %q): stamp %d, want %d",
+				i, n.Type, n.Data, n.OrderIndex(), i+1)
+		}
+	}
+}
+
+func TestCompareDocumentOrderStampedMatchesFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	doc := Parse(orderTestHTML)
+	nodes := allNodes(doc)
+	// A structurally identical unstamped twin gives the fallback verdicts.
+	twin := doc.Clone()
+	twinNodes := allNodes(twin)
+	if len(twinNodes) != len(nodes) {
+		t.Fatalf("clone has %d nodes, want %d", len(twinNodes), len(nodes))
+	}
+	for _, n := range twinNodes {
+		if n.OrderIndex() != 0 {
+			t.Fatal("clone should be unstamped")
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		i, j := r.Intn(len(nodes)), r.Intn(len(nodes))
+		fast := CompareDocumentOrder(nodes[i], nodes[j])
+		slow := CompareDocumentOrder(twinNodes[i], twinNodes[j])
+		if fast != slow {
+			t.Fatalf("pair (%d,%d): stamped compare %d, fallback %d", i, j, fast, slow)
+		}
+	}
+}
+
+func TestMutationInvalidatesOrderStamps(t *testing.T) {
+	doc := Parse(orderTestHTML)
+	body := Body(doc)
+	if body.OrderIndex() == 0 {
+		t.Fatal("parsed tree should be stamped")
+	}
+	h1 := FindFirst(doc, func(n *Node) bool { return n.TagIs("H1") })
+	body.RemoveChild(h1)
+	Walk(doc, func(n *Node) bool {
+		if n.OrderIndex() != 0 {
+			t.Fatalf("stamp %d survived RemoveChild on %s %q", n.OrderIndex(), n.Type, n.Data)
+		}
+		return true
+	})
+	if h1.OrderIndex() != 0 {
+		t.Fatal("detached fragment kept a stamp")
+	}
+	// The fallback still orders correctly after invalidation.
+	table := FindFirst(doc, func(n *Node) bool { return n.TagIs("TABLE") })
+	div := FindFirst(doc, func(n *Node) bool { return n.TagIs("DIV") })
+	if CompareDocumentOrder(table, div) != -1 {
+		t.Fatal("fallback compare wrong after invalidation")
+	}
+	// Re-stamping restores the fast path with correct stamps.
+	IndexOrder(doc)
+	nodes := allNodes(doc)
+	for i, n := range nodes {
+		if n.OrderIndex() != uint64(i+1) {
+			t.Fatalf("restamp: node %d has stamp %d", i, n.OrderIndex())
+		}
+	}
+}
+
+func TestAttachInvalidatesBothTrees(t *testing.T) {
+	doc := Parse(orderTestHTML)
+	frag := Parse("<div><span>frag</span></div>")
+	fragDiv := FindFirst(frag, func(n *Node) bool { return n.TagIs("DIV") })
+	fragDiv.Parent.RemoveChild(fragDiv) // clears frag's stamps
+	body := Body(doc)
+	body.AppendChild(fragDiv)
+	Walk(doc, func(n *Node) bool {
+		if n.OrderIndex() != 0 {
+			t.Fatalf("stamp survived cross-tree attach on %s %q", n.Type, n.Data)
+		}
+		return true
+	})
+	// InsertBefore on a freshly stamped tree invalidates too.
+	IndexOrder(doc)
+	p := NewElement("P")
+	body.InsertBefore(p, body.FirstChild)
+	if body.OrderIndex() != 0 || p.OrderIndex() != 0 {
+		t.Fatal("InsertBefore did not invalidate stamps")
+	}
+}
+
+func TestCloneIsUnstamped(t *testing.T) {
+	doc := Parse(orderTestHTML)
+	c := doc.Clone()
+	Walk(c, func(n *Node) bool {
+		if n.OrderIndex() != 0 {
+			t.Fatal("clone carries order stamps")
+		}
+		return true
+	})
+}

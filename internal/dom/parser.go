@@ -70,6 +70,10 @@ func Parse(src string) *Node {
 		}
 		p.process(tok)
 	}
+	// Stamp document order: parsed trees are the extraction hot path, and
+	// the stamps turn every document-order comparison during XPath
+	// evaluation into an integer compare.
+	IndexOrder(p.doc)
 	return p.doc
 }
 
@@ -92,6 +96,7 @@ func ParseFragment(src, container string) *Node {
 		}
 		p.process(tok)
 	}
+	IndexOrder(root)
 	return root
 }
 

@@ -48,6 +48,16 @@ var rawTextTags = map[string]bool{
 	"SCRIPT": true, "STYLE": true, "TEXTAREA": true, "TITLE": true, "XMP": true,
 }
 
+// rawTextLower maps each raw-text tag to its lower-cased form once, so
+// scanning for a closing tag never re-lowers the tag per token.
+var rawTextLower = func() map[string]string {
+	m := make(map[string]string, len(rawTextTags))
+	for k := range rawTextTags {
+		m[k] = lowerASCII(k)
+	}
+	return m
+}()
+
 // Next returns the next token. After the input is exhausted it returns
 // a Token with Type ErrorToken forever.
 func (z *Tokenizer) Next() Token {
@@ -101,12 +111,12 @@ func (z *Tokenizer) nextText() Token {
 }
 
 func (z *Tokenizer) nextRawText() Token {
-	closer := "</" + lowerASCII(z.rawTag)
-	// ASCII-only fold: strings.ToLower would widen invalid UTF-8 bytes
-	// into replacement runes, desynchronizing the found index from byte
-	// offsets in the original source.
-	low := lowerASCII(z.src[z.pos:])
-	idx := strings.Index(low, closer)
+	// Scan for "</tag" with an ASCII-only byte-wise fold: strings.ToLower
+	// would widen invalid UTF-8 bytes into replacement runes,
+	// desynchronizing the found index from byte offsets in the original
+	// source — and lowering a copy of the whole remaining document per raw
+	// element is an O(len(src)) allocation the scan avoids entirely.
+	idx := indexCloseTag(z.src[z.pos:], rawTextLower[z.rawTag])
 	tag := z.rawTag
 	if idx < 0 {
 		// Unterminated raw element: consume to EOF.
@@ -130,25 +140,61 @@ func (z *Tokenizer) nextRawText() Token {
 }
 
 // lowerASCII lowercases A-Z byte-wise, leaving every other byte — and
-// therefore every byte offset — untouched.
+// therefore every byte offset — untouched. Already-lowercase input (the
+// common case for real-world HTML) is returned unchanged without
+// allocating; otherwise conversion resumes at the first upper-case byte.
 func lowerASCII(s string) string {
-	hasUpper := false
+	first := -1
 	for i := 0; i < len(s); i++ {
 		if s[i] >= 'A' && s[i] <= 'Z' {
-			hasUpper = true
+			first = i
 			break
 		}
 	}
-	if !hasUpper {
+	if first < 0 {
 		return s
 	}
 	b := []byte(s)
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + ('a' - 'A')
+	for i := first; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
 		}
 	}
 	return string(b)
+}
+
+// indexCloseTag returns the byte offset of the first "</tag" occurrence in
+// s, matching the tag ASCII case-insensitively (tag must be lower-case),
+// or -1. Unlike lowering s first, the scan allocates nothing.
+func indexCloseTag(s, tag string) int {
+	from := 0
+	for {
+		i := strings.Index(s[from:], "</")
+		if i < 0 {
+			return -1
+		}
+		i += from
+		rest := s[i+2:]
+		if len(rest) >= len(tag) && foldEqualASCII(rest[:len(tag)], tag) {
+			return i
+		}
+		from = i + 2
+	}
+}
+
+// foldEqualASCII reports whether a equals b after byte-wise ASCII
+// lower-casing of a. b must already be lower-case and len(a) == len(b).
+func foldEqualASCII(a, b string) bool {
+	for i := 0; i < len(b); i++ {
+		c := a[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (z *Tokenizer) nextComment() Token {

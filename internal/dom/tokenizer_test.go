@@ -1,6 +1,9 @@
 package dom
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // collect drains the tokenizer.
 func collect(src string) []Token {
@@ -153,5 +156,73 @@ func TestInnerHTML(t *testing.T) {
 	div := FindFirst(doc, func(n *Node) bool { return n.TagIs("div") })
 	if got := InnerHTML(div); got != "<B>x</B>y" {
 		t.Errorf("InnerHTML = %q", got)
+	}
+}
+
+func TestLowerASCII(t *testing.T) {
+	cases := map[string]string{
+		"":             "",
+		"script":       "script",
+		"already low3": "already low3",
+		"SCRIPT":       "script",
+		"mIxEd-9":      "mixed-9",
+		"x\xffY":       "x\xffy", // invalid UTF-8 bytes stay put
+	}
+	for in, want := range cases {
+		if got := lowerASCII(in); got != want {
+			t.Errorf("lowerASCII(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Already-lowercase input must come back without allocating.
+	in := "no upper case bytes at all, only text <and> punctuation"
+	allocs := testing.AllocsPerRun(100, func() {
+		if lowerASCII(in) != in {
+			t.Error("lowerASCII changed lowercase input")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("lowerASCII allocates %.1f/op on lowercase input, want 0", allocs)
+	}
+}
+
+func TestIndexCloseTagFoldInsensitive(t *testing.T) {
+	cases := []struct {
+		s, tag string
+		want   int
+	}{
+		{"abc</script>", "script", 3},
+		{"abc</SCRIPT >", "script", 3},
+		{"abc</ScRiPt>", "script", 3},
+		{"</x></script>", "script", 4},
+		{"no closer here", "script", -1},
+		{"</scrip", "script", -1},
+		{"</</script>", "script", 2},
+	}
+	for _, c := range cases {
+		if got := indexCloseTag(c.s, c.tag); got != c.want {
+			t.Errorf("indexCloseTag(%q, %q) = %d, want %d", c.s, c.tag, got, c.want)
+		}
+	}
+	// The scan allocates nothing, however long the raw text is.
+	long := strings.Repeat("VAR x = 1; ", 2000) + "</SCRIPT>"
+	allocs := testing.AllocsPerRun(20, func() {
+		if indexCloseTag(long, "script") < 0 {
+			t.Error("closer not found")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("indexCloseTag allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRawTextMixedCaseCloser(t *testing.T) {
+	doc := Parse(`<html><body><script>if (a < b) { x() }</SCRIPT><p>after</p></body></html>`)
+	sc := FindFirst(doc, func(n *Node) bool { return n.TagIs("script") })
+	if sc == nil || TextContent(sc) != "if (a < b) { x() }" {
+		t.Fatalf("script content = %q", TextContent(sc))
+	}
+	p := FindFirst(doc, func(n *Node) bool { return n.TagIs("p") })
+	if p == nil || TextContent(p) != "after" {
+		t.Fatal("content after mixed-case closer lost")
 	}
 }

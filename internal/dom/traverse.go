@@ -78,13 +78,41 @@ func PrevInDocument(n *Node) *Node {
 	return n.Parent
 }
 
+// IndexOrder stamps every node of n's tree with its 1-based depth-first
+// document-order index, making CompareDocumentOrder a single integer
+// comparison. Parse indexes automatically; call IndexOrder to (re)stamp a
+// hand-built tree or one whose stamps a mutation cleared. The stamping
+// always starts at the tree root, keeping stamps all-or-nothing per tree.
+func IndexOrder(n *Node) {
+	ord := uint64(0)
+	var rec func(*Node)
+	rec = func(x *Node) {
+		ord++
+		x.ord = ord
+		for c := x.FirstChild; c != nil; c = c.NextSibling {
+			rec(c)
+		}
+	}
+	rec(n.Root())
+}
+
 // CompareDocumentOrder reports the relative document order of a and b:
 // -1 when a precedes b, +1 when a follows b, 0 when a == b. Both nodes
 // must belong to the same tree; nodes from different trees compare by
 // traversal fallback (a not found before b ⇒ +1).
+//
+// When both nodes carry document-order stamps (see IndexOrder) the
+// comparison is one integer compare; otherwise it falls back to walking
+// ancestor chains.
 func CompareDocumentOrder(a, b *Node) int {
 	if a == b {
 		return 0
+	}
+	if a.ord != 0 && b.ord != 0 && a.ord != b.ord {
+		if a.ord < b.ord {
+			return -1
+		}
+		return 1
 	}
 	// Ancestor relationships: an ancestor precedes its descendants.
 	for p := b.Parent; p != nil; p = p.Parent {

@@ -12,10 +12,11 @@
 package extract
 
 import (
-	"fmt"
+	"bytes"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Element is a node of the produced XML document. Leaves carry Text;
@@ -69,13 +70,32 @@ func (e *Element) FindAll(name string) []*Element {
 	return out
 }
 
+// xmlBufPool recycles whole-document encode buffers: serializing into a
+// pooled buffer and issuing a single Write keeps the per-request XML path
+// free of the per-element builder allocations the recursive writer would
+// otherwise pay.
+var xmlBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// textEscaper and attrEscaper are built once; strings.Replacer is safe
+// for concurrent use and WriteString escapes straight into the buffer
+// without an intermediate string.
+var (
+	textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+)
+
 // WriteXML serializes the element tree with two-space indentation and an
 // XML declaration, matching the Figure 5 layout.
 func (e *Element) WriteXML(w io.Writer) error {
-	if _, err := io.WriteString(w, `<?xml version="1.0" encoding="UTF-8"?>`+"\n"); err != nil {
-		return err
+	buf := xmlBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	e.appendXML(buf, 0)
+	_, err := w.Write(buf.Bytes())
+	if buf.Cap() <= 1<<20 {
+		xmlBufPool.Put(buf)
 	}
-	return e.write(w, 0)
+	return err
 }
 
 // XMLString returns the serialized document.
@@ -85,47 +105,42 @@ func (e *Element) XMLString() string {
 	return b.String()
 }
 
-func (e *Element) write(w io.Writer, depth int) error {
-	ind := strings.Repeat("  ", depth)
-	var open strings.Builder
-	open.WriteString(ind)
-	open.WriteByte('<')
-	open.WriteString(e.Name)
+func writeIndent(b *bytes.Buffer, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (e *Element) appendXML(b *bytes.Buffer, depth int) {
+	writeIndent(b, depth)
+	b.WriteByte('<')
+	b.WriteString(e.Name)
 	for _, a := range e.Attrs {
-		fmt.Fprintf(&open, ` %s="%s"`, a.Name, escapeAttr(a.Value))
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		_, _ = attrEscaper.WriteString(b, a.Value)
+		b.WriteByte('"')
 	}
 	switch {
 	case len(e.Children) == 0 && e.Text == "":
-		open.WriteString("/>\n")
-		_, err := io.WriteString(w, open.String())
-		return err
+		b.WriteString("/>\n")
 	case len(e.Children) == 0:
-		fmt.Fprintf(&open, ">%s</%s>\n", escapeText(e.Text), e.Name)
-		_, err := io.WriteString(w, open.String())
-		return err
+		b.WriteByte('>')
+		_, _ = textEscaper.WriteString(b, e.Text)
+		b.WriteString("</")
+		b.WriteString(e.Name)
+		b.WriteString(">\n")
 	default:
-		open.WriteString(">\n")
-		if _, err := io.WriteString(w, open.String()); err != nil {
-			return err
-		}
+		b.WriteString(">\n")
 		for _, c := range e.Children {
-			if err := c.write(w, depth+1); err != nil {
-				return err
-			}
+			c.appendXML(b, depth+1)
 		}
-		_, err := fmt.Fprintf(w, "%s</%s>\n", ind, e.Name)
-		return err
+		writeIndent(b, depth)
+		b.WriteString("</")
+		b.WriteString(e.Name)
+		b.WriteString(">\n")
 	}
-}
-
-func escapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
-}
-
-func escapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
 }
 
 // SortChildren orders direct children by name then text — used only by

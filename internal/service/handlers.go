@@ -3,7 +3,6 @@ package service
 import (
 	"bufio"
 	"bytes"
-	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -54,6 +53,10 @@ type Server struct {
 	// MaxBody bounds request bodies in bytes (default 8 MiB). Larger
 	// requests are rejected with 413, never truncated.
 	MaxBody int64
+	// PageCache holds parsed documents keyed by body hash, letting
+	// repeated extractions of identical HTML skip dom.Parse. Nil disables
+	// caching. Hits and misses are surfaced in /metrics.
+	PageCache *PageCache
 	// Lifecycle tunes the per-repository drift monitors (zero value:
 	// lifecycle defaults).
 	Lifecycle lifecycle.Config
@@ -77,12 +80,17 @@ func NewServer(workers, queue int, fetcher *webfetch.Fetcher) *Server {
 		queue = 4 * workers
 	}
 	return &Server{
-		Registry: NewRegistry(),
-		Pool:     NewPool(workers, queue),
-		Metrics:  NewMetrics(),
-		Fetcher:  fetcher,
+		Registry:  NewRegistry(),
+		Pool:      NewPool(workers, queue),
+		Metrics:   NewMetrics(),
+		Fetcher:   fetcher,
+		PageCache: NewPageCache(DefaultPageCacheSize),
 	}
 }
+
+// DefaultPageCacheSize is the parsed-document cache capacity NewServer
+// installs; override by replacing Server.PageCache (nil disables).
+const DefaultPageCacheSize = 256
 
 // Close releases the worker pool.
 func (s *Server) Close() { s.Pool.Close() }
@@ -139,12 +147,28 @@ func (s *Server) readBody(r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
+// jsonBufPool recycles response-encode buffers so the steady-state JSON
+// path performs one Write per response instead of growing a fresh buffer
+// inside the encoder for every request.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	// Don't let one huge page response pin a giant buffer in the pool.
+	if buf.Cap() <= 1<<20 {
+		jsonBufPool.Put(buf)
+	}
 }
 
 // endpoint wraps a handler with request counting and error rendering.
@@ -295,8 +319,57 @@ func (s *Server) extractPage(r *http.Request, e *RepoEntry, page *core.Page) (*e
 // instead of collapsing every anonymous request into one entry whose
 // golden values would mix unrelated pages.
 func syntheticURI(html []byte) string {
-	sum := sha256.Sum256(html)
-	return fmt.Sprintf("request:%x", sum[:8])
+	return syntheticURIFromKey(PageKeyOf(html))
+}
+
+// syntheticURIFromKey is the single source of the synthetic-URI format,
+// so a body names the same URI whether it reaches the parser through the
+// page cache or not.
+func syntheticURIFromKey(key PageKey) string {
+	return fmt.Sprintf("request:%x", key[:8])
+}
+
+// pageFor assembles the page for one request body, drawing the parsed
+// document from the page cache when an identical body was seen before.
+// The URI stays per-request — only the parse is shared — and an empty
+// URI is derived from the body hash like syntheticURI.
+func (s *Server) pageFor(uri string, body []byte) *core.Page {
+	if s.PageCache == nil {
+		if uri == "" {
+			uri = syntheticURI(body)
+		}
+		return core.NewPage(uri, string(body))
+	}
+	return s.pageForKey(uri, PageKeyOf(body), int64(len(body)), func() string { return string(body) })
+}
+
+// pageForString is pageFor for bodies already held as strings (batch
+// lines): hashing pays the one unavoidable byte-slice conversion, but the
+// original string feeds the parser directly, so no second full-body copy.
+func (s *Server) pageForString(uri, html string) *core.Page {
+	if s.PageCache == nil {
+		if uri == "" {
+			uri = syntheticURI([]byte(html))
+		}
+		return core.NewPage(uri, html)
+	}
+	return s.pageForKey(uri, PageKeyOf([]byte(html)), int64(len(html)), func() string { return html })
+}
+
+// pageForKey finishes a cache-enabled page lookup; src is only invoked on
+// a miss, so the hit path never materializes the body string.
+func (s *Server) pageForKey(uri string, key PageKey, size int64, src func() string) *core.Page {
+	if uri == "" {
+		uri = syntheticURIFromKey(key)
+	}
+	if doc, ok := s.PageCache.Get(key); ok {
+		s.Metrics.PageCache(true)
+		return &core.Page{URI: uri, Doc: doc}
+	}
+	s.Metrics.PageCache(false)
+	page := core.NewPage(uri, src())
+	s.PageCache.Put(key, page.Doc, size)
+	return page
 }
 
 func failureStrings(fails []extract.Failure) []string {
@@ -340,11 +413,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		if len(bytes.TrimSpace(body)) == 0 {
 			return errf(http.StatusBadRequest, "empty HTML body")
 		}
-		uri := r.URL.Query().Get("uri")
-		if uri == "" {
-			uri = syntheticURI(body)
-		}
-		page := core.NewPage(uri, string(body))
+		page := s.pageFor(r.URL.Query().Get("uri"), body)
 		el, fails, err := s.extractPage(r, e, page)
 		if err != nil {
 			return err
@@ -436,7 +505,7 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 					out[i] = map[string]string{"error": fmt.Sprintf("line %d: %v", in.lineNo, in.err)}
 					return
 				}
-				page := core.NewPage(in.URI, in.HTML)
+				page := s.pageForString(in.URI, in.HTML)
 				el, fails, err := s.extractPage(r, e, page)
 				if err != nil {
 					out[i] = map[string]string{"uri": in.URI, "error": err.Error()}

@@ -3,6 +3,7 @@ package service
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/extract"
@@ -30,6 +31,11 @@ type Metrics struct {
 	histogram []int64 // len(latencyBuckets)+1, last is +Inf
 	latSum    float64
 	latCount  int64
+
+	// Page-parse cache traffic; atomics so the extraction hot path never
+	// touches the metrics mutex for a cache probe.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // NewMetrics creates zeroed metrics with the uptime clock started.
@@ -41,6 +47,15 @@ func NewMetrics() *Metrics {
 		failures:  map[string]int64{},
 		events:    map[string]int64{},
 		histogram: make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+// PageCache records one page-cache probe outcome.
+func (m *Metrics) PageCache(hit bool) {
+	if hit {
+		m.cacheHits.Add(1)
+	} else {
+		m.cacheMisses.Add(1)
 	}
 }
 
@@ -93,6 +108,8 @@ type Snapshot struct {
 	ExtractionFailures map[string]int64  `json:"extractionFailures,omitempty"`
 	Lifecycle          map[string]int64  `json:"lifecycle,omitempty"`
 	PagesExtracted     int64             `json:"pagesExtracted"`
+	PageCacheHits      int64             `json:"pageCacheHits"`
+	PageCacheMisses    int64             `json:"pageCacheMisses"`
 	LatencySumSeconds  float64           `json:"latencySumSeconds"`
 	LatencyCount       int64             `json:"latencyCount"`
 	LatencyHistogram   []HistogramBucket `json:"latencyHistogram"`
@@ -108,6 +125,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Errors:             make(map[string]int64, len(m.errors)),
 		ExtractionFailures: make(map[string]int64, len(m.failures)),
 		PagesExtracted:     m.pages,
+		PageCacheHits:      m.cacheHits.Load(),
+		PageCacheMisses:    m.cacheMisses.Load(),
 		LatencySumSeconds:  m.latSum,
 		LatencyCount:       m.latCount,
 	}

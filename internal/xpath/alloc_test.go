@@ -1,0 +1,107 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+)
+
+const allocTestHTML = `<html><body>
+<h1>The Title</h1>
+<div><p>intro</p></div>
+<div><ul><li>first</li><li>second</li><li>third</li></ul></div>
+<table><tr><td>Label:</td><td>value</td></tr></table>
+</body></html>`
+
+// TestFastPathZeroAllocs pins the tentpole guarantee: evaluating a
+// canonical child-axis positional location against a parsed page performs
+// no heap allocation at all.
+func TestFastPathZeroAllocs(t *testing.T) {
+	doc := dom.Parse(allocTestHTML)
+	exprs := []string{
+		"BODY[1]/H1[1]/text()[1]",
+		"BODY[1]/DIV[2]/UL[1]/LI[3]/text()[1]",
+		"BODY[1]/TABLE[1]/TR[1]/TD[2]/text()[1]",
+		"BODY[1]/DIV[9]/SPAN[1]/text()[1]", // void match walks too
+	}
+	for _, src := range exprs {
+		c := MustCompile(src)
+		if !c.IsFastPath() {
+			t.Fatalf("%s: expected the compiled fast path", src)
+		}
+		ran := false
+		allocs := testing.AllocsPerRun(200, func() {
+			c.SelectLocationFirst(doc)
+			ran = true
+		})
+		if !ran {
+			t.Fatal("closure did not run")
+		}
+		if allocs != 0 {
+			t.Errorf("%s: SelectLocationFirst allocates %.1f/op, want 0", src, allocs)
+		}
+	}
+	// Sanity: the fast path actually selects.
+	c := MustCompile("BODY[1]/DIV[2]/UL[1]/LI[2]/text()[1]")
+	n := c.SelectLocationFirst(doc)
+	if n == nil || n.Data != "second" {
+		t.Fatalf("fast path selected %v, want the second LI text", n)
+	}
+}
+
+// TestGeneralEvaluatorAllocBudget keeps the scratch-pooled general
+// evaluator honest: a warmed-up contextual evaluation must stay within a
+// small allocation budget per run (the detached result set plus predicate
+// context spills), nowhere near the one-map-plus-slices-per-step regime.
+func TestGeneralEvaluatorAllocBudget(t *testing.T) {
+	doc := dom.Parse(allocTestHTML)
+	c := MustCompile(`BODY//text()[preceding::text()[1][contains(., 'Label:')]]`)
+	if c.IsFastPath() {
+		t.Fatal("contextual location must use the general evaluator")
+	}
+	// Warm the scratch pool.
+	for i := 0; i < 4; i++ {
+		c.SelectLocation(doc)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if len(c.SelectLocation(doc)) != 1 {
+			t.Error("contextual selection failed")
+		}
+	})
+	// ~24/op as of PR 3; the headroom covers race-detector instrumentation
+	// overhead while still failing far below the old one-map-per-step cost.
+	const budget = 64
+	if allocs > budget {
+		t.Errorf("contextual SelectLocation allocates %.1f/op, budget %d", allocs, budget)
+	}
+}
+
+// TestNonFastShapesStayGeneral guards against the fast-path detector
+// over-matching: anything beyond pure child positional steps must compile
+// to the general evaluator.
+func TestNonFastShapesStayGeneral(t *testing.T) {
+	general := []string{
+		"BODY//text()",                     // descendant step
+		"BODY[1]/DIV",                      // missing position
+		"BODY[1]/*[1]",                     // star test
+		"BODY[1]/DIV[position()=2]",        // non-literal predicate
+		"BODY[1]/DIV[2][contains(., 'x')]", // residual predicate
+		"BODY[1]/DIV[1] | BODY[1]/P[1]",    // union
+		"BODY[1]/DIV[1]/..",                // parent step
+	}
+	for _, src := range general {
+		if MustCompile(src).IsFastPath() {
+			t.Errorf("%s: unexpectedly compiled to the fast path", src)
+		}
+	}
+	fast := []string{
+		"BODY[1]/DIV[2]/text()[1]",
+		"/HTML[1]/BODY[1]/H1[1]",
+		"TD[3]",
+	}
+	for _, src := range fast {
+		if !MustCompile(src).IsFastPath() {
+			t.Errorf("%s: expected the fast path", src)
+		}
+	}
+}

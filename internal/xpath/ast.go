@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/dom"
@@ -120,8 +121,14 @@ func (t nodeTest) String() string {
 
 // step is one location step: axis::nodeTest[pred]...
 type step struct {
-	axis  axis
-	test  nodeTest
+	axis axis
+	test nodeTest
+	// pos, when non-zero, is a constant positional predicate [N] hoisted
+	// out of preds at compile time (numeric predicates abbreviate
+	// position()=N). The evaluator selects the N-th node-test match along
+	// the axis directly, with early exit, instead of materializing the
+	// axis and filtering.
+	pos   int
 	preds []expr
 }
 
@@ -140,6 +147,9 @@ func (s *step) String() string {
 		b.WriteString("::")
 	}
 	b.WriteString(s.test.String())
+	if s.pos > 0 {
+		fmt.Fprintf(&b, "[%d]", s.pos)
+	}
 	for _, p := range s.preds {
 		b.WriteByte('[')
 		b.WriteString(p.String())
@@ -159,6 +169,9 @@ type context struct {
 	node *dom.Node
 	pos  int // 1-based position() within the current node list
 	size int // last()
+	// scr is the evaluation's scratch allocator, shared by every nested
+	// context of one top-level Eval.
+	scr *scratch
 }
 
 // pathExpr is a location path, optionally rooted at a filter expression

@@ -1,0 +1,89 @@
+package xpath
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// fastPath is the compiled form of a pure child-axis positional location
+// path — the shape of every canonical mapping-rule location the paper's
+// builder emits (BODY[1]/DIV[2]/…/text()[1]). Each step selects the N-th
+// matching child, so evaluation is a direct indexed walk down the tree:
+// no node-set materialization, no predicate machinery, zero heap
+// allocations per evaluation.
+type fastPath struct {
+	absolute bool
+	steps    []fastStep
+}
+
+// fastStep is one child step of a fast path: the N-th child element with
+// the given tag, or the N-th text child when text is set.
+type fastStep struct {
+	tag  string // upper-cased element name; unused when text is set
+	text bool
+	pos  int // 1-based position among matching children
+}
+
+// compileFastPath returns the fast form of root when it has the pure
+// child-axis positional shape, or nil when the general evaluator is
+// needed. It runs after positional-predicate hoisting, so eligible steps
+// carry their position in step.pos and have no residual predicates.
+func compileFastPath(root expr) *fastPath {
+	pe, ok := root.(*pathExpr)
+	if !ok || pe.start != nil || len(pe.steps) == 0 {
+		return nil
+	}
+	fp := &fastPath{absolute: pe.absolute, steps: make([]fastStep, 0, len(pe.steps))}
+	for _, s := range pe.steps {
+		if s.axis != axisChild || s.pos <= 0 || len(s.preds) != 0 {
+			return nil
+		}
+		switch s.test.kind {
+		case testName:
+			fp.steps = append(fp.steps, fastStep{tag: strings.ToUpper(s.test.name), pos: s.pos})
+		case testText:
+			fp.steps = append(fp.steps, fastStep{text: true, pos: s.pos})
+		default:
+			return nil
+		}
+	}
+	return fp
+}
+
+// run walks the path from the context node and returns the selected node,
+// or nil when any step finds no N-th match. It allocates nothing.
+func (fp *fastPath) run(ctx *dom.Node) *dom.Node {
+	if ctx == nil {
+		return nil
+	}
+	cur := ctx
+	if fp.absolute {
+		cur = cur.Root()
+	}
+	for i := range fp.steps {
+		fs := &fp.steps[i]
+		left := fs.pos
+		var hit *dom.Node
+		for ch := cur.FirstChild; ch != nil; ch = ch.NextSibling {
+			if fs.text {
+				if ch.Type != dom.TextNode {
+					continue
+				}
+			} else if ch.Type != dom.ElementNode ||
+				(ch.Data != fs.tag && !strings.EqualFold(ch.Data, fs.tag)) {
+				continue
+			}
+			left--
+			if left == 0 {
+				hit = ch
+				break
+			}
+		}
+		if hit == nil {
+			return nil
+		}
+		cur = hit
+	}
+	return cur
+}

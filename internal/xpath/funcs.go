@@ -45,10 +45,16 @@ func init() {
 		"normalize-space":  fnNormalizeSpace,
 		"translate":        fnTranslate,
 		"boolean": func(ctx *context, args []expr) Value {
-			return BoolValue(evalArg(ctx, args, 0))
+			v := evalArg(ctx, args, 0)
+			b := BoolValue(v)
+			releaseValue(ctx, v)
+			return b
 		},
 		"not": func(ctx *context, args []expr) Value {
-			return !BoolValue(evalArg(ctx, args, 0))
+			v := evalArg(ctx, args, 0)
+			b := BoolValue(v)
+			releaseValue(ctx, v)
+			return !b
 		},
 		"true":  func(*context, []expr) Value { return true },
 		"false": func(*context, []expr) Value { return false },
@@ -56,7 +62,7 @@ func init() {
 			if len(args) == 0 {
 				return NumberValue(NodeStringValue(ctx.node))
 			}
-			return NumberValue(evalArg(ctx, args, 0))
+			return argNumber(ctx, args, 0)
 		},
 		"sum":     fnSum,
 		"floor":   func(ctx *context, args []expr) Value { return math.Floor(argNumber(ctx, args, 0)) },
@@ -74,12 +80,35 @@ func evalArg(ctx *context, args []expr, i int) Value {
 	return args[i].eval(ctx)
 }
 
+// isSelfPath reports whether e is the bare '.' path, letting string/number
+// argument evaluation short-circuit to the context node without
+// materializing a node-set — contains(., 'label') is the inner loop of
+// every contextual mapping-rule predicate.
+func isSelfPath(e expr) bool {
+	pe, ok := e.(*pathExpr)
+	return ok && pe.start == nil && !pe.absolute && len(pe.steps) == 1 &&
+		pe.steps[0].axis == axisSelf && pe.steps[0].test.kind == testNode &&
+		pe.steps[0].pos == 0 && len(pe.steps[0].preds) == 0
+}
+
 func argString(ctx *context, args []expr, i int) string {
-	return StringValue(evalArg(ctx, args, i))
+	if i >= len(args) || isSelfPath(args[i]) {
+		return NodeStringValue(ctx.node)
+	}
+	v := args[i].eval(ctx)
+	s := StringValue(v)
+	releaseValue(ctx, v)
+	return s
 }
 
 func argNumber(ctx *context, args []expr, i int) float64 {
-	return NumberValue(evalArg(ctx, args, i))
+	if i >= len(args) || isSelfPath(args[i]) {
+		return NumberValue(NodeStringValue(ctx.node))
+	}
+	v := args[i].eval(ctx)
+	f := NumberValue(v)
+	releaseValue(ctx, v)
+	return f
 }
 
 func fnLast(ctx *context, _ []expr) Value     { return float64(ctx.size) }
@@ -88,7 +117,9 @@ func fnPosition(ctx *context, _ []expr) Value { return float64(ctx.pos) }
 func fnCount(ctx *context, args []expr) Value {
 	v := evalArg(ctx, args, 0)
 	if ns, ok := v.(NodeSet); ok {
-		return float64(len(ns))
+		cnt := float64(len(ns))
+		releaseValue(ctx, v)
+		return cnt
 	}
 	return float64(0)
 }
@@ -96,11 +127,14 @@ func fnCount(ctx *context, args []expr) Value {
 func fnName(ctx *context, args []expr) Value {
 	n := ctx.node
 	if len(args) > 0 {
-		ns, ok := evalArg(ctx, args, 0).(NodeSet)
+		v := evalArg(ctx, args, 0)
+		ns, ok := v.(NodeSet)
 		if !ok || len(ns) == 0 {
+			releaseValue(ctx, v)
 			return ""
 		}
 		n = ns[0]
+		releaseValue(ctx, v)
 	}
 	if n.Type == dom.ElementNode || n.Type == dom.AttributeNode {
 		return n.Data
@@ -112,7 +146,7 @@ func fnString(ctx *context, args []expr) Value {
 	if len(args) == 0 {
 		return NodeStringValue(ctx.node)
 	}
-	return StringValue(evalArg(ctx, args, 0))
+	return argString(ctx, args, 0)
 }
 
 func fnConcat(ctx *context, args []expr) Value {
@@ -226,5 +260,6 @@ func fnSum(ctx *context, args []expr) Value {
 	for _, n := range ns {
 		total += NumberValue(NodeStringValue(n))
 	}
+	releaseValue(ctx, v)
 	return total
 }

@@ -2,6 +2,7 @@ package xpath
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -11,6 +12,9 @@ import (
 type Compiled struct {
 	src  string
 	root expr
+	// fast is the zero-allocation child-path walker, non-nil when the
+	// expression has the canonical positional-path shape (see fastpath.go).
+	fast *fastPath
 }
 
 // Compile parses an XPath expression.
@@ -27,7 +31,56 @@ func Compile(src string) (*Compiled, error) {
 	if p.cur().kind != tokEOF {
 		return nil, fmt.Errorf("xpath: trailing input at offset %d in %q", p.cur().pos, src)
 	}
-	return &Compiled{src: src, root: e}, nil
+	prepare(e)
+	return &Compiled{src: src, root: e, fast: compileFastPath(e)}, nil
+}
+
+// prepare runs the compile-time optimizations over the parsed tree:
+// every step (including steps of paths nested inside predicates) whose
+// first predicate is a constant integral position [N] has it hoisted into
+// step.pos, turning the predicate into a direct N-th-match selection with
+// early exit during evaluation.
+func prepare(e expr) {
+	switch x := e.(type) {
+	case *pathExpr:
+		if x.start != nil {
+			prepare(x.start)
+		}
+		for _, s := range x.steps {
+			if len(s.preds) > 0 {
+				if lit, ok := s.preds[0].(numberLit); ok {
+					f := float64(lit)
+					// Strictly below 1<<31 so int(f) cannot overflow on
+					// 32-bit platforms.
+					if f == math.Trunc(f) && f >= 1 && f < 1<<31 {
+						s.pos = int(f)
+						s.preds = s.preds[1:]
+					}
+				}
+			}
+			for _, p := range s.preds {
+				prepare(p)
+			}
+		}
+	case *unionExpr:
+		for _, p := range x.parts {
+			prepare(p)
+		}
+	case *binaryExpr:
+		prepare(x.lhs)
+		prepare(x.rhs)
+	case *negExpr:
+		prepare(x.e)
+	case *filterExpr:
+		prepare(x.primary)
+		for _, p := range x.preds {
+			prepare(p)
+		}
+	case *funcCall:
+		for _, a := range x.args {
+			prepare(a)
+		}
+	}
 }
 
 // MustCompile is Compile that panics on error; for expressions in tests,

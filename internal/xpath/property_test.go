@@ -195,6 +195,84 @@ func TestPropertyReverseAxisFirstIsNearest(t *testing.T) {
 	}
 }
 
+// positionalPathTo renders the pure child-axis positional path from the
+// document element down to n — the canonical mapping-rule location shape.
+func positionalPathTo(n *dom.Node) (string, bool) {
+	var steps []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Parent != nil && cur.Parent.Type == dom.DocumentNode {
+			break // cur is the document element; paths anchor below it
+		}
+		switch cur.Type {
+		case dom.TextNode:
+			steps = append(steps, fmt.Sprintf("text()[%d]", cur.TextIndex()))
+		case dom.ElementNode:
+			steps = append(steps, fmt.Sprintf("%s[%d]", cur.Data, cur.ElementIndex()))
+		default:
+			return "", false
+		}
+		if cur.Parent == nil {
+			return "", false // detached
+		}
+	}
+	if len(steps) == 0 {
+		return "", false
+	}
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return strings.Join(steps, "/"), true
+}
+
+// TestPropertyFastPathMatchesGeneralEvaluator: for random child-positional
+// paths over random documents, the compiled fast path selects exactly what
+// the general evaluator selects.
+func TestPropertyFastPathMatchesGeneralEvaluator(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		doc := randomDoc(r)
+		var targets []*dom.Node
+		dom.Walk(doc, func(n *dom.Node) bool {
+			if n.Type == dom.ElementNode || n.Type == dom.TextNode {
+				targets = append(targets, n)
+			}
+			return true
+		})
+		for i := 0; i < 10; i++ {
+			target := targets[r.Intn(len(targets))]
+			src, ok := positionalPathTo(target)
+			if !ok {
+				continue
+			}
+			c := MustCompile(src)
+			if !c.IsFastPath() {
+				t.Fatalf("%s: expected the fast path", src)
+			}
+			general := &Compiled{src: c.src, root: c.root} // fast disabled
+			fastNS := c.SelectLocation(doc)
+			genNS := general.SelectLocation(doc)
+			if len(fastNS) != len(genNS) {
+				t.Fatalf("%s: fast selected %d nodes, general %d", src, len(fastNS), len(genNS))
+			}
+			for j := range fastNS {
+				if fastNS[j] != genNS[j] {
+					t.Fatalf("%s: node %d differs between fast and general", src, j)
+				}
+			}
+			if got := c.SelectLocationFirst(doc); got != target {
+				t.Fatalf("%s: SelectLocationFirst did not return the path's target", src)
+			}
+		}
+		// Void positional paths agree too.
+		void := "BODY[1]/NOSUCH[3]/text()[1]"
+		c := MustCompile(void)
+		general := &Compiled{src: c.src, root: c.root}
+		if len(c.SelectLocation(doc)) != 0 || len(general.SelectLocation(doc)) != 0 {
+			t.Fatalf("%s: void path selected nodes", void)
+		}
+	}
+}
+
 // TestPropertyStringValueConcatenation: the string-value of an element is
 // the concatenation of its text-node descendants in document order.
 func TestPropertyStringValueConcatenation(t *testing.T) {

@@ -1,0 +1,128 @@
+package xpath
+
+import (
+	"sync"
+
+	"repro/internal/dom"
+)
+
+// scratch is the reusable allocation state of one XPath evaluation. The
+// evaluator's node-set buffers, dedup marks and part lists all come from
+// here, so a steady-state evaluation performs no heap allocation beyond
+// the detached result set. Instances are pooled; one scratch serves one
+// evaluation at a time (evaluations on other goroutines draw their own
+// from the pool).
+type scratch struct {
+	// free is the free-list of node buffers handed out by get and returned
+	// by put. Buffers that escape without a put are simply collected by the
+	// GC; the hot paths all put.
+	free []NodeSet
+	// parts is a free-list for the per-input result lists used by
+	// two-phase step merging.
+	parts [][]NodeSet
+	// visited holds dedup generation marks indexed by dom order stamp
+	// (see dedup). gen is monotonically increasing per scratch; uint64
+	// makes wrap-around a non-concern.
+	visited []uint64
+	gen     uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+// putScratch returns a scratch to the pool, zeroing every free-listed
+// buffer's backing array first: a pooled buffer that kept stale node
+// pointers would pin whole dead documents in a long-running daemon.
+// Clearing once here instead of on every put keeps the per-step recycle
+// path free of memclr work — within one evaluation stale tails can only
+// reference the document being evaluated (or the previous one, for the
+// microseconds the evaluation lasts).
+func putScratch(s *scratch) {
+	for _, buf := range s.free {
+		clear(buf[:cap(buf)])
+	}
+	scratchPool.Put(s)
+}
+
+// get returns an empty node buffer, reusing a previously released one.
+func (s *scratch) get() NodeSet {
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return b[:0]
+	}
+	return make(NodeSet, 0, 16)
+}
+
+// put releases a buffer for reuse. The caller must not touch buf after.
+// Stale contents are cleared in putScratch, before the scratch pools.
+func (s *scratch) put(buf NodeSet) {
+	if cap(buf) == 0 {
+		return
+	}
+	s.free = append(s.free, buf[:0])
+}
+
+func (s *scratch) getParts() []NodeSet {
+	if n := len(s.parts); n > 0 {
+		p := s.parts[n-1]
+		s.parts[n-1] = nil
+		s.parts = s.parts[:n-1]
+		return p[:0]
+	}
+	return make([]NodeSet, 0, 8)
+}
+
+func (s *scratch) putParts(p []NodeSet) {
+	for i := range p {
+		p[i] = nil
+	}
+	s.parts = append(s.parts, p[:0])
+}
+
+// dedup tracks which nodes a merge has already emitted. It is backed by
+// generation marks in the scratch's visited slice, indexed by the nodes'
+// document-order stamps, so a merge costs one slice probe per node and no
+// per-merge allocation. Each dedup captures its own generation: nested
+// merges (a predicate re-entering the evaluator) draw later generations
+// and cannot collide — but they could overwrite marks, which is why
+// merges must not interleave insertion with nested evaluation (see
+// evalStep's two-phase form). Unstamped nodes (synthesized attribute
+// nodes, hand-built trees) fall back to a lazily allocated map.
+type dedup struct {
+	scr *scratch
+	gen uint64
+	m   map[*dom.Node]bool
+}
+
+func (d *dedup) begin(scr *scratch) {
+	scr.gen++
+	d.scr, d.gen = scr, scr.gen
+	d.m = nil
+}
+
+// unseen reports whether n has not been emitted yet this merge, marking it.
+func (d *dedup) unseen(n *dom.Node) bool {
+	if i := n.OrderIndex(); i != 0 {
+		if i >= uint64(len(d.scr.visited)) {
+			grown := make([]uint64, i+64)
+			copy(grown, d.scr.visited)
+			d.scr.visited = grown
+		}
+		if d.scr.visited[i] == d.gen {
+			return false
+		}
+		d.scr.visited[i] = d.gen
+		return true
+	}
+	if d.m == nil {
+		d.m = make(map[*dom.Node]bool, 8)
+	}
+	if d.m[n] {
+		return false
+	}
+	d.m[n] = true
+	return true
+}
