@@ -21,6 +21,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/experiments"
 	"repro/internal/extract"
+	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/service"
 	"repro/internal/textutil"
@@ -399,6 +400,72 @@ func BenchmarkExtractdThroughput(b *testing.B) {
 	}
 	if snap := metrics.Snapshot(); snap.PagesExtracted != int64(b.N) {
 		b.Fatalf("metrics counted %d pages, ran %d", snap.PagesExtracted, b.N)
+	}
+}
+
+// BenchmarkIngestSite measures whole-site ingestion throughput through
+// the streaming pipeline: every page is signature-routed to its
+// repository and extracted, the way POST /ingest serves a site
+// migration. Reports pages/sec.
+func BenchmarkIngestSite(b *testing.B) {
+	clusters := []*corpus.Cluster{
+		corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 20)),
+		corpus.GenerateBooks(corpus.DefaultBookProfile(10, 20)),
+	}
+	router := cluster.NewRouter(0)
+	repos := map[string]*rule.Repository{}
+	var pages []*core.Page
+	for _, cl := range clusters {
+		sample, _ := cl.RepresentativeSplit(10)
+		builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+		repo := rule.NewRepository(cl.Name)
+		if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+			b.Fatal(err)
+		}
+		repos[cl.Name] = repo
+		var infos []cluster.PageInfo
+		for _, p := range cl.Pages {
+			infos = append(infos, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
+		}
+		router.Register(cl.Name, cluster.SignatureOf(infos))
+		pages = append(pages, cl.Pages...)
+	}
+	ex, err := pipeline.NewStaticExtractor(repos)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Cycle the corpus to fill b.N pages.
+	stream := make([]*core.Page, b.N)
+	for i := range stream {
+		stream[i] = pages[i%len(pages)]
+	}
+	var extracted, unrouted int
+	sink := pipeline.FuncSink(func(it *pipeline.Item) error {
+		if it.Element != nil {
+			extracted++
+		} else {
+			unrouted++
+		}
+		return nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	stats, err := pipeline.Run(context.Background(), pipeline.Config{
+		Classifier: pipeline.RouteWith(router),
+		Extractor:  ex,
+	}, pipeline.NewPageSource(stream), sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "pages/sec")
+	}
+	if stats.Pages != b.N || extracted != b.N {
+		b.Fatalf("ingested %d/%d pages, %d unrouted — routing broke", extracted, b.N, unrouted)
 	}
 }
 

@@ -1,21 +1,24 @@
-// Command crawl gathers the pages of a live site into a pages directory
-// compatible with the retrozilla and extract commands (pages.json + HTML
-// files, no ground truth). This is the "Web site" input arrow of
-// Figure 1.
+// Command crawl gathers the pages of a live site — the "Web site" input
+// arrow of Figure 1 — as one pipeline run: a streaming crawl source into
+// a pages-directory sink (pages.json + HTML files, compatible with
+// clusterpages, retrozilla and extract), or, with -ndjson, into NDJSON
+// page lines on stdout ready to pipe into extractd's POST /ingest.
 //
 // Usage:
 //
 //	crawl -url http://host/ -out ./pages -max 200
+//	crawl -url http://host/ -ndjson | curl -s -N --data-binary @- 'http://localhost:8090/ingest'
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"time"
 
-	"repro/internal/dom"
+	"repro/internal/pipeline"
 	"repro/internal/webfetch"
 )
 
@@ -24,38 +27,39 @@ func main() {
 	out := flag.String("out", "pages", "output directory")
 	max := flag.Int("max", 200, "maximum pages")
 	delay := flag.Duration("delay", 0, "delay between requests (e.g. 100ms)")
+	ndjson := flag.Bool("ndjson", false, "write NDJSON page lines to stdout instead of a directory")
+	timeout := flag.Duration("timeout", 0, "per-request timeout (default 15s)")
 	flag.Parse()
 	if *start == "" {
 		fmt.Fprintln(os.Stderr, "crawl: -url is required")
 		os.Exit(2)
 	}
-	f := &webfetch.Fetcher{MaxPages: *max, Delay: *delay}
-	pages, err := f.Crawl(*start)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *start, *out, *max, *delay, *timeout, *ndjson); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, start, out string, max int, delay, timeout time.Duration, ndjson bool) error {
+	f := &webfetch.Fetcher{MaxPages: max, Delay: delay, Timeout: timeout}
+	src, err := f.Start(start)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "crawl:", err)
-		os.Exit(1)
+		return err
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "crawl:", err)
-		os.Exit(1)
+	if ndjson {
+		_, err := pipeline.Run(ctx, pipeline.Config{Workers: 1}, src,
+			pipeline.NewPageNDJSONSink(os.Stdout))
+		return err
 	}
-	man := struct {
-		Cluster string            `json:"cluster"`
-		Pages   map[string]string `json:"pages"`
-	}{Cluster: "crawled", Pages: map[string]string{}}
-	for i, p := range pages {
-		file := fmt.Sprintf("page%03d.html", i)
-		if err := os.WriteFile(filepath.Join(*out, file),
-			[]byte(dom.Render(p.Doc)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "crawl:", err)
-			os.Exit(1)
-		}
-		man.Pages[p.URI] = file
+	sink, err := pipeline.NewPagesDirSink(out, "crawled")
+	if err != nil {
+		return err
 	}
-	data, _ := json.MarshalIndent(man, "", "  ")
-	if err := os.WriteFile(filepath.Join(*out, "pages.json"), append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "crawl:", err)
-		os.Exit(1)
+	if _, err := pipeline.Run(ctx, pipeline.Config{Workers: 1}, src, sink); err != nil {
+		return err
 	}
-	fmt.Printf("crawled %d page(s) -> %s\n", len(pages), *out)
+	fmt.Printf("crawled %d page(s) -> %s\n", sink.PageCount(), out)
+	return nil
 }

@@ -2,11 +2,19 @@
 // quantitative studies derived from its claims. With no flags it runs
 // everything; -exp selects one experiment by ID.
 //
+// With -site/-rules flags it instead evaluates the online ingestion
+// pipeline: the named site directories stream through signature routing
+// and extraction, and the report scores routing accuracy against each
+// directory's manifest cluster (the ground truth) plus extraction
+// failures per repository.
+//
 // Usage:
 //
 //	evaluate              # run all experiments
 //	evaluate -exp T1      # run one (F1 T1 T2 T3 F3 F5 XSD T4 CONV BASE NEST FAIL)
 //	evaluate -list        # list experiment IDs
+//	evaluate -site ./site/imdb-movies -site ./site/books \
+//	         -rules imdb-movies=movies.json -rules books=books.json
 package main
 
 import (
@@ -18,10 +26,31 @@ import (
 	"repro/internal/experiments"
 )
 
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs")
+	var sites, rules repeatable
+	flag.Var(&sites, "site", "pages directory to route+extract (repeatable; enables pipeline evaluation)")
+	flag.Var(&rules, "rules", "repository to load ([name=]path.json|path.xml); repeatable")
+	threshold := flag.Float64("threshold", 0, "routing threshold (0 = default)")
 	flag.Parse()
+
+	if len(sites) > 0 || len(rules) > 0 {
+		if len(sites) == 0 || len(rules) == 0 {
+			fmt.Fprintln(os.Stderr, "evaluate: pipeline evaluation needs both -site and -rules")
+			os.Exit(2)
+		}
+		if err := runPipelineEval(sites, rules, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), " "))

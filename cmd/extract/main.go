@@ -1,44 +1,50 @@
-// Command extract applies a recorded rule repository to the pages of a
-// cluster and writes the extraction output: the XML document (Figure 5
-// structure, or the repository's enhanced structure) and the generated
-// XML Schema. Detected extraction failures (§7) are reported on stderr.
+// Command extract applies a recorded rule repository to a stream of
+// pages and writes the extraction output — one pipeline run over the
+// directory-manifest (or NDJSON stdin) source and the aggregated-XML,
+// file-per-page-XML or NDJSON sink. The default shape is the paper's:
+// cluster directory in, one XML document (Figure 5 structure, or the
+// repository's enhanced structure) out, plus the generated XML Schema.
+// Detected extraction failures (§7) are reported on stderr.
 //
 // Usage:
 //
 //	extract -rules rules.json -site ./site/imdb-movies -out data.xml -xsd schema.xsd
+//	extract -rules rules.json -site ./site/imdb-movies -split ./xml-pages
+//	crawl -url http://host/ -ndjson | extract -rules rules.json -site - -format ndjson -out -
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/pipeline"
 	"repro/internal/rule"
 )
 
 func main() {
 	rulesPath := flag.String("rules", "rules.json", "rule repository (from retrozilla)")
-	site := flag.String("site", "", "cluster directory (from sitegen)")
-	out := flag.String("out", "data.xml", "output XML document")
+	site := flag.String("site", "", `cluster directory (from sitegen or crawl), or "-" for NDJSON pages on stdin`)
+	out := flag.String("out", "data.xml", `output document ("-" for stdout)`)
 	xsd := flag.String("xsd", "", "output XML Schema (optional)")
+	format := flag.String("format", "xml", "output format: xml (aggregated document) or ndjson (one record per line)")
+	split := flag.String("split", "", "also write one XML document per page into this directory")
 	flag.Parse()
 	if *site == "" {
 		fmt.Fprintln(os.Stderr, "extract: -site is required")
 		os.Exit(2)
 	}
-	if err := run(*rulesPath, *site, *out, *xsd); err != nil {
+	if err := run(*rulesPath, *site, *out, *xsd, *format, *split); err != nil {
 		fmt.Fprintln(os.Stderr, "extract:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesPath, site, out, xsd string) error {
+func run(rulesPath, site, out, xsd, format, split string) error {
 	var repo *rule.Repository
 	var err error
 	if strings.HasSuffix(rulesPath, ".xml") {
@@ -49,62 +55,89 @@ func run(rulesPath, site, out, xsd string) error {
 	if err != nil {
 		return err
 	}
-	pages, err := loadPages(site)
+	ex, err := pipeline.NewStaticExtractor(map[string]*rule.Repository{repo.Cluster: repo})
 	if err != nil {
 		return err
 	}
-	proc, err := extract.NewProcessor(repo)
+
+	var src pipeline.Source
+	if site == "-" {
+		src = pipeline.NewNDJSONSource(os.Stdin, 0, nil)
+	} else {
+		if src, err = pipeline.NewManifestSource(site, nil); err != nil {
+			return err
+		}
+	}
+
+	if format != "xml" && format != "ndjson" {
+		return fmt.Errorf("unknown -format %q (want xml or ndjson)", format)
+	}
+	var sinks pipeline.MultiSink
+	if split != "" {
+		dirSink, err := pipeline.NewXMLDirSink(split)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, dirSink)
+	}
+	// The output file is opened last, after every argument has been
+	// validated — a bad flag must not truncate an existing output.
+	outW, closeOut, err := openOut(out)
 	if err != nil {
 		return err
 	}
-	doc, failures := proc.ExtractCluster(pages)
-	f, err := os.Create(out)
+	if format == "xml" {
+		sinks = append(sinks, pipeline.NewAggregateXML(outW, repo.Cluster, false))
+	} else {
+		sinks = append(sinks, pipeline.NewNDJSONSink(outW))
+	}
+	// Failures stream to stderr as they surface, like the old batch
+	// driver's end-of-run report but without buffering the run.
+	var failures int
+	sinks = append(sinks, pipeline.FuncSink(func(it *pipeline.Item) error {
+		if it.Err != nil {
+			failures++
+			fmt.Fprintln(os.Stderr, "failure:", it.Err)
+			return nil
+		}
+		for _, f := range it.Failures {
+			failures++
+			fmt.Fprintln(os.Stderr, "failure:", f)
+		}
+		return nil
+	}))
+
+	stats, err := pipeline.Run(context.Background(), pipeline.Config{
+		Classifier: pipeline.FixedRepo(repo.Cluster),
+		Extractor:  ex,
+	}, src, sinks)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := doc.WriteXML(f); err != nil {
-		return err
-	}
-	fmt.Printf("extracted %d page(s) -> %s\n", len(doc.Children), out)
+	fmt.Printf("extracted %d page(s) -> %s\n", stats.Extracted, out)
 	if xsd != "" {
 		if err := os.WriteFile(xsd, []byte(extract.GenerateSchema(repo)), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("schema -> %s\n", xsd)
 	}
-	for _, fail := range failures {
-		fmt.Fprintln(os.Stderr, "failure:", fail)
-	}
-	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "%d extraction failure(s) detected\n", len(failures))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d extraction failure(s) detected\n", failures)
 	}
 	return nil
 }
 
-func loadPages(site string) ([]*core.Page, error) {
-	data, err := os.ReadFile(filepath.Join(site, "pages.json"))
+// openOut opens the output destination ("-" is stdout, which stays open).
+func openOut(out string) (io.Writer, func() error, error) {
+	if out == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(out)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var man struct {
-		Pages map[string]string `json:"pages"`
-	}
-	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, err
-	}
-	uris := make([]string, 0, len(man.Pages))
-	for uri := range man.Pages {
-		uris = append(uris, uri)
-	}
-	sort.Slice(uris, func(i, j int) bool { return man.Pages[uris[i]] < man.Pages[uris[j]] })
-	var pages []*core.Page
-	for _, uri := range uris {
-		html, err := os.ReadFile(filepath.Join(site, man.Pages[uri]))
-		if err != nil {
-			return nil, err
-		}
-		pages = append(pages, core.NewPage(uri, string(html)))
-	}
-	return pages, nil
+	return f, f.Close, nil
 }

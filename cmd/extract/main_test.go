@@ -56,7 +56,7 @@ func TestExtractRunWritesXMLAndXSD(t *testing.T) {
 	site, rules := writeSiteAndRules(t, dir)
 	out := filepath.Join(dir, "data.xml")
 	xsd := filepath.Join(dir, "schema.xsd")
-	if err := run(rules, site, out, xsd); err != nil {
+	if err := run(rules, site, out, xsd, "xml", ""); err != nil {
 		t.Fatal(err)
 	}
 	xml, err := os.ReadFile(out)
@@ -79,10 +79,70 @@ func TestExtractRunWritesXMLAndXSD(t *testing.T) {
 func TestExtractRunMissingInputs(t *testing.T) {
 	dir := t.TempDir()
 	site, rules := writeSiteAndRules(t, dir)
-	if err := run(filepath.Join(dir, "nope.json"), site, filepath.Join(dir, "o.xml"), ""); err == nil {
+	if err := run(filepath.Join(dir, "nope.json"), site, filepath.Join(dir, "o.xml"), "", "xml", ""); err == nil {
 		t.Error("missing rules must fail")
 	}
-	if err := run(rules, filepath.Join(dir, "nosite"), filepath.Join(dir, "o.xml"), ""); err == nil {
+	if err := run(rules, filepath.Join(dir, "nosite"), filepath.Join(dir, "o.xml"), "", "xml", ""); err == nil {
 		t.Error("missing site must fail")
+	}
+	if err := run(rules, site, filepath.Join(dir, "o.xml"), "", "csv", ""); err == nil {
+		t.Error("unknown format must fail")
+	}
+}
+
+// TestExtractRunSplitPerPage: -split writes one XML document per page
+// alongside the aggregate.
+func TestExtractRunSplitPerPage(t *testing.T) {
+	dir := t.TempDir()
+	site, rules := writeSiteAndRules(t, dir)
+	split := filepath.Join(dir, "pages-xml")
+	if err := run(rules, site, filepath.Join(dir, "data.xml"), "", "xml", split); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("split dir has %d files, want 6", len(entries))
+	}
+	one, err := os.ReadFile(filepath.Join(split, "page000.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(one), "<ticker>") {
+		t.Errorf("per-page XML wrong:\n%s", one)
+	}
+}
+
+// TestExtractRunNDJSONFormat: -format ndjson emits one record line per
+// page.
+func TestExtractRunNDJSONFormat(t *testing.T) {
+	dir := t.TempDir()
+	site, rules := writeSiteAndRules(t, dir)
+	out := filepath.Join(dir, "data.ndjson")
+	if err := run(rules, site, out, "", "ndjson", ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d NDJSON lines, want 6", len(lines))
+	}
+	for _, l := range lines {
+		var res struct {
+			URI    string `json:"uri"`
+			Repo   string `json:"repo"`
+			Record any    `json:"record"`
+		}
+		if err := json.Unmarshal([]byte(l), &res); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		if res.Repo != "stocks" || res.Record == nil {
+			t.Errorf("line = %q", l)
+		}
 	}
 }

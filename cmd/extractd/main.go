@@ -31,13 +31,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by the -pprof listener
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/lifecycle"
 	"repro/internal/rule"
@@ -68,6 +73,10 @@ func main() {
 		"parsed-page LRU cache size in documents (0 disables)")
 	pprofPort := flag.Int("pprof", 0,
 		"serve net/http/pprof on localhost:PORT for live profiling (0 disables)")
+	routerLearn := flag.Bool("router-learn", true,
+		"grow routing signatures from cleanly extracted explicit-repo traffic")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
+		"graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM")
 	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
 	flag.Parse()
 
@@ -84,13 +93,22 @@ func main() {
 	}
 
 	lc := lifecycle.Config{WindowSize: *driftWindow, TripRatio: *driftRatio}
-	if err := run(*addr, *workers, *queue, *noFetch, *autoRepair, *fetchHosts, *pageCache, lc, rules); err != nil {
+
+	// SIGINT/SIGTERM start a graceful shutdown: stop accepting, let
+	// in-flight requests finish (bounded by -drain-timeout), drain the
+	// worker pool, then exit. A second signal kills the process the
+	// usual way (the NotifyContext restores default handling once fired).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *workers, *queue, *noFetch, *autoRepair, *routerLearn,
+		*fetchHosts, *pageCache, *drainTimeout, lc, rules); err != nil {
 		fmt.Fprintln(os.Stderr, "extractd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, noFetch, autoRepair bool, fetchHosts string, pageCache int, lc lifecycle.Config, rules []string) error {
+func run(ctx context.Context, addr string, workers, queue int, noFetch, autoRepair, routerLearn bool,
+	fetchHosts string, pageCache int, drainTimeout time.Duration, lc lifecycle.Config, rules []string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -102,8 +120,8 @@ func run(addr string, workers, queue int, noFetch, autoRepair bool, fetchHosts s
 		fetcher = &webfetch.Fetcher{}
 	}
 	srv := service.NewServer(workers, queue, fetcher)
-	defer srv.Close()
 	srv.AutoRepair = autoRepair
+	srv.RouterLearn = routerLearn
 	srv.Lifecycle = lc
 	srv.PageCache = service.NewPageCache(pageCache)
 	if fetchHosts != "" {
@@ -129,14 +147,55 @@ func run(addr string, workers, queue int, noFetch, autoRepair bool, fetchHosts s
 		if err != nil {
 			return err
 		}
-		e, err := srv.Registry.Load(name, repo)
+		e, err := srv.LoadRepo(name, repo)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded repository %q (%d components)\n", e.Name, len(e.Repo.Rules))
+		routable := ""
+		if repo.Signature != nil {
+			routable = fmt.Sprintf(", routable signature over %d pages", repo.Signature.Pages)
+		}
+		fmt.Printf("loaded repository %q (%d components%s)\n", e.Name, len(e.Repo.Rules), routable)
 	}
 
-	fmt.Printf("extractd listening on %s (%d workers, queue %d, %d repos)\n",
-		addr, workers, queue, srv.Registry.Len())
-	return http.ListenAndServe(addr, srv.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Printf("extractd listening on %s (%d workers, queue %d, %d repos, %d routable)\n",
+		ln.Addr(), workers, queue, srv.Registry.Len(), srv.Router.Len())
+	return serve(ctx, ln, srv, drainTimeout)
+}
+
+// serve runs the HTTP server until ctx is cancelled (signal) or the
+// listener fails, then shuts down gracefully: new connections are
+// refused, in-flight requests get drainTimeout to finish, and the
+// extraction worker pool drains before the function returns.
+func serve(ctx context.Context, ln net.Listener, srv *service.Server, drainTimeout time.Duration) error {
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	var err error
+	select {
+	case err = <-errCh:
+		// Listener failure: nothing graceful left to do.
+		httpSrv.Close()
+	case <-ctx.Done():
+		fmt.Println("extractd: shutdown signal received; draining in-flight requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		if serr := httpSrv.Shutdown(shutCtx); serr != nil {
+			fmt.Fprintln(os.Stderr, "extractd: forced close after drain timeout:", serr)
+			httpSrv.Close()
+		}
+		cancel()
+	}
+	// Drain queued extractions so no accepted work is abandoned.
+	srv.Close()
+	if err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Println("extractd: drained, exiting")
+	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/interactive"
@@ -92,6 +93,7 @@ func runInteractive(site string, sampleSize int, out, componentList string) erro
 			}
 		}
 	}
+	repo.Signature = clusterSignature(pages)
 	if err := saveRepo(repo, out); err != nil {
 		return err
 	}
@@ -144,11 +146,24 @@ func run(site string, sampleSize int, out string, verbose bool) error {
 			fmt.Println(res.FinalReport().Table())
 		}
 	}
+	repo.Signature = clusterSignature(pages)
 	if err := saveRepo(repo, out); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d rule(s) for cluster %s -> %s\n", len(repo.Rules), repo.Cluster, out)
+	fmt.Printf("recorded %d rule(s) for cluster %s -> %s (signature over %d pages)\n",
+		len(repo.Rules), repo.Cluster, out, repo.Signature.Pages)
 	return nil
+}
+
+// clusterSignature fingerprints the whole cluster, not just the working
+// sample: the signature's job is recognizing any page of the cluster, so
+// it should absorb every structural variant the site directory holds.
+func clusterSignature(pages []*core.Page) *cluster.Signature {
+	sig := cluster.NewSignature()
+	for _, p := range pages {
+		sig.Add(cluster.Fingerprint(cluster.PageInfo{URI: p.URI, Doc: p.Doc}))
+	}
+	return sig
 }
 
 // saveRepo writes the repository as JSON, or as the XML interchange

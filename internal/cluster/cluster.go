@@ -170,12 +170,18 @@ type Result struct {
 	Name string
 	// Pages holds indexes into the input slice.
 	Pages []int
+	// Signature is the incremental summary grown while the cluster was
+	// assembled — registering it with a Router makes the cluster routable
+	// online.
+	Signature *Signature
 }
 
 // ClusterPages partitions pages into clusters with a deterministic
-// leader-based agglomerative pass: each page joins the cluster whose
-// centroid page it is most similar to (above the threshold), else it
-// founds a new cluster. Input order does not change results for
+// incremental pass: each page joins the cluster whose signature it
+// matches best (above the threshold) and is folded into that signature,
+// else it founds a new cluster. Matching against the growing signature —
+// rather than a fixed leader page — lets a cluster's alternative layouts
+// all pull their variants in. Input order does not change results for
 // well-separated clusters; experiments verify recovery of the generating
 // clusters.
 func ClusterPages(pages []PageInfo, cfg Config) []Result {
@@ -190,21 +196,27 @@ func ClusterPages(pages []PageInfo, cfg Config) []Result {
 		feats[i] = Fingerprint(p)
 	}
 	var clusters []Result
-	var leaders []int // representative page per cluster
+	var hosts []string // founding host per cluster (§2.1: same-site gate)
 	for i := range pages {
 		best, bestSim := -1, cfg.Threshold
-		for c, leader := range leaders {
-			sim := Similarity(feats[i], feats[leader], cfg.Weights)
+		for c := range clusters {
+			if hosts[c] != feats[i].Host {
+				continue
+			}
+			sim := clusters[c].Signature.Match(feats[i], cfg.Weights)
 			if sim >= bestSim {
 				best, bestSim = c, sim
 			}
 		}
 		if best >= 0 {
 			clusters[best].Pages = append(clusters[best].Pages, i)
+			clusters[best].Signature.Add(feats[i])
 			continue
 		}
-		clusters = append(clusters, Result{Pages: []int{i}})
-		leaders = append(leaders, i)
+		sig := NewSignature()
+		sig.Add(feats[i])
+		clusters = append(clusters, Result{Pages: []int{i}, Signature: sig})
+		hosts = append(hosts, feats[i].Host)
 	}
 	for c := range clusters {
 		clusters[c].Name = clusterName(pages, clusters[c].Pages, c)

@@ -1,35 +1,37 @@
-package cluster
+package cluster_test
 
 import (
 	"testing"
 
 	"repro/internal/corpus"
+
+	"repro/internal/cluster"
 )
 
 // mixedSite builds a synthetic multi-cluster site: movies, books and
 // stocks pages interleaved.
-func mixedSite(t *testing.T) ([]PageInfo, map[int]string) {
+func mixedSite(t *testing.T) ([]cluster.PageInfo, map[int]string) {
 	t.Helper()
 	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(1, 15))
 	books := corpus.GenerateBooks(corpus.DefaultBookProfile(2, 15))
 	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(3, 15))
-	var pages []PageInfo
+	var pages []cluster.PageInfo
 	truth := map[int]string{}
-	add := func(cl string, ps []PageInfo) {
+	add := func(cl string, ps []cluster.PageInfo) {
 		for _, p := range ps {
 			truth[len(pages)] = cl
 			pages = append(pages, p)
 		}
 	}
-	var m, b, s []PageInfo
+	var m, b, s []cluster.PageInfo
 	for _, p := range movies.Pages {
-		m = append(m, PageInfo{URI: p.URI, Doc: p.Doc})
+		m = append(m, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
 	}
 	for _, p := range books.Pages {
-		b = append(b, PageInfo{URI: p.URI, Doc: p.Doc})
+		b = append(b, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
 	}
 	for _, p := range stocks.Pages {
-		s = append(s, PageInfo{URI: p.URI, Doc: p.Doc})
+		s = append(s, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
 	}
 	// Interleave to stress the leader pass.
 	for i := 0; i < 15; i++ {
@@ -42,7 +44,7 @@ func mixedSite(t *testing.T) ([]PageInfo, map[int]string) {
 
 func TestClusterRecovery(t *testing.T) {
 	pages, truth := mixedSite(t)
-	results := ClusterPages(pages, DefaultConfig())
+	results := cluster.ClusterPages(pages, cluster.DefaultConfig())
 	if len(results) < 3 {
 		t.Fatalf("got %d clusters, want >= 3", len(results))
 	}
@@ -74,7 +76,7 @@ func TestClusterRecovery(t *testing.T) {
 
 func TestClusterNames(t *testing.T) {
 	pages, _ := mixedSite(t)
-	results := ClusterPages(pages, DefaultConfig())
+	results := cluster.ClusterPages(pages, cluster.DefaultConfig())
 	for _, r := range results {
 		if r.Name == "" {
 			t.Error("cluster with empty name")
@@ -84,25 +86,10 @@ func TestClusterNames(t *testing.T) {
 
 func TestDifferentHostsNeverCluster(t *testing.T) {
 	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(4, 2))
-	a := Fingerprint(PageInfo{URI: "http://a.example/x/1", Doc: movies.Pages[0].Doc})
-	b := Fingerprint(PageInfo{URI: "http://b.example/x/1", Doc: movies.Pages[1].Doc})
-	if Similarity(a, b, DefaultWeights()) != 0 {
+	a := cluster.Fingerprint(cluster.PageInfo{URI: "http://a.example/x/1", Doc: movies.Pages[0].Doc})
+	b := cluster.Fingerprint(cluster.PageInfo{URI: "http://b.example/x/1", Doc: movies.Pages[1].Doc})
+	if cluster.Similarity(a, b, cluster.DefaultWeights()) != 0 {
 		t.Error("cross-host similarity must be 0")
-	}
-}
-
-func TestURLPatternNormalization(t *testing.T) {
-	_, segs1 := splitURI("http://movies.example/title/tt0095159/")
-	_, segs2 := splitURI("http://movies.example/title/tt0071853/")
-	if len(segs1) != 2 || segs1[1] != "tt#" {
-		t.Errorf("segments = %v", segs1)
-	}
-	if urlSimilarity(segs1, segs2) != 1 {
-		t.Errorf("same-pattern URLs must score 1, got %f", urlSimilarity(segs1, segs2))
-	}
-	_, other := splitURI("http://movies.example/search?q=x")
-	if urlSimilarity(segs1, other) >= 1 {
-		t.Error("different patterns must score < 1")
 	}
 }
 
@@ -110,7 +97,7 @@ func TestFeatureAblationWeights(t *testing.T) {
 	pages, truth := mixedSite(t)
 	// URL-only clustering also separates these clusters (different path
 	// prefixes) — the ablation experiment compares such mixes.
-	results := ClusterPages(pages, Config{Weights: Weights{URL: 1}, Threshold: 0.9})
+	results := cluster.ClusterPages(pages, cluster.Config{Weights: cluster.Weights{URL: 1}, Threshold: 0.9})
 	for _, r := range results {
 		seen := map[string]bool{}
 		for _, idx := range r.Pages {
@@ -121,7 +108,7 @@ func TestFeatureAblationWeights(t *testing.T) {
 		}
 	}
 	// Structure-only clustering likewise.
-	results = ClusterPages(pages, Config{Weights: Weights{Structure: 1}, Threshold: 0.5})
+	results = cluster.ClusterPages(pages, cluster.Config{Weights: cluster.Weights{Structure: 1}, Threshold: 0.5})
 	for _, r := range results {
 		seen := map[string]bool{}
 		for _, idx := range r.Pages {
@@ -135,8 +122,8 @@ func TestFeatureAblationWeights(t *testing.T) {
 
 func TestSimilaritySelf(t *testing.T) {
 	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 1))
-	f := Fingerprint(PageInfo{URI: movies.Pages[0].URI, Doc: movies.Pages[0].Doc})
-	if got := Similarity(f, f, DefaultWeights()); got < 0.999 {
+	f := cluster.Fingerprint(cluster.PageInfo{URI: movies.Pages[0].URI, Doc: movies.Pages[0].Doc})
+	if got := cluster.Similarity(f, f, cluster.DefaultWeights()); got < 0.999 {
 		t.Errorf("self-similarity = %f", got)
 	}
 }

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestURLPatternNormalization(t *testing.T) {
+	_, segs1 := splitURI("http://movies.example/title/tt0095159/")
+	_, segs2 := splitURI("http://movies.example/title/tt0071853/")
+	if len(segs1) != 2 || segs1[1] != "tt#" {
+		t.Errorf("segments = %v", segs1)
+	}
+	if urlSimilarity(segs1, segs2) != 1 {
+		t.Errorf("same-pattern URLs must score 1, got %f", urlSimilarity(segs1, segs2))
+	}
+	_, other := splitURI("http://movies.example/search?q=x")
+	if urlSimilarity(segs1, other) >= 1 {
+		t.Error("different patterns must score < 1")
+	}
+}
+
+// TestSignatureValidateRejectsCorrupt: counts above the page count are a
+// corrupt (hand-edited) signature and must not load.
+func TestSignatureValidateRejectsCorrupt(t *testing.T) {
+	var s Signature
+	err := json.Unmarshal([]byte(`{"pages":2,"tags":[{"k":"HTML","n":5}]}`), &s)
+	if err == nil {
+		t.Error("corrupt signature accepted")
+	}
+}
+
+// TestSignatureFeatureCap: signatures stay bounded no matter how many
+// distinct features flow in.
+func TestSignatureFeatureCap(t *testing.T) {
+	s := NewSignature()
+	for i := 0; i < maxSignatureFeatures+500; i++ {
+		f := Features{
+			Keywords:    map[string]struct{}{uniqueWord(i): {}},
+			TagShingles: map[string]struct{}{},
+		}
+		s.Add(f)
+	}
+	if len(s.Keywords) > maxSignatureFeatures {
+		t.Errorf("keyword map grew to %d, cap %d", len(s.Keywords), maxSignatureFeatures)
+	}
+}
+
+func uniqueWord(i int) string {
+	const letters = "abcdefghij"
+	out := make([]byte, 0, 8)
+	for i > 0 || len(out) == 0 {
+		out = append(out, letters[i%10])
+		i /= 10
+	}
+	return "w" + string(out)
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultRouteThreshold is the minimum signature match score for a page
+// to be routed to a cluster. It sits below the page-to-page clustering
+// threshold (0.65): a signature averages many pages, so genuine members
+// score lower against it than against their nearest neighbour, while
+// off-cluster pages still land far below.
+const DefaultRouteThreshold = 0.45
+
+// Route is one routing decision.
+type Route struct {
+	// Name of the best-matching registered cluster.
+	Name string
+	// Score is its signature match in [0,1].
+	Score float64
+	// Runner-up diagnostics: the second-best cluster and score (empty
+	// when fewer than two clusters are registered).
+	SecondName  string
+	SecondScore float64
+}
+
+// Router classifies unseen pages to the best-matching registered page
+// cluster — the online counterpart of ClusterPages. Repositories register
+// the signature of the cluster their rules were built from; a page whose
+// best match clears the threshold is routed there, anything else is
+// reported unrouted. All methods are safe for concurrent use.
+type Router struct {
+	// Weights for signature matching (zero value: DefaultWeights).
+	Weights Weights
+	// Threshold below which a page is unrouted (zero: DefaultRouteThreshold).
+	Threshold float64
+
+	mu   sync.RWMutex
+	sigs map[string]*Signature
+}
+
+// NewRouter creates an empty router with the given threshold (0 uses
+// DefaultRouteThreshold).
+func NewRouter(threshold float64) *Router {
+	return &Router{Threshold: threshold, sigs: map[string]*Signature{}}
+}
+
+func (r *Router) weights() Weights {
+	if r.Weights == (Weights{}) {
+		return DefaultWeights()
+	}
+	return r.Weights
+}
+
+func (r *Router) threshold() float64 {
+	if r.Threshold == 0 {
+		return DefaultRouteThreshold
+	}
+	return r.Threshold
+}
+
+// Register installs (or replaces) the signature of a named cluster. The
+// signature is cloned, so later Observe calls on the router never mutate
+// the caller's copy.
+func (r *Router) Register(name string, sig *Signature) {
+	if sig == nil || name == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sigs == nil {
+		r.sigs = map[string]*Signature{}
+	}
+	r.sigs[name] = sig.Clone()
+}
+
+// Unregister removes a cluster from the routing table.
+func (r *Router) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sigs, name)
+}
+
+// Observe folds a page known to belong to the named cluster into its
+// signature — the online-learning path: every extraction the caller
+// explicitly targeted at a repository is evidence of what that
+// repository's pages look like. Unregistered names start a fresh
+// signature, so a repository loaded without one becomes routable once
+// explicit traffic has flowed.
+func (r *Router) Observe(name string, f Features) {
+	if name == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sigs == nil {
+		r.sigs = map[string]*Signature{}
+	}
+	sig, ok := r.sigs[name]
+	if !ok {
+		sig = NewSignature()
+		r.sigs[name] = sig
+	}
+	sig.Add(f)
+}
+
+// SignaturePages reports how many pages the named cluster's signature
+// has absorbed (0 when none is registered) — callers use it to stop
+// online learning once a signature has converged.
+func (r *Router) SignaturePages(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if sig, ok := r.sigs[name]; ok {
+		return sig.Pages
+	}
+	return 0
+}
+
+// Len reports how many clusters are registered.
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sigs)
+}
+
+// Names lists the registered clusters, sorted.
+func (r *Router) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sigs))
+	for n := range r.sigs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Route classifies a page fingerprint. ok is false when no cluster is
+// registered or no match clears the threshold; the best-effort Route is
+// still returned for diagnostics (an operator tuning the threshold wants
+// to see the near-misses).
+func (r *Router) Route(f Features) (Route, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	w := r.weights()
+	// Sorted iteration keeps tie-breaks deterministic across runs.
+	names := make([]string, 0, len(r.sigs))
+	for n := range r.sigs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var best Route
+	for _, name := range names {
+		score := r.sigs[name].Match(f, w)
+		if best.Name == "" || score > best.Score {
+			best.SecondName, best.SecondScore = best.Name, best.Score
+			best.Name, best.Score = name, score
+		} else if best.SecondName == "" || score > best.SecondScore {
+			best.SecondName, best.SecondScore = name, score
+		}
+	}
+	return best, best.Name != "" && best.Score >= r.threshold()
+}
+
+// RoutePage is Route over a raw page (fingerprint computed here).
+func (r *Router) RoutePage(p PageInfo) (Route, bool) {
+	return r.Route(Fingerprint(p))
+}

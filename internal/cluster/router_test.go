@@ -1,0 +1,144 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/corpus"
+
+	"repro/internal/cluster"
+)
+
+func clusterPageInfos(cl *corpus.Cluster) []cluster.PageInfo {
+	out := make([]cluster.PageInfo, 0, len(cl.Pages))
+	for _, p := range cl.Pages {
+		out = append(out, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
+	}
+	return out
+}
+
+// TestRouterAccuracyOnHeldOutPages trains signatures on half of each
+// generating cluster and routes the held-out half: the acceptance bar is
+// ≥95% accuracy with zero cross-cluster confusions.
+func TestRouterAccuracyOnHeldOutPages(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(11, 30)))
+	books := clusterPageInfos(corpus.GenerateBooks(corpus.DefaultBookProfile(12, 30)))
+	stocks := clusterPageInfos(corpus.GenerateStocks(corpus.DefaultStockProfile(13, 30)))
+
+	r := cluster.NewRouter(0)
+	r.Register("movies", cluster.SignatureOf(movies[:15]))
+	r.Register("books", cluster.SignatureOf(books[:15]))
+	r.Register("stocks", cluster.SignatureOf(stocks[:15]))
+
+	total, correct := 0, 0
+	for name, held := range map[string][]cluster.PageInfo{
+		"movies": movies[15:], "books": books[15:], "stocks": stocks[15:],
+	} {
+		for _, p := range held {
+			total++
+			route, ok := r.RoutePage(p)
+			if !ok {
+				t.Logf("unrouted %s page %s (best %q %.3f)", name, p.URI, route.Name, route.Score)
+				continue
+			}
+			if route.Name == name {
+				correct++
+			} else {
+				t.Errorf("%s page %s routed to %q (%.3f, runner-up %q %.3f)",
+					name, p.URI, route.Name, route.Score, route.SecondName, route.SecondScore)
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("routing accuracy %.3f (%d/%d), want >= 0.95", acc, correct, total)
+	}
+}
+
+// TestRouterUnroutedBelowThreshold: a page from a cluster the router has
+// never seen must not be claimed by the registered signatures.
+func TestRouterUnroutedBelowThreshold(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(21, 20)))
+	forum := corpus.GenerateForum(corpus.DefaultForumProfile(22, 10))
+
+	r := cluster.NewRouter(0)
+	r.Register("movies", cluster.SignatureOf(movies))
+
+	unrouted := 0
+	for _, p := range forum.Pages {
+		if route, ok := r.RoutePage(cluster.PageInfo{URI: p.URI, Doc: p.Doc}); !ok {
+			unrouted++
+		} else {
+			t.Logf("forum page %s claimed by %q at %.3f", p.URI, route.Name, route.Score)
+		}
+	}
+	if unrouted < len(forum.Pages)*8/10 {
+		t.Errorf("only %d/%d alien pages unrouted", unrouted, len(forum.Pages))
+	}
+}
+
+// TestRouterEmpty: routing with no registered signatures reports !ok.
+func TestRouterEmpty(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(23, 1)))
+	if route, ok := cluster.NewRouter(0).RoutePage(movies[0]); ok {
+		t.Errorf("empty router routed to %q", route.Name)
+	}
+}
+
+// TestRouterObserveLearnsCluster: a cluster registered with no signature
+// becomes routable after Observe calls — the service's learning path.
+func TestRouterObserveLearnsCluster(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(24, 20)))
+	r := cluster.NewRouter(0)
+	for _, p := range movies[:10] {
+		r.Observe("movies", cluster.Fingerprint(p))
+	}
+	correct := 0
+	for _, p := range movies[10:] {
+		if route, ok := r.RoutePage(p); ok && route.Name == "movies" {
+			correct++
+		}
+	}
+	if correct < 9 {
+		t.Errorf("only %d/10 held-out pages routed after learning", correct)
+	}
+}
+
+// TestRouterRegisterClones: mutating the caller's signature after
+// Register must not affect routing.
+func TestRouterRegisterClones(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(25, 10)))
+	sig := cluster.SignatureOf(movies[:5])
+	r := cluster.NewRouter(0)
+	r.Register("movies", sig)
+	// Poison the caller's copy.
+	sig.Pages = 1
+	for k := range sig.Tags {
+		delete(sig.Tags, k)
+	}
+	if route, ok := r.RoutePage(movies[6]); !ok || route.Name != "movies" {
+		t.Errorf("router affected by caller-side mutation: route=%+v ok=%v", route, ok)
+	}
+}
+
+// TestSignatureJSONRoundTrip: serialized signatures reproduce identical
+// match scores, and the encoding is deterministic.
+func TestSignatureJSONRoundTrip(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(26, 12)))
+	sig := cluster.SignatureOf(movies[:8])
+	data, err := json.Marshal(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := json.Marshal(sig)
+	if string(data) != string(data2) {
+		t.Error("signature encoding not deterministic")
+	}
+	var back cluster.Signature
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	f := cluster.Fingerprint(movies[9])
+	if a, b := sig.Match(f, cluster.DefaultWeights()), back.Match(f, cluster.DefaultWeights()); a != b {
+		t.Errorf("match score changed across round-trip: %f vs %f", a, b)
+	}
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Signature is an incremental summary of a page cluster: for every
+// structural shingle, keyword and normalized URL pattern it counts in how
+// many of the cluster's pages the feature occurred. Unlike a leader page,
+// a signature absorbs every page it has seen, so alternative layouts
+// inside one cluster (§3.4) all contribute to the profile — and unlike
+// the offline clustering pass, it can keep growing one page at a time
+// while a service is running.
+//
+// A Signature deliberately ignores the page host: the paper's clustering
+// gate ("pages of the same Web site", §2.1) holds within one crawl, but a
+// router matches live pages against repositories whose rules were built
+// from a corpus that may be served under a different host (a mirror, a
+// test server, a migrated site). Structure and path shape survive such
+// moves; the hostname does not.
+type Signature struct {
+	// Pages is the number of pages absorbed.
+	Pages int `json:"pages"`
+	// Tags counts pages containing each root-to-element tag-path shingle.
+	Tags map[string]int `json:"tags,omitempty"`
+	// Keywords counts pages containing each visible-text token.
+	Keywords map[string]int `json:"keywords,omitempty"`
+	// URLPatterns counts pages per normalized path pattern (segments
+	// joined by '/', digit runs collapsed to '#').
+	URLPatterns map[string]int `json:"urlPatterns,omitempty"`
+}
+
+// NewSignature returns an empty signature.
+func NewSignature() *Signature {
+	return &Signature{
+		Tags:        map[string]int{},
+		Keywords:    map[string]int{},
+		URLPatterns: map[string]int{},
+	}
+}
+
+// SignatureOf builds a signature from a set of pages.
+func SignatureOf(pages []PageInfo) *Signature {
+	s := NewSignature()
+	for _, p := range pages {
+		s.Add(Fingerprint(p))
+	}
+	return s
+}
+
+// maxSignatureFeatures bounds each feature map so a boundless crawl
+// cannot grow a signature without limit: when the cap is hit, the rarest
+// features are dropped (they contribute least to the match score).
+const maxSignatureFeatures = 4096
+
+// Add absorbs one page fingerprint.
+func (s *Signature) Add(f Features) {
+	if s.Tags == nil {
+		s.Tags = map[string]int{}
+	}
+	if s.Keywords == nil {
+		s.Keywords = map[string]int{}
+	}
+	if s.URLPatterns == nil {
+		s.URLPatterns = map[string]int{}
+	}
+	s.Pages++
+	for t := range f.TagShingles {
+		s.Tags[t]++
+	}
+	for k := range f.Keywords {
+		s.Keywords[k]++
+	}
+	s.URLPatterns[joinPattern(f.URLPattern)]++
+	trimRarest(s.Tags, maxSignatureFeatures)
+	trimRarest(s.Keywords, maxSignatureFeatures)
+	trimRarest(s.URLPatterns, maxSignatureFeatures)
+}
+
+// trimRarest drops lowest-count entries until the map fits the cap.
+func trimRarest(m map[string]int, cap int) {
+	for len(m) > cap {
+		minK, minN := "", 0
+		for k, n := range m {
+			if minK == "" || n < minN || (n == minN && k < minK) {
+				minK, minN = k, n
+			}
+		}
+		delete(m, minK)
+	}
+}
+
+// joinPattern renders a normalized segment list as one pattern key.
+func joinPattern(segs []string) string {
+	out := ""
+	for _, s := range segs {
+		out += "/" + s
+	}
+	if out == "" {
+		return "/"
+	}
+	return out
+}
+
+func splitPattern(p string) []string {
+	var segs []string
+	start := -1
+	for i := 0; i < len(p); i++ {
+		if p[i] == '/' {
+			if start >= 0 && i > start {
+				segs = append(segs, p[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start >= 0 && start < len(p) {
+		segs = append(segs, p[start:])
+	}
+	return segs
+}
+
+// Match scores a page fingerprint against the signature in [0,1] using
+// the same weight mix as page-to-page Similarity: weighted Jaccard for
+// structure and keywords (signature features weigh their in-cluster
+// frequency, page features weigh 1, so a feature every cluster page
+// shares counts fully and a one-off noise feature barely counts), and the
+// best match over the recorded URL patterns.
+func (s *Signature) Match(f Features, w Weights) float64 {
+	if s == nil || s.Pages == 0 {
+		return 0
+	}
+	total := w.Structure + w.URL + w.Keywords
+	if total == 0 {
+		return 0
+	}
+	score := w.Structure * weightedJaccard(f.TagShingles, s.Tags, s.Pages)
+	score += w.URL * s.patternSimilarity(f.URLPattern)
+	score += w.Keywords * weightedJaccard(f.Keywords, s.Keywords, s.Pages)
+	return score / total
+}
+
+// weightedJaccard compares a page's feature set (each feature weight 1)
+// against a signature's frequency profile (each feature weight count/n):
+// Σ min / Σ max over the union.
+func weightedJaccard(page map[string]struct{}, sig map[string]int, n int) float64 {
+	if len(page) == 0 && len(sig) == 0 {
+		return 1
+	}
+	var num, den float64
+	for feat := range page {
+		freq := float64(sig[feat]) / float64(n)
+		// page weight 1: min = freq, max = 1.
+		num += freq
+		den += 1
+	}
+	for feat, c := range sig {
+		if _, ok := page[feat]; ok {
+			continue // already counted
+		}
+		den += float64(c) / float64(n)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// patternSimilarity returns the best urlSimilarity of the page's pattern
+// against every recorded pattern, weighted down for patterns seen in only
+// a sliver of the cluster (frequency < 10% scales the score).
+func (s *Signature) patternSimilarity(segs []string) float64 {
+	best := 0.0
+	for pat, c := range s.URLPatterns {
+		sim := urlSimilarity(segs, splitPattern(pat))
+		if freq := float64(c) / float64(s.Pages); freq < 0.1 {
+			sim *= freq / 0.1
+		}
+		if sim > best {
+			best = sim
+		}
+	}
+	return best
+}
+
+// Clone deep-copies the signature.
+func (s *Signature) Clone() *Signature {
+	if s == nil {
+		return nil
+	}
+	out := &Signature{
+		Pages:       s.Pages,
+		Tags:        make(map[string]int, len(s.Tags)),
+		Keywords:    make(map[string]int, len(s.Keywords)),
+		URLPatterns: make(map[string]int, len(s.URLPatterns)),
+	}
+	for k, v := range s.Tags {
+		out.Tags[k] = v
+	}
+	for k, v := range s.Keywords {
+		out.Keywords[k] = v
+	}
+	for k, v := range s.URLPatterns {
+		out.URLPatterns[k] = v
+	}
+	return out
+}
+
+// Validate checks a deserialized signature for internal consistency.
+func (s *Signature) Validate() error {
+	if s.Pages < 0 {
+		return fmt.Errorf("cluster: signature has negative page count %d", s.Pages)
+	}
+	for _, m := range []map[string]int{s.Tags, s.Keywords, s.URLPatterns} {
+		for k, c := range m {
+			if c < 0 || c > s.Pages {
+				return fmt.Errorf("cluster: signature feature %q count %d outside [0,%d]", k, c, s.Pages)
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalJSON emits deterministic output (sorted keys) so signatures in
+// committed rule repositories produce stable diffs.
+func (s *Signature) MarshalJSON() ([]byte, error) {
+	type kv struct {
+		K string `json:"k"`
+		N int    `json:"n"`
+	}
+	sorted := func(m map[string]int) []kv {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]kv, 0, len(keys))
+		for _, k := range keys {
+			out = append(out, kv{k, m[k]})
+		}
+		return out
+	}
+	return json.Marshal(struct {
+		Pages       int  `json:"pages"`
+		Tags        []kv `json:"tags,omitempty"`
+		Keywords    []kv `json:"keywords,omitempty"`
+		URLPatterns []kv `json:"urlPatterns,omitempty"`
+	}{s.Pages, sorted(s.Tags), sorted(s.Keywords), sorted(s.URLPatterns)})
+}
+
+// UnmarshalJSON reads the sorted-pairs form of MarshalJSON.
+func (s *Signature) UnmarshalJSON(data []byte) error {
+	type kv struct {
+		K string `json:"k"`
+		N int    `json:"n"`
+	}
+	var raw struct {
+		Pages       int  `json:"pages"`
+		Tags        []kv `json:"tags"`
+		Keywords    []kv `json:"keywords"`
+		URLPatterns []kv `json:"urlPatterns"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	toMap := func(pairs []kv) map[string]int {
+		m := make(map[string]int, len(pairs))
+		for _, p := range pairs {
+			m[p.K] = p.N
+		}
+		return m
+	}
+	*s = Signature{
+		Pages:       raw.Pages,
+		Tags:        toMap(raw.Tags),
+		Keywords:    toMap(raw.Keywords),
+		URLPatterns: toMap(raw.URLPatterns),
+	}
+	return s.Validate()
+}

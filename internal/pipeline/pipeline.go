@@ -1,0 +1,334 @@
+// Package pipeline is the single execution spine for whole-site
+// ingestion: a streaming, bounded-concurrency run of
+//
+//	Source → Classify → Extract → Sink
+//
+// shared by the CLIs (crawl, extract, evaluate) and the extractd daemon.
+// The paper's end goal (Figure 1) is migrating a whole site to XML; every
+// driver used to re-implement its own gather→parse→apply loop, each with
+// different buffering and error behaviour. Here the loop exists once:
+// pages stream out of a Source, are classified to a rule repository
+// (fixed, or routed by cluster signature), extracted on a bounded worker
+// set and emitted to a Sink in source order — with backpressure end to
+// end, so a site of any size flows through a fixed memory envelope.
+//
+// Stages are optional: a nil Classifier passes pages through unrouted
+// (fixed-repository extraction), a nil Extractor copies pages straight to
+// the sink (the crawl CLI: gather without extracting).
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+)
+
+// Item is one page's journey through the pipeline, as delivered to the
+// Sink. Exactly one of the failure modes holds per item: Err is set (the
+// page never produced a record — classification or extraction refused
+// it), or Element is set with zero or more detected extraction Failures.
+type Item struct {
+	// Seq is the page's arrival index, starting at 0. Ordered runs emit
+	// items in Seq order.
+	Seq int
+	// Page is the parsed input page.
+	Page *core.Page
+	// Repo names the repository the page was classified to ("" when the
+	// pipeline runs without classification and extraction).
+	Repo string
+	// Score is the router confidence for routed pages (1 for fixed
+	// routes).
+	Score float64
+	// Element is the extracted record (nil when Err is set or the
+	// pipeline has no Extractor).
+	Element *extract.Element
+	// Values is the flat component→values map behind Element.
+	Values map[string][]string
+	// Failures are the §7 extraction failures detected on this page.
+	Failures []extract.Failure
+	// Err is the page-level error, if the page could not be processed:
+	// ErrUnrouted, a line decode error from an NDJSON source, an
+	// extractor refusal. Page-level errors do not stop the run.
+	Err error
+}
+
+// ErrUnrouted reports that no registered repository signature matched the
+// page above the routing threshold — the page belongs to no cluster the
+// system holds rules for.
+var ErrUnrouted = errors.New("pipeline: page unrouted: no repository signature within threshold")
+
+// PageError is a page-level input problem (for example one malformed
+// NDJSON line): the Source reports it as an Item with Err set and the run
+// continues. Any other Source error aborts the run.
+type PageError struct {
+	// Line is the 1-based physical input line, when the source is
+	// line-oriented (0 otherwise).
+	Line int
+	// URI of the failed page, when known.
+	URI string
+	Err error
+}
+
+func (e *PageError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+	}
+	if e.URI != "" {
+		return fmt.Sprintf("%s: %v", e.URI, e.Err)
+	}
+	return e.Err.Error()
+}
+
+func (e *PageError) Unwrap() error { return e.Err }
+
+// Source produces the pages of a run, one at a time. Next returns io.EOF
+// when the stream ends, a *PageError for a recoverable per-page problem,
+// and any other error to abort the run.
+type Source interface {
+	Next(ctx context.Context) (*core.Page, error)
+}
+
+// Classifier assigns a page to a rule repository. Returning ErrUnrouted
+// (or any error) marks the item failed without stopping the run.
+type Classifier interface {
+	Classify(p *core.Page) (repo string, score float64, err error)
+}
+
+// ClassifierFunc adapts a function to Classifier.
+type ClassifierFunc func(p *core.Page) (string, float64, error)
+
+// Classify implements Classifier.
+func (f ClassifierFunc) Classify(p *core.Page) (string, float64, error) { return f(p) }
+
+// FixedRepo classifies every page to one repository.
+func FixedRepo(name string) Classifier {
+	return ClassifierFunc(func(*core.Page) (string, float64, error) { return name, 1, nil })
+}
+
+// Extractor runs one page extraction against a named repository. It must
+// be safe for concurrent calls.
+type Extractor interface {
+	Extract(ctx context.Context, repo string, p *core.Page) (*extract.Element, map[string][]string, []extract.Failure, error)
+}
+
+// Sink consumes finished items. Emit is called from a single goroutine;
+// an Emit error aborts the run (a broken sink must stop the stream, not
+// silently drop results). Close is called exactly once after the last
+// Emit of a successful run — sinks that assemble an aggregate document
+// write it there.
+type Sink interface {
+	Emit(it *Item) error
+	Close() error
+}
+
+// Config tunes one pipeline run.
+type Config struct {
+	// Workers is the classify+extract concurrency (default GOMAXPROCS).
+	Workers int
+	// Buffer is the depth of the inter-stage channels (default 2×
+	// Workers). Together with Workers it caps the pages in flight:
+	// sources are only drained as fast as the slowest downstream stage.
+	Buffer int
+	// Classifier routes pages to repositories; nil passes pages through
+	// with Repo "".
+	Classifier Classifier
+	// Extractor extracts routed pages; nil copies pages to the sink
+	// unextracted (classification errors, when a Classifier is set, still
+	// mark items failed).
+	Extractor Extractor
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) buffer() int {
+	if c.Buffer > 0 {
+		return c.Buffer
+	}
+	return 2 * c.workers()
+}
+
+// Stats summarizes one pipeline run.
+type Stats struct {
+	// Pages is the number of items emitted (including failed ones).
+	Pages int `json:"pages"`
+	// Routed counts pages per repository they were classified to.
+	Routed map[string]int `json:"routed,omitempty"`
+	// Unrouted counts pages no repository signature claimed.
+	Unrouted int `json:"unrouted,omitempty"`
+	// PageErrors counts items with any page-level error (including
+	// unrouted).
+	PageErrors int `json:"pageErrors,omitempty"`
+	// Extracted counts pages that produced a record.
+	Extracted int `json:"extracted,omitempty"`
+	// Failures totals the §7 extraction failures across all pages.
+	Failures int `json:"failures,omitempty"`
+}
+
+func (s *Stats) observe(it *Item) {
+	s.Pages++
+	if it.Err != nil {
+		s.PageErrors++
+		if errors.Is(it.Err, ErrUnrouted) {
+			s.Unrouted++
+		}
+		return
+	}
+	if it.Repo != "" {
+		if s.Routed == nil {
+			s.Routed = map[string]int{}
+		}
+		s.Routed[it.Repo]++
+	}
+	if it.Element != nil {
+		s.Extracted++
+	}
+	s.Failures += len(it.Failures)
+}
+
+// Run drives one pipeline: pages stream from src through classification
+// and extraction into sink, at most Workers extractions in flight, items
+// emitted in source order. Page-level problems travel as items with Err
+// set; Run returns a non-nil error only when the run itself broke (source
+// failure, sink failure, context cancelled). Sink.Close runs only when
+// the run succeeded — a failed run must not finalize sink artifacts.
+//
+// Backpressure: the source is pulled only while fewer than Buffer items
+// are awaiting emission, and the sink is fed in order — so a slow sink
+// (an HTTP client reading results) throttles the source (a crawl, a
+// request body) through a fixed in-flight window.
+func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		item *Item
+		done chan struct{}
+	}
+	// work hands jobs to workers; ordered fixes the emission order and —
+	// being the only buffered stage — caps the in-flight window.
+	work := make(chan *job)
+	ordered := make(chan *job, cfg.buffer())
+
+	var srcErr error
+	go func() {
+		defer close(work)
+		defer close(ordered)
+		for seq := 0; ; seq++ {
+			page, err := src.Next(ctx)
+			it := &Item{Seq: seq, Page: page}
+			var pe *PageError
+			switch {
+			case err == io.EOF:
+				return
+			case errors.As(err, &pe):
+				it.Err = pe
+				if page == nil {
+					it.Page = &core.Page{URI: pe.URI}
+				}
+			case err != nil:
+				// An error after the run was already cancelled (sink
+				// failure, caller cancel) is shutdown noise, not the
+				// run's cause.
+				if ctx.Err() == nil {
+					srcErr = err
+				}
+				cancel()
+				return
+			}
+			j := &job{item: it, done: make(chan struct{})}
+			if it.Err != nil {
+				close(j.done) // input error: skip the worker stage
+			} else {
+				select {
+				case work <- j:
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case ordered <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				process(ctx, cfg, j.item)
+				close(j.done)
+			}
+		}()
+	}
+
+	// Emitter (this goroutine): strict source order, single-threaded
+	// sink access. Every job in ordered was either handed to a worker
+	// (its done will close) or pre-closed, so this loop always drains.
+	var stats Stats
+	var emitErr error
+	for j := range ordered {
+		<-j.done
+		stats.observe(j.item)
+		if emitErr == nil && ctx.Err() == nil {
+			if err := sink.Emit(j.item); err != nil {
+				emitErr = fmt.Errorf("pipeline: sink: %w", err)
+				cancel()
+			}
+		}
+	}
+	wg.Wait()
+
+	// Close — and thereby finalize the sink's artifacts (manifest,
+	// aggregate document) — only when the run succeeded: an aborted
+	// crawl must not leave a valid-looking half-empty pages directory
+	// behind. None of the sinks hold OS resources of their own; callers
+	// that opened files close them regardless of the run's outcome.
+	switch {
+	case srcErr != nil:
+		return stats, fmt.Errorf("pipeline: source: %w", srcErr)
+	case emitErr != nil:
+		return stats, emitErr
+	case ctx.Err() != nil:
+		return stats, ctx.Err()
+	}
+	if err := sink.Close(); err != nil {
+		return stats, fmt.Errorf("pipeline: sink close: %w", err)
+	}
+	return stats, nil
+}
+
+// process runs classify + extract for one item, in a worker goroutine.
+func process(ctx context.Context, cfg Config, it *Item) {
+	if cfg.Classifier != nil {
+		repo, score, err := cfg.Classifier.Classify(it.Page)
+		if err != nil {
+			it.Err = err
+			return
+		}
+		it.Repo, it.Score = repo, score
+	}
+	if cfg.Extractor == nil {
+		return
+	}
+	el, values, fails, err := cfg.Extractor.Extract(ctx, it.Repo, it.Page)
+	if err != nil {
+		it.Err = err
+		return
+	}
+	it.Element, it.Values, it.Failures = el, values, fails
+}

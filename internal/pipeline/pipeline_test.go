@@ -1,0 +1,384 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+// buildCluster induces a repository for a corpus cluster, offline-style.
+func buildCluster(t testing.TB, cl *corpus.Cluster) *rule.Repository {
+	t.Helper()
+	sample, _ := cl.RepresentativeSplit(10)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// collected replays every emitted item for assertions.
+type collected struct {
+	mu     sync.Mutex
+	items  []*Item
+	closed bool
+}
+
+func (c *collected) Emit(it *Item) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = append(c.items, it)
+	return nil
+}
+
+func (c *collected) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// TestRunFixedRepo: every corpus page flows source → extract → sink with
+// a fixed classification, in source order.
+func TestRunFixedRepo(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(31, 20))
+	repo := buildCluster(t, cl)
+	ex, err := NewStaticExtractor(map[string]*rule.Repository{"movies": repo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collected{}
+	stats, err := Run(context.Background(), Config{
+		Workers:    4,
+		Classifier: FixedRepo("movies"),
+		Extractor:  ex,
+	}, NewPageSource(cl.Pages), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed {
+		t.Error("sink not closed")
+	}
+	if stats.Pages != len(cl.Pages) || stats.Extracted != len(cl.Pages) {
+		t.Errorf("stats = %+v, want %d pages extracted", stats, len(cl.Pages))
+	}
+	if stats.Routed["movies"] != len(cl.Pages) {
+		t.Errorf("routed = %v", stats.Routed)
+	}
+	for i, it := range sink.items {
+		if it.Seq != i {
+			t.Fatalf("item %d has seq %d: emission out of source order", i, it.Seq)
+		}
+		if it.Page.URI != cl.Pages[i].URI {
+			t.Fatalf("item %d is page %s, want %s", i, it.Page.URI, cl.Pages[i].URI)
+		}
+		if it.Err != nil || it.Element == nil {
+			t.Fatalf("item %d: err=%v element=%v", i, it.Err, it.Element)
+		}
+	}
+}
+
+// TestRunRoutedMixedClusters: pages from two clusters interleaved, routed
+// by signature to the right repository; alien pages unrouted.
+func TestRunRoutedMixedClusters(t *testing.T) {
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(32, 16))
+	books := corpus.GenerateBooks(corpus.DefaultBookProfile(33, 16))
+	forum := corpus.GenerateForum(corpus.DefaultForumProfile(34, 4))
+
+	router := cluster.NewRouter(0)
+	for name, cl := range map[string]*corpus.Cluster{"imdb-movies": movies, "books": books} {
+		var infos []cluster.PageInfo
+		for _, p := range cl.Pages[:8] {
+			infos = append(infos, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
+		}
+		router.Register(name, cluster.SignatureOf(infos))
+	}
+	ex, err := NewStaticExtractor(map[string]*rule.Repository{
+		"imdb-movies": buildCluster(t, movies),
+		"books":       buildCluster(t, books),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pages []*core.Page
+	want := map[string]string{}
+	for i := 8; i < 16; i++ {
+		pages = append(pages, movies.Pages[i], books.Pages[i])
+		want[movies.Pages[i].URI] = "imdb-movies"
+		want[books.Pages[i].URI] = "books"
+	}
+	pages = append(pages, forum.Pages...)
+
+	sink := &collected{}
+	stats, err := Run(context.Background(), Config{
+		Classifier: RouteWith(router),
+		Extractor:  ex,
+	}, NewPageSource(pages), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, it := range sink.items {
+		if w, ok := want[it.Page.URI]; ok {
+			if it.Err == nil && it.Repo == w {
+				correct++
+			} else {
+				t.Logf("page %s: repo=%q err=%v", it.Page.URI, it.Repo, it.Err)
+			}
+		} else if !errors.Is(it.Err, ErrUnrouted) {
+			t.Errorf("forum page %s not unrouted: repo=%q err=%v", it.Page.URI, it.Repo, it.Err)
+		}
+	}
+	if acc := float64(correct) / float64(len(want)); acc < 0.95 {
+		t.Errorf("routing accuracy %.2f (%d/%d)", acc, correct, len(want))
+	}
+	if stats.Unrouted != len(forum.Pages) {
+		t.Errorf("stats.Unrouted = %d, want %d", stats.Unrouted, len(forum.Pages))
+	}
+}
+
+// TestRunBoundedInFlight: the source is never drained more than the
+// in-flight window ahead of the sink — the bounded-memory property.
+func TestRunBoundedInFlight(t *testing.T) {
+	const pages, buffer = 64, 4
+	var produced, emitted atomic.Int64
+	var maxLead int64
+	src := ClassifierFunc(nil) // silence unused lint via explicit type below
+	_ = src
+
+	mk := func(i int) *core.Page {
+		return core.NewPage(fmt.Sprintf("http://x/p%d", i), "<html><body>p</body></html>")
+	}
+	source := sourceFunc(func(ctx context.Context) (*core.Page, error) {
+		n := produced.Add(1)
+		if n > pages {
+			return nil, io.EOF
+		}
+		if lead := n - emitted.Load(); lead > maxLead {
+			maxLead = lead
+		}
+		return mk(int(n)), nil
+	})
+	sink := FuncSink(func(it *Item) error {
+		emitted.Add(1)
+		return nil
+	})
+	if _, err := Run(context.Background(), Config{Workers: 2, Buffer: buffer}, source, sink); err != nil {
+		t.Fatal(err)
+	}
+	// The window is Buffer items in ordered + workers in flight + the one
+	// being fed; anything near `pages` means the source was slurped.
+	if limit := int64(buffer + 2 + 2); maxLead > limit {
+		t.Errorf("source ran %d items ahead of the sink, want <= %d", maxLead, limit)
+	}
+}
+
+type sourceFunc func(ctx context.Context) (*core.Page, error)
+
+func (f sourceFunc) Next(ctx context.Context) (*core.Page, error) { return f(ctx) }
+
+// TestRunPageErrorsContinue: a malformed NDJSON line fails its own item;
+// the rest of the stream still extracts.
+func TestRunPageErrorsContinue(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(35, 3))
+	repo := buildCluster(t, cl)
+	ex, _ := NewStaticExtractor(map[string]*rule.Repository{"movies": repo})
+
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.Encode(PageLine{URI: cl.Pages[0].URI, HTML: dom.Render(cl.Pages[0].Doc)})
+	buf.WriteString("{broken json\n\n")
+	enc.Encode(PageLine{URI: cl.Pages[1].URI, HTML: dom.Render(cl.Pages[1].Doc)})
+
+	sink := &collected{}
+	stats, err := Run(context.Background(), Config{
+		Classifier: FixedRepo("movies"),
+		Extractor:  ex,
+	}, NewNDJSONSource(strings.NewReader(buf.String()), 0, nil), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 3 || stats.Extracted != 2 || stats.PageErrors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	var pe *PageError
+	if !errors.As(sink.items[1].Err, &pe) || pe.Line != 2 {
+		t.Errorf("item 1 error = %v, want PageError at line 2", sink.items[1].Err)
+	}
+}
+
+// TestRunSinkErrorAborts: a failing sink stops the run with its error.
+func TestRunSinkErrorAborts(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(36, 10))
+	boom := errors.New("disk full")
+	n := 0
+	sink := FuncSink(func(it *Item) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	_, err := Run(context.Background(), Config{}, NewPageSource(cl.Pages), sink)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestRunCancel: cancelling the context ends the run promptly.
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	i := 0
+	source := sourceFunc(func(ctx context.Context) (*core.Page, error) {
+		i++
+		if i == 5 {
+			cancel()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return core.NewPage("http://x/p", "<html></html>"), nil
+	})
+	_, err := Run(ctx, Config{}, source, &collected{})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}
+
+// TestManifestSourceAndPagesDirSink round-trip a pages directory through
+// the pipeline with no extraction stage (the crawl shape).
+func TestManifestSourceAndPagesDirSink(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(37, 6))
+	dir := t.TempDir()
+
+	sink, err := NewPagesDirSink(dir, "movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(context.Background(), Config{}, NewPageSource(cl.Pages), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 6 || sink.PageCount() != 6 {
+		t.Fatalf("stats=%+v written=%d", stats, sink.PageCount())
+	}
+
+	src, err := NewManifestSource(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Manifest().Cluster != "movies" {
+		t.Errorf("cluster = %q", src.Manifest().Cluster)
+	}
+	back := &collected{}
+	stats, err = Run(context.Background(), Config{}, src, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 6 {
+		t.Fatalf("reloaded %d pages", stats.Pages)
+	}
+	uris := map[string]bool{}
+	for _, it := range back.items {
+		uris[it.Page.URI] = true
+	}
+	for _, p := range cl.Pages {
+		if !uris[p.URI] {
+			t.Errorf("page %s lost in round-trip", p.URI)
+		}
+	}
+}
+
+// TestManifestSourceMissingFile: a manifest entry whose file is gone is a
+// page-level error, not a run abort.
+func TestManifestSourceMissingFile(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(38, 3))
+	dir := t.TempDir()
+	sink, _ := NewPagesDirSink(dir, "movies")
+	if _, err := Run(context.Background(), Config{}, NewPageSource(cl.Pages), sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "page001.html")); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewManifestSource(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &collected{}
+	stats, err := Run(context.Background(), Config{}, src, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 3 || stats.PageErrors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestAggregateXMLMatchesExtractCluster: the pipeline's aggregated XML
+// document is byte-identical to the offline processor's ExtractCluster —
+// the refactored extract CLI cannot silently change its output.
+func TestAggregateXMLMatchesExtractCluster(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(39, 12))
+	repo := buildCluster(t, cl)
+	ex, err := NewStaticExtractor(map[string]*rule.Repository{repo.Cluster: repo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	agg := NewAggregateXML(&got, repo.Cluster, false)
+	if _, err := Run(context.Background(), Config{
+		Classifier: FixedRepo(repo.Cluster),
+		Extractor:  ex,
+	}, NewPageSource(cl.Pages), agg); err != nil {
+		t.Fatal(err)
+	}
+
+	proc := ex[repo.Cluster]
+	doc, _ := proc.ExtractCluster(cl.Pages)
+	var want strings.Builder
+	if err := doc.WriteXML(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("aggregate XML differs from ExtractCluster:\n--- pipeline ---\n%s\n--- offline ---\n%s",
+			got.String(), want.String())
+	}
+}
+
+// TestNDJSONSourceOversizedLine: a line beyond the cap surfaces as a
+// page-level error and ends the stream cleanly.
+func TestNDJSONSourceOversizedLine(t *testing.T) {
+	line1, _ := json.Marshal(PageLine{URI: "http://x/1", HTML: "<html><body>ok</body></html>"})
+	big := strings.Repeat("x", 4096)
+	input := string(line1) + "\n" + `{"uri":"http://x/2","html":"` + big + `"}` + "\n"
+
+	sink := &collected{}
+	stats, err := Run(context.Background(), Config{},
+		NewNDJSONSource(strings.NewReader(input), 512, nil), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 2 || stats.PageErrors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if sink.items[1].Err == nil {
+		t.Error("oversized line produced no error item")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"repro/internal/cluster"
 )
 
 // StructureNode describes one node of the enhanced (aggregated) structure
@@ -33,6 +35,13 @@ type Repository struct {
 	// Structure, when non-nil, replaces the default flat component list
 	// under each page element.
 	Structure []StructureNode `json:"structure,omitempty"`
+	// Signature, when non-nil, is the cluster-signature fingerprint of
+	// the pages the rules were built from. A service that loads the
+	// repository registers it with its page router, so unseen pages can
+	// be classified to this repository without the caller naming it.
+	// (JSON only; the XML interchange form predates routing and stays
+	// stable for external consumers.)
+	Signature *cluster.Signature `json:"signature,omitempty"`
 }
 
 // NewRepository creates an empty repository for the named cluster.
@@ -68,6 +77,7 @@ func (repo *Repository) Clone() *Repository {
 	if repo.Structure != nil {
 		out.Structure = cloneStructure(repo.Structure)
 	}
+	out.Signature = repo.Signature.Clone()
 	return out
 }
 

@@ -1,21 +1,22 @@
 package service
 
 import (
-	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/lifecycle"
+	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/webfetch"
 )
@@ -28,9 +29,10 @@ import (
 //	POST /repos                  load/reload a repository (JSON body, ?name= override)
 //	GET  /repos                  list loaded repositories
 //	DELETE /repos                unload a repository (?name=)
-//	POST /extract                extract one page: raw HTML body, ?repo= &uri= &format=json|xml
+//	POST /extract                extract one page: raw HTML body, ?repo= (optional: router) &uri= &format=json|xml
 //	POST /extract/batch          extract many pages: NDJSON {"uri","html"} in, NDJSON out
-//	POST /extract/url            fetch ?url= then extract against ?repo=
+//	POST /extract/url            fetch ?url= then extract against ?repo= (optional: router)
+//	POST /ingest                 stream a whole site: NDJSON pages in, NDJSON results out (auto-routed)
 //	GET  /repos/{name}/health    drift monitor + version history (+?verdicts=1)
 //	GET  /repos/{name}/versions  retained repository versions + per-version stats
 //	POST /repos/{name}/repair    rebuild broken rules from the sample buffer (?promote=auto|never|force)
@@ -63,6 +65,17 @@ type Server struct {
 	// AutoRepair, when true, reacts to a tripped drift alarm by running
 	// repair → stage → shadow-evaluate → promote without an operator.
 	AutoRepair bool
+	// Router classifies pages to repositories when a request names none:
+	// repositories loaded with a cluster signature are registered here,
+	// and /extract, /extract/url and /ingest fall back to it. Never nil
+	// after NewServer.
+	Router *cluster.Router
+	// RouterLearn, when true, folds cleanly extracted explicitly-targeted
+	// pages on the single-page endpoints (/extract, /extract/url) into
+	// the target repository's routing signature, until it has absorbed
+	// routerLearnCap pages — repositories loaded without a signature
+	// become routable once explicit traffic has flowed.
+	RouterLearn bool
 
 	monMu    sync.Mutex
 	monitors map[string]*lifecycle.Monitor
@@ -85,7 +98,36 @@ func NewServer(workers, queue int, fetcher *webfetch.Fetcher) *Server {
 		Metrics:   NewMetrics(),
 		Fetcher:   fetcher,
 		PageCache: NewPageCache(DefaultPageCacheSize),
+		Router:    cluster.NewRouter(0),
 	}
+}
+
+// LoadRepo validates, compiles and activates a repository (see
+// Registry.Load) and wires the surrounding machinery: the repository's
+// cluster signature (if any) is registered with the page router, and the
+// repo's drift window re-arms — a fresh version earns a fresh failure
+// window. Both the /repos handler and daemon preloading go through here.
+func (s *Server) LoadRepo(name string, repo *rule.Repository) (*RepoEntry, error) {
+	e, err := s.Registry.Load(name, repo)
+	if err != nil {
+		return nil, err
+	}
+	if repo.Signature != nil {
+		s.Router.Register(e.Name, repo.Signature)
+	}
+	s.monitor(e.Name).ResetWindow()
+	return e, nil
+}
+
+// RemoveRepo unloads a repository, its router signature and its drift
+// monitor, reporting whether it existed.
+func (s *Server) RemoveRepo(name string) bool {
+	if !s.Registry.Remove(name) {
+		return false
+	}
+	s.Router.Unregister(name)
+	s.dropMonitor(name)
+	return true
 }
 
 // DefaultPageCacheSize is the parsed-document cache capacity NewServer
@@ -113,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/extract", s.handleExtract)
 	mux.HandleFunc("/extract/batch", s.handleExtractBatch)
 	mux.HandleFunc("/extract/url", s.handleExtractURL)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -124,9 +167,15 @@ func (s *Server) Handler() http.Handler {
 type httpError struct {
 	status int
 	msg    string
+	// cause, when set, makes the error transparent to errors.Is — the
+	// unrouted error wraps pipeline.ErrUnrouted so pipeline stats and
+	// callers classify it without string matching.
+	cause error
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+func (e *httpError) Unwrap() error { return e.cause }
 
 func errf(status int, format string, args ...any) *httpError {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
@@ -229,14 +278,10 @@ func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return errf(http.StatusUnprocessableEntity, "%v", err)
 			}
-			e, err := s.Registry.Load(r.URL.Query().Get("name"), repo)
+			e, err := s.LoadRepo(r.URL.Query().Get("name"), repo)
 			if err != nil {
 				return errf(http.StatusUnprocessableEntity, "%v", err)
 			}
-			// A manual reload is an operator fixing things: like a
-			// repair-promote, the fresh version earns a fresh failure
-			// window, and a tripped alarm re-arms.
-			s.monitor(e.Name).ResetWindow()
 			writeJSON(w, http.StatusOK, info(e))
 			return nil
 		})
@@ -246,10 +291,9 @@ func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
 			if name == "" {
 				return errf(http.StatusBadRequest, "name parameter required")
 			}
-			if !s.Registry.Remove(name) {
+			if !s.RemoveRepo(name) {
 				return errf(http.StatusNotFound, "repository %q not loaded", name)
 			}
-			s.dropMonitor(name)
 			writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 			return nil
 		})
@@ -270,6 +314,7 @@ type extractResult struct {
 	Failures   []string `json:"failures,omitempty"`
 }
 
+// lookupRepo resolves an explicitly named repository (?repo=).
 func (s *Server) lookupRepo(r *http.Request) (*RepoEntry, error) {
 	name := r.URL.Query().Get("repo")
 	if name == "" {
@@ -282,20 +327,82 @@ func (s *Server) lookupRepo(r *http.Request) (*RepoEntry, error) {
 	return e, nil
 }
 
-// extractPage runs one page extraction on the worker pool, recording
+// routePage classifies a page to a loaded repository via the router —
+// the path taken when a request names no repository. Outcomes feed the
+// router metrics: hit (routed), unrouted (below threshold), miss (no
+// routable signatures, or a stale signature for an unloaded repo).
+func (s *Server) routePage(page *core.Page) (*RepoEntry, float64, error) {
+	if s.Router == nil || s.Router.Len() == 0 {
+		s.Metrics.Router(RouterMiss)
+		return nil, 0, errf(http.StatusBadRequest,
+			"repo parameter required (no routable repositories loaded)")
+	}
+	route, ok := s.Router.RoutePage(cluster.PageInfo{URI: page.URI, Doc: page.Doc})
+	if !ok {
+		s.Metrics.Router(RouterUnrouted)
+		msg := fmt.Sprintf("unrouted: page %q matched no repository signature", page.URI)
+		if route.Name != "" {
+			msg = fmt.Sprintf("unrouted: page %q best match %q at %.2f is below the routing threshold",
+				page.URI, route.Name, route.Score)
+		}
+		return nil, route.Score, &httpError{
+			status: http.StatusUnprocessableEntity, msg: msg, cause: pipeline.ErrUnrouted,
+		}
+	}
+	e, loaded := s.Registry.Get(route.Name)
+	if !loaded {
+		s.Metrics.Router(RouterMiss)
+		return nil, 0, errf(http.StatusNotFound,
+			"routed to repository %q which is not loaded", route.Name)
+	}
+	s.Metrics.Router(RouterHit)
+	return e, route.Score, nil
+}
+
+// resolveRepo picks the repository for a request: the explicit ?repo=
+// name when present, else the router's pick for the page.
+func (s *Server) resolveRepo(r *http.Request, page *core.Page) (*RepoEntry, error) {
+	if r.URL.Query().Get("repo") != "" {
+		return s.lookupRepo(r)
+	}
+	e, _, err := s.routePage(page)
+	return e, err
+}
+
+// routerLearnCap is where online route learning stops: once a signature
+// has absorbed this many pages it has converged, and the per-request
+// fingerprint walk + router write-lock would be pure hot-path overhead.
+const routerLearnCap = 200
+
+// learnRoute folds one cleanly extracted, explicitly targeted page into
+// the repository's routing signature (when RouterLearn is on) — only on
+// the single-page endpoints, and only until the signature has absorbed
+// routerLearnCap pages. Pages with detected failures are withheld —
+// drifted evidence would teach the router the wrong shape.
+func (s *Server) learnRoute(r *http.Request, name string, page *core.Page, fails []extract.Failure) {
+	if !s.RouterLearn || len(fails) > 0 || r.URL.Query().Get("repo") == "" {
+		return
+	}
+	if s.Router.SignaturePages(name) >= routerLearnCap {
+		return
+	}
+	s.Router.Observe(name, cluster.Fingerprint(cluster.PageInfo{URI: page.URI, Doc: page.Doc}))
+}
+
+// extractEntry runs one page extraction on the worker pool, recording
 // latency and failure metrics, per-version stats and the drift monitor
 // observation — and, when AutoRepair is on and this page tripped the
 // repository's drift alarm, kicking the background repair.
-func (s *Server) extractPage(r *http.Request, e *RepoEntry, page *core.Page) (*extract.Element, []extract.Failure, error) {
+func (s *Server) extractEntry(ctx context.Context, e *RepoEntry, page *core.Page) (*extract.Element, map[string][]string, []extract.Failure, error) {
 	var el *extract.Element
 	var values map[string][]string
 	var fails []extract.Failure
 	start := time.Now()
-	err := s.Pool.Do(r.Context(), func() {
+	err := s.Pool.Do(ctx, func() {
 		el, values, fails = e.Proc.ExtractPageValues(page)
 	})
 	if err != nil {
-		return nil, nil, errf(http.StatusServiceUnavailable, "extraction not scheduled: %v", err)
+		return nil, nil, nil, errf(http.StatusServiceUnavailable, "extraction not scheduled: %v", err)
 	}
 	s.Metrics.Extraction(time.Since(start), fails)
 	e.Stats.Record(len(fails))
@@ -310,7 +417,7 @@ func (s *Server) extractPage(r *http.Request, e *RepoEntry, page *core.Page) (*e
 	if s.AutoRepair && mon.NeedsRepair() {
 		go s.autoRepair(e.Name)
 	}
-	return el, fails, nil
+	return el, values, fails, nil
 }
 
 // syntheticURI names a page that arrived without a URI by its content,
@@ -402,10 +509,6 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.endpoint("extract", w, r, func() error {
-		e, err := s.lookupRepo(r)
-		if err != nil {
-			return err
-		}
 		body, err := s.readBody(r)
 		if err != nil {
 			return err
@@ -414,56 +517,81 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			return errf(http.StatusBadRequest, "empty HTML body")
 		}
 		page := s.pageFor(r.URL.Query().Get("uri"), body)
-		el, fails, err := s.extractPage(r, e, page)
+		e, err := s.resolveRepo(r, page)
 		if err != nil {
 			return err
 		}
+		el, _, fails, err := s.extractEntry(r.Context(), e, page)
+		if err != nil {
+			return err
+		}
+		s.learnRoute(r, e.Name, page, fails)
 		return writeResult(w, r, e, page, el, fails)
 	})
 }
 
-// batchLine is one input line of /extract/batch.
-type batchLine struct {
-	URI  string `json:"uri"`
-	HTML string `json:"html"`
-
-	// err records a per-line decode problem; the line still occupies its
-	// slot so responses stay positionally aligned with the input.
-	err error `json:"-"`
-	// lineNo is the physical line number in the request body, for error
-	// messages an operator can grep for.
-	lineNo int `json:"-"`
+// pageParser adapts the server's cache-aware page assembly to the
+// pipeline's parser hook: batch and ingest lines flow through the same
+// page cache and synthetic-URI naming as /extract bodies.
+func (s *Server) pageParser() pipeline.PageParser {
+	return func(uri, html string) *core.Page { return s.pageForString(uri, html) }
 }
 
-// readBatch parses an NDJSON batch body into its lines, keeping malformed
-// lines as error entries. Blank lines are skipped but still counted, so
-// reported line numbers match the physical input. maxLine bounds one
-// line's length — sized from the server's body cap so any page accepted
-// by /extract also fits on a batch line.
-func readBatch(body io.Reader, maxLine int) ([]batchLine, error) {
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 64*1024), maxLine)
-	var lines []batchLine
-	for lineNo := 1; sc.Scan(); lineNo++ {
-		raw := strings.TrimSpace(sc.Text())
-		if raw == "" {
-			continue
-		}
-		var in batchLine
-		if err := json.Unmarshal([]byte(raw), &in); err != nil {
-			lines = append(lines, batchLine{err: err, lineNo: lineNo})
-			continue
-		}
-		in.lineNo = lineNo
-		if in.URI == "" {
-			in.URI = syntheticURI([]byte(in.HTML))
-		}
-		lines = append(lines, in)
+// extractor adapts the server to the pipeline's Extract stage: per-page
+// repository resolution (routed pages may target different repositories
+// within one run), worker-pool scheduling, metrics, drift observation.
+type extractor struct{ s *Server }
+
+// Extract implements pipeline.Extractor.
+func (x extractor) Extract(ctx context.Context, repo string, page *core.Page) (*extract.Element, map[string][]string, []extract.Failure, error) {
+	e, ok := x.s.Registry.Get(repo)
+	if !ok {
+		return nil, nil, nil, errf(http.StatusNotFound, "repository %q not loaded", repo)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	return x.s.extractEntry(ctx, e, page)
+}
+
+// requestClassifier returns the pipeline Classify stage for a request:
+// the explicit ?repo= when present (validated against the registry),
+// else the signature router.
+func (s *Server) requestClassifier(r *http.Request) (pipeline.Classifier, error) {
+	if name := r.URL.Query().Get("repo"); name != "" {
+		if _, ok := s.Registry.Get(name); !ok {
+			return nil, errf(http.StatusNotFound, "repository %q not loaded", name)
+		}
+		return pipeline.FixedRepo(name), nil
 	}
-	return lines, nil
+	return pipeline.ClassifierFunc(func(p *core.Page) (string, float64, error) {
+		e, score, err := s.routePage(p)
+		if err != nil {
+			return "", score, err
+		}
+		return e.Name, score, nil
+	}), nil
+}
+
+// batchResult renders one pipeline item in the /extract/batch wire
+// shape (kept from PR 1: per-line errors for undecodable lines, the
+// extractResult envelope with the serving generation otherwise).
+func (s *Server) batchResult(it *pipeline.Item) any {
+	var pe *pipeline.PageError
+	switch {
+	case errorsAs(it.Err, &pe) && pe.Line > 0:
+		return map[string]string{"error": pe.Error()}
+	case it.Err != nil:
+		return map[string]string{"uri": it.Page.URI, "error": it.Err.Error()}
+	}
+	gen := 0
+	if e, ok := s.Registry.Get(it.Repo); ok {
+		gen = e.Generation
+	}
+	return extractResult{
+		URI:        it.Page.URI,
+		Repo:       it.Repo,
+		Generation: gen,
+		Record:     it.Element.JSONValue(),
+		Failures:   failureStrings(it.Failures),
+	}
 }
 
 func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
@@ -472,66 +600,41 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.endpoint("extract.batch", w, r, func() error {
-		e, err := s.lookupRepo(r)
+		classify, err := s.requestClassifier(r)
 		if err != nil {
 			return err
 		}
-		// Read the whole batch before the first response write: HTTP/1.x
-		// servers close the request body once the response starts, so
-		// interleaving scan and stream would truncate the input. The
-		// body is bounded by MaxBody, so buffering it is safe.
+		// Read the whole batch before the first response write — the
+		// documented /extract/batch contract (the body is bounded by
+		// MaxBody, so buffering is safe, and clients need no streaming
+		// upload support). /ingest is the full-duplex streaming variant.
 		body, err := s.readBody(r)
 		if err != nil {
 			return err
 		}
-		lines, err := readBatch(bytes.NewReader(body), int(s.maxBody()))
-		if err != nil {
-			return errf(http.StatusBadRequest, "reading batch: %v", err)
-		}
-		if len(lines) == 0 {
+		if len(bytes.TrimSpace(body)) == 0 {
 			return errf(http.StatusBadRequest, "empty batch")
 		}
-
-		// Fan the pages out across the worker pool, then stream results
-		// back in input order as each finishes.
-		out := make([]any, len(lines))
-		done := make([]chan struct{}, len(lines))
-		for i := range lines {
-			done[i] = make(chan struct{})
-			go func(i int) {
-				defer close(done[i])
-				in := lines[i]
-				if in.err != nil {
-					out[i] = map[string]string{"error": fmt.Sprintf("line %d: %v", in.lineNo, in.err)}
-					return
-				}
-				page := s.pageForString(in.URI, in.HTML)
-				el, fails, err := s.extractPage(r, e, page)
-				if err != nil {
-					out[i] = map[string]string{"uri": in.URI, "error": err.Error()}
-					return
-				}
-				out[i] = extractResult{
-					URI:        page.URI,
-					Repo:       e.Name,
-					Generation: e.Generation,
-					Record:     el.JSONValue(),
-					Failures:   failureStrings(fails),
-				}
-			}(i)
-		}
+		src := pipeline.NewNDJSONSource(bytes.NewReader(body), int(s.maxBody()), s.pageParser())
 
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
-		for i := range out {
-			<-done[i]
-			_ = enc.Encode(out[i])
+		sink := pipeline.FuncSink(func(it *pipeline.Item) error {
+			if err := enc.Encode(s.batchResult(it)); err != nil {
+				return err
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
-		}
-		return nil
+			return nil
+		})
+		_, err = pipeline.Run(r.Context(), pipeline.Config{
+			Workers:    s.Pool.Workers(),
+			Classifier: classify,
+			Extractor:  extractor{s},
+		}, src, sink)
+		return err
 	})
 }
 
@@ -544,9 +647,14 @@ func (s *Server) handleExtractURL(w http.ResponseWriter, r *http.Request) {
 		if s.Fetcher == nil {
 			return errf(http.StatusNotImplemented, "URL fetching disabled")
 		}
-		e, err := s.lookupRepo(r)
-		if err != nil {
-			return err
+		// An explicit repo name is validated before the outbound fetch;
+		// with none given the page is fetched first, then routed.
+		var e *RepoEntry
+		if r.URL.Query().Get("repo") != "" {
+			var err error
+			if e, err = s.lookupRepo(r); err != nil {
+				return err
+			}
 		}
 		target := r.URL.Query().Get("url")
 		if target == "" {
@@ -555,14 +663,20 @@ func (s *Server) handleExtractURL(w http.ResponseWriter, r *http.Request) {
 		if err := s.checkFetchTarget(target); err != nil {
 			return err
 		}
-		page, err := s.Fetcher.FetchPage(target)
+		page, err := s.Fetcher.FetchPageContext(r.Context(), target)
 		if err != nil {
 			return errf(http.StatusBadGateway, "%v", err)
 		}
-		el, fails, err := s.extractPage(r, e, page)
+		if e == nil {
+			if e, _, err = s.routePage(page); err != nil {
+				return err
+			}
+		}
+		el, _, fails, err := s.extractEntry(r.Context(), e, page)
 		if err != nil {
 			return err
 		}
+		s.learnRoute(r, e.Name, page, fails)
 		return writeResult(w, r, e, page, el, fails)
 	})
 }

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/webfetch"
+)
+
+// postURL posts to /extract/url and returns status + body.
+func postURL(t *testing.T, base, query string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/extract/url"+query, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(raw)
+}
+
+// TestExtractURLErrorPaths covers every refusal of /extract/url: fetcher
+// disabled, missing parameters, unknown repo, unreachable and non-HTTP
+// targets, and a routed request with no routable repositories.
+func TestExtractURLErrorPaths(t *testing.T) {
+	_, repo := buildMoviesRepo(t, 81, 12)
+	_, ts := newTestServer(t)
+	postJSONRepo(t, ts.URL, repo, "movies")
+
+	// A live site that refuses the page: status propagation check.
+	deadSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(deadSrv.Close)
+	// A live site that serves a page (for the fetch-then-route path).
+	okSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "<html><body>plain page</body></html>")
+	}))
+	t.Cleanup(okSrv.Close)
+	// An address nothing listens on.
+	closedSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	closedURL := closedSrv.URL
+	closedSrv.Close()
+
+	cases := []struct {
+		name  string
+		query string
+		want  int
+		frag  string
+	}{
+		{"missing url", "?repo=movies", http.StatusBadRequest, "url parameter required"},
+		{"unknown repo", "?repo=nope&url=http://example.invalid/x", http.StatusNotFound, "not loaded"},
+		{"no repo, no routable sigs", "?url=" + url.QueryEscape(okSrv.URL+"/p"), http.StatusBadRequest, "repo parameter required"},
+		{"upstream 404", "?repo=movies&url=" + url.QueryEscape(deadSrv.URL+"/gone"), http.StatusBadGateway, "status 404"},
+		{"unreachable host", "?repo=movies&url=" + url.QueryEscape(closedURL+"/x"), http.StatusBadGateway, ""},
+		{"non-http scheme", "?repo=movies&url=" + url.QueryEscape("ftp://example.invalid/x"), http.StatusBadGateway, "not http(s)"},
+		{"bad target url", "?repo=movies&url=" + url.QueryEscape("http://bad host/x"), http.StatusBadGateway, ""},
+	}
+	for _, tc := range cases {
+		status, body := postURL(t, ts.URL, tc.query)
+		if status != tc.want {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, status, strings.TrimSpace(body), tc.want)
+		}
+		if tc.frag != "" && !strings.Contains(body, tc.frag) {
+			t.Errorf("%s: body %q lacks %q", tc.name, body, tc.frag)
+		}
+	}
+}
+
+// TestExtractURLFetcherDisabled: a server constructed without a fetcher
+// refuses /extract/url with 501.
+func TestExtractURLFetcherDisabled(t *testing.T) {
+	srv := NewServer(2, 2, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	status, body := postURL(t, ts.URL, "?repo=movies&url=http://example.invalid/x")
+	if status != http.StatusNotImplemented || !strings.Contains(body, "disabled") {
+		t.Errorf("status %d body %q, want 501 disabled", status, body)
+	}
+}
+
+// TestExtractURLHostAllowlistBlocksEarly: a disallowed host is refused
+// before any outbound fetch and before repo resolution errors can mask
+// it.
+func TestExtractURLHostAllowlistBlocksEarly(t *testing.T) {
+	_, repo := buildMoviesRepo(t, 82, 12)
+	srv, ts := newTestServer(t)
+	postJSONRepo(t, ts.URL, repo, "movies")
+	srv.AllowedHosts = []string{"allowed.example:80"}
+
+	touched := false
+	probe := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		touched = true
+	}))
+	t.Cleanup(probe.Close)
+
+	status, body := postURL(t, ts.URL, "?repo=movies&url="+url.QueryEscape(probe.URL+"/x"))
+	if status != http.StatusForbidden || !strings.Contains(body, "allowlist") {
+		t.Errorf("status %d body %q, want 403 allowlist", status, body)
+	}
+	if touched {
+		t.Error("blocked target was still fetched")
+	}
+}
+
+// TestExtractURLTimeoutBounded: a wedged upstream cannot hang the
+// request — the fetcher's per-request timeout turns it into a 502.
+func TestExtractURLTimeoutBounded(t *testing.T) {
+	_, repo := buildMoviesRepo(t, 83, 12)
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	t.Cleanup(func() { close(release); slow.Close() })
+
+	srv := NewServer(2, 2, &webfetch.Fetcher{Timeout: 50 * 1e6 /* 50ms */})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	postJSONRepo(t, ts.URL, repo, "movies")
+
+	status, _ := postURL(t, ts.URL, "?repo=movies&url="+url.QueryEscape(slow.URL+"/x"))
+	if status != http.StatusBadGateway {
+		t.Errorf("status %d, want 502 after timeout", status)
+	}
+}

@@ -36,6 +36,39 @@ type Metrics struct {
 	// touches the metrics mutex for a cache probe.
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Page-router outcomes; atomics because routing happens on pipeline
+	// workers.
+	routerHits     atomic.Int64
+	routerMisses   atomic.Int64
+	routerUnrouted atomic.Int64
+}
+
+// RouterOutcome classifies one auto-routing attempt.
+type RouterOutcome int
+
+// Router outcomes.
+const (
+	// RouterHit: the page was routed to a loaded repository.
+	RouterHit RouterOutcome = iota
+	// RouterMiss: routing was impossible — no routable signatures, or
+	// the winning signature belongs to an unloaded repository.
+	RouterMiss
+	// RouterUnrouted: signatures exist, but none matched above the
+	// threshold — the page belongs to no known cluster.
+	RouterUnrouted
+)
+
+// Router records one auto-routing outcome.
+func (m *Metrics) Router(o RouterOutcome) {
+	switch o {
+	case RouterHit:
+		m.routerHits.Add(1)
+	case RouterMiss:
+		m.routerMisses.Add(1)
+	case RouterUnrouted:
+		m.routerUnrouted.Add(1)
+	}
 }
 
 // NewMetrics creates zeroed metrics with the uptime clock started.
@@ -110,6 +143,9 @@ type Snapshot struct {
 	PagesExtracted     int64             `json:"pagesExtracted"`
 	PageCacheHits      int64             `json:"pageCacheHits"`
 	PageCacheMisses    int64             `json:"pageCacheMisses"`
+	RouterHits         int64             `json:"routerHits"`
+	RouterMisses       int64             `json:"routerMisses"`
+	RouterUnrouted     int64             `json:"routerUnrouted"`
 	LatencySumSeconds  float64           `json:"latencySumSeconds"`
 	LatencyCount       int64             `json:"latencyCount"`
 	LatencyHistogram   []HistogramBucket `json:"latencyHistogram"`
@@ -127,6 +163,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		PagesExtracted:     m.pages,
 		PageCacheHits:      m.cacheHits.Load(),
 		PageCacheMisses:    m.cacheMisses.Load(),
+		RouterHits:         m.routerHits.Load(),
+		RouterMisses:       m.routerMisses.Load(),
+		RouterUnrouted:     m.routerUnrouted.Load(),
 		LatencySumSeconds:  m.latSum,
 		LatencyCount:       m.latCount,
 	}

@@ -12,12 +12,18 @@ import (
 // evaluation over a parsed DOM), so the right bound is near GOMAXPROCS;
 // the queue gives short bursts somewhere to wait instead of failing.
 type Pool struct {
-	tasks chan poolTask
+	tasks   chan poolTask
+	workers int
 
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// Workers reports the pool's worker count — the natural concurrency for
+// callers (like the ingestion pipeline) that feed the pool and should
+// not queue far past it.
+func (p *Pool) Workers() int { return p.workers }
 
 type poolTask struct {
 	fn   func()
@@ -33,7 +39,7 @@ func NewPool(workers, queue int) *Pool {
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{tasks: make(chan poolTask, queue)}
+	p := &Pool{tasks: make(chan poolTask, queue), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()

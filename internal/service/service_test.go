@@ -16,6 +16,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dom"
 	"repro/internal/extract"
+	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/webfetch"
 )
@@ -303,7 +304,7 @@ func TestExtractBatchNDJSON(t *testing.T) {
 	var in strings.Builder
 	const n = 6
 	for i := 0; i < n; i++ {
-		line, err := json.Marshal(batchLine{URI: cl.Pages[i].URI, HTML: dom.Render(cl.Pages[i].Doc)})
+		line, err := json.Marshal(pipeline.PageLine{URI: cl.Pages[i].URI, HTML: dom.Render(cl.Pages[i].Doc)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -454,30 +455,61 @@ func TestFetchAllowlist(t *testing.T) {
 	}
 }
 
-func TestReadBatchLineNumbers(t *testing.T) {
-	in := "{\"uri\":\"a\",\"html\":\"<p>1</p>\"}\n\n\nnot-json\n{\"html\":\"<p>2</p>\"}\n"
-	lines, err := readBatch(strings.NewReader(in), 1<<20)
+// TestBatchLineNumbersAndSyntheticURIs drives the batch NDJSON contract
+// through the endpoint: responses stay positionally aligned with the
+// input, malformed lines report their physical line number (blank lines
+// skipped but counted), and URI-less pages get the content-derived
+// synthetic URI (stable for identical HTML so monitor samples key
+// consistently).
+func TestBatchLineNumbersAndSyntheticURIs(t *testing.T) {
+	_, repo := buildMoviesRepo(t, 14, 12)
+	_, ts := newTestServer(t)
+	postJSONRepo(t, ts.URL, repo, "movies")
+
+	html := "<html><body><b>Title:</b> x <br></body></html>"
+	in := "{\"uri\":\"http://x/a\",\"html\":\"<p>1</p>\"}\n\n\nnot-json\n" +
+		"{\"html\":" + string(mustJSON(t, html)) + "}\n"
+	resp, err := http.Post(ts.URL+"/extract/batch?repo=movies", "application/x-ndjson",
+		strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) != 3 {
-		t.Fatalf("lines = %d", len(lines))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d", resp.StatusCode)
 	}
-	if lines[0].lineNo != 1 || lines[0].URI != "a" {
-		t.Errorf("line 0 = %+v", lines[0])
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d response lines, want 3 (aligned with input)", len(lines))
+	}
+	if uri, _ := lines[0]["uri"].(string); uri != "http://x/a" {
+		t.Errorf("line 0 uri = %q", uri)
 	}
 	// The malformed entry sits on physical line 4 (two blanks skipped).
-	if lines[1].err == nil || lines[1].lineNo != 4 {
-		t.Errorf("line 1 = %+v", lines[1])
+	if errMsg, _ := lines[1]["error"].(string); !strings.HasPrefix(errMsg, "line 4:") {
+		t.Errorf("line 1 error = %q, want a 'line 4:' prefix", lines[1]["error"])
 	}
-	// The URI-less entry gets a content-derived synthetic URI, stable for
-	// identical HTML so monitor samples key consistently.
-	if !strings.HasPrefix(lines[2].URI, "request:") {
-		t.Errorf("line 2 URI = %q", lines[2].URI)
+	uri, _ := lines[2]["uri"].(string)
+	if uri != syntheticURI([]byte(html)) {
+		t.Errorf("line 2 URI = %q, want content-addressed %q", uri, syntheticURI([]byte(html)))
 	}
-	if lines[2].URI != syntheticURI([]byte(lines[2].HTML)) {
-		t.Errorf("line 2 URI not content-addressed: %q", lines[2].URI)
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return data
 }
 
 func newRegistryProbe(t *testing.T, base string) (repoInfo, bool) {

@@ -8,6 +8,7 @@
 package webfetch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,23 +24,49 @@ import (
 )
 
 // Fetcher crawls a site breadth-first, restricted to the start URL's
-// host.
+// host. Every request is bounded three ways — per-request timeout,
+// redirect cap, response-size cap — so a hostile or broken site can stall
+// or bloat one page fetch, never a whole ingestion run.
 type Fetcher struct {
-	// Client defaults to http.DefaultClient.
+	// Client defaults to an internal client with Timeout and the
+	// MaxRedirects cap applied. A caller-supplied client keeps its own
+	// redirect policy; the per-request timeout still applies via request
+	// context.
 	Client *http.Client
 	// MaxPages bounds the crawl (default 200).
 	MaxPages int
 	// MaxBody bounds each response body in bytes (default 4 MiB).
+	// Responses larger than the cap are rejected, not truncated — a
+	// half-read page would extract to a wrong-but-plausible record.
 	MaxBody int64
+	// Timeout bounds one request from dial to last body byte (default
+	// 15s; negative disables).
+	Timeout time.Duration
+	// MaxRedirects caps redirects per request (default 5; negative
+	// forbids redirects entirely).
+	MaxRedirects int
 	// Delay is an optional pause between requests.
 	Delay time.Duration
+
+	clientOnce  sync.Once
+	builtClient *http.Client
 }
 
 func (f *Fetcher) client() *http.Client {
 	if f.Client != nil {
 		return f.Client
 	}
-	return http.DefaultClient
+	f.clientOnce.Do(func() {
+		f.builtClient = &http.Client{
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				if len(via) > f.maxRedirects() {
+					return fmt.Errorf("stopped after %d redirects", f.maxRedirects())
+				}
+				return nil
+			},
+		}
+	})
+	return f.builtClient
 }
 
 func (f *Fetcher) maxPages() int {
@@ -56,11 +83,42 @@ func (f *Fetcher) maxBody() int64 {
 	return 4 << 20
 }
 
-// Crawl fetches pages breadth-first from startURL, following same-host
-// links found in A/@href attributes, until MaxPages pages are gathered or
-// the frontier empties. Fetch errors on individual pages are skipped; an
-// unreachable start page is an error.
-func (f *Fetcher) Crawl(startURL string) ([]*core.Page, error) {
+func (f *Fetcher) timeout() time.Duration {
+	if f.Timeout < 0 {
+		return 0
+	}
+	if f.Timeout > 0 {
+		return f.Timeout
+	}
+	return 15 * time.Second
+}
+
+func (f *Fetcher) maxRedirects() int {
+	if f.MaxRedirects < 0 {
+		return 0
+	}
+	if f.MaxRedirects > 0 {
+		return f.MaxRedirects
+	}
+	return 5
+}
+
+// Crawl is a breadth-first crawl in progress: a frontier of discovered
+// URLs and the dedup set. Next returns pages one at a time, so a caller
+// can stream a site of any size without holding more than one page —
+// this is the pipeline's crawl source.
+type Crawl struct {
+	f     *Fetcher
+	host  string
+	seen  map[string]bool
+	queue []*url.URL
+	pages int
+	first bool
+}
+
+// Start begins a breadth-first crawl at startURL. Fetching starts on the
+// first Next call.
+func (f *Fetcher) Start(startURL string) (*Crawl, error) {
 	start, err := url.Parse(startURL)
 	if err != nil {
 		return nil, fmt.Errorf("webfetch: bad start URL: %w", err)
@@ -68,45 +126,85 @@ func (f *Fetcher) Crawl(startURL string) ([]*core.Page, error) {
 	if start.Host == "" {
 		return nil, fmt.Errorf("webfetch: start URL %q has no host", startURL)
 	}
-	seen := map[string]bool{canonical(start): true}
-	queue := []*url.URL{start}
-	var pages []*core.Page
-	first := true
-	for len(queue) > 0 && len(pages) < f.maxPages() {
-		u := queue[0]
-		queue = queue[1:]
-		doc, err := f.fetch(u)
+	return &Crawl{
+		f:     f,
+		host:  start.Host,
+		seen:  map[string]bool{canonical(start): true},
+		queue: []*url.URL{start},
+		first: true,
+	}, nil
+}
+
+// Next fetches and returns the next page of the crawl, following
+// same-host links found in A/@href attributes. It returns io.EOF when
+// MaxPages pages have been returned or the frontier is empty. Fetch
+// errors on individual pages are skipped; an unreachable start page is an
+// error.
+func (c *Crawl) Next(ctx context.Context) (*core.Page, error) {
+	for len(c.queue) > 0 && c.pages < c.f.maxPages() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		u := c.queue[0]
+		c.queue = c.queue[1:]
+		doc, err := c.f.fetch(ctx, u)
 		if err != nil {
-			if first {
+			if c.first {
 				return nil, err
 			}
 			continue
 		}
-		first = false
-		page := &core.Page{URI: u.String(), Doc: doc}
-		pages = append(pages, page)
+		c.first = false
+		c.pages++
 		for _, link := range Links(doc, u) {
-			if link.Host != start.Host {
+			if link.Host != c.host {
 				continue
 			}
 			key := canonical(link)
-			if seen[key] {
+			if c.seen[key] {
 				continue
 			}
-			seen[key] = true
-			queue = append(queue, link)
+			c.seen[key] = true
+			c.queue = append(c.queue, link)
 		}
-		if f.Delay > 0 {
-			time.Sleep(f.Delay)
+		if c.f.Delay > 0 {
+			time.Sleep(c.f.Delay)
 		}
+		return &core.Page{URI: u.String(), Doc: doc}, nil
 	}
-	return pages, nil
+	return nil, io.EOF
+}
+
+// Crawl gathers a whole site into memory: Start + Next until EOF. Use
+// Start directly (or pipeline.CrawlSource) to stream instead.
+func (f *Fetcher) Crawl(startURL string) ([]*core.Page, error) {
+	c, err := f.Start(startURL)
+	if err != nil {
+		return nil, err
+	}
+	var pages []*core.Page
+	for {
+		p, err := c.Next(context.Background())
+		if err == io.EOF {
+			return pages, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, p)
+	}
 }
 
 // FetchPage fetches and parses a single page — the online-extraction
 // entry point: a service that already knows which page it wants skips the
 // crawl and goes straight from URL to parsed core.Page.
 func (f *Fetcher) FetchPage(pageURL string) (*core.Page, error) {
+	return f.FetchPageContext(context.Background(), pageURL)
+}
+
+// FetchPageContext is FetchPage bounded by a caller context (on top of
+// the fetcher's own per-request timeout).
+func (f *Fetcher) FetchPageContext(ctx context.Context, pageURL string) (*core.Page, error) {
 	u, err := url.Parse(pageURL)
 	if err != nil {
 		return nil, fmt.Errorf("webfetch: bad URL: %w", err)
@@ -114,15 +212,24 @@ func (f *Fetcher) FetchPage(pageURL string) (*core.Page, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("webfetch: URL %q is not http(s)", pageURL)
 	}
-	doc, err := f.fetch(u)
+	doc, err := f.fetch(ctx, u)
 	if err != nil {
 		return nil, err
 	}
 	return &core.Page{URI: u.String(), Doc: doc}, nil
 }
 
-func (f *Fetcher) fetch(u *url.URL) (*dom.Node, error) {
-	resp, err := f.client().Get(u.String())
+func (f *Fetcher) fetch(ctx context.Context, u *url.URL) (*dom.Node, error) {
+	if t := f.timeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("webfetch: GET %s: %w", u, err)
+	}
+	resp, err := f.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("webfetch: GET %s: %w", u, err)
 	}
@@ -130,9 +237,12 @@ func (f *Fetcher) fetch(u *url.URL) (*dom.Node, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("webfetch: GET %s: status %d", u, resp.StatusCode)
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, f.maxBody()))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, f.maxBody()+1))
 	if err != nil {
 		return nil, fmt.Errorf("webfetch: reading %s: %w", u, err)
+	}
+	if int64(len(body)) > f.maxBody() {
+		return nil, fmt.Errorf("webfetch: %s exceeds response cap %d bytes", u, f.maxBody())
 	}
 	return dom.Parse(string(body)), nil
 }
