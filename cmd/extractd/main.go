@@ -20,6 +20,14 @@
 // With -auto-repair the daemon runs the repair → stage → shadow-evaluate
 // → promote sequence on its own when a repository's drift alarm trips.
 //
+// With -induct the daemon captures unrouted pages instead of dropping
+// them, clusters them by signature, and runs background
+// wrapper-induction jobs over stable clusters (POST /induce supplies
+// operator examples; -induct-truth preloads a truth.json oracle).
+// Staged results are listed under /jobs and activated with
+// POST /jobs/{id}/promote — after which the new cluster routes and
+// extracts like any preloaded repository.
+//
 // -page-cache sizes the content-addressed LRU of parsed documents
 // (repeated posts of identical HTML skip the parser; hit/miss counters in
 // /metrics). -pprof PORT serves net/http/pprof on localhost only, for
@@ -44,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/induct"
 	"repro/internal/lifecycle"
 	"repro/internal/rule"
 	"repro/internal/service"
@@ -77,6 +86,14 @@ func main() {
 		"grow routing signatures from cleanly extracted explicit-repo traffic")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
 		"graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM")
+	inductOn := flag.Bool("induct", false,
+		"buffer unrouted pages and run background wrapper-induction jobs over them")
+	inductMinPages := flag.Int("induct-min-pages", 0,
+		"pages an unrouted bucket needs before it can become an induction job (default 8)")
+	inductWorkers := flag.Int("induct-workers", 0,
+		"induction job worker count (default 1)")
+	inductTruth := flag.String("induct-truth", "",
+		"truth.json file feeding the induction oracle (besides POST /induce examples and lifecycle golden values)")
 	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
 	flag.Parse()
 
@@ -100,15 +117,40 @@ func main() {
 	// usual way (the NotifyContext restores default handling once fired).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *workers, *queue, *noFetch, *autoRepair, *routerLearn,
-		*fetchHosts, *pageCache, *drainTimeout, lc, rules); err != nil {
+	opts := options{
+		addr: *addr, workers: *workers, queue: *queue,
+		noFetch: *noFetch, autoRepair: *autoRepair, routerLearn: *routerLearn,
+		fetchHosts: *fetchHosts, pageCache: *pageCache, drainTimeout: *drainTimeout,
+		lifecycle: lc, rules: rules,
+		induct: *inductOn, inductMinPages: *inductMinPages,
+		inductWorkers: *inductWorkers, inductTruth: *inductTruth,
+	}
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "extractd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, workers, queue int, noFetch, autoRepair, routerLearn bool,
-	fetchHosts string, pageCache int, drainTimeout time.Duration, lc lifecycle.Config, rules []string) error {
+// options carries the parsed daemon configuration into run.
+type options struct {
+	addr           string
+	workers, queue int
+	noFetch        bool
+	autoRepair     bool
+	routerLearn    bool
+	fetchHosts     string
+	pageCache      int
+	drainTimeout   time.Duration
+	lifecycle      lifecycle.Config
+	rules          []string
+	induct         bool
+	inductMinPages int
+	inductWorkers  int
+	inductTruth    string
+}
+
+func run(ctx context.Context, opts options) error {
+	workers, queue := opts.workers, opts.queue
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -116,23 +158,41 @@ func run(ctx context.Context, addr string, workers, queue int, noFetch, autoRepa
 		queue = 4 * workers
 	}
 	var fetcher *webfetch.Fetcher
-	if !noFetch {
+	if !opts.noFetch {
 		fetcher = &webfetch.Fetcher{}
 	}
 	srv := service.NewServer(workers, queue, fetcher)
-	srv.AutoRepair = autoRepair
-	srv.RouterLearn = routerLearn
-	srv.Lifecycle = lc
-	srv.PageCache = service.NewPageCache(pageCache)
-	if fetchHosts != "" {
-		for _, h := range strings.Split(fetchHosts, ",") {
+	srv.AutoRepair = opts.autoRepair
+	srv.RouterLearn = opts.routerLearn
+	srv.Lifecycle = opts.lifecycle
+	srv.PageCache = service.NewPageCache(opts.pageCache)
+	if opts.fetchHosts != "" {
+		for _, h := range strings.Split(opts.fetchHosts, ",") {
 			if h = strings.TrimSpace(h); h != "" {
 				srv.AllowedHosts = append(srv.AllowedHosts, h)
 			}
 		}
 	}
+	if opts.induct {
+		eng := srv.EnableInduction(induct.Config{
+			MinPages: opts.inductMinPages,
+			Workers:  opts.inductWorkers,
+		})
+		defer eng.Close()
+		if opts.inductTruth != "" {
+			truth, err := induct.LoadTruth(opts.inductTruth)
+			if err != nil {
+				return err
+			}
+			eng.AddTruth(truth)
+			fmt.Printf("induction oracle loaded: %d page(s) of truth from %s\n",
+				truth.Len(), opts.inductTruth)
+		}
+	} else if opts.inductTruth != "" {
+		return fmt.Errorf("-induct-truth requires -induct")
+	}
 
-	for _, spec := range rules {
+	for _, spec := range opts.rules {
 		name, path := "", spec
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			name, path = spec[:i], spec[i+1:]
@@ -158,14 +218,18 @@ func run(ctx context.Context, addr string, workers, queue int, noFetch, autoRepa
 		fmt.Printf("loaded repository %q (%d components%s)\n", e.Name, len(e.Repo.Rules), routable)
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		srv.Close()
 		return err
 	}
-	fmt.Printf("extractd listening on %s (%d workers, queue %d, %d repos, %d routable)\n",
-		ln.Addr(), workers, queue, srv.Registry.Len(), srv.Router.Len())
-	return serve(ctx, ln, srv, drainTimeout)
+	mode := ""
+	if opts.induct {
+		mode = ", induction on"
+	}
+	fmt.Printf("extractd listening on %s (%d workers, queue %d, %d repos, %d routable%s)\n",
+		ln.Addr(), workers, queue, srv.Registry.Len(), srv.Router.Len(), mode)
+	return serve(ctx, ln, srv, opts.drainTimeout)
 }
 
 // serve runs the HTTP server until ctx is cancelled (signal) or the

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/induct"
+	"repro/internal/rule"
+)
+
+// runInduct is the batch face of the wrapper-induction job engine: the
+// -site directory is treated as a mixed, unlabeled crawl (no per-cluster
+// split required — pages of several concepts may share one manifest).
+// Every page is fed through the same capture → bucket → plan → build
+// loop the extractd daemon runs over live unrouted traffic, with
+// truth.json as the oracle, and each staged repository is written to the
+// -out directory as <cluster-name>.json, signature included.
+func runInduct(site string, sampleSize int, out string, verbose bool) error {
+	_, pages, err := loadSite(site)
+	if err != nil {
+		return err
+	}
+	truth, err := induct.LoadTruth(filepath.Join(site, "truth.json"))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	// Batch tuning: the material is all here, so no minimum evidence or
+	// stability gating — every bucket with two oracle-covered pages is
+	// worth a job, and jobs can use every core.
+	var mu sync.Mutex
+	staged := map[string]string{} // cluster name → output path
+	eng := induct.NewEngine(induct.Config{
+		MinPages:     2,
+		StableStreak: 1,
+		MinSample:    2,
+		SampleSize:   sampleSize,
+		Workers:      runtime.GOMAXPROCS(0),
+	}, induct.StagerFunc(func(name string, repo *rule.Repository) (int, error) {
+		path := filepath.Join(out, name+".json")
+		if err := repo.Save(path); err != nil {
+			return 0, err
+		}
+		mu.Lock()
+		staged[name] = path
+		mu.Unlock()
+		return 1, nil
+	}))
+	defer eng.Close()
+	eng.AddTruth(truth)
+
+	captured := 0
+	for _, p := range pages {
+		if eng.Capture(p) {
+			captured++
+		}
+	}
+	queued := eng.Plan()
+	fmt.Printf("captured %d page(s) into %d bucket(s); %d job(s) queued\n",
+		captured, len(eng.Buffer().Buckets()), len(queued))
+	eng.Wait()
+
+	failed := 0
+	for _, j := range eng.Jobs() {
+		switch j.State {
+		case induct.JobStaged:
+			mu.Lock()
+			path := staged[j.Cluster]
+			mu.Unlock()
+			fmt.Printf("job %s: cluster %s (%d pages, sample %d) -> %s\n",
+				j.ID, j.Cluster, j.Pages, j.Sample, path)
+			if verbose {
+				for comp, outcome := range j.Components {
+					fmt.Printf("  %-12s %s\n", comp, outcome)
+				}
+			}
+		default:
+			failed++
+			fmt.Printf("job %s: cluster %s %s: %s\n", j.ID, j.Cluster, j.State, j.Error)
+		}
+	}
+	// A bucket the planner never promoted is a cluster that silently got
+	// no repository — in batch mode (MinPages 2) that means truth.json
+	// does not cover it. Single-page buckets (index pages and other
+	// strays) are reported but do not fail the run.
+	for _, info := range eng.Buffer().Buckets() {
+		if info.JobID != "" {
+			continue
+		}
+		if info.Pages < 2 {
+			fmt.Printf("bucket %s: cluster %s (%d page) skipped as a stray\n",
+				info.ID, info.Name, info.Pages)
+			continue
+		}
+		failed++
+		fmt.Printf("bucket %s: cluster %s (%d pages) NOT induced: fewer than 2 pages covered by truth.json\n",
+			info.ID, info.Name, info.Pages)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d cluster(s) did not stage a repository", failed)
+	}
+	return nil
+}

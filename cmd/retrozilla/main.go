@@ -41,9 +41,11 @@ import (
 func main() {
 	site := flag.String("site", "", "cluster directory (from sitegen or crawl)")
 	sampleSize := flag.Int("sample", 10, "working-sample size")
-	out := flag.String("out", "rules.json", "output rule repository")
+	out := flag.String("out", "rules.json", "output rule repository (directory in -induct mode)")
 	verbose := flag.Bool("v", false, "log check tables and refinements")
 	interactiveMode := flag.Bool("interactive", false, "prompt for value selection instead of using truth.json")
+	inductMode := flag.Bool("induct", false,
+		"treat -site as a mixed multi-cluster directory: bucket pages by signature and run one induction job per cluster (extractd's job engine, batch-driven)")
 	components := flag.String("components", "", "comma-separated component names (interactive mode)")
 	flag.Parse()
 	if *site == "" {
@@ -51,9 +53,12 @@ func main() {
 		os.Exit(2)
 	}
 	var err error
-	if *interactiveMode {
+	switch {
+	case *interactiveMode:
 		err = runInteractive(*site, *sampleSize, *out, *components)
-	} else {
+	case *inductMode:
+		err = runInduct(*site, *sampleSize, *out, *verbose)
+	default:
 		err = run(*site, *sampleSize, *out, *verbose)
 	}
 	if err != nil {

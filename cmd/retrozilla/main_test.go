@@ -107,3 +107,101 @@ func TestFindByValuePrefersTextAndDeepest(t *testing.T) {
 		t.Fatalf("findByValue = %v", n)
 	}
 }
+
+// writeMixedSite merges several clusters into ONE pages directory — the
+// unlabeled multi-concept crawl the -induct batch mode is for.
+func writeMixedSite(t *testing.T, dir string, clusters ...*corpus.Cluster) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man := manifest{Cluster: "mixed", Pages: map[string]string{}}
+	truth := map[string]map[string][]string{}
+	i := 0
+	for _, cl := range clusters {
+		for _, p := range cl.Pages {
+			file := filenameFor(i)
+			if err := os.WriteFile(filepath.Join(dir, file), []byte(dom.Render(p.Doc)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			man.Pages[p.URI] = file
+			tv := map[string][]string{}
+			for _, comp := range cl.ComponentNames() {
+				if vs := cl.TruthStrings(p, comp); len(vs) > 0 {
+					tv[comp] = vs
+				}
+			}
+			truth[p.URI] = tv
+			i++
+		}
+	}
+	mustJSON(t, filepath.Join(dir, "pages.json"), man)
+	mustJSON(t, filepath.Join(dir, "truth.json"), truth)
+}
+
+// TestRunInductBuildsARepositoryPerCluster: the batch face of the
+// induction engine — a mixed stocks+books directory is bucketed by
+// signature and yields one staged repository file per concept, each
+// carrying its cluster signature and working rules.
+func TestRunInductBuildsARepositoryPerCluster(t *testing.T) {
+	dir := t.TempDir()
+	site := filepath.Join(dir, "mixed")
+	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(51, 10))
+	books := corpus.GenerateBooks(corpus.DefaultBookProfile(52, 10))
+	writeMixedSite(t, site, stocks, books)
+
+	out := filepath.Join(dir, "staged")
+	if err := runInduct(site, 8, out, false); err != nil {
+		t.Fatal(err)
+	}
+	for name, cl := range map[string]*corpus.Cluster{
+		"quotes-example-q":   stocks,
+		"books-example-item": books,
+	} {
+		repo, err := rule.Load(filepath.Join(out, name+".json"))
+		if err != nil {
+			t.Fatalf("staged repository %s: %v", name, err)
+		}
+		if len(repo.Rules) != len(cl.Components) {
+			t.Errorf("%s: %d rules, want %d", name, len(repo.Rules), len(cl.Components))
+		}
+		if repo.Signature == nil || repo.Signature.Pages != len(cl.Pages) {
+			t.Errorf("%s: signature %+v, want centroid over %d pages", name, repo.Signature, len(cl.Pages))
+		}
+	}
+}
+
+// TestRunInductFailsOnUncoveredCluster: a cluster whose pages truth.json
+// does not cover stages nothing — and the run must say so with a
+// non-zero exit instead of silently succeeding.
+func TestRunInductFailsOnUncoveredCluster(t *testing.T) {
+	dir := t.TempDir()
+	site := filepath.Join(dir, "mixed")
+	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(53, 8))
+	books := corpus.GenerateBooks(corpus.DefaultBookProfile(54, 8))
+	writeMixedSite(t, site, stocks, books)
+
+	// Strip the books URIs from truth.json: the operator never labeled
+	// that concept.
+	truth, err := loadTruth(filepath.Join(site, "truth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range books.Pages {
+		delete(truth, p.URI)
+	}
+	mustJSON(t, filepath.Join(site, "truth.json"), truth)
+
+	out := filepath.Join(dir, "staged")
+	err = runInduct(site, 8, out, false)
+	if err == nil {
+		t.Fatal("runInduct succeeded with an uncovered cluster")
+	}
+	// The covered cluster still staged.
+	if _, err := rule.Load(filepath.Join(out, "quotes-example-q.json")); err != nil {
+		t.Errorf("covered cluster not staged: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(out, "books-example-item.json")); statErr == nil {
+		t.Error("uncovered cluster staged a repository from nothing")
+	}
+}

@@ -227,9 +227,22 @@ func ClusterPages(pages []PageInfo, cfg Config) []Result {
 // clusterName derives a meaningful name from the shared URL pattern of
 // the cluster's pages, falling back to a numbered name.
 func clusterName(pages []PageInfo, members []int, idx int) string {
-	counts := map[string]int{}
+	uris := make([]string, 0, len(members))
 	for _, m := range members {
-		host, segs := splitURI(pages[m].URI)
+		uris = append(uris, pages[m].URI)
+	}
+	return DeriveName(uris, fmt.Sprintf("cluster-%d", idx+1))
+}
+
+// DeriveName generates a meaningful cluster name from a set of page URIs
+// (§2.1: each cluster is given a meaningful name): the most common
+// host + first-path-segment pattern, sanitized to rule-name characters.
+// fallback is returned when no URI yields a usable key. The offline
+// clustering pass and the online induction planner share this naming.
+func DeriveName(uris []string, fallback string) string {
+	counts := map[string]int{}
+	for _, uri := range uris {
+		host, segs := splitURI(uri)
 		key := host
 		if len(segs) > 0 {
 			key = host + "-" + strings.Trim(segs[0], "#")
@@ -248,7 +261,7 @@ func clusterName(pages []PageInfo, members []int, idx int) string {
 		}
 	}
 	if bestKey == "" {
-		return fmt.Sprintf("cluster-%d", idx+1)
+		return fallback
 	}
 	name := strings.Map(func(r rune) rune {
 		switch {
@@ -260,5 +273,8 @@ func clusterName(pages []PageInfo, members []int, idx int) string {
 			return -1
 		}
 	}, bestKey)
-	return strings.Trim(name, "-")
+	if name = strings.Trim(name, "-"); name == "" {
+		return fallback
+	}
+	return name
 }

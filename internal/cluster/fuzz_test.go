@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// signatureFuzzSeeds cover the encoding hazards: plain pages, digit-run
+// URL normalization, JSON-special characters in text, and invalid UTF-8
+// in page bytes and URIs — json.Marshal silently rewrites invalid
+// sequences to U+FFFD, so any feature key reaching a signature
+// unsanitized would not survive the round trip (Fingerprint normalizes
+// its output; Signature.Add now sanitizes too, covering callers that
+// build Features by hand).
+var signatureFuzzSeeds = []struct{ uri, html string }{
+	{"http://quotes.example/q/ACME/3",
+		"<html><body><h2>ACME</h2><table><tr><td>Last:</td><td>12.40</td></tr></table></body></html>"},
+	{"http://movies.example/title/tt0095159/",
+		"<html><body><b>Runtime:</b> 108 min <br></body></html>"},
+	{"http://x/a\"b/c\\d", "<p>quote \" backslash \\ nul \x00</p>"},
+	{"http://x/\xff\xfe/p1", "<div>\xffbroken\xfe encoding\xff\xff</div>"},
+	{"http://x/p?q=1", "<p></p>"},
+	{"", ""},
+}
+
+// FuzzSignatureJSON fuzzes the deterministic JSON codec of
+// cluster.Signature: for any page, a signature built from it must
+// survive marshal→unmarshal byte-identically, still validate, score the
+// very page it absorbed at self-similarity ≈ 1.0, and agree with the
+// pre-marshal signature on every score.
+func FuzzSignatureJSON(f *testing.F) {
+	for _, s := range signatureFuzzSeeds {
+		f.Add(s.uri, s.html)
+	}
+	f.Fuzz(func(t *testing.T, uri, html string) {
+		feat := Fingerprint(PageInfo{URI: uri, Doc: dom.Parse(html)})
+		sig := NewSignature()
+		sig.Add(feat)
+
+		data, err := json.Marshal(sig)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Signature
+		if err := json.Unmarshal(data, &back); err != nil {
+			// Unmarshal re-runs Validate, so a failure here means the
+			// serialized form broke the count invariants.
+			t.Fatalf("unmarshal of own output: %v\n%s", err, data)
+		}
+		data2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("round trip not byte-identical:\n  first  %s\n  second %s", data, data2)
+		}
+
+		w := DefaultWeights()
+		if self := back.Match(feat, w); self < 0.999 {
+			t.Fatalf("self-similarity after round trip = %f, want ≈ 1.0\nsig: %s", self, data)
+		}
+		if a, b := sig.Match(feat, w), back.Match(feat, w); a != b {
+			t.Fatalf("match score drifted across round trip: %v vs %v", a, b)
+		}
+	})
+}
+
+// TestSignatureFeatureMapsStayBounded: Add keeps absorbing past the
+// feature cap without growing the maps — the rarest features fall off.
+func TestSignatureFeatureMapsStayBounded(t *testing.T) {
+	sig := NewSignature()
+	feat := Features{
+		TagShingles: map[string]struct{}{},
+		Keywords:    map[string]struct{}{},
+	}
+	for i := 0; i < 5000; i++ {
+		feat.Keywords = map[string]struct{}{
+			"shared":               {},
+			uniqueKeyword(i):       {},
+			uniqueKeyword(i + 1e6): {},
+		}
+		sig.Add(feat)
+	}
+	if sig.Pages != 5000 {
+		t.Errorf("Pages = %d, want 5000", sig.Pages)
+	}
+	if len(sig.Keywords) > maxSignatureFeatures {
+		t.Errorf("keyword map grew to %d, cap is %d", len(sig.Keywords), maxSignatureFeatures)
+	}
+	// The feature every page shares survives the churn.
+	if sig.Keywords["shared"] != 5000 {
+		t.Errorf("shared keyword count = %d, want 5000", sig.Keywords["shared"])
+	}
+}
+
+func uniqueKeyword(i int) string {
+	return "kw-" + string(rune('a'+i%26)) + "-" + string(rune('a'+(i/26)%26)) + "-" +
+		string(rune('a'+(i/676)%26)) + "-" + string(rune('a'+(i/17576)%26))
+}

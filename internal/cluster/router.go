@@ -140,6 +140,8 @@ func (r *Router) Names() []string {
 // still returned for diagnostics (an operator tuning the threshold wants
 // to see the near-misses).
 func (r *Router) Route(f Features) (Route, bool) {
+	// One sanitize pass serves every signature comparison below.
+	f = sanitizeFeatures(f)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	w := r.weights()
@@ -151,7 +153,7 @@ func (r *Router) Route(f Features) (Route, bool) {
 	sort.Strings(names)
 	var best Route
 	for _, name := range names {
-		score := r.sigs[name].Match(f, w)
+		score := r.sigs[name].matchClean(f, w)
 		if best.Name == "" || score > best.Score {
 			best.SecondName, best.SecondScore = best.Name, best.Score
 			best.Name, best.Score = name, score

@@ -2,6 +2,7 @@ package cluster_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"repro/internal/corpus"
@@ -140,5 +141,87 @@ func TestSignatureJSONRoundTrip(t *testing.T) {
 	f := cluster.Fingerprint(movies[9])
 	if a, b := sig.Match(f, cluster.DefaultWeights()), back.Match(f, cluster.DefaultWeights()); a != b {
 		t.Errorf("match score changed across round-trip: %f vs %f", a, b)
+	}
+}
+
+// TestRouterEmptySignatureNeverClaims: a registered-but-empty signature
+// (zero pages absorbed) scores 0 against everything and must leave pages
+// unrouted rather than claiming them — the PR-4 edge where a repository
+// is loaded before any routing evidence exists.
+func TestRouterEmptySignatureNeverClaims(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(27, 2)))
+	r := cluster.NewRouter(0)
+	r.Register("hollow", cluster.NewSignature())
+	route, ok := r.RoutePage(movies[0])
+	if ok {
+		t.Fatalf("empty signature claimed the page: %+v", route)
+	}
+	if route.Score != 0 {
+		t.Errorf("empty signature score = %f, want 0", route.Score)
+	}
+	// A real signature alongside the hollow one still wins.
+	r.Register("movies", cluster.SignatureOf(movies[:1]))
+	if route, ok = r.RoutePage(movies[1]); !ok || route.Name != "movies" {
+		t.Errorf("route = %+v ok=%v, want movies", route, ok)
+	}
+}
+
+// TestRouterTieBreaksDeterministically: two identical signatures tie on
+// every score; the alphabetically first name must win, every time, with
+// the loser surfaced as the runner-up at the same score.
+func TestRouterTieBreaksDeterministically(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(28, 12)))
+	sig := cluster.SignatureOf(movies[:8])
+	r := cluster.NewRouter(0)
+	r.Register("zeta", sig)
+	r.Register("alpha", sig)
+	for i := 0; i < 5; i++ {
+		route, ok := r.RoutePage(movies[9])
+		if !ok {
+			t.Fatalf("tied signatures unrouted: %+v", route)
+		}
+		if route.Name != "alpha" || route.SecondName != "zeta" {
+			t.Fatalf("tie broke to %q over %q, want alpha over zeta", route.Name, route.SecondName)
+		}
+		if route.Score != route.SecondScore {
+			t.Fatalf("identical signatures scored differently: %f vs %f", route.Score, route.SecondScore)
+		}
+	}
+}
+
+// TestRouterObserveAfterFeatureCap: observations keep flowing after the
+// signature feature cap is reached — the page count keeps counting, the
+// maps stay bounded, and fresh pages still route.
+func TestRouterObserveAfterFeatureCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("feature-cap churn is slow under -short")
+	}
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(29, 20)))
+	r := cluster.NewRouter(0)
+	// Flood the signature with one-off noise keywords well past the cap,
+	// interleaved with genuine cluster pages.
+	for i := 0; i < 600; i++ {
+		f := cluster.Fingerprint(movies[i%len(movies)])
+		noisy := make(map[string]struct{}, len(f.Keywords)+10)
+		for k := range f.Keywords {
+			noisy[k] = struct{}{}
+		}
+		for j := 0; j < 10; j++ {
+			noisy[fmt.Sprintf("noise-%d-%d", i, j)] = struct{}{}
+		}
+		f.Keywords = noisy
+		r.Observe("movies", f)
+	}
+	if got := r.SignaturePages("movies"); got != 600 {
+		t.Errorf("SignaturePages = %d, want 600", got)
+	}
+	correct := 0
+	for _, p := range movies {
+		if route, ok := r.RoutePage(p); ok && route.Name == "movies" {
+			correct++
+		}
+	}
+	if correct < len(movies)*9/10 {
+		t.Errorf("only %d/%d cluster pages route after feature-cap churn", correct, len(movies))
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
+	"unicode/utf8"
 )
 
 // Signature is an incremental summary of a page cluster: for every
@@ -55,6 +57,62 @@ func SignatureOf(pages []PageInfo) *Signature {
 // features are dropped (they contribute least to the match score).
 const maxSignatureFeatures = 4096
 
+// cleanFeature replaces invalid UTF-8 in a feature key with U+FFFD —
+// the same replacement json.Marshal performs silently, so an
+// unsanitized key would not survive the signature's JSON round trip:
+// the reloaded signature could no longer match the pages it was built
+// from, and two keys merged under one replacement form could push a
+// count past Pages, failing Validate. Fingerprint already normalizes
+// its output; sanitizing here extends the guarantee to callers that
+// build Features by hand (FuzzSignatureJSON holds the round-trip
+// property over both paths).
+func cleanFeature(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	return strings.ToValidUTF8(s, string(utf8.RuneError))
+}
+
+// cleanSet sanitizes a feature set, deduplicating keys that collapse to
+// the same replacement form. The common all-valid case returns the input
+// map untouched.
+func cleanSet(m map[string]struct{}) map[string]struct{} {
+	dirty := false
+	for k := range m {
+		if !utf8.ValidString(k) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return m
+	}
+	out := make(map[string]struct{}, len(m))
+	for k := range m {
+		out[cleanFeature(k)] = struct{}{}
+	}
+	return out
+}
+
+// cleanSegs sanitizes URL pattern segments in place-compatible fashion.
+func cleanSegs(segs []string) []string {
+	dirty := false
+	for _, s := range segs {
+		if !utf8.ValidString(s) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return segs
+	}
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = cleanFeature(s)
+	}
+	return out
+}
+
 // Add absorbs one page fingerprint.
 func (s *Signature) Add(f Features) {
 	if s.Tags == nil {
@@ -67,13 +125,13 @@ func (s *Signature) Add(f Features) {
 		s.URLPatterns = map[string]int{}
 	}
 	s.Pages++
-	for t := range f.TagShingles {
+	for t := range cleanSet(f.TagShingles) {
 		s.Tags[t]++
 	}
-	for k := range f.Keywords {
+	for k := range cleanSet(f.Keywords) {
 		s.Keywords[k]++
 	}
-	s.URLPatterns[joinPattern(f.URLPattern)]++
+	s.URLPatterns[joinPattern(cleanSegs(f.URLPattern))]++
 	trimRarest(s.Tags, maxSignatureFeatures)
 	trimRarest(s.Keywords, maxSignatureFeatures)
 	trimRarest(s.URLPatterns, maxSignatureFeatures)
@@ -121,6 +179,18 @@ func splitPattern(p string) []string {
 	return segs
 }
 
+// sanitizeFeatures returns f with every feature key valid UTF-8 — the
+// page-side counterpart of Add's sanitization, so a page with broken
+// encoding still matches the signature its clean twin built. A no-op
+// (same maps, no allocation) for Fingerprint output, which is already
+// normalized.
+func sanitizeFeatures(f Features) Features {
+	f.TagShingles = cleanSet(f.TagShingles)
+	f.Keywords = cleanSet(f.Keywords)
+	f.URLPattern = cleanSegs(f.URLPattern)
+	return f
+}
+
 // Match scores a page fingerprint against the signature in [0,1] using
 // the same weight mix as page-to-page Similarity: weighted Jaccard for
 // structure and keywords (signature features weigh their in-cluster
@@ -128,6 +198,13 @@ func splitPattern(p string) []string {
 // shares counts fully and a one-off noise feature barely counts), and the
 // best match over the recorded URL patterns.
 func (s *Signature) Match(f Features, w Weights) float64 {
+	return s.matchClean(sanitizeFeatures(f), w)
+}
+
+// matchClean is Match for a fingerprint already passed through
+// sanitizeFeatures — the router sanitizes once per page, not once per
+// registered signature.
+func (s *Signature) matchClean(f Features, w Weights) float64 {
 	if s == nil || s.Pages == 0 {
 		return 0
 	}

@@ -1,0 +1,304 @@
+package induct
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/rule"
+	"repro/internal/textutil"
+)
+
+var errTest = errors.New("activation refused")
+
+// memStager collects staged repositories.
+type memStager struct {
+	mu    sync.Mutex
+	repos map[string]*rule.Repository
+	next  int
+	gate  chan struct{} // when non-nil, Stage blocks until it closes
+}
+
+func (s *memStager) Stage(name string, repo *rule.Repository) (int, error) {
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.repos == nil {
+		s.repos = map[string]*rule.Repository{}
+	}
+	s.repos[name] = repo
+	s.next++
+	return s.next, nil
+}
+
+func (s *memStager) get(name string) *rule.Repository {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repos[name]
+}
+
+// examplesFor collects the ground-truth strings of a set of pages in the
+// POST /induce wire shape — the operator's contribution.
+func examplesFor(cl *corpus.Cluster, pages []*core.Page) map[string]map[string][]string {
+	out := map[string]map[string][]string{}
+	for _, p := range pages {
+		vals := map[string][]string{}
+		for _, comp := range cl.ComponentNames() {
+			if vs := cl.TruthStrings(p, comp); len(vs) > 0 {
+				vals[comp] = vs
+			}
+		}
+		out[p.URI] = vals
+	}
+	return out
+}
+
+// TestEngineInducesStagedRepository drives the whole job path in-process:
+// unrouted stock pages are captured, operator examples arrive for a
+// representative subset, the planner queues a job, and the runner stages
+// a repository whose rules extract the *held-out* pages correctly.
+func TestEngineInducesStagedRepository(t *testing.T) {
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(21, 16))
+	st := &memStager{}
+	eng := NewEngine(Config{MinPages: 8, StableStreak: 3, Workers: 2}, st)
+	defer eng.Close()
+
+	for _, p := range cl.Pages {
+		if !eng.Capture(p) {
+			t.Fatalf("page %s not captured", p.URI)
+		}
+	}
+	// No examples yet: the planner must hold the bucket back.
+	if queued := eng.Plan(); len(queued) != 0 {
+		t.Fatalf("planner queued %d job(s) without oracle coverage", len(queued))
+	}
+
+	sample, _ := cl.RepresentativeSplit(10)
+	eng.AddExamples(examplesFor(cl, sample))
+	queued := eng.Plan()
+	if len(queued) != 1 {
+		t.Fatalf("planner queued %d job(s), want 1", len(queued))
+	}
+	// A second planning pass must not double-queue the bucket.
+	if again := eng.Plan(); len(again) != 0 {
+		t.Fatalf("re-plan queued %d extra job(s)", len(again))
+	}
+	eng.Wait()
+
+	j, ok := eng.Job(queued[0].ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if j.State != JobStaged {
+		t.Fatalf("job state %s (error %q), want staged; components: %v", j.State, j.Error, j.Components)
+	}
+	if j.Cluster != "quotes-example-q" {
+		t.Errorf("derived cluster name %q", j.Cluster)
+	}
+	if j.Version == 0 || j.Sample == 0 {
+		t.Errorf("job = %+v, want version and sample recorded", j)
+	}
+
+	repo := st.get(j.Cluster)
+	if repo == nil {
+		t.Fatal("no staged repository")
+	}
+	if repo.Signature == nil || repo.Signature.Pages != 16 {
+		t.Fatalf("staged repository signature = %+v, want the 16-page bucket centroid", repo.Signature)
+	}
+	if len(repo.Rules) != len(cl.Components) {
+		t.Errorf("induced %d rules, want %d: %v", len(repo.Rules), len(cl.Components), j.Components)
+	}
+
+	// The induced rules must extract every page of the cluster —
+	// including pages the operator never labeled.
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cl.Pages {
+		_, values, fails := proc.ExtractPageValues(p)
+		if len(fails) > 0 {
+			t.Errorf("page %s: failures %v", p.URI, fails)
+		}
+		for _, comp := range cl.ComponentNames() {
+			want := cl.TruthStrings(p, comp)
+			got := values[comp]
+			if len(want) != len(got) {
+				t.Errorf("page %s %s = %v, want %v", p.URI, comp, got, want)
+				continue
+			}
+			for i := range want {
+				if textutil.NormalizeSpace(got[i]) != want[i] {
+					t.Errorf("page %s %s[%d] = %q, want %q", p.URI, comp, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	counts := eng.Counts()
+	if counts["staged"] != 1 {
+		t.Errorf("counts = %v, want staged 1", counts)
+	}
+
+	// Promote releases the bucket: its pages are routable now. A failed
+	// activation leaves the job staged, untouched.
+	boom := func(*Job) error { return errTest }
+	if _, err := eng.Promote(j.ID, boom); err != errTest {
+		t.Fatalf("failed activation returned %v, want errTest", err)
+	}
+	if j2, _ := eng.Job(j.ID); j2.State != JobStaged {
+		t.Fatalf("job state %s after failed activation, want staged", j2.State)
+	}
+	if _, err := eng.Promote(j.ID, func(*Job) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.Buffer().Len(); n != 0 {
+		t.Errorf("buffer holds %d pages after promote, want 0", n)
+	}
+	if j2, _ := eng.Job(j.ID); j2.State != JobPromoted {
+		t.Errorf("job state %s after promote", j2.State)
+	}
+}
+
+// TestEngineJobFailsWithoutUsableTruth: examples whose values occur in
+// no captured page leave the oracle empty-handed; the job must fail, and
+// the bucket must become plannable again.
+func TestEngineJobFailsWithoutUsableTruth(t *testing.T) {
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(22, 10))
+	eng := NewEngine(Config{MinPages: 4, StableStreak: 1}, &memStager{})
+	defer eng.Close()
+	for _, p := range cl.Pages {
+		eng.Capture(p)
+	}
+	bogus := map[string]map[string][]string{}
+	for _, p := range cl.Pages[:6] {
+		bogus[p.URI] = map[string][]string{"ticker": {"value that appears nowhere"}}
+	}
+	eng.AddExamples(bogus)
+	queued := eng.Plan()
+	if len(queued) != 1 {
+		t.Fatalf("queued %d, want 1", len(queued))
+	}
+	eng.Wait()
+	j, _ := eng.Job(queued[0].ID)
+	if j.State != JobFailed {
+		t.Fatalf("job state %s, want failed", j.State)
+	}
+	// The bucket is released for a retry once real evidence arrives.
+	sample, _ := cl.RepresentativeSplit(8)
+	eng.AddExamples(examplesFor(cl, sample))
+	if retry := eng.Plan(); len(retry) != 1 {
+		t.Fatalf("failed bucket not re-plannable: %d jobs queued", len(retry))
+	}
+	eng.Wait()
+}
+
+// TestEngineCancel covers both cancel paths: a queued job dies
+// immediately, and cancelling never corrupts the queue for the job ahead
+// of it.
+func TestEngineCancel(t *testing.T) {
+	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(23, 8))
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(24, 8))
+	st := &memStager{gate: make(chan struct{})}
+	eng := NewEngine(Config{MinPages: 4, StableStreak: 1, Workers: 1}, st)
+	defer eng.Close()
+
+	for _, p := range stocks.Pages {
+		eng.Capture(p)
+	}
+	for _, p := range movies.Pages {
+		eng.Capture(p)
+	}
+	sSample, _ := stocks.RepresentativeSplit(6)
+	mSample, _ := movies.RepresentativeSplit(6)
+	eng.AddExamples(examplesFor(stocks, sSample))
+	eng.AddExamples(examplesFor(movies, mSample))
+
+	queued := eng.Plan()
+	if len(queued) != 2 {
+		t.Fatalf("queued %d jobs, want 2", len(queued))
+	}
+	// The single worker is blocked in the stager on job 1; job 2 is
+	// still queued and must cancel instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, _ := eng.Job(queued[0].ID); j.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if j, err := eng.Cancel(queued[1].ID); err != nil || j.State != JobCancelled {
+		t.Fatalf("cancel queued job: %v (state %s)", err, j.State)
+	}
+	close(st.gate)
+	eng.Wait()
+	if j, _ := eng.Job(queued[0].ID); j.State != JobStaged {
+		t.Errorf("first job state %s (error %q), want staged", j.State, j.Error)
+	}
+	// A staged job can be dismissed — its bucket must come free again so
+	// the planner can retry with better evidence.
+	if j, err := eng.Cancel(queued[0].ID); err != nil || j.State != JobCancelled {
+		t.Fatalf("dismissing staged job: %v (state %s)", err, j.State)
+	}
+	for _, info := range eng.Buffer().Buckets() {
+		if info.JobID != "" {
+			t.Errorf("bucket %s still pinned to %s after dismissal", info.ID, info.JobID)
+		}
+	}
+	// A genuinely terminal job refuses cancellation.
+	if _, err := eng.Cancel(queued[0].ID); err == nil {
+		t.Error("cancelling a cancelled job must fail")
+	}
+}
+
+// TestMapTruthPathFallback: a truth store keyed by the corpus host
+// answers for the same pages served under a different host — the live
+// crawl case, mirroring the host-agnostic cluster signatures.
+func TestMapTruthPathFallback(t *testing.T) {
+	truth := NewMapTruth()
+	truth.Merge(map[string]map[string][]string{
+		"http://quotes.example/q/ACME/3": {"ticker": {"ACME"}},
+	})
+	if v := truth.Values("http://quotes.example/q/ACME/3"); v["ticker"][0] != "ACME" {
+		t.Fatalf("exact lookup = %v", v)
+	}
+	if v := truth.Values("http://127.0.0.1:8391/q/ACME/3"); v == nil || v["ticker"][0] != "ACME" {
+		t.Fatalf("path-fallback lookup = %v, want the quotes.example truth", v)
+	}
+	if v := truth.Values("http://127.0.0.1:8391/q/OTHER/9"); v != nil {
+		t.Fatalf("unknown path answered %v", v)
+	}
+	// Bare hosts and the root path never fall back (every site has a
+	// "/" — matching it across hosts would hand every index page the
+	// same truth).
+	truth.Merge(map[string]map[string][]string{"http://a.example/": {"x": {"1"}}})
+	if v := truth.Values("http://b.example/"); v != nil {
+		t.Fatalf("root path leaked across hosts: %v", v)
+	}
+}
+
+// TestEmptyExamplesDoNotShadowTruthChain: a vacuous example entry (URI
+// with no component values, e.g. from an over-eager client) must not
+// make the engine's example store answer for that URI and cut off the
+// rest of the oracle chain.
+func TestEmptyExamplesDoNotShadowTruthChain(t *testing.T) {
+	eng := NewEngine(Config{}, &memStager{})
+	defer eng.Close()
+	deep := NewMapTruth()
+	deep.Merge(map[string]map[string][]string{"http://x/p1": {"ticker": {"ACME"}}})
+	eng.AddTruth(deep)
+	eng.AddExamples(map[string]map[string][]string{"http://x/p1": {}})
+	if v := eng.lookupValues("http://x/p1"); v == nil || v["ticker"][0] != "ACME" {
+		t.Fatalf("lookup = %v, want the downstream truth source's answer", v)
+	}
+}

@@ -1,0 +1,132 @@
+package induct
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// TruthSource supplies the remembered component values for a page URI —
+// the material core.ValueOracle turns back into the operator's click.
+// Values returns nil when the source knows nothing about the URI.
+// Implementations must be safe for concurrent use.
+type TruthSource interface {
+	Values(uri string) map[string][]string
+}
+
+// TruthFunc adapts a function to TruthSource.
+type TruthFunc func(uri string) map[string][]string
+
+// Values implements TruthSource.
+func (f TruthFunc) Values(uri string) map[string][]string { return f(uri) }
+
+// MapTruth is a mutable in-memory TruthSource: the backing store for
+// operator-supplied examples (POST /induce) and for truth.json files.
+//
+// Lookups fall back from the exact URI to the URI *path*: a truth.json
+// is keyed by the URIs of the corpus it was generated from, while live
+// traffic arrives under whatever host serves the pages (a mirror, a
+// test server, a migrated site) — the same reason cluster signatures
+// deliberately ignore the host. Path shape survives such moves; the
+// hostname does not.
+type MapTruth struct {
+	mu     sync.RWMutex
+	m      map[string]map[string][]string
+	byPath map[string]map[string][]string
+}
+
+// NewMapTruth creates an empty example store.
+func NewMapTruth() *MapTruth {
+	return &MapTruth{
+		m:      map[string]map[string][]string{},
+		byPath: map[string]map[string][]string{},
+	}
+}
+
+// uriPath strips the scheme and host, keeping path and query ("" when
+// the URI has no path).
+func uriPath(uri string) string {
+	s := uri
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[i:]
+	}
+	return ""
+}
+
+// Values implements TruthSource; the returned map is a copy. An entry
+// without any component values reads as absent — a nil-vs-empty
+// distinction here would let a vacuous example shadow later sources in
+// an oracle chain.
+func (t *MapTruth) Values(uri string) map[string][]string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	vals, ok := t.m[uri]
+	if !ok {
+		if p := uriPath(uri); p != "" && p != "/" {
+			vals, ok = t.byPath[p]
+		}
+		if !ok {
+			return nil
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make(map[string][]string, len(vals))
+	for comp, vs := range vals {
+		out[comp] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// Merge folds examples into the store. Per (uri, component) the new
+// values replace the old — the operator's latest word wins. URIs with
+// no component values are skipped, never recorded as empty entries.
+func (t *MapTruth) Merge(examples map[string]map[string][]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for uri, vals := range examples {
+		if len(vals) == 0 {
+			continue
+		}
+		cur, ok := t.m[uri]
+		if !ok {
+			cur = map[string][]string{}
+			t.m[uri] = cur
+		}
+		for comp, vs := range vals {
+			cur[comp] = append([]string(nil), vs...)
+		}
+		if p := uriPath(uri); p != "" && p != "/" {
+			t.byPath[p] = cur
+		}
+	}
+}
+
+// Len reports how many URIs have examples.
+func (t *MapTruth) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// LoadTruth reads a truth.json file (the sitegen/retrozilla interchange
+// format: URI → component → values) into a MapTruth.
+func LoadTruth(path string) (*MapTruth, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]map[string][]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("induct: %s: %w", path, err)
+	}
+	t := NewMapTruth()
+	t.Merge(m)
+	return t, nil
+}

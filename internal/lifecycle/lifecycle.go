@@ -227,6 +227,26 @@ func (m *Monitor) evictLocked() {
 	}
 }
 
+// GoldenValues returns a copy of the remembered last-known-good
+// component values for a page URI (nil when the page was never
+// sampled). Besides repair, this feeds wrapper induction: a cluster
+// that drifted so far its pages no longer route still has its values
+// remembered here, so an induction job can rebuild rules for it without
+// an operator.
+func (m *Monitor) GoldenValues(uri string) map[string][]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.buffer[uri]
+	if !ok || len(s.Golden) == 0 {
+		return nil
+	}
+	out := make(map[string][]string, len(s.Golden))
+	for comp, vals := range s.Golden {
+		out[comp] = append([]string(nil), vals...)
+	}
+	return out
+}
+
 // Tripped reports the drift-alarm state.
 func (m *Monitor) Tripped() bool {
 	m.mu.Lock()

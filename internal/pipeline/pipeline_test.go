@@ -382,3 +382,97 @@ func TestNDJSONSourceOversizedLine(t *testing.T) {
 		t.Error("oversized line produced no error item")
 	}
 }
+
+// TestNDJSONSourceRecoversAcrossBadLines: consecutive malformed lines
+// each fail as their own item with the right physical line number —
+// blank lines counted — and the stream keeps delivering every good page
+// around them.
+func TestNDJSONSourceRecoversAcrossBadLines(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(61, 10))
+	repo := buildCluster(t, cl)
+	ex, _ := NewStaticExtractor(map[string]*rule.Repository{"movies": repo})
+
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.Encode(PageLine{URI: cl.Pages[0].URI, HTML: dom.Render(cl.Pages[0].Doc)}) // line 1
+	buf.WriteString("{broken\n")                                                  // line 2
+	buf.WriteString("also broken}\n")                                             // line 3
+	buf.WriteString("\n")                                                         // line 4 (blank, skipped)
+	enc.Encode(PageLine{URI: cl.Pages[1].URI, HTML: dom.Render(cl.Pages[1].Doc)}) // line 5
+	buf.WriteString("[1,2]\n")                                                    // line 6 (valid JSON, wrong shape)
+	enc.Encode(PageLine{URI: cl.Pages[2].URI, HTML: dom.Render(cl.Pages[2].Doc)}) // line 7
+
+	sink := &collected{}
+	stats, err := Run(context.Background(), Config{
+		Classifier: FixedRepo("movies"),
+		Extractor:  ex,
+	}, NewNDJSONSource(strings.NewReader(buf.String()), 0, nil), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 6 || stats.Extracted != 3 || stats.PageErrors != 3 {
+		t.Fatalf("stats = %+v, want 6 items: 3 extracted, 3 line errors", stats)
+	}
+	wantLines := map[int]int{1: 2, 2: 3, 4: 6} // item index → failing input line
+	for idx, line := range wantLines {
+		var pe *PageError
+		if !errors.As(sink.items[idx].Err, &pe) || pe.Line != line {
+			t.Errorf("item %d error = %v, want PageError at line %d", idx, sink.items[idx].Err, line)
+		}
+	}
+	for _, idx := range []int{0, 3, 5} {
+		if sink.items[idx].Err != nil || sink.items[idx].Element == nil {
+			t.Errorf("item %d not extracted: err=%v", idx, sink.items[idx].Err)
+		}
+	}
+}
+
+// TestNDJSONSourceTruncatedFinalLine: an upload cut off mid-JSON (no
+// trailing newline) fails as a page-level error on its own line; the
+// pages before it still extract and the run completes.
+func TestNDJSONSourceTruncatedFinalLine(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(62, 8))
+	repo := buildCluster(t, cl)
+	ex, _ := NewStaticExtractor(map[string]*rule.Repository{"movies": repo})
+
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.Encode(PageLine{URI: cl.Pages[0].URI, HTML: dom.Render(cl.Pages[0].Doc)})
+	full, _ := json.Marshal(PageLine{URI: cl.Pages[1].URI, HTML: dom.Render(cl.Pages[1].Doc)})
+	buf.WriteString(string(full[:len(full)/2])) // connection died mid-line
+
+	sink := &collected{}
+	stats, err := Run(context.Background(), Config{
+		Classifier: FixedRepo("movies"),
+		Extractor:  ex,
+	}, NewNDJSONSource(strings.NewReader(buf.String()), 0, nil), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 2 || stats.Extracted != 1 || stats.PageErrors != 1 {
+		t.Fatalf("stats = %+v, want the whole page extracted and the torso failed", stats)
+	}
+	var pe *PageError
+	if !errors.As(sink.items[1].Err, &pe) || pe.Line != 2 {
+		t.Errorf("truncated line error = %v, want PageError at line 2", sink.items[1].Err)
+	}
+}
+
+// TestNDJSONSourceNoResyncAfterOversize: once a line exceeds the cap the
+// scanner cannot find the next boundary, so the source must report EOF
+// rather than misattribute trailing bytes to invented pages.
+func TestNDJSONSourceNoResyncAfterOversize(t *testing.T) {
+	big := strings.Repeat("y", 2048)
+	input := `{"uri":"http://x/big","html":"` + big + `"}` + "\n" +
+		`{"uri":"http://x/after","html":"<p>x</p>"}` + "\n"
+	src := NewNDJSONSource(strings.NewReader(input), 256, nil)
+
+	_, err := src.Next(context.Background())
+	var pe *PageError
+	if !errors.As(err, &pe) || pe.Line != 1 {
+		t.Fatalf("first Next = %v, want PageError at line 1", err)
+	}
+	if _, err := src.Next(context.Background()); err != io.EOF {
+		t.Fatalf("Next after oversize = %v, want io.EOF (no resync)", err)
+	}
+}

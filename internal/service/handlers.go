@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/induct"
 	"repro/internal/lifecycle"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
@@ -33,6 +34,11 @@ import (
 //	POST /extract/batch          extract many pages: NDJSON {"uri","html"} in, NDJSON out
 //	POST /extract/url            fetch ?url= then extract against ?repo= (optional: router)
 //	POST /ingest                 stream a whole site: NDJSON pages in, NDJSON results out (auto-routed)
+//	POST /induce                 feed operator examples and plan induction jobs over unrouted traffic
+//	GET  /jobs                   list induction jobs (+ unrouted buckets)
+//	GET  /jobs/{id}              one induction job
+//	POST /jobs/{id}/promote      activate a staged induced repository (routes from then on)
+//	POST /jobs/{id}/cancel       stop a queued or running induction job
 //	GET  /repos/{name}/health    drift monitor + version history (+?verdicts=1)
 //	GET  /repos/{name}/versions  retained repository versions + per-version stats
 //	POST /repos/{name}/repair    rebuild broken rules from the sample buffer (?promote=auto|never|force)
@@ -76,6 +82,12 @@ type Server struct {
 	// routerLearnCap pages — repositories loaded without a signature
 	// become routable once explicit traffic has flowed.
 	RouterLearn bool
+	// Induct, when non-nil, is the wrapper-induction engine: unrouted
+	// pages from /extract, /extract/url and /ingest are captured into
+	// its buffer instead of being dropped, and the /induce and /jobs
+	// endpoints drive background rule building over them. Enable with
+	// EnableInduction; nil disables the endpoints (501).
+	Induct *induct.Engine
 
 	monMu    sync.Mutex
 	monitors map[string]*lifecycle.Monitor
@@ -156,6 +168,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/extract/batch", s.handleExtractBatch)
 	mux.HandleFunc("/extract/url", s.handleExtractURL)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("POST /induce", s.handleInduce)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/promote", s.handleJobPromote)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -340,6 +357,12 @@ func (s *Server) routePage(page *core.Page) (*RepoEntry, float64, error) {
 	route, ok := s.Router.RoutePage(cluster.PageInfo{URI: page.URI, Doc: page.Doc})
 	if !ok {
 		s.Metrics.Router(RouterUnrouted)
+		// The page itself is the raw material for wrapper induction:
+		// retain it (bounded by the buffer's byte cap) instead of
+		// dropping it after counting the miss.
+		if s.Induct != nil {
+			s.Induct.Capture(page)
+		}
 		msg := fmt.Sprintf("unrouted: page %q matched no repository signature", page.URI)
 		if route.Name != "" {
 			msg = fmt.Sprintf("unrouted: page %q best match %q at %.2f is below the routing threshold",
@@ -714,5 +737,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Reading metrics is not itself counted as traffic.
-	writeJSON(w, http.StatusOK, s.Metrics.Snapshot())
+	snap := s.Metrics.Snapshot()
+	if s.Induct != nil {
+		snap.InductionJobs = s.Induct.Counts()
+		snap.UnroutedBuffered = s.Induct.Buffer().Len()
+		snap.UnroutedEvicted = s.Induct.Buffer().Evicted()
+	}
+	writeJSON(w, http.StatusOK, snap)
 }

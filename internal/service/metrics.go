@@ -135,20 +135,26 @@ type HistogramBucket struct {
 
 // Snapshot is a point-in-time copy of the counters, shaped for JSON.
 type Snapshot struct {
-	UptimeSeconds      float64           `json:"uptimeSeconds"`
-	Requests           map[string]int64  `json:"requests"`
-	Errors             map[string]int64  `json:"errors,omitempty"`
-	ExtractionFailures map[string]int64  `json:"extractionFailures,omitempty"`
-	Lifecycle          map[string]int64  `json:"lifecycle,omitempty"`
-	PagesExtracted     int64             `json:"pagesExtracted"`
-	PageCacheHits      int64             `json:"pageCacheHits"`
-	PageCacheMisses    int64             `json:"pageCacheMisses"`
-	RouterHits         int64             `json:"routerHits"`
-	RouterMisses       int64             `json:"routerMisses"`
-	RouterUnrouted     int64             `json:"routerUnrouted"`
-	LatencySumSeconds  float64           `json:"latencySumSeconds"`
-	LatencyCount       int64             `json:"latencyCount"`
-	LatencyHistogram   []HistogramBucket `json:"latencyHistogram"`
+	UptimeSeconds      float64          `json:"uptimeSeconds"`
+	Requests           map[string]int64 `json:"requests"`
+	Errors             map[string]int64 `json:"errors,omitempty"`
+	ExtractionFailures map[string]int64 `json:"extractionFailures,omitempty"`
+	Lifecycle          map[string]int64 `json:"lifecycle,omitempty"`
+	PagesExtracted     int64            `json:"pagesExtracted"`
+	PageCacheHits      int64            `json:"pageCacheHits"`
+	PageCacheMisses    int64            `json:"pageCacheMisses"`
+	RouterHits         int64            `json:"routerHits"`
+	RouterMisses       int64            `json:"routerMisses"`
+	RouterUnrouted     int64            `json:"routerUnrouted"`
+	// Induction counters, filled by the handler from the induct engine
+	// when induction is enabled (the map always carries the
+	// queued/running/staged/failed keys, explicit zeroes included).
+	InductionJobs     map[string]int64  `json:"inductionJobs,omitempty"`
+	UnroutedBuffered  int               `json:"unroutedBuffered"`
+	UnroutedEvicted   int64             `json:"unroutedEvicted,omitempty"`
+	LatencySumSeconds float64           `json:"latencySumSeconds"`
+	LatencyCount      int64             `json:"latencyCount"`
+	LatencyHistogram  []HistogramBucket `json:"latencyHistogram"`
 }
 
 // Snapshot returns a consistent copy of every counter.
