@@ -452,9 +452,13 @@ func BenchmarkIngestSite(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
+	// Telemetry on, as in production: the benchmark guards the
+	// instrumented path, so per-stage instrumentation cost shows up
+	// as an ingest regression.
 	stats, err := pipeline.Run(context.Background(), pipeline.Config{
 		Classifier: pipeline.RouteWith(router),
 		Extractor:  ex,
+		Telemetry:  pipeline.NewTelemetry(),
 	}, pipeline.NewPageSource(stream), sink)
 	if err != nil {
 		b.Fatal(err)

@@ -42,6 +42,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by the -pprof listener
@@ -54,6 +55,7 @@ import (
 
 	"repro/internal/induct"
 	"repro/internal/lifecycle"
+	"repro/internal/obs"
 	"repro/internal/rule"
 	"repro/internal/service"
 	"repro/internal/webfetch"
@@ -94,22 +96,32 @@ func main() {
 		"induction job worker count (default 1)")
 	inductTruth := flag.String("induct-truth", "",
 		"truth.json file feeding the induction oracle (besides POST /induce examples and lifecycle golden values)")
+	logFormat := flag.String("log-format", "text",
+		"structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info",
+		"minimum log level: debug, info, warn or error")
 	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extractd:", err)
+		os.Exit(2)
+	}
 
 	if *pprofPort > 0 {
 		// Localhost-only on purpose: the profiler exposes heap contents and
 		// must never ride the public listen address.
 		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
 		go func() {
-			fmt.Printf("pprof listening on http://%s/debug/pprof/\n", pprofAddr)
+			logger.Info("pprof.listening", "url", "http://"+pprofAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "extractd: pprof:", err)
+				logger.Error("pprof.failed", "error", err.Error())
 			}
 		}()
 	}
 
-	lc := lifecycle.Config{WindowSize: *driftWindow, TripRatio: *driftRatio}
+	lc := lifecycle.Config{WindowSize: *driftWindow, TripRatio: *driftRatio, Logger: logger}
 
 	// SIGINT/SIGTERM start a graceful shutdown: stop accepting, let
 	// in-flight requests finish (bounded by -drain-timeout), drain the
@@ -124,6 +136,7 @@ func main() {
 		lifecycle: lc, rules: rules,
 		induct: *inductOn, inductMinPages: *inductMinPages,
 		inductWorkers: *inductWorkers, inductTruth: *inductTruth,
+		log: logger,
 	}
 	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "extractd:", err)
@@ -147,6 +160,7 @@ type options struct {
 	inductMinPages int
 	inductWorkers  int
 	inductTruth    string
+	log            *slog.Logger
 }
 
 func run(ctx context.Context, opts options) error {
@@ -162,6 +176,7 @@ func run(ctx context.Context, opts options) error {
 		fetcher = &webfetch.Fetcher{}
 	}
 	srv := service.NewServer(workers, queue, fetcher)
+	srv.Log = opts.log
 	srv.AutoRepair = opts.autoRepair
 	srv.RouterLearn = opts.routerLearn
 	srv.Lifecycle = opts.lifecycle
@@ -185,8 +200,8 @@ func run(ctx context.Context, opts options) error {
 				return err
 			}
 			eng.AddTruth(truth)
-			fmt.Printf("induction oracle loaded: %d page(s) of truth from %s\n",
-				truth.Len(), opts.inductTruth)
+			opts.log.Info("induct.truth.loaded",
+				"pages", truth.Len(), "file", opts.inductTruth)
 		}
 	} else if opts.inductTruth != "" {
 		return fmt.Errorf("-induct-truth requires -induct")
@@ -207,15 +222,10 @@ func run(ctx context.Context, opts options) error {
 		if err != nil {
 			return err
 		}
-		e, err := srv.LoadRepo(name, repo)
-		if err != nil {
+		// The registry load event itself is logged by the server.
+		if _, err := srv.LoadRepo(name, repo); err != nil {
 			return err
 		}
-		routable := ""
-		if repo.Signature != nil {
-			routable = fmt.Sprintf(", routable signature over %d pages", repo.Signature.Pages)
-		}
-		fmt.Printf("loaded repository %q (%d components%s)\n", e.Name, len(e.Repo.Rules), routable)
 	}
 
 	ln, err := net.Listen("tcp", opts.addr)
@@ -223,20 +233,18 @@ func run(ctx context.Context, opts options) error {
 		srv.Close()
 		return err
 	}
-	mode := ""
-	if opts.induct {
-		mode = ", induction on"
-	}
-	fmt.Printf("extractd listening on %s (%d workers, queue %d, %d repos, %d routable%s)\n",
-		ln.Addr(), workers, queue, srv.Registry.Len(), srv.Router.Len(), mode)
-	return serve(ctx, ln, srv, opts.drainTimeout)
+	opts.log.Info("extractd.listening",
+		"addr", ln.Addr().String(), "workers", workers, "queue", queue,
+		"repos", srv.Registry.Len(), "routable", srv.Router.Len(),
+		"induction", opts.induct)
+	return serve(ctx, ln, srv, opts.drainTimeout, opts.log)
 }
 
 // serve runs the HTTP server until ctx is cancelled (signal) or the
 // listener fails, then shuts down gracefully: new connections are
 // refused, in-flight requests get drainTimeout to finish, and the
 // extraction worker pool drains before the function returns.
-func serve(ctx context.Context, ln net.Listener, srv *service.Server, drainTimeout time.Duration) error {
+func serve(ctx context.Context, ln net.Listener, srv *service.Server, drainTimeout time.Duration, log *slog.Logger) error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -247,10 +255,10 @@ func serve(ctx context.Context, ln net.Listener, srv *service.Server, drainTimeo
 		// Listener failure: nothing graceful left to do.
 		httpSrv.Close()
 	case <-ctx.Done():
-		fmt.Println("extractd: shutdown signal received; draining in-flight requests")
+		log.Info("extractd.shutdown", "reason", "signal", "drainTimeout", drainTimeout.String())
 		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		if serr := httpSrv.Shutdown(shutCtx); serr != nil {
-			fmt.Fprintln(os.Stderr, "extractd: forced close after drain timeout:", serr)
+			log.Warn("extractd.forced-close", "error", serr.Error())
 			httpSrv.Close()
 		}
 		cancel()
@@ -260,6 +268,6 @@ func serve(ctx context.Context, ln net.Listener, srv *service.Server, drainTimeo
 	if err != nil && err != http.ErrServerClosed {
 		return err
 	}
-	fmt.Println("extractd: drained, exiting")
+	log.Info("extractd.exited")
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/rule"
 	"repro/internal/service"
 )
@@ -41,7 +42,7 @@ func TestGracefulShutdown(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
-	go func() { served <- serve(ctx, ln, srv, 5*time.Second) }()
+	go func() { served <- serve(ctx, ln, srv, 5*time.Second, obs.NopLogger()) }()
 
 	// Requests in flight when the signal lands must complete.
 	var wg sync.WaitGroup

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The daemon's own metric catalogue must satisfy the naming conventions
+// the linter enforces — this is the check CI runs via `go run`.
+func TestBuiltinCatalogueIsClean(t *testing.T) {
+	problems, fams, err := lint("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("built-in catalogue has lint problems:\n%s", strings.Join(problems, "\n"))
+	}
+	if len(fams) < 20 {
+		t.Fatalf("expected a rich catalogue, parsed only %d families", len(fams))
+	}
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	bad := `# HELP bad_requests requests
+# TYPE bad_requests counter
+bad_requests{uri="/a/b"} 3
+# TYPE extractd_queue gauge
+extractd_queue 1
+`
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, _, err := lint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		`bad_requests: missing "extractd_" prefix`,
+		"counter must end in _total",
+		`label "uri" not in the cardinality allowlist`,
+		"extractd_queue: missing HELP",
+		"gauge must end in a unit suffix",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems missing %q:\n%s", want, joined)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package induct
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"repro/internal/cluster"
@@ -45,6 +46,9 @@ type Config struct {
 	MaxIterations int
 	// Weights for signature matching (zero value: cluster defaults).
 	Weights cluster.Weights
+	// Logger receives job state-transition events (queued, running,
+	// staged, promoted, failed, cancelled). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +126,10 @@ type bucket struct {
 	lastSeq int64
 	jobID   string
 	bytes   int64
+	// trace is the request trace ID of the most recent capture — the
+	// thread an operator follows from an /ingest exchange to the
+	// induction job the planner later mints over this bucket.
+	trace string
 }
 
 // UnroutedBuffer captures pages the router could not place, bucketed by
@@ -151,6 +159,13 @@ func NewUnroutedBuffer(cfg Config) *UnroutedBuffer {
 // whether the page was retained (false when the bucket cap left no room
 // for a new cluster).
 func (b *UnroutedBuffer) Add(p *core.Page) (string, bool) {
+	return b.AddTraced(p, "")
+}
+
+// AddTraced is Add carrying the trace ID of the request that delivered
+// the page; the bucket remembers the latest one so induction jobs can
+// name the traffic that triggered them.
+func (b *UnroutedBuffer) AddTraced(p *core.Page, trace string) (string, bool) {
 	if p == nil || p.Doc == nil {
 		return "", false
 	}
@@ -204,6 +219,9 @@ func (b *UnroutedBuffer) Add(p *core.Page) (string, bool) {
 	best.byURI[p.URI] = c
 	best.bytes += size
 	best.lastSeq = b.seq
+	if trace != "" {
+		best.trace = trace
+	}
 	b.bytes += size
 	b.evictBytesLocked()
 	return best.id, true
@@ -321,6 +339,9 @@ type BucketInfo struct {
 	// evicted ones.
 	SignaturePages int    `json:"signaturePages"`
 	JobID          string `json:"jobId,omitempty"`
+	// Trace is the trace ID of the request that delivered the latest
+	// capture.
+	Trace string `json:"trace,omitempty"`
 	// URIs lists the retained page URIs in capture order — what an
 	// operator supplies examples for.
 	URIs []string `json:"uris,omitempty"`
@@ -334,7 +355,8 @@ func (b *UnroutedBuffer) Buckets() []BucketInfo {
 	for _, id := range b.order {
 		bk := b.buckets[id]
 		info := BucketInfo{ID: bk.id, Pages: len(bk.caps), Bytes: bk.bytes,
-			Streak: bk.streak, SignaturePages: bk.sig.Pages, JobID: bk.jobID}
+			Streak: bk.streak, SignaturePages: bk.sig.Pages, JobID: bk.jobID,
+			Trace: bk.trace}
 		uris := make([]string, 0, len(bk.caps))
 		for _, c := range bk.caps {
 			uris = append(uris, c.Page.URI)

@@ -1,7 +1,9 @@
 package induct
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +48,15 @@ type Job struct {
 	Error   string    `json:"error,omitempty"`
 	Created time.Time `json:"created"`
 	Updated time.Time `json:"updated"`
+	// Started is when a worker picked the job up; Finished is when the
+	// run reached staged or a terminal state (promotion later only
+	// bumps Updated). Zero (omitted) until the transition happens.
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Trace is the trace ID of the request whose captured page most
+	// recently fed the job's bucket — the thread from ingest traffic to
+	// the induction run it triggered.
+	Trace string `json:"trace,omitempty"`
 
 	cancel    bool
 	promoting bool
@@ -123,9 +134,26 @@ func (e *Engine) Buffer() *UnroutedBuffer { return e.buffer }
 // Capture buffers one unrouted page; it reports whether the page was
 // retained.
 func (e *Engine) Capture(p *core.Page) bool {
-	_, ok := e.buffer.Add(p)
+	return e.CaptureTraced(p, "")
+}
+
+// CaptureTraced is Capture carrying the trace ID of the request that
+// delivered the page, so jobs planned over the bucket can name the
+// traffic that triggered them.
+func (e *Engine) CaptureTraced(p *core.Page, trace string) bool {
+	_, ok := e.buffer.AddTraced(p, trace)
 	return ok
 }
+
+// log returns the configured transition logger, never nil.
+func (e *Engine) log() *slog.Logger {
+	if e.cfg.Logger != nil {
+		return e.cfg.Logger
+	}
+	return nopLogger
+}
+
+var nopLogger = slog.New(slog.DiscardHandler)
 
 // AddTruth appends a truth source to the oracle chain. Sources are
 // consulted in insertion order, after the operator example store.
@@ -188,6 +216,7 @@ func (e *Engine) Plan() []*Job {
 		j := &Job{
 			ID: fmt.Sprintf("j%d", e.nextJob), Bucket: info.ID, Cluster: info.Name,
 			State: JobQueued, Pages: info.Pages, Created: now, Updated: now,
+			Trace: info.Trace,
 		}
 		if !e.buffer.setJob(info.ID, j.ID) {
 			e.nextJob--
@@ -198,9 +227,12 @@ func (e *Engine) Plan() []*Job {
 		e.order = append(e.order, j.ID)
 		e.pending = append(e.pending, j.ID)
 		e.active++
-		queued = append(queued, j.clone())
+		c := j.clone()
+		queued = append(queued, c)
 		e.cond.Broadcast()
 		e.mu.Unlock()
+		e.log().Info("induct.job.queued", "job", c.ID, "bucket", c.Bucket,
+			"cluster", c.Cluster, "pages", c.Pages, "trace", c.Trace)
 	}
 	return queued
 }
@@ -226,7 +258,10 @@ func (e *Engine) worker() {
 		}
 		j.State = JobRunning
 		j.Updated = time.Now()
+		j.Started = j.Updated
+		bucket, trace := j.Bucket, j.Trace
 		e.mu.Unlock()
+		e.log().Info("induct.job.running", "job", id, "bucket", bucket, "trace", trace)
 		e.runJob(id)
 	}
 }
@@ -235,18 +270,30 @@ func (e *Engine) worker() {
 // bucket when the outcome allows re-planning.
 func (e *Engine) finishJob(id string, state JobState, errMsg string) {
 	e.mu.Lock()
+	var c *Job
 	j := e.jobs[id]
 	if j != nil {
 		j.State = state
 		j.Error = errMsg
 		j.Updated = time.Now()
+		j.Finished = j.Updated
 		e.active--
 		if state == JobFailed || state == JobCancelled {
 			e.buffer.clearJob(j.Bucket)
 		}
+		c = j.clone()
 	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	if c != nil {
+		level := slog.LevelInfo
+		if state == JobFailed {
+			level = slog.LevelWarn
+		}
+		e.log().Log(context.Background(), level, "induct.job."+string(state),
+			"job", id, "bucket", c.Bucket, "cluster", c.Cluster,
+			"version", c.Version, "error", errMsg, "trace", c.Trace)
+	}
 }
 
 // runJob executes one induction job: sample selection, the paper's
@@ -408,11 +455,13 @@ func (e *Engine) Cancel(id string) (*Job, error) {
 	case JobQueued:
 		j.State = JobCancelled
 		j.Updated = time.Now()
+		j.Finished = j.Updated
 		e.active--
 		e.buffer.clearJob(j.Bucket)
 		e.cond.Broadcast()
 		c := j.clone()
 		e.mu.Unlock()
+		e.log().Info("induct.job.cancelled", "job", c.ID, "bucket", c.Bucket, "trace", c.Trace)
 		return c, nil
 	case JobRunning:
 		j.cancel = true
@@ -422,9 +471,11 @@ func (e *Engine) Cancel(id string) (*Job, error) {
 	case JobStaged:
 		j.State = JobCancelled
 		j.Updated = time.Now()
+		j.Finished = j.Updated
 		e.buffer.clearJob(j.Bucket)
 		c := j.clone()
 		e.mu.Unlock()
+		e.log().Info("induct.job.cancelled", "job", c.ID, "bucket", c.Bucket, "trace", c.Trace)
 		return c, nil
 	default:
 		e.mu.Unlock()
@@ -468,7 +519,10 @@ func (e *Engine) Promote(id string, activate func(*Job) error) (*Job, error) {
 	j.State = JobPromoted
 	j.Updated = time.Now()
 	e.buffer.dropBucket(j.Bucket)
-	return j.clone(), nil
+	c := j.clone()
+	e.log().Info("induct.job.promoted", "job", c.ID, "bucket", c.Bucket,
+		"cluster", c.Cluster, "version", c.Version, "trace", c.Trace)
+	return c, nil
 }
 
 // Counts returns the job tally by state; the queued/running/staged/

@@ -302,3 +302,85 @@ func TestEmptyExamplesDoNotShadowTruthChain(t *testing.T) {
 		t.Fatalf("lookup = %v, want the downstream truth source's answer", v)
 	}
 }
+
+// TestJobLifecycleTimestampsAndTrace: a job carries the trace ID of the
+// capture that filled its bucket, and the queued→running→terminal
+// transitions stamp Started/Finished in order.
+func TestJobLifecycleTimestampsAndTrace(t *testing.T) {
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(31, 10))
+	eng := NewEngine(Config{MinPages: 4, StableStreak: 1, Workers: 1}, &memStager{})
+	defer eng.Close()
+
+	const trace = "feedface00112233"
+	for _, p := range cl.Pages {
+		if !eng.CaptureTraced(p, trace) {
+			t.Fatalf("page %s not captured", p.URI)
+		}
+	}
+	sample, _ := cl.RepresentativeSplit(6)
+	eng.AddExamples(examplesFor(cl, sample))
+	queued := eng.Plan()
+	if len(queued) != 1 {
+		t.Fatalf("planner queued %d job(s), want 1", len(queued))
+	}
+	if queued[0].Trace != trace {
+		t.Fatalf("queued job trace = %q, want %q", queued[0].Trace, trace)
+	}
+	if !queued[0].Started.IsZero() || !queued[0].Finished.IsZero() {
+		t.Fatalf("queued job already has run timestamps: %+v", queued[0])
+	}
+	eng.Wait()
+
+	j, ok := eng.Job(queued[0].ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if j.State != JobStaged {
+		t.Fatalf("job state %s (error %q), want staged", j.State, j.Error)
+	}
+	if j.Trace != trace {
+		t.Errorf("finished job trace = %q, want %q", j.Trace, trace)
+	}
+	if j.Started.IsZero() || j.Finished.IsZero() {
+		t.Fatalf("terminal job missing run timestamps: started=%v finished=%v", j.Started, j.Finished)
+	}
+	if j.Started.Before(j.Created) || j.Finished.Before(j.Started) {
+		t.Errorf("timestamps out of order: created=%v started=%v finished=%v",
+			j.Created, j.Started, j.Finished)
+	}
+	if !j.Updated.Equal(j.Finished) {
+		t.Errorf("Updated=%v should match Finished=%v on a terminal job", j.Updated, j.Finished)
+	}
+}
+
+// TestCancelStampsFinished: cancelling a queued job closes its record
+// with a Finished timestamp even though it never ran.
+func TestCancelStampsFinished(t *testing.T) {
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(32, 6))
+	eng := NewEngine(Config{MinPages: 4, StableStreak: 1, Workers: 1}, &memStager{})
+	defer eng.Close()
+	for _, p := range cl.Pages {
+		eng.Capture(p)
+	}
+	sample, _ := cl.RepresentativeSplit(4)
+	eng.AddExamples(examplesFor(cl, sample))
+	queued := eng.Plan()
+	if len(queued) != 1 {
+		t.Fatalf("planner queued %d job(s), want 1", len(queued))
+	}
+	eng.Wait()
+	j, _ := eng.Job(queued[0].ID)
+	if j.State != JobStaged {
+		t.Fatalf("job state %s, want staged", j.State)
+	}
+	if _, err := eng.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := eng.Job(j.ID)
+	if j2.State != JobCancelled || j2.Finished.IsZero() {
+		t.Fatalf("cancelled job = state %s finished %v", j2.State, j2.Finished)
+	}
+	if j2.Finished.Before(j.Finished) {
+		t.Errorf("cancel moved Finished backwards: %v → %v", j.Finished, j2.Finished)
+	}
+}

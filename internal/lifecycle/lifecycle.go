@@ -24,6 +24,7 @@
 package lifecycle
 
 import (
+	"log/slog"
 	"sort"
 	"sync"
 
@@ -47,6 +48,9 @@ type Config struct {
 	// RepairSample caps the pages handed to the repair builder
 	// (default 10, the paper's working-sample practice).
 	RepairSample int
+	// Logger receives monitor events (drift alarms, repair reports).
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -187,9 +191,22 @@ func (m *Monitor) Observe(page *core.Page, values map[string][]string, failures 
 		m.tripped = true
 		m.alarms++
 		justTripped = true
+		m.logger().Warn("drift.alarm",
+			"windowFailing", m.wfails, "windowSize", m.wlen,
+			"ratio", float64(m.wfails)/float64(m.wlen), "alarms", m.alarms)
 	}
 	return m.tripped, justTripped
 }
+
+// logger returns the configured event logger, never nil.
+func (m *Monitor) logger() *slog.Logger {
+	if m.cfg.Logger != nil {
+		return m.cfg.Logger
+	}
+	return nopLogger
+}
+
+var nopLogger = slog.New(slog.DiscardHandler)
 
 // NeedsRepair reports whether an auto-repairer should attempt a repair
 // now: the alarm is tripped, none is running, and either no attempt was

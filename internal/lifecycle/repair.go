@@ -186,6 +186,16 @@ func (m *Monitor) Repair(current *rule.Repository, curProc *extract.Processor) (
 		}
 	}
 	report.Improved = report.FailingAfter < report.FailingBefore
+	rebuilt := 0
+	for _, c := range report.Components {
+		if c.Outcome == "rebuilt" {
+			rebuilt++
+		}
+	}
+	m.logger().Info("repair.report",
+		"samplePages", report.SamplePages, "failingSampled", report.FailingSampled,
+		"rebuilt", rebuilt, "failingBefore", report.FailingBefore,
+		"failingAfter", report.FailingAfter, "improved", report.Improved)
 	return candidate, report, nil
 }
 

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the daemon's structured logger: format is "text" or
+// "json" (the -log-format flag), level one of debug/info/warn/error
+// (-log-level). Every record is stamped with the context's trace ID
+// (attribute "trace") when one is present, so request logs, pipeline
+// logs and induction job logs emitted under one request share a
+// greppable key.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text|json)", format)
+	}
+	return slog.New(&traceHandler{Handler: h}), nil
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers (tests, library use) where request logs would be
+// noise; the daemon installs a real one.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// traceHandler decorates records with the context trace ID.
+type traceHandler struct{ slog.Handler }
+
+// Handle implements slog.Handler.
+func (h *traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := Trace(ctx); id != "" {
+		r.AddAttrs(slog.String("trace", id))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler, keeping the trace decoration.
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{Handler: h.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler, keeping the trace decoration.
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{Handler: h.Handler.WithGroup(name)}
+}

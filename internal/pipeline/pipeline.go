@@ -142,6 +142,11 @@ type Config struct {
 	// unextracted (classification errors, when a Classifier is set, still
 	// mark items failed).
 	Extractor Extractor
+	// Telemetry, when non-nil, records per-stage latency histograms,
+	// in-flight gauges and error counters for this run. The same
+	// Telemetry may back many concurrent runs (the daemon shares one
+	// across /ingest and /extract/batch traffic).
+	Telemetry *Telemetry
 }
 
 func (c Config) workers() int {
@@ -224,8 +229,11 @@ func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) 
 	go func() {
 		defer close(work)
 		defer close(ordered)
+		srcStats := cfg.Telemetry.Source()
 		for seq := 0; ; seq++ {
+			t0 := srcStats.Start()
 			page, err := src.Next(ctx)
+			srcStats.Done(t0, err != nil && err != io.EOF)
 			it := &Item{Seq: seq, Page: page}
 			var pe *PageError
 			switch {
@@ -281,11 +289,15 @@ func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) 
 	// (its done will close) or pre-closed, so this loop always drains.
 	var stats Stats
 	var emitErr error
+	sinkStats := cfg.Telemetry.Sink()
 	for j := range ordered {
 		<-j.done
 		stats.observe(j.item)
 		if emitErr == nil && ctx.Err() == nil {
-			if err := sink.Emit(j.item); err != nil {
+			t0 := sinkStats.Start()
+			err := sink.Emit(j.item)
+			sinkStats.Done(t0, err != nil)
+			if err != nil {
 				emitErr = fmt.Errorf("pipeline: sink: %w", err)
 				cancel()
 			}
@@ -315,7 +327,10 @@ func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) 
 // process runs classify + extract for one item, in a worker goroutine.
 func process(ctx context.Context, cfg Config, it *Item) {
 	if cfg.Classifier != nil {
+		cs := cfg.Telemetry.Classify()
+		t0 := cs.Start()
 		repo, score, err := cfg.Classifier.Classify(it.Page)
+		cs.Done(t0, err != nil)
 		if err != nil {
 			it.Err = err
 			return
@@ -325,7 +340,10 @@ func process(ctx context.Context, cfg Config, it *Item) {
 	if cfg.Extractor == nil {
 		return
 	}
+	es := cfg.Telemetry.Extract()
+	t0 := es.Start()
 	el, values, fails, err := cfg.Extractor.Extract(ctx, it.Repo, it.Page)
+	es.Done(t0, err != nil)
 	if err != nil {
 		it.Err = err
 		return

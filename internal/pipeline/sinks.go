@@ -99,6 +99,11 @@ type ResultLine struct {
 	Record   any      `json:"record,omitempty"`
 	Failures []string `json:"failures,omitempty"`
 	Error    string   `json:"error,omitempty"`
+	// Trace is the request trace ID on lines streamed by POST /ingest —
+	// the same ID the X-Trace-Id response header and the daemon's
+	// structured logs carry, so one page's NDJSON line, request log and
+	// (if it fed an induction job) job record correlate.
+	Trace string `json:"trace,omitempty"`
 }
 
 // MakeResultLine renders one item as its NDJSON wire line.

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/rule"
+)
+
+// TestTelemetryCountsRun: one instrumented run moves every page through
+// all four stages, with the counters to show for it and nothing left
+// in flight.
+func TestTelemetryCountsRun(t *testing.T) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(81, 12))
+	repo := buildCluster(t, cl)
+	ex, err := NewStaticExtractor(map[string]*rule.Repository{"movies": repo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry()
+	_, err = Run(context.Background(), Config{
+		Workers:    4,
+		Classifier: FixedRepo("movies"),
+		Extractor:  ex,
+		Telemetry:  tel,
+	}, NewPageSource(cl.Pages), &collected{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("got %d stages, want 4", len(snap))
+	}
+	wantOrder := []string{"source", "classify", "extract", "sink"}
+	n := int64(len(cl.Pages))
+	for i, st := range snap {
+		if st.Stage != wantOrder[i] {
+			t.Errorf("stage %d is %q, want %q", i, st.Stage, wantOrder[i])
+		}
+		if st.InFlight != 0 {
+			t.Errorf("stage %s still has %d in flight after the run", st.Stage, st.InFlight)
+		}
+		if st.Latency.Count < n {
+			t.Errorf("stage %s observed %d latencies, want ≥ %d", st.Stage, st.Latency.Count, n)
+		}
+		if st.Errors != 0 {
+			t.Errorf("stage %s counted %d errors on a clean run", st.Stage, st.Errors)
+		}
+	}
+}
+
+// TestTelemetryNilSafe: a nil *Telemetry must be fully inert — the
+// un-instrumented configuration every existing caller still uses.
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	if tel.Snapshot() != nil {
+		t.Error("nil telemetry snapshot should be nil")
+	}
+	for name, s := range map[string]*StageStats{
+		"source": tel.Source(), "classify": tel.Classify(),
+		"extract": tel.Extract(), "sink": tel.Sink(),
+	} {
+		if s != nil {
+			t.Fatalf("%s stats of nil telemetry should be nil", name)
+		}
+		t0 := s.Start()
+		s.Done(t0, true) // must not panic
+	}
+
+	// And a whole run without telemetry still works.
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(82, 12))
+	repo := buildCluster(t, cl)
+	ex, err := NewStaticExtractor(map[string]*rule.Repository{"movies": repo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), Config{
+		Workers: 2, Classifier: FixedRepo("movies"), Extractor: ex,
+	}, NewPageSource(cl.Pages), &collected{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStageStatsZeroAllocs pins the hot-path cost: one Start/Done pair
+// must not allocate — this is what keeps per-page instrumentation free
+// on the ingest path.
+func TestStageStatsZeroAllocs(t *testing.T) {
+	tel := NewTelemetry()
+	s := tel.Extract()
+	allocs := testing.AllocsPerRun(1000, func() {
+		t0 := s.Start()
+		s.Done(t0, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("Start/Done allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestStageStatsErrorsAndInFlight: the gauge tracks open units and the
+// error counter failed ones.
+func TestStageStatsErrorsAndInFlight(t *testing.T) {
+	tel := NewTelemetry()
+	s := tel.Sink()
+	t0 := s.Start()
+	if got := tel.Snapshot()[3].InFlight; got != 1 {
+		t.Fatalf("in-flight = %d mid-unit, want 1", got)
+	}
+	s.Done(t0, true)
+	snap := tel.Snapshot()[3]
+	if snap.InFlight != 0 || snap.Errors != 1 || snap.Latency.Count != 1 {
+		t.Fatalf("after a failed unit: %+v", snap)
+	}
+	if snap.Latency.Sum < 0 || snap.Latency.Sum > time.Minute.Seconds() {
+		t.Fatalf("implausible latency sum %v", snap.Latency.Sum)
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,6 +20,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/induct"
 	"repro/internal/lifecycle"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/webfetch"
@@ -88,9 +92,24 @@ type Server struct {
 	// endpoints drive background rule building over them. Enable with
 	// EnableInduction; nil disables the endpoints (501).
 	Induct *induct.Engine
+	// Log receives the server's structured logs: one request line per
+	// HTTP exchange (method, route, repo, status, duration, trace ID),
+	// registry stage/promote/rollback events, drift alarms and induction
+	// job transitions. Nil discards everything — the extractd daemon
+	// installs a real logger via obs.NewLogger; embedded servers and
+	// tests stay quiet by default.
+	Log *slog.Logger
 
 	monMu    sync.Mutex
 	monitors map[string]*lifecycle.Monitor
+}
+
+// logger returns the configured logger or a discarding one.
+func (s *Server) logger() *slog.Logger {
+	if s.Log != nil {
+		return s.Log
+	}
+	return obs.NopLogger()
 }
 
 // NewServer assembles a server with a fresh registry and metrics and a
@@ -120,6 +139,12 @@ func NewServer(workers, queue int, fetcher *webfetch.Fetcher) *Server {
 // repo's drift window re-arms — a fresh version earns a fresh failure
 // window. Both the /repos handler and daemon preloading go through here.
 func (s *Server) LoadRepo(name string, repo *rule.Repository) (*RepoEntry, error) {
+	return s.loadRepo(context.Background(), name, repo)
+}
+
+// loadRepo is LoadRepo with the caller's context, so hot-reload requests
+// log under their trace ID.
+func (s *Server) loadRepo(ctx context.Context, name string, repo *rule.Repository) (*RepoEntry, error) {
 	e, err := s.Registry.Load(name, repo)
 	if err != nil {
 		return nil, err
@@ -128,6 +153,10 @@ func (s *Server) LoadRepo(name string, repo *rule.Repository) (*RepoEntry, error
 		s.Router.Register(e.Name, repo.Signature)
 	}
 	s.monitor(e.Name).ResetWindow()
+	s.logger().LogAttrs(ctx, slog.LevelInfo, "registry.load",
+		slog.String("repo", e.Name), slog.Int("version", e.Version),
+		slog.Int("components", len(e.Repo.Rules)),
+		slog.Bool("routable", repo.Signature != nil))
 	return e, nil
 }
 
@@ -139,6 +168,8 @@ func (s *Server) RemoveRepo(name string) bool {
 	}
 	s.Router.Unregister(name)
 	s.dropMonitor(name)
+	s.logger().LogAttrs(context.Background(), slog.LevelInfo, "registry.remove",
+		slog.String("repo", name))
 	return true
 }
 
@@ -156,7 +187,8 @@ func (s *Server) maxBody() int64 {
 	return 8 << 20
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler, wrapped in the request
+// observability envelope (trace IDs, request logs, pprof route labels).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/repos", s.handleRepos)
@@ -175,7 +207,139 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
+}
+
+// statusWriter records the response status and byte count for the
+// request log without getting in the way of streaming: Flush passes
+// through for NDJSON responses and Unwrap keeps http.ResponseController
+// (EnableFullDuplex on /ingest) working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeOf maps a request path to a low-cardinality route label for
+// pprof profiles — path parameters (repo names, job ids) must not mint
+// unbounded label values.
+func routeOf(path string) string {
+	switch {
+	case path == "/extract":
+		return "extract"
+	case path == "/extract/batch":
+		return "extract.batch"
+	case path == "/extract/url":
+		return "extract.url"
+	case path == "/ingest":
+		return "ingest"
+	case path == "/induce":
+		return "induce"
+	case path == "/repos":
+		return "repos"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(path, "/repos/"):
+		if i := strings.LastIndexByte(path, '/'); i > len("/repos/") {
+			return "repos." + path[i+1:]
+		}
+		return "repos"
+	case strings.HasPrefix(path, "/jobs/"):
+		if i := strings.LastIndexByte(path, '/'); i > len("/jobs/") {
+			return "jobs." + path[i+1:]
+		}
+		return "jobs"
+	case path == "/jobs":
+		return "jobs"
+	}
+	return "other"
+}
+
+// instrument wraps the mux with the per-request observability envelope:
+//
+//   - a trace ID is adopted from a well-formed X-Trace-Id request header
+//     or minted fresh, echoed in the X-Trace-Id response header, and
+//     carried on the request context — pipeline stages, NDJSON result
+//     lines, induction captures and every log line under this request
+//     share it;
+//   - the goroutine runs under a pprof "route" label (propagated onto
+//     pool workers by Pool.Do), so CPU profiles attribute samples to
+//     routes;
+//   - one structured request log line is emitted per exchange with
+//     method, route, status, body bytes and duration.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Trace-Id")
+		if !obs.ValidTraceID(id) {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx := obs.WithTrace(r.Context(), id)
+		// The served request escapes the closure because the mux stamps
+		// the matched pattern onto it — the request log wants that
+		// pattern, not the raw path.
+		var served *http.Request
+		pprof.Do(ctx, pprof.Labels("route", routeOf(r.URL.Path)), func(ctx context.Context) {
+			served = r.WithContext(ctx)
+			next.ServeHTTP(sw, served)
+		})
+		route := served.Pattern
+		if route == "" {
+			route = r.URL.Path
+		}
+		level := slog.LevelInfo
+		if sw.status >= http.StatusInternalServerError {
+			level = slog.LevelError
+		} else if sw.status >= http.StatusBadRequest {
+			level = slog.LevelWarn
+		}
+		attrs := make([]slog.Attr, 0, 9)
+		attrs = append(attrs,
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(start)))
+		if repo := r.URL.Query().Get("repo"); repo != "" {
+			attrs = append(attrs, slog.String("repo", repo))
+		}
+		// Tenant-ready: multi-tenancy (ROADMAP item 3) will scope requests
+		// by authenticated tenant; until then the header is advisory.
+		if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+			attrs = append(attrs, slog.String("tenant", tenant))
+		}
+		s.logger().LogAttrs(ctx, level, "request", attrs...)
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -295,7 +459,7 @@ func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return errf(http.StatusUnprocessableEntity, "%v", err)
 			}
-			e, err := s.LoadRepo(r.URL.Query().Get("name"), repo)
+			e, err := s.loadRepo(r.Context(), r.URL.Query().Get("name"), repo)
 			if err != nil {
 				return errf(http.StatusUnprocessableEntity, "%v", err)
 			}
@@ -347,8 +511,9 @@ func (s *Server) lookupRepo(r *http.Request) (*RepoEntry, error) {
 // routePage classifies a page to a loaded repository via the router —
 // the path taken when a request names no repository. Outcomes feed the
 // router metrics: hit (routed), unrouted (below threshold), miss (no
-// routable signatures, or a stale signature for an unloaded repo).
-func (s *Server) routePage(page *core.Page) (*RepoEntry, float64, error) {
+// routable signatures, or a stale signature for an unloaded repo). ctx
+// carries the request trace ID into induction captures.
+func (s *Server) routePage(ctx context.Context, page *core.Page) (*RepoEntry, float64, error) {
 	if s.Router == nil || s.Router.Len() == 0 {
 		s.Metrics.Router(RouterMiss)
 		return nil, 0, errf(http.StatusBadRequest,
@@ -359,9 +524,11 @@ func (s *Server) routePage(page *core.Page) (*RepoEntry, float64, error) {
 		s.Metrics.Router(RouterUnrouted)
 		// The page itself is the raw material for wrapper induction:
 		// retain it (bounded by the buffer's byte cap) instead of
-		// dropping it after counting the miss.
+		// dropping it after counting the miss. The capture remembers the
+		// request's trace ID so a job induced over this traffic can name
+		// the request that fed it.
 		if s.Induct != nil {
-			s.Induct.Capture(page)
+			s.Induct.CaptureTraced(page, obs.Trace(ctx))
 		}
 		msg := fmt.Sprintf("unrouted: page %q matched no repository signature", page.URI)
 		if route.Name != "" {
@@ -388,7 +555,7 @@ func (s *Server) resolveRepo(r *http.Request, page *core.Page) (*RepoEntry, erro
 	if r.URL.Query().Get("repo") != "" {
 		return s.lookupRepo(r)
 	}
-	e, _, err := s.routePage(page)
+	e, _, err := s.routePage(r.Context(), page)
 	return e, err
 }
 
@@ -433,6 +600,9 @@ func (s *Server) extractEntry(ctx context.Context, e *RepoEntry, page *core.Page
 	_, justTripped := mon.Observe(page, values, fails)
 	if justTripped {
 		s.Metrics.Lifecycle("drift.alarm")
+		s.logger().LogAttrs(ctx, slog.LevelWarn, "drift.alarm",
+			slog.String("repo", e.Name), slog.Int("version", e.Version),
+			slog.String("uri", page.URI))
 	}
 	// While the alarm stays tripped the monitor paces retry attempts, so
 	// a repair that sampled too early (buffer still dominated by
@@ -584,8 +754,11 @@ func (s *Server) requestClassifier(r *http.Request) (pipeline.Classifier, error)
 		}
 		return pipeline.FixedRepo(name), nil
 	}
+	// The closure holds the request context so unrouted captures made on
+	// pipeline workers still carry this request's trace ID.
+	ctx := r.Context()
 	return pipeline.ClassifierFunc(func(p *core.Page) (string, float64, error) {
-		e, score, err := s.routePage(p)
+		e, score, err := s.routePage(ctx, p)
 		if err != nil {
 			return "", score, err
 		}
@@ -656,6 +829,7 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 			Workers:    s.Pool.Workers(),
 			Classifier: classify,
 			Extractor:  extractor{s},
+			Telemetry:  s.Metrics.Pipeline,
 		}, src, sink)
 		return err
 	})
@@ -691,7 +865,7 @@ func (s *Server) handleExtractURL(w http.ResponseWriter, r *http.Request) {
 			return errf(http.StatusBadGateway, "%v", err)
 		}
 		if e == nil {
-			if e, _, err = s.routePage(page); err != nil {
+			if e, _, err = s.routePage(r.Context(), page); err != nil {
 				return err
 			}
 		}
@@ -735,13 +909,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// wantsProm reports whether the Accept header asks for the Prometheus
+// text exposition. A scraper sends text/plain (or openmetrics-text,
+// which the 0.0.4 text format satisfies for the metrics we emit); JSON
+// stays the default for untyped clients, */*, and application/json.
+func wantsProm(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Reading metrics is not itself counted as traffic.
-	snap := s.Metrics.Snapshot()
-	if s.Induct != nil {
-		snap.InductionJobs = s.Induct.Counts()
-		snap.UnroutedBuffered = s.Induct.Buffer().Len()
-		snap.UnroutedEvicted = s.Induct.Buffer().Evicted()
+	snap := s.MetricsSnapshot()
+	if wantsProm(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		// A scrape write error means the scraper hung up; there is no
+		// useful recovery beyond abandoning the response.
+		_ = WriteProm(w, snap)
+		return
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"log/slog"
 	"net/http"
 
 	"repro/internal/induct"
@@ -21,6 +22,9 @@ import (
 // that drifted beyond routability can be re-induced from its remembered
 // values without an operator). Call before serving traffic.
 func (s *Server) EnableInduction(cfg induct.Config) *induct.Engine {
+	if cfg.Logger == nil && s.Log != nil {
+		cfg.Logger = s.Log
+	}
 	eng := induct.NewEngine(cfg, induct.StagerFunc(func(name string, repo *rule.Repository) (int, error) {
 		e, err := s.Registry.Stage(name, repo)
 		if err != nil {
@@ -148,7 +152,8 @@ func (s *Server) handleJobPromote(w http.ResponseWriter, r *http.Request) {
 			return errf(http.StatusNotFound, "no induction job %q", id)
 		}
 		var active *RepoEntry
-		if _, err := eng.Promote(id, func(j *induct.Job) error {
+		var promoted *induct.Job
+		if promoted, err = eng.Promote(id, func(j *induct.Job) error {
 			e, err := s.Registry.Promote(j.Cluster, j.Version)
 			if err != nil {
 				return err
@@ -163,6 +168,13 @@ func (s *Server) handleJobPromote(w http.ResponseWriter, r *http.Request) {
 			return errf(http.StatusConflict, "%v", err)
 		}
 		s.Metrics.Lifecycle("induct.promoted")
+		// The job's Trace names the ingest exchange that triggered the
+		// induction; the request context carries the promote call's own
+		// trace — both ends of the thread land in one log line.
+		s.logger().LogAttrs(r.Context(), slog.LevelInfo, "induct.promoted",
+			slog.String("job", id), slog.String("repo", active.Name),
+			slog.Int("version", active.Version),
+			slog.String("jobTrace", promoted.Trace))
 		writeJSON(w, http.StatusOK, map[string]any{
 			"job":           id,
 			"repo":          active.Name,

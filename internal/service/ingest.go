@@ -3,8 +3,11 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -18,6 +21,10 @@ type ingestSummary struct {
 	Done bool `json:"done"`
 	pipeline.Stats
 	Error string `json:"error,omitempty"`
+	// Trace echoes the request trace ID (also in the X-Trace-Id header
+	// and on every result line) so a saved NDJSON stream still names the
+	// exchange it came from.
+	Trace string `json:"trace,omitempty"`
 }
 
 // handleIngest streams a whole site through the extraction pipeline:
@@ -77,8 +84,11 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) (streamed bool, 
 	w.Header().Set("Connection", "close")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	trace := obs.Trace(r.Context())
 	sink := pipeline.FuncSink(func(it *pipeline.Item) error {
-		if err := enc.Encode(pipeline.MakeResultLine(it)); err != nil {
+		line := pipeline.MakeResultLine(it)
+		line.Trace = trace
+		if err := enc.Encode(line); err != nil {
 			return err
 		}
 		if flusher != nil {
@@ -87,15 +97,17 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) (streamed bool, 
 		return nil
 	})
 
+	start := time.Now()
 	stats, runErr := pipeline.Run(r.Context(), pipeline.Config{
 		Workers:    s.Pool.Workers(),
 		Classifier: classify,
 		Extractor:  extractor{s},
+		Telemetry:  s.Metrics.Pipeline,
 	}, src, sink)
 
 	// The response status is long gone; a run-level failure travels
 	// on the summary line instead.
-	sum := ingestSummary{Done: true, Stats: stats}
+	sum := ingestSummary{Done: true, Stats: stats, Trace: trace}
 	if runErr != nil {
 		sum.Error = runErr.Error()
 	}
@@ -103,5 +115,15 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) (streamed bool, 
 	if flusher != nil {
 		flusher.Flush()
 	}
+
+	level := slog.LevelInfo
+	if runErr != nil {
+		level = slog.LevelError
+	}
+	s.logger().LogAttrs(r.Context(), level, "ingest.done",
+		slog.Int("pages", stats.Pages), slog.Int("extracted", stats.Extracted),
+		slog.Int("unrouted", stats.Unrouted), slog.Int("pageErrors", stats.PageErrors),
+		slog.Duration("duration", time.Since(start)),
+		slog.String("error", sum.Error))
 	return true, runErr
 }

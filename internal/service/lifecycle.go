@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"log/slog"
 	"net/http"
 
 	"repro/internal/lifecycle"
@@ -46,7 +48,7 @@ func (s *Server) autoRepair(name string) {
 		return
 	}
 	defer mon.EndRepair()
-	_, _, _ = s.repairRepo(name, "auto")
+	_, _, _ = s.repairRepo(context.Background(), name, "auto")
 }
 
 // repairRepo drives one repair pass: build a candidate repository from
@@ -57,21 +59,28 @@ func (s *Server) autoRepair(name string) {
 //
 // The returned entry is the staged version (which may also be the newly
 // active one); the report tells the caller what happened.
-func (s *Server) repairRepo(name, promote string) (*RepoEntry, *repairResponse, error) {
+func (s *Server) repairRepo(ctx context.Context, name, promote string) (*RepoEntry, *repairResponse, error) {
 	e, ok := s.Registry.Get(name)
 	if !ok {
 		return nil, nil, errf(http.StatusNotFound, "repository %q not loaded", name)
 	}
 	mon := s.monitor(name)
 	s.Metrics.Lifecycle("repair.attempted")
+	s.logger().LogAttrs(ctx, slog.LevelInfo, "repair.attempted",
+		slog.String("repo", name), slog.Int("fromVersion", e.Version),
+		slog.String("promote", promote))
 	candidate, report, err := mon.Repair(e.Repo, e.Proc)
 	if err != nil {
 		s.Metrics.Lifecycle("repair.failed")
+		s.logger().LogAttrs(ctx, slog.LevelWarn, "repair.failed",
+			slog.String("repo", name), slog.String("error", err.Error()))
 		return nil, nil, errf(http.StatusConflict, "%v", err)
 	}
 	staged, err := s.Registry.Stage(name, candidate)
 	if err != nil {
 		s.Metrics.Lifecycle("repair.failed")
+		s.logger().LogAttrs(ctx, slog.LevelWarn, "repair.failed",
+			slog.String("repo", name), slog.String("error", err.Error()))
 		return nil, nil, errf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	resp := &repairResponse{Repo: name, StagedVersion: staged.Version, Report: report}
@@ -84,9 +93,15 @@ func (s *Server) repairRepo(name, promote string) (*RepoEntry, *repairResponse, 
 		resp.Promoted = true
 		resp.ActiveVersion = staged.Version
 		s.Metrics.Lifecycle("repair.promoted")
+		s.logger().LogAttrs(ctx, slog.LevelInfo, "repair.promoted",
+			slog.String("repo", name), slog.Int("version", staged.Version),
+			slog.Bool("improved", report.Improved))
 	} else {
 		resp.ActiveVersion = e.Version
 		s.Metrics.Lifecycle("repair.not-promoted")
+		s.logger().LogAttrs(ctx, slog.LevelInfo, "repair.staged",
+			slog.String("repo", name), slog.Int("stagedVersion", staged.Version),
+			slog.Bool("improved", report.Improved))
 	}
 	return staged, resp, nil
 }
@@ -192,7 +207,7 @@ func (s *Server) handleRepoRepair(w http.ResponseWriter, r *http.Request) {
 			return errf(http.StatusConflict, "repair already in progress for %q", name)
 		}
 		defer mon.EndRepair()
-		_, resp, err := s.repairRepo(name, promote)
+		_, resp, err := s.repairRepo(r.Context(), name, promote)
 		if err != nil {
 			return err
 		}
@@ -212,6 +227,8 @@ func (s *Server) handleRepoRollback(w http.ResponseWriter, r *http.Request) {
 		}
 		s.monitor(name).ResetWindow()
 		s.Metrics.Lifecycle("rollback")
+		s.logger().LogAttrs(r.Context(), slog.LevelInfo, "registry.rollback",
+			slog.String("repo", name), slog.Int("activeVersion", e.Version))
 		writeJSON(w, http.StatusOK, map[string]any{
 			"repo":          name,
 			"activeVersion": e.Version,

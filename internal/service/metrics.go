@@ -1,12 +1,14 @@
 package service
 
 import (
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/extract"
+	"repro/internal/pipeline"
 )
 
 // latencyBuckets are the upper bounds (inclusive) of the latency
@@ -42,6 +44,12 @@ type Metrics struct {
 	routerHits     atomic.Int64
 	routerMisses   atomic.Int64
 	routerUnrouted atomic.Int64
+
+	// Pipeline carries the per-stage spine telemetry (Source/Classify/
+	// Extract/Sink latency histograms, in-flight gauges, error counters)
+	// shared by every pipeline run the server drives — /ingest,
+	// /extract/batch — and snapshotted into /metrics.
+	Pipeline *pipeline.Telemetry
 }
 
 // RouterOutcome classifies one auto-routing attempt.
@@ -80,6 +88,7 @@ func NewMetrics() *Metrics {
 		failures:  map[string]int64{},
 		events:    map[string]int64{},
 		histogram: make([]int64, len(latencyBuckets)+1),
+		Pipeline:  pipeline.NewTelemetry(),
 	}
 }
 
@@ -133,7 +142,44 @@ type HistogramBucket struct {
 	Count int64   `json:"count"`
 }
 
-// Snapshot is a point-in-time copy of the counters, shaped for JSON.
+// PoolSnapshot is the worker pool's saturation picture: static sizing
+// plus live queue depth and in-flight work.
+type PoolSnapshot struct {
+	Workers       int   `json:"workers"`
+	QueueDepth    int   `json:"queueDepth"`
+	QueueCapacity int   `json:"queueCapacity"`
+	InFlight      int64 `json:"inFlight"`
+	// SaturationRatio is InFlight/Workers: 1 means every worker is busy.
+	SaturationRatio float64 `json:"saturationRatio"`
+}
+
+// BuildInfo identifies the running binary in /metrics.
+type BuildInfo struct {
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+}
+
+// readBuildInfo resolves the binary's build identity once at startup.
+var readBuildInfo = sync.OnceValue(func() BuildInfo {
+	info := BuildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			info.Revision = s.Value
+		}
+	}
+	return info
+})
+
+// Snapshot is a point-in-time copy of every operational counter — the
+// single source of truth behind both /metrics views: the JSON body is
+// this struct marshalled, and the Prometheus text exposition is this
+// struct rendered by WriteProm. Adding a field here without teaching
+// WriteProm about it fails the parity test in promexpo_test.go.
 type Snapshot struct {
 	UptimeSeconds      float64          `json:"uptimeSeconds"`
 	Requests           map[string]int64 `json:"requests"`
@@ -149,12 +195,22 @@ type Snapshot struct {
 	// Induction counters, filled by the handler from the induct engine
 	// when induction is enabled (the map always carries the
 	// queued/running/staged/failed keys, explicit zeroes included).
-	InductionJobs     map[string]int64  `json:"inductionJobs,omitempty"`
-	UnroutedBuffered  int               `json:"unroutedBuffered"`
-	UnroutedEvicted   int64             `json:"unroutedEvicted,omitempty"`
-	LatencySumSeconds float64           `json:"latencySumSeconds"`
-	LatencyCount      int64             `json:"latencyCount"`
-	LatencyHistogram  []HistogramBucket `json:"latencyHistogram"`
+	InductionJobs         map[string]int64  `json:"inductionJobs,omitempty"`
+	UnroutedBuffered      int               `json:"unroutedBuffered"`
+	UnroutedBufferedBytes int64             `json:"unroutedBufferedBytes,omitempty"`
+	UnroutedEvicted       int64             `json:"unroutedEvicted,omitempty"`
+	LatencySumSeconds     float64           `json:"latencySumSeconds"`
+	LatencyCount          int64             `json:"latencyCount"`
+	LatencyHistogram      []HistogramBucket `json:"latencyHistogram"`
+	// Pool is the worker pool's live saturation state.
+	Pool PoolSnapshot `json:"pool"`
+	// Repos carries per-repo, per-version extraction counters from the
+	// registry.
+	Repos []RepoVersionCount `json:"repos,omitempty"`
+	// Pipeline carries the per-stage spine telemetry.
+	Pipeline pipeline.TelemetrySnapshot `json:"pipeline,omitempty"`
+	// Build identifies the running binary.
+	Build BuildInfo `json:"build"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -198,5 +254,35 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 		s.LatencyHistogram = append(s.LatencyHistogram, b)
 	}
+	s.Pipeline = m.Pipeline.Snapshot()
+	s.Build = readBuildInfo()
 	return s
+}
+
+// MetricsSnapshot assembles the full observability snapshot: the
+// Metrics counters plus the state owned by the server's other
+// subsystems — worker pool saturation, per-repo/per-version registry
+// counters, and the induction engine's job and buffer state. Both
+// /metrics views (JSON and Prometheus text) render exactly this value.
+func (s *Server) MetricsSnapshot() Snapshot {
+	snap := s.Metrics.Snapshot()
+	workers := s.Pool.Workers()
+	inFlight := s.Pool.InFlight()
+	snap.Pool = PoolSnapshot{
+		Workers:       workers,
+		QueueDepth:    s.Pool.QueueDepth(),
+		QueueCapacity: s.Pool.QueueCapacity(),
+		InFlight:      inFlight,
+	}
+	if workers > 0 {
+		snap.Pool.SaturationRatio = float64(inFlight) / float64(workers)
+	}
+	snap.Repos = s.Registry.CountsSnapshot()
+	if s.Induct != nil {
+		snap.InductionJobs = s.Induct.Counts()
+		snap.UnroutedBuffered = s.Induct.Buffer().Len()
+		snap.UnroutedBufferedBytes = s.Induct.Buffer().Bytes()
+		snap.UnroutedEvicted = s.Induct.Buffer().Evicted()
+	}
+	return snap
 }

@@ -3,7 +3,9 @@ package service
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a bounded worker pool: a fixed number of goroutines drain a
@@ -15,6 +17,10 @@ type Pool struct {
 	tasks   chan poolTask
 	workers int
 
+	// inFlight counts tasks currently executing on a worker — together
+	// with QueueDepth this is the pool's saturation picture in /metrics.
+	inFlight atomic.Int64
+
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
@@ -25,7 +31,22 @@ type Pool struct {
 // not queue far past it.
 func (p *Pool) Workers() int { return p.workers }
 
+// QueueDepth reports the tasks waiting in the queue right now.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// QueueCapacity reports the queue's slot count.
+func (p *Pool) QueueCapacity() int { return cap(p.tasks) }
+
+// InFlight reports the tasks currently executing on workers.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
 type poolTask struct {
+	// ctx is the submitter's context; its pprof label set (stamped by the
+	// HTTP middleware with the route) is adopted by the worker for the
+	// task's duration, so CPU profiles attribute extraction samples to
+	// the route that caused them even though the work runs on a pool
+	// goroutine.
+	ctx  context.Context
 	fn   func()
 	done chan struct{}
 }
@@ -49,8 +70,20 @@ func NewPool(workers, queue int) *Pool {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
+	clean := context.Background()
 	for t := range p.tasks {
-		t.fn()
+		p.inFlight.Add(1)
+		if t.ctx != nil {
+			// Adopt the submitter's profiler labels for the task, then
+			// drop them — a label-less background goroutine must not keep
+			// charging samples to the last request it served.
+			pprof.SetGoroutineLabels(t.ctx)
+			t.fn()
+			pprof.SetGoroutineLabels(clean)
+		} else {
+			t.fn()
+		}
+		p.inFlight.Add(-1)
 		close(t.done)
 	}
 }
@@ -59,7 +92,7 @@ func (p *Pool) worker() {
 // without running fn when ctx is done before a worker accepts the task,
 // or when the pool is closed.
 func (p *Pool) Do(ctx context.Context, fn func()) error {
-	t := poolTask{fn: fn, done: make(chan struct{})}
+	t := poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
 	// The read-lock spans the enqueue so Close cannot close the task
 	// channel under a blocked send: Close's write-lock waits the senders
 	// out while live workers keep draining the queue.

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Prometheus exposition of the metrics Snapshot. The Snapshot struct is
+// the single source of truth: WriteProm walks exactly the fields the
+// JSON view marshals, so the two /metrics representations cannot drift
+// (promexpo_test.go asserts the field↔family parity with reflection).
+
+// WriteProm renders a Snapshot in the Prometheus text format (0.0.4).
+// Family order is fixed and map-keyed series are sorted, so the output
+// is deterministic for a given snapshot — scrape-diffable and testable.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	p := obs.NewPromWriter(w)
+
+	p.Gauge("extractd_build_info",
+		"Build identity of the running extractd binary (value is always 1).", 1,
+		obs.Label{Key: "goversion", Value: snap.Build.GoVersion},
+		obs.Label{Key: "revision", Value: snap.Build.Revision})
+	p.Gauge("extractd_uptime_seconds",
+		"Seconds since the daemon started.", snap.UptimeSeconds)
+
+	writeLabeledCounters(p, "extractd_requests_total",
+		"HTTP requests served, by endpoint.", "endpoint", snap.Requests)
+	writeLabeledCounters(p, "extractd_request_errors_total",
+		"HTTP requests that returned a non-2xx status, by endpoint.", "endpoint", snap.Errors)
+
+	p.Counter("extractd_pages_extracted_total",
+		"Pages that completed extraction.", float64(snap.PagesExtracted))
+	writeLabeledCounters(p, "extractd_extraction_failures_total",
+		"Detected extraction failures, by failure kind.", "kind", snap.ExtractionFailures)
+	writeLabeledCounters(p, "extractd_lifecycle_events_total",
+		"Wrapper lifecycle events (drift alarms, repairs, promotions, rollbacks).",
+		"event", snap.Lifecycle)
+
+	p.Counter("extractd_page_cache_hits_total",
+		"Parsed-page cache hits.", float64(snap.PageCacheHits))
+	p.Counter("extractd_page_cache_misses_total",
+		"Parsed-page cache misses.", float64(snap.PageCacheMisses))
+
+	p.Family("extractd_router_decisions_total", "counter",
+		"Page auto-routing outcomes, by outcome.")
+	p.Sample("extractd_router_decisions_total",
+		[]obs.Label{{Key: "outcome", Value: "hit"}}, float64(snap.RouterHits))
+	p.Sample("extractd_router_decisions_total",
+		[]obs.Label{{Key: "outcome", Value: "miss"}}, float64(snap.RouterMisses))
+	p.Sample("extractd_router_decisions_total",
+		[]obs.Label{{Key: "outcome", Value: "unrouted"}}, float64(snap.RouterUnrouted))
+
+	p.Histogram("extractd_extraction_duration_seconds",
+		"Single-page extraction latency.", extractionHistogram(snap))
+
+	p.Gauge("extractd_pool_workers",
+		"Extraction worker pool size.", float64(snap.Pool.Workers))
+	p.Gauge("extractd_pool_queue_depth",
+		"Tasks waiting in the extraction queue.", float64(snap.Pool.QueueDepth))
+	p.Gauge("extractd_pool_queue_capacity",
+		"Extraction queue slot count.", float64(snap.Pool.QueueCapacity))
+	p.Gauge("extractd_pool_in_flight",
+		"Tasks currently executing on pool workers.", float64(snap.Pool.InFlight))
+	p.Gauge("extractd_pool_saturation_ratio",
+		"In-flight tasks over worker count (1 = every worker busy).",
+		snap.Pool.SaturationRatio)
+
+	writeRepoCounters(p, snap.Repos)
+	writePipeline(p, snap)
+
+	writeLabeledGauges(p, "extractd_induction_jobs",
+		"Induction jobs by state.", "state", snap.InductionJobs)
+	p.Gauge("extractd_unrouted_buffered_pages",
+		"Unrouted pages retained in the induction buffer.", float64(snap.UnroutedBuffered))
+	p.Gauge("extractd_unrouted_buffered_bytes",
+		"Approximate bytes retained in the induction buffer.", float64(snap.UnroutedBufferedBytes))
+	p.Counter("extractd_unrouted_evicted_total",
+		"Unrouted pages evicted from the induction buffer.", float64(snap.UnroutedEvicted))
+
+	return p.Err()
+}
+
+// extractionHistogram reshapes the snapshot's latency histogram into
+// the obs shape the writer renders (both use LE 0 to mark +Inf).
+func extractionHistogram(snap Snapshot) obs.HistogramSnapshot {
+	h := obs.HistogramSnapshot{
+		Count:   snap.LatencyCount,
+		Sum:     snap.LatencySumSeconds,
+		Buckets: make([]obs.HistogramBucket, 0, len(snap.LatencyHistogram)),
+	}
+	for _, b := range snap.LatencyHistogram {
+		h.Buckets = append(h.Buckets, obs.HistogramBucket{LE: b.LE, Count: b.Count})
+	}
+	return h
+}
+
+func writeLabeledCounters(p *obs.PromWriter, name, help, labelKey string, m map[string]int64) {
+	p.Family(name, "counter", help)
+	for _, k := range sortedKeys(m) {
+		p.Sample(name, []obs.Label{{Key: labelKey, Value: k}}, float64(m[k]))
+	}
+}
+
+func writeLabeledGauges(p *obs.PromWriter, name, help, labelKey string, m map[string]int64) {
+	p.Family(name, "gauge", help)
+	for _, k := range sortedKeys(m) {
+		p.Sample(name, []obs.Label{{Key: labelKey, Value: k}}, float64(m[k]))
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeRepoCounters(p *obs.PromWriter, repos []RepoVersionCount) {
+	rvLabels := func(c RepoVersionCount) []obs.Label {
+		return []obs.Label{
+			{Key: "repo", Value: c.Repo},
+			{Key: "version", Value: strconv.Itoa(c.Version)},
+		}
+	}
+	p.Family("extractd_repo_pages_total", "counter",
+		"Pages extracted, by repository and version.")
+	for _, c := range repos {
+		p.Sample("extractd_repo_pages_total", rvLabels(c), float64(c.Pages))
+	}
+	p.Family("extractd_repo_failed_pages_total", "counter",
+		"Pages with at least one detected failure, by repository and version.")
+	for _, c := range repos {
+		p.Sample("extractd_repo_failed_pages_total", rvLabels(c), float64(c.FailedPages))
+	}
+	p.Family("extractd_repo_failures_total", "counter",
+		"Detected extraction failures, by repository and version.")
+	for _, c := range repos {
+		p.Sample("extractd_repo_failures_total", rvLabels(c), float64(c.Failures))
+	}
+	p.Family("extractd_repo_active_version", "gauge",
+		"The active (serving) version id, by repository.")
+	for _, c := range repos {
+		if c.Active {
+			p.Sample("extractd_repo_active_version",
+				[]obs.Label{{Key: "repo", Value: c.Repo}}, float64(c.Version))
+		}
+	}
+}
+
+func writePipeline(p *obs.PromWriter, snap Snapshot) {
+	stageLabel := func(s string) []obs.Label { return []obs.Label{{Key: "stage", Value: s}} }
+	p.Family("extractd_pipeline_stage_duration_seconds", "histogram",
+		"Per-stage latency of the ingestion pipeline spine (source, classify, extract, sink).")
+	for _, st := range snap.Pipeline {
+		p.HistogramSamples("extractd_pipeline_stage_duration_seconds",
+			stageLabel(st.Stage), st.Latency)
+	}
+	p.Family("extractd_pipeline_stage_in_flight", "gauge",
+		"Pipeline work currently inside each stage.")
+	for _, st := range snap.Pipeline {
+		p.Sample("extractd_pipeline_stage_in_flight", stageLabel(st.Stage), float64(st.InFlight))
+	}
+	p.Family("extractd_pipeline_stage_errors_total", "counter",
+		"Stage-level errors (failed classifications, refused extractions, sink failures).")
+	for _, st := range snap.Pipeline {
+		p.Sample("extractd_pipeline_stage_errors_total", stageLabel(st.Stage), float64(st.Errors))
+	}
+}

@@ -1,0 +1,405 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// promFamilies scrapes ts's /metrics with a Prometheus Accept header
+// and parses the exposition.
+func promFamilies(t *testing.T, base string) ([]*obs.PromFamily, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics (prom): %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	fams, err := obs.ParseProm(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("parsing exposition: %v\n%s", err, raw)
+	}
+	return fams, string(raw)
+}
+
+func familyByName(fams []*obs.PromFamily, name string) *obs.PromFamily {
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// TestPromExpositionGolden is the scrape acceptance test: real traffic
+// through a real server, then the text exposition must parse, lint
+// clean, declare every expected family with the right type, and agree
+// with the JSON view served from the same endpoint.
+func TestPromExpositionGolden(t *testing.T) {
+	srv, ts := newTestServer(t)
+	repo := testRepo(t, "movies")
+	postJSONRepo(t, ts.URL, repo, "")
+
+	// Traffic: two clean extractions and one failing one.
+	for _, html := range []string{
+		"<html><body><h1>A</h1></body></html>",
+		"<html><body><h1>B</h1></body></html>",
+		"<html><body><p>no title</p></body></html>",
+	} {
+		resp, err := http.Post(ts.URL+"/extract?repo=movies", "text/html", strings.NewReader(html))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// The default view stays JSON for untyped clients.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("default /metrics Content-Type = %q, want JSON", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	fams, raw := promFamilies(t, ts.URL)
+
+	// The whole catalogue must satisfy the naming conventions.
+	if problems := obs.Lint(fams, obs.LintOptions{}); len(problems) > 0 {
+		t.Fatalf("exposition fails lint:\n%s", strings.Join(problems, "\n"))
+	}
+
+	// Every family, with its type.
+	wantTypes := map[string]string{
+		"extractd_build_info":                      "gauge",
+		"extractd_uptime_seconds":                  "gauge",
+		"extractd_requests_total":                  "counter",
+		"extractd_request_errors_total":            "counter",
+		"extractd_pages_extracted_total":           "counter",
+		"extractd_extraction_failures_total":       "counter",
+		"extractd_lifecycle_events_total":          "counter",
+		"extractd_page_cache_hits_total":           "counter",
+		"extractd_page_cache_misses_total":         "counter",
+		"extractd_router_decisions_total":          "counter",
+		"extractd_extraction_duration_seconds":     "histogram",
+		"extractd_pool_workers":                    "gauge",
+		"extractd_pool_queue_depth":                "gauge",
+		"extractd_pool_queue_capacity":             "gauge",
+		"extractd_pool_in_flight":                  "gauge",
+		"extractd_pool_saturation_ratio":           "gauge",
+		"extractd_repo_pages_total":                "counter",
+		"extractd_repo_failed_pages_total":         "counter",
+		"extractd_repo_failures_total":             "counter",
+		"extractd_repo_active_version":             "gauge",
+		"extractd_pipeline_stage_duration_seconds": "histogram",
+		"extractd_pipeline_stage_in_flight":        "gauge",
+		"extractd_pipeline_stage_errors_total":     "counter",
+		"extractd_induction_jobs":                  "gauge",
+		"extractd_unrouted_buffered_pages":         "gauge",
+		"extractd_unrouted_buffered_bytes":         "gauge",
+		"extractd_unrouted_evicted_total":          "counter",
+	}
+	for name, typ := range wantTypes {
+		f := familyByName(fams, name)
+		if f == nil {
+			t.Errorf("exposition missing family %s", name)
+			continue
+		}
+		if f.Type != typ {
+			t.Errorf("%s type = %q, want %q", name, f.Type, typ)
+		}
+		if f.Help == "" {
+			t.Errorf("%s has no HELP", name)
+		}
+	}
+	if len(fams) != len(wantTypes) {
+		t.Errorf("exposition has %d families, expected table lists %d:\n%s",
+			len(fams), len(wantTypes), raw)
+	}
+
+	// Spot-check values against the JSON view of the same counters.
+	reqs := familyByName(fams, "extractd_requests_total")
+	found := false
+	for _, s := range reqs.Samples {
+		if s.Label("endpoint") == "extract" {
+			found = true
+			if int64(s.Value) != snap.Requests["extract"] {
+				t.Errorf("requests_total{endpoint=extract} = %v, JSON says %d",
+					s.Value, snap.Requests["extract"])
+			}
+		}
+	}
+	if !found {
+		t.Error("requests_total has no endpoint=extract sample")
+	}
+
+	pages := familyByName(fams, "extractd_pages_extracted_total")
+	if len(pages.Samples) != 1 || int64(pages.Samples[0].Value) != snap.PagesExtracted {
+		t.Errorf("pages_extracted_total = %+v, JSON says %d", pages.Samples, snap.PagesExtracted)
+	}
+
+	workers := familyByName(fams, "extractd_pool_workers")
+	if len(workers.Samples) != 1 || int(workers.Samples[0].Value) != srv.Pool.Workers() {
+		t.Errorf("pool_workers = %+v, want %d", workers.Samples, srv.Pool.Workers())
+	}
+
+	// Per-repo counters carry the traffic of the loaded version.
+	repoPages := familyByName(fams, "extractd_repo_pages_total")
+	found = false
+	for _, s := range repoPages.Samples {
+		if s.Label("repo") == "movies" && s.Label("version") == "1" {
+			found = true
+			if s.Value != 3 {
+				t.Errorf("repo_pages_total{movies,1} = %v, want 3", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("repo_pages_total has no movies/1 sample: %+v", repoPages.Samples)
+	}
+	active := familyByName(fams, "extractd_repo_active_version")
+	if len(active.Samples) != 1 || active.Samples[0].Label("repo") != "movies" ||
+		active.Samples[0].Value != 1 {
+		t.Errorf("repo_active_version = %+v", active.Samples)
+	}
+
+	// The failing page shows up in the failure counter.
+	fails := familyByName(fams, "extractd_extraction_failures_total")
+	var missing float64
+	for _, s := range fails.Samples {
+		if s.Label("kind") == "missing-mandatory" {
+			missing = s.Value
+		}
+	}
+	if missing != 1 {
+		t.Errorf("extraction_failures_total{missing-mandatory} = %v, want 1", missing)
+	}
+
+	// The histogram is cumulative and consistent.
+	hist := familyByName(fams, "extractd_extraction_duration_seconds")
+	var infCount, count float64
+	for _, s := range hist.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket") && s.Label("le") == "+Inf":
+			infCount = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		}
+	}
+	if infCount != 3 || count != 3 {
+		t.Errorf("extraction histogram +Inf=%v count=%v, want 3 extractions", infCount, count)
+	}
+}
+
+// TestPromAcceptVariants: openmetrics and plain Accept headers get the
+// text view; JSON Accept and no Accept get JSON.
+func TestPromAcceptVariants(t *testing.T) {
+	_, ts := newTestServer(t)
+	for accept, wantProm := range map[string]bool{
+		"text/plain":                   true,
+		"application/openmetrics-text": true,
+		"text/plain;version=0.0.4":     true,
+		"application/json":             false,
+		"":                             false,
+		"*/*":                          false,
+	} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := ct == obs.PromContentType; got != wantProm {
+			t.Errorf("Accept %q → Content-Type %q, wantProm=%v", accept, ct, wantProm)
+		}
+	}
+}
+
+// snapshotFieldMetrics is the parity contract between the JSON and the
+// Prometheus views of /metrics: every Snapshot field maps to the metric
+// families that render it. Adding a Snapshot field without extending
+// WriteProm (and this table) fails TestPromJSONParity — the two views
+// cannot drift apart silently.
+var snapshotFieldMetrics = map[string][]string{
+	"UptimeSeconds":         {"extractd_uptime_seconds"},
+	"Requests":              {"extractd_requests_total"},
+	"Errors":                {"extractd_request_errors_total"},
+	"ExtractionFailures":    {"extractd_extraction_failures_total"},
+	"Lifecycle":             {"extractd_lifecycle_events_total"},
+	"PagesExtracted":        {"extractd_pages_extracted_total"},
+	"PageCacheHits":         {"extractd_page_cache_hits_total"},
+	"PageCacheMisses":       {"extractd_page_cache_misses_total"},
+	"RouterHits":            {"extractd_router_decisions_total"},
+	"RouterMisses":          {"extractd_router_decisions_total"},
+	"RouterUnrouted":        {"extractd_router_decisions_total"},
+	"InductionJobs":         {"extractd_induction_jobs"},
+	"UnroutedBuffered":      {"extractd_unrouted_buffered_pages"},
+	"UnroutedBufferedBytes": {"extractd_unrouted_buffered_bytes"},
+	"UnroutedEvicted":       {"extractd_unrouted_evicted_total"},
+	"LatencySumSeconds":     {"extractd_extraction_duration_seconds"},
+	"LatencyCount":          {"extractd_extraction_duration_seconds"},
+	"LatencyHistogram":      {"extractd_extraction_duration_seconds"},
+	"Pool": {
+		"extractd_pool_workers", "extractd_pool_queue_depth",
+		"extractd_pool_queue_capacity", "extractd_pool_in_flight",
+		"extractd_pool_saturation_ratio",
+	},
+	"Repos": {
+		"extractd_repo_pages_total", "extractd_repo_failed_pages_total",
+		"extractd_repo_failures_total", "extractd_repo_active_version",
+	},
+	"Pipeline": {
+		"extractd_pipeline_stage_duration_seconds",
+		"extractd_pipeline_stage_in_flight",
+		"extractd_pipeline_stage_errors_total",
+	},
+	"Build": {"extractd_build_info"},
+}
+
+// TestPromJSONParity walks the Snapshot struct with reflection and
+// checks each field against the mapping table, then renders a fully
+// populated snapshot and checks every mapped family actually appears.
+func TestPromJSONParity(t *testing.T) {
+	st := reflect.TypeOf(Snapshot{})
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		if _, ok := snapshotFieldMetrics[name]; !ok {
+			t.Errorf("Snapshot field %s has no Prometheus mapping — "+
+				"teach WriteProm about it and extend snapshotFieldMetrics", name)
+		}
+	}
+	for name := range snapshotFieldMetrics {
+		if _, ok := st.FieldByName(name); !ok {
+			t.Errorf("mapping table names %s, which is not a Snapshot field", name)
+		}
+	}
+
+	snap := Snapshot{
+		UptimeSeconds:      1,
+		Requests:           map[string]int64{"extract": 1},
+		Errors:             map[string]int64{"extract": 1},
+		ExtractionFailures: map[string]int64{"missing-mandatory": 1},
+		Lifecycle:          map[string]int64{"rollback": 1},
+		PagesExtracted:     1, PageCacheHits: 1, PageCacheMisses: 1,
+		RouterHits: 1, RouterMisses: 1, RouterUnrouted: 1,
+		InductionJobs:    map[string]int64{"queued": 1},
+		UnroutedBuffered: 1, UnroutedBufferedBytes: 1, UnroutedEvicted: 1,
+		LatencySumSeconds: 0.1, LatencyCount: 1,
+		LatencyHistogram: []HistogramBucket{{LE: 0.1, Count: 1}, {Count: 0}},
+		Pool:             PoolSnapshot{Workers: 1, QueueDepth: 1, QueueCapacity: 1, InFlight: 1, SaturationRatio: 1},
+		Repos:            []RepoVersionCount{{Repo: "r", Version: 1, Active: true, Pages: 1}},
+		Pipeline: pipeline.TelemetrySnapshot{{
+			Stage: "source",
+			Latency: obs.HistogramSnapshot{
+				Count: 1, Sum: 0.1,
+				Buckets: []obs.HistogramBucket{{LE: 0.1, Count: 1}},
+			},
+		}},
+		Build: BuildInfo{GoVersion: "go"},
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for field, metrics := range snapshotFieldMetrics {
+		for _, m := range metrics {
+			if familyByName(fams, m) == nil {
+				t.Errorf("field %s maps to %s, which the exposition does not render", field, m)
+			}
+		}
+	}
+
+	// And the JSON view must marshal the same snapshot without loss.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not marshal to JSON: %v", err)
+	}
+}
+
+// TestMetricsConcurrentScrape hammers the extraction counters while
+// scraping both /metrics views — meaningful under -race (CI runs it
+// there), and each scraped exposition must still parse.
+func TestMetricsConcurrentScrape(t *testing.T) {
+	_, ts := newTestServer(t)
+	repo := testRepo(t, "movies")
+	postJSONRepo(t, ts.URL, repo, "")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Post(ts.URL+"/extract?repo=movies", "text/html",
+					strings.NewReader("<html><body><h1>T</h1></body></html>"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				fams, _ := promFamilies(t, ts.URL)
+				if len(fams) == 0 {
+					t.Error("empty exposition mid-traffic")
+					return
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var snap Snapshot
+				if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+					t.Errorf("JSON view mid-traffic: %v", err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}

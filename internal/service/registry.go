@@ -287,6 +287,43 @@ func (g *Registry) List() []*RepoEntry {
 	return out
 }
 
+// RepoVersionCount is one retained version's extraction counters as the
+// metrics snapshot reports them — the per-repo/per-version view behind
+// the extractd_repo_pages_total family.
+type RepoVersionCount struct {
+	Repo        string `json:"repo"`
+	Version     int    `json:"version"`
+	Active      bool   `json:"active"`
+	Pages       int64  `json:"pages"`
+	FailedPages int64  `json:"failedPages"`
+	Failures    int64  `json:"failures"`
+}
+
+// CountsSnapshot copies every retained version's traffic counters,
+// sorted by repo name then version — deterministic output for the
+// metrics exposition.
+func (g *Registry) CountsSnapshot() []RepoVersionCount {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []RepoVersionCount
+	for name, rv := range g.repos {
+		for _, e := range rv.versions {
+			s := e.Stats.Snapshot()
+			out = append(out, RepoVersionCount{
+				Repo: name, Version: e.Version, Active: e == rv.active,
+				Pages: s.Pages, FailedPages: s.FailedPages, Failures: s.Failures,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Repo != out[j].Repo {
+			return out[i].Repo < out[j].Repo
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
 // Len returns the number of repositories with an active version.
 func (g *Registry) Len() int {
 	g.mu.RLock()

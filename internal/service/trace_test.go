@@ -1,0 +1,146 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// TestTraceIDHeaderFlow: every request gets a trace ID — minted when the
+// client sends none, adopted when the client sends a well-formed one,
+// and re-minted (never trusted) when the header is malformed.
+func TestTraceIDHeaderFlow(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSONRepo(t, ts.URL, testRepo(t, "movies"), "")
+
+	do := func(traceHeader string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/extract?repo=movies",
+			strings.NewReader("<html><body><h1>T</h1></body></html>"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "text/html")
+		if traceHeader != "" {
+			req.Header.Set("X-Trace-Id", traceHeader)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/extract: %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Trace-Id")
+	}
+
+	minted := do("")
+	if !obs.ValidTraceID(minted) {
+		t.Fatalf("minted X-Trace-Id %q is not a valid trace ID", minted)
+	}
+	if again := do(""); again == minted {
+		t.Fatal("two requests got the same minted trace ID")
+	}
+
+	const own = "cafe0123beef4567"
+	if got := do(own); got != own {
+		t.Fatalf("well-formed client trace not adopted: got %q, want %q", got, own)
+	}
+
+	for _, bad := range []string{"short", "has space in it", strings.Repeat("f", 65)} {
+		got := do(bad)
+		if got == bad {
+			t.Errorf("malformed trace %q was adopted verbatim", bad)
+		}
+		if !obs.ValidTraceID(got) {
+			t.Errorf("replacement for malformed trace %q is itself invalid: %q", bad, got)
+		}
+	}
+}
+
+// TestIngestLinesCarryTrace: the request's trace ID rides on every
+// NDJSON result line and the trailing summary, so a saved stream still
+// names the exchange (and the log lines) it came from.
+func TestIngestLinesCarryTrace(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSONRepo(t, ts.URL, testRepo(t, "movies"), "")
+
+	var body strings.Builder
+	for _, title := range []string{"A", "B"} {
+		line, err := json.Marshal(pipeline.PageLine{
+			URI:  "http://x/" + title,
+			HTML: "<html><body><h1>" + title + "</h1></body></html>",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+
+	const trace = "deadbeef8badf00d"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest?repo=movies",
+		strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("X-Trace-Id", trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ingest: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != trace {
+		t.Fatalf("response header trace = %q, want %q", got, trace)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	var lines []pipeline.ResultLine
+	var summary ingestSummary
+	for sc.Scan() {
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line: %v: %s", err, sc.Text())
+		}
+		if probe.Done {
+			if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var res pipeline.ResultLine
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, res)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d result lines, want 2", len(lines))
+	}
+	for i, res := range lines {
+		if res.Trace != trace {
+			t.Errorf("result line %d trace = %q, want %q", i, res.Trace, trace)
+		}
+		if res.Error != "" {
+			t.Errorf("result line %d unexpectedly failed: %s", i, res.Error)
+		}
+	}
+	if !summary.Done || summary.Trace != trace {
+		t.Errorf("summary = %+v, want done with trace %q", summary, trace)
+	}
+}
