@@ -1,0 +1,353 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/rule"
+)
+
+// Crash-recovery acceptance test for the durability layer: the real
+// binary is driven to a rich state (active repository, captured
+// unrouted traffic, a staged induction job), killed with SIGKILL —
+// no shutdown path, no final snapshot — and restarted over the same
+// data directory. Every piece of state the daemon reports over HTTP
+// must come back identical, and the staged job must still promote and
+// serve.
+
+// daemon is one running extractd child process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon launches the built binary against dataDir and waits for
+// the extractd.listening log line to learn the bound address.
+func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-induct",
+		"-log-format", "json", "-log-level", "info",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "extractd.listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &daemon{cmd: cmd, base: "http://" + addr}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never logged extractd.listening")
+		return nil
+	}
+}
+
+// kill SIGKILLs the daemon — the crash under test, not a shutdown.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+func (d *daemon) getJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, raw)
+	}
+	if v != nil {
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("GET %s: %v: %s", path, err, raw)
+		}
+	}
+}
+
+func (d *daemon) postJSON(t *testing.T, path string, body, out any) {
+	t.Helper()
+	var rd io.Reader = strings.NewReader("")
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	resp, err := http.Post(d.base+path, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: %v: %s", path, err, raw)
+		}
+	}
+}
+
+// buildSignedRepo induces rules for a cluster and attaches its routing
+// signature, the way the offline CLI records repositories.
+func buildSignedRepo(t *testing.T, cl *corpus.Cluster) *rule.Repository {
+	t.Helper()
+	sample, _ := cl.RepresentativeSplit(10)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		t.Fatal(err)
+	}
+	sig := cluster.NewSignature()
+	for _, p := range cl.Pages {
+		sig.Add(cluster.Fingerprint(cluster.PageInfo{URI: p.URI, Doc: p.Doc}))
+	}
+	repo.Signature = sig
+	return repo
+}
+
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary; skipped in -short")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "extractd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building extractd: %v", err)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(61, 10))
+	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(62, 16))
+
+	// ---- Process 1: build up state, then die mid-flight. ----
+	d1 := startDaemon(t, bin, dataDir)
+
+	var loaded struct {
+		Name    string `json:"name"`
+		Version int    `json:"version"`
+	}
+	d1.postJSON(t, "/repos?name="+movies.Name, buildSignedRepo(t, movies), &loaded)
+	if loaded.Version != 1 {
+		t.Fatalf("loaded version %d, want 1", loaded.Version)
+	}
+	// A second load mints v2 (active) with v1 retained — the restart
+	// must reproduce the whole version history, not just the tip.
+	d1.postJSON(t, "/repos?name="+movies.Name, buildSignedRepo(t, movies), &loaded)
+	if loaded.Version != 2 {
+		t.Fatalf("reloaded version %d, want 2", loaded.Version)
+	}
+
+	// Unrouted traffic: every stock page is captured for induction.
+	for _, p := range stocks.Pages {
+		resp, err := http.Post(d1.base+"/extract?uri="+p.URI, "text/html",
+			strings.NewReader(dom.Render(p.Doc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("stock page %s: %d, want 422 unrouted", p.URI, resp.StatusCode)
+		}
+	}
+
+	// Operator examples queue an induction job; wait for it to stage.
+	sample, _ := stocks.RepresentativeSplit(10)
+	examples := map[string]map[string][]string{}
+	for _, p := range sample {
+		vals := map[string][]string{}
+		for _, comp := range stocks.ComponentNames() {
+			if vs := stocks.TruthStrings(p, comp); len(vs) > 0 {
+				vals[comp] = vs
+			}
+		}
+		examples[p.URI] = vals
+	}
+	var induceResp struct {
+		Queued []struct {
+			ID string `json:"id"`
+		} `json:"queued"`
+	}
+	d1.postJSON(t, "/induce", map[string]any{"examples": examples}, &induceResp)
+	if len(induceResp.Queued) != 1 {
+		t.Fatalf("queued %d jobs, want 1", len(induceResp.Queued))
+	}
+	jobID := induceResp.Queued[0].ID
+	var inducedCluster string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var job struct {
+			State   string `json:"state"`
+			Error   string `json:"error"`
+			Cluster string `json:"cluster"`
+		}
+		d1.getJSON(t, "/jobs/"+jobID, &job)
+		if job.State == "staged" {
+			inducedCluster = job.Cluster
+			break
+		}
+		if job.State == "failed" {
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Record everything the daemon will be held to after the crash.
+	var beforeVersions, afterVersions any
+	d1.getJSON(t, "/repos/"+movies.Name+"/versions", &beforeVersions)
+	var beforeJobs, afterJobs any
+	d1.getJSON(t, "/jobs", &beforeJobs)
+	var beforeMetrics, afterMetrics struct {
+		UnroutedBuffered int              `json:"unroutedBuffered"`
+		InductionJobs    map[string]int64 `json:"inductionJobs"`
+	}
+	d1.getJSON(t, "/metrics", &beforeMetrics)
+	if beforeMetrics.UnroutedBuffered != len(stocks.Pages) {
+		t.Fatalf("unroutedBuffered = %d before crash, want %d",
+			beforeMetrics.UnroutedBuffered, len(stocks.Pages))
+	}
+
+	d1.kill(t)
+
+	// ---- Process 2: same data directory, no divergence allowed. ----
+	d2 := startDaemon(t, bin, dataDir)
+
+	d2.getJSON(t, "/repos/"+movies.Name+"/versions", &afterVersions)
+	if !reflect.DeepEqual(beforeVersions, afterVersions) {
+		t.Errorf("version history diverged:\nbefore: %s\nafter:  %s",
+			mustJSON(beforeVersions), mustJSON(afterVersions))
+	}
+	d2.getJSON(t, "/jobs", &afterJobs)
+	if !reflect.DeepEqual(beforeJobs, afterJobs) {
+		t.Errorf("job state diverged:\nbefore: %s\nafter:  %s",
+			mustJSON(beforeJobs), mustJSON(afterJobs))
+	}
+	d2.getJSON(t, "/metrics", &afterMetrics)
+	if afterMetrics.UnroutedBuffered != beforeMetrics.UnroutedBuffered {
+		t.Errorf("unroutedBuffered = %d after restart, want %d",
+			afterMetrics.UnroutedBuffered, beforeMetrics.UnroutedBuffered)
+	}
+	if !reflect.DeepEqual(beforeMetrics.InductionJobs, afterMetrics.InductionJobs) {
+		t.Errorf("inductionJobs = %v after restart, want %v",
+			afterMetrics.InductionJobs, beforeMetrics.InductionJobs)
+	}
+
+	// Routed extraction still serves from the replayed active version.
+	mp := movies.Pages[0]
+	resp, err := http.Post(d2.base+"/extract?uri="+mp.URI, "text/html",
+		strings.NewReader(dom.Render(mp.Doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed extract after restart: %d", resp.StatusCode)
+	}
+
+	// The staged job survived the crash; finish the loop on process 2.
+	var promoted struct {
+		Repo          string `json:"repo"`
+		ActiveVersion int    `json:"activeVersion"`
+	}
+	d2.postJSON(t, "/jobs/"+jobID+"/promote", nil, &promoted)
+	if promoted.Repo != inducedCluster {
+		t.Fatalf("promoted %q, want %q", promoted.Repo, inducedCluster)
+	}
+	sp := stocks.Pages[len(stocks.Pages)-1]
+	resp, err = http.Post(d2.base+"/extract?uri="+sp.URI, "text/html",
+		strings.NewReader(dom.Render(sp.Doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Repo string `json:"repo"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stock extract after promote: %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Repo != inducedCluster {
+		t.Fatalf("stock page routed to %q, want %q", res.Repo, inducedCluster)
+	}
+
+	// Third boot over the same directory (this time after a clean kill):
+	// recovery must be repeatable, not a one-shot.
+	d2.kill(t)
+	d3 := startDaemon(t, bin, dataDir)
+	var finalVersions struct {
+		ActiveVersion int `json:"activeVersion"`
+	}
+	d3.getJSON(t, "/repos/"+inducedCluster+"/versions", &finalVersions)
+	if finalVersions.ActiveVersion == 0 {
+		t.Fatal("promoted induced repository lost on third boot")
+	}
+}
+
+func mustJSON(v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(raw)
+}

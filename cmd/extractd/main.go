@@ -28,6 +28,14 @@
 // POST /jobs/{id}/promote — after which the new cluster routes and
 // extracts like any preloaded repository.
 //
+// With -data-dir the daemon journals every state mutation (repository
+// publishes, routing signatures, buffered pages, induction job
+// transitions) to an append-only WAL and periodically compacts it into
+// a snapshot, so a crash or restart resumes exactly where it left off:
+// active versions serve, staged versions await promotion, queued jobs
+// re-queue and interrupted jobs restart. -fsync picks the flush policy
+// and -snapshot-every the compaction cadence (see README "Durability").
+//
 // -page-cache sizes the content-addressed LRU of parsed documents
 // (repeated posts of identical HTML skip the parser; hit/miss counters in
 // /metrics). -pprof PORT serves net/http/pprof on localhost only, for
@@ -39,7 +47,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -58,6 +68,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rule"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/webfetch"
 )
 
@@ -100,6 +111,12 @@ func main() {
 		"structured log encoding: text or json")
 	logLevel := flag.String("log-level", "info",
 		"minimum log level: debug, info, warn or error")
+	dataDir := flag.String("data-dir", "",
+		"durability directory (WAL + snapshots); empty runs memory-only and loses all state on exit")
+	fsyncPolicy := flag.String("fsync", store.FsyncInterval,
+		"WAL fsync policy: always (group-commit per append), interval (background flush) or never")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute,
+		"interval between background WAL compactions into a snapshot (0 disables; boot and shutdown always compact)")
 	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
 	flag.Parse()
 
@@ -136,6 +153,7 @@ func main() {
 		lifecycle: lc, rules: rules,
 		induct: *inductOn, inductMinPages: *inductMinPages,
 		inductWorkers: *inductWorkers, inductTruth: *inductTruth,
+		dataDir: *dataDir, fsync: *fsyncPolicy, snapshotEvery: *snapshotEvery,
 		log: logger,
 	}
 	if err := run(ctx, opts); err != nil {
@@ -160,6 +178,9 @@ type options struct {
 	inductMinPages int
 	inductWorkers  int
 	inductTruth    string
+	dataDir        string
+	fsync          string
+	snapshotEvery  time.Duration
 	log            *slog.Logger
 }
 
@@ -207,6 +228,37 @@ func run(ctx context.Context, opts options) error {
 		return fmt.Errorf("-induct-truth requires -induct")
 	}
 
+	// Durability: open the data directory (replaying any previous run's
+	// snapshot + WAL tail) before the -rules preload, so restored state
+	// is visible when deciding whether a preload would duplicate it.
+	var st *store.Store
+	if opts.dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir: opts.dataDir, Fsync: opts.fsync, Logger: opts.log,
+		})
+		if err != nil {
+			return err
+		}
+		if err := srv.AttachStore(st); err != nil {
+			st.Close()
+			return err
+		}
+		// Final compaction on the way out: the next boot restores from
+		// one snapshot instead of replaying the whole session's WAL.
+		defer func() {
+			if err := srv.SaveSnapshot(); err != nil {
+				opts.log.Warn("store.final-snapshot-failed", "error", err.Error())
+			}
+			if err := st.Close(); err != nil {
+				opts.log.Warn("store.close-failed", "error", err.Error())
+			}
+		}()
+		if opts.snapshotEvery > 0 {
+			go snapshotLoop(ctx, srv, opts.snapshotEvery, opts.log)
+		}
+	}
+
 	for _, spec := range opts.rules {
 		name, path := "", spec
 		if i := strings.IndexByte(spec, '='); i >= 0 {
@@ -222,6 +274,21 @@ func run(ctx context.Context, opts options) error {
 		if err != nil {
 			return err
 		}
+		// A restart over a data directory already replayed this
+		// repository; re-loading the unchanged file would mint a
+		// duplicate version every boot. Changed files load normally
+		// (new version, immediately active — the usual hot reload).
+		if st != nil {
+			resolved := name
+			if resolved == "" {
+				resolved = repo.Cluster
+			}
+			if e, ok := srv.Registry.Get(resolved); ok && sameRepoJSON(e.Repo, repo) {
+				opts.log.Info("registry.preload.unchanged",
+					"repo", resolved, "version", e.Version, "file", path)
+				continue
+			}
+		}
 		// The registry load event itself is logged by the server.
 		if _, err := srv.LoadRepo(name, repo); err != nil {
 			return err
@@ -236,8 +303,40 @@ func run(ctx context.Context, opts options) error {
 	opts.log.Info("extractd.listening",
 		"addr", ln.Addr().String(), "workers", workers, "queue", queue,
 		"repos", srv.Registry.Len(), "routable", srv.Router.Len(),
-		"induction", opts.induct)
+		"induction", opts.induct, "durable", st != nil)
 	return serve(ctx, ln, srv, opts.drainTimeout, opts.log)
+}
+
+// sameRepoJSON reports whether two repositories marshal identically —
+// the preload skip test for restarts over a data directory.
+func sameRepoJSON(a, b *rule.Repository) bool {
+	aj, err := json.Marshal(a)
+	if err != nil {
+		return false
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(aj, bj)
+}
+
+// snapshotLoop compacts the WAL into a snapshot on a fixed cadence
+// until the daemon begins shutting down (the final compaction happens
+// on the shutdown path itself).
+func snapshotLoop(ctx context.Context, srv *service.Server, every time.Duration, log *slog.Logger) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := srv.SaveSnapshot(); err != nil {
+				log.Warn("store.snapshot-failed", "error", err.Error())
+			}
+		}
+	}
 }
 
 // serve runs the HTTP server until ctx is cancelled (signal) or the

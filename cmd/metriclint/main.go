@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -98,6 +99,7 @@ func exercisedSnapshot() service.Snapshot {
 		UnroutedBuffered:      3,
 		UnroutedBufferedBytes: 4096,
 		UnroutedEvicted:       1,
+		UnroutedDropped:       1,
 		LatencySumSeconds:     0.5,
 		LatencyCount:          3,
 		LatencyHistogram: []service.HistogramBucket{
@@ -113,5 +115,10 @@ func exercisedSnapshot() service.Snapshot {
 		},
 		Pipeline: stages,
 		Build:    service.BuildInfo{GoVersion: "go1.24", Revision: "abc123"},
+		Store: &store.Metrics{
+			WALBytes: 2048, WALRecords: 12, Fsyncs: 3, TornTails: 1,
+			ReplayRecords: 12, ReplayDurationSeconds: 0.02,
+			SnapshotAgeSeconds: 30, Snapshots: 2,
+		},
 	}
 }

@@ -37,6 +37,13 @@ type Router struct {
 
 	mu   sync.RWMutex
 	sigs map[string]*Signature
+
+	// Journal, when set, receives every signature mutation (Register
+	// replacements and Observe folds) with a clone of the resulting
+	// signature, for the persistence WAL. Called under r.mu so record
+	// order matches mutation order; attach only after boot replay, and
+	// never call back into the router from the hook.
+	Journal func(name string, sig *Signature)
 }
 
 // NewRouter creates an empty router with the given threshold (0 uses
@@ -72,6 +79,9 @@ func (r *Router) Register(name string, sig *Signature) {
 		r.sigs = map[string]*Signature{}
 	}
 	r.sigs[name] = sig.Clone()
+	if r.Journal != nil {
+		r.Journal(name, sig.Clone())
+	}
 }
 
 // Unregister removes a cluster from the routing table.
@@ -102,6 +112,9 @@ func (r *Router) Observe(name string, f Features) {
 		r.sigs[name] = sig
 	}
 	sig.Add(f)
+	if r.Journal != nil {
+		r.Journal(name, sig.Clone())
+	}
 }
 
 // SignaturePages reports how many pages the named cluster's signature
@@ -167,4 +180,33 @@ func (r *Router) Route(f Features) (Route, bool) {
 // RoutePage is Route over a raw page (fingerprint computed here).
 func (r *Router) RoutePage(p PageInfo) (Route, bool) {
 	return r.Route(Fingerprint(p))
+}
+
+// Export clones the routing table for the persistence snapshot.
+func (r *Router) Export() map[string]*Signature {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Signature, len(r.sigs))
+	for name, sig := range r.sigs {
+		out[name] = sig.Clone()
+	}
+	return out
+}
+
+// Import upserts cloned signatures into the routing table — the boot
+// restore path. Unlike Register it takes whole-signature state, so a
+// replayed Observe-learned signature lands with its full page count
+// and feature weights rather than restarting from one page.
+func (r *Router) Import(sigs map[string]*Signature) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sigs == nil {
+		r.sigs = map[string]*Signature{}
+	}
+	for name, sig := range sigs {
+		if name == "" || sig == nil {
+			continue
+		}
+		r.sigs[name] = sig.Clone()
+	}
 }

@@ -146,6 +146,11 @@ type UnroutedBuffer struct {
 	nextID  int
 	evicted int64
 	dropped int64
+	// journal, when set, receives every retained capture (rendered back
+	// to markup) for the persistence WAL. Called under b.mu so record
+	// order matches capture order; attached via Engine.SetJournal only
+	// after boot replay, so replayed captures are not re-journaled.
+	journal func(uri, html, trace string)
 }
 
 // NewUnroutedBuffer creates an empty buffer.
@@ -224,23 +229,26 @@ func (b *UnroutedBuffer) AddTraced(p *core.Page, trace string) (string, bool) {
 	}
 	b.bytes += size
 	b.evictBytesLocked()
+	if b.journal != nil {
+		b.journal(p.URI, dom.Render(p.Doc), trace)
+	}
 	return best.id, true
 }
 
 // evictBytesLocked drops the globally oldest captures until the byte cap
-// holds. Running jobs snapshot their pages at start, so eviction never
-// pulls material out from under a job.
+// holds. Buckets with an assigned job are spared: a *running* job
+// snapshots its pages at start, but a queued-but-not-yet-running job
+// still reads its bucket when a worker picks it up, and draining that
+// bucket below MinSample would fail the job spuriously. Job-assigned
+// buckets become eligible again only when every jobless bucket is
+// already empty.
 func (b *UnroutedBuffer) evictBytesLocked() {
 	for b.bytes > b.cfg.MaxBytes {
-		var victim *bucket
-		for _, id := range b.order {
-			bk := b.buckets[id]
-			if len(bk.caps) == 0 {
-				continue
-			}
-			if victim == nil || bk.caps[0].seq < victim.caps[0].seq {
-				victim = bk
-			}
+		victim := b.oldestCaptureLocked(true)
+		if victim == nil {
+			// Nothing evictable outside job-assigned buckets: take the
+			// oldest capture wherever it is rather than blow the cap.
+			victim = b.oldestCaptureLocked(false)
 		}
 		if victim == nil {
 			return
@@ -251,6 +259,23 @@ func (b *UnroutedBuffer) evictBytesLocked() {
 			b.dropBucketLocked(victim.id)
 		}
 	}
+}
+
+// oldestCaptureLocked finds the bucket holding the globally oldest
+// capture; skipJobs excludes buckets pinned by a queued, running or
+// staged job.
+func (b *UnroutedBuffer) oldestCaptureLocked(skipJobs bool) *bucket {
+	var victim *bucket
+	for _, id := range b.order {
+		bk := b.buckets[id]
+		if len(bk.caps) == 0 || (skipJobs && bk.jobID != "") {
+			continue
+		}
+		if victim == nil || bk.caps[0].seq < victim.caps[0].seq {
+			victim = bk
+		}
+	}
+	return victim
 }
 
 // evictBucketLocked makes room for a new bucket by dropping the
@@ -325,6 +350,18 @@ func (b *UnroutedBuffer) Evicted() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.evicted
+}
+
+// Dropped reports pages the buffer *refused* outright — a single page
+// over the whole byte cap, or a page that would found a new bucket when
+// every existing bucket is pinned by a job. Distinct from Evicted:
+// evicted pages were retained and later displaced; dropped pages never
+// made it in, so a non-zero value means unrouted traffic is silently
+// not becoming induction material.
+func (b *UnroutedBuffer) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
 }
 
 // BucketInfo is a point-in-time view of one bucket, shaped for JSON.

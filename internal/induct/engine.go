@@ -108,6 +108,47 @@ type Engine struct {
 	active  int // queued + running
 	closed  bool
 	wg      sync.WaitGroup
+
+	// journal receives job transitions and example merges for the
+	// persistence WAL (captures go through the buffer's own hook).
+	// Emitted under e.mu so record order matches mutation order;
+	// attached via SetJournal only after boot replay.
+	journal Journal
+}
+
+// Journal is the persistence hook set: each func (any may be nil)
+// receives one class of induction mutation for the write-ahead log.
+// Hooks are called under the engine's (or buffer's) lock — they must
+// only append to the log, never call back into the engine.
+type Journal struct {
+	// Capture receives every retained unrouted page, re-rendered to
+	// markup, with the trace ID of the request that delivered it.
+	Capture func(uri, html, trace string)
+	// Job receives a snapshot of a job after every state transition
+	// (queued, running, staged, promoted, failed, cancelled) — replay
+	// upserts by ID, so only the last record per job matters.
+	Job func(j *Job)
+	// Examples receives every operator example merge.
+	Examples func(examples map[string]map[string][]string)
+}
+
+// SetJournal attaches the persistence hooks. Call after boot replay
+// has finished and before new traffic flows, so replayed mutations are
+// not re-journaled.
+func (e *Engine) SetJournal(j Journal) {
+	e.buffer.mu.Lock()
+	e.buffer.journal = j.Capture
+	e.buffer.mu.Unlock()
+	e.mu.Lock()
+	e.journal = j
+	e.mu.Unlock()
+}
+
+// journalJobLocked emits a job record; caller holds e.mu.
+func (e *Engine) journalJobLocked(j *Job) {
+	if e.journal.Job != nil {
+		e.journal.Job(j.clone())
+	}
 }
 
 // NewEngine creates an engine and starts its worker pool.
@@ -167,9 +208,15 @@ func (e *Engine) AddTruth(src TruthSource) {
 }
 
 // AddExamples merges operator-supplied component values (POST /induce)
-// into the example store.
+// into the example store. Serialized under e.mu so the journal's record
+// order matches merge order — last-wins semantics must replay the same.
 func (e *Engine) AddExamples(examples map[string]map[string][]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.examples.Merge(examples)
+	if e.journal.Examples != nil {
+		e.journal.Examples(examples)
+	}
 }
 
 // lookupValues resolves the remembered component values for a URI:
@@ -227,6 +274,7 @@ func (e *Engine) Plan() []*Job {
 		e.order = append(e.order, j.ID)
 		e.pending = append(e.pending, j.ID)
 		e.active++
+		e.journalJobLocked(j)
 		c := j.clone()
 		queued = append(queued, c)
 		e.cond.Broadcast()
@@ -259,6 +307,7 @@ func (e *Engine) worker() {
 		j.State = JobRunning
 		j.Updated = time.Now()
 		j.Started = j.Updated
+		e.journalJobLocked(j)
 		bucket, trace := j.Bucket, j.Trace
 		e.mu.Unlock()
 		e.log().Info("induct.job.running", "job", id, "bucket", bucket, "trace", trace)
@@ -281,6 +330,7 @@ func (e *Engine) finishJob(id string, state JobState, errMsg string) {
 		if state == JobFailed || state == JobCancelled {
 			e.buffer.clearJob(j.Bucket)
 		}
+		e.journalJobLocked(j)
 		c = j.clone()
 	}
 	e.cond.Broadcast()
@@ -309,6 +359,16 @@ func (e *Engine) runJob(id string) {
 	caps, sig, name, ok := e.buffer.snapshot(bucketID)
 	if !ok || len(caps) == 0 {
 		e.finishJob(id, JobFailed, "bucket evicted before the job ran")
+		return
+	}
+	if len(caps) < e.cfg.MinSample {
+		// The planner saw a big-enough bucket, but byte-cap eviction
+		// drained it while the job sat queued — a distinct outcome from
+		// a build failure, so operators can tell cap pressure from bad
+		// rules.
+		e.finishJob(id, JobFailed, fmt.Sprintf(
+			"sample evaporated: bucket holds %d of the %d pages seen at planning (need %d)",
+			len(caps), j.Pages, e.cfg.MinSample))
 		return
 	}
 
@@ -459,6 +519,7 @@ func (e *Engine) Cancel(id string) (*Job, error) {
 		e.active--
 		e.buffer.clearJob(j.Bucket)
 		e.cond.Broadcast()
+		e.journalJobLocked(j)
 		c := j.clone()
 		e.mu.Unlock()
 		e.log().Info("induct.job.cancelled", "job", c.ID, "bucket", c.Bucket, "trace", c.Trace)
@@ -473,6 +534,7 @@ func (e *Engine) Cancel(id string) (*Job, error) {
 		j.Updated = time.Now()
 		j.Finished = j.Updated
 		e.buffer.clearJob(j.Bucket)
+		e.journalJobLocked(j)
 		c := j.clone()
 		e.mu.Unlock()
 		e.log().Info("induct.job.cancelled", "job", c.ID, "bucket", c.Bucket, "trace", c.Trace)
@@ -519,6 +581,7 @@ func (e *Engine) Promote(id string, activate func(*Job) error) (*Job, error) {
 	j.State = JobPromoted
 	j.Updated = time.Now()
 	e.buffer.dropBucket(j.Bucket)
+	e.journalJobLocked(j)
 	c := j.clone()
 	e.log().Info("induct.job.promoted", "job", c.ID, "bucket", c.Bucket,
 		"cluster", c.Cluster, "version", c.Version, "trace", c.Trace)

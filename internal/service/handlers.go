@@ -23,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
+	"repro/internal/store"
 	"repro/internal/webfetch"
 )
 
@@ -92,6 +93,11 @@ type Server struct {
 	// endpoints drive background rule building over them. Enable with
 	// EnableInduction; nil disables the endpoints (501).
 	Induct *induct.Engine
+	// Store, when non-nil, is the durability layer: AttachStore restores
+	// state on boot and journals every registry, router and induction
+	// mutation through it. Nil means a memory-only daemon (the pre-PR-7
+	// behaviour). Set via AttachStore, not directly.
+	Store *store.Store
 	// Log receives the server's structured logs: one request line per
 	// HTTP exchange (method, route, repo, status, duration, trace ID),
 	// registry stage/promote/rollback events, drift alarms and induction

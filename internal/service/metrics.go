@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/extract"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 // latencyBuckets are the upper bounds (inclusive) of the latency
@@ -195,13 +196,16 @@ type Snapshot struct {
 	// Induction counters, filled by the handler from the induct engine
 	// when induction is enabled (the map always carries the
 	// queued/running/staged/failed keys, explicit zeroes included).
-	InductionJobs         map[string]int64  `json:"inductionJobs,omitempty"`
-	UnroutedBuffered      int               `json:"unroutedBuffered"`
-	UnroutedBufferedBytes int64             `json:"unroutedBufferedBytes,omitempty"`
-	UnroutedEvicted       int64             `json:"unroutedEvicted,omitempty"`
-	LatencySumSeconds     float64           `json:"latencySumSeconds"`
-	LatencyCount          int64             `json:"latencyCount"`
-	LatencyHistogram      []HistogramBucket `json:"latencyHistogram"`
+	InductionJobs         map[string]int64 `json:"inductionJobs,omitempty"`
+	UnroutedBuffered      int              `json:"unroutedBuffered"`
+	UnroutedBufferedBytes int64            `json:"unroutedBufferedBytes,omitempty"`
+	UnroutedEvicted       int64            `json:"unroutedEvicted,omitempty"`
+	// UnroutedDropped counts pages the buffer refused outright (never
+	// retained), distinct from evicted (retained then displaced).
+	UnroutedDropped   int64             `json:"unroutedDropped,omitempty"`
+	LatencySumSeconds float64           `json:"latencySumSeconds"`
+	LatencyCount      int64             `json:"latencyCount"`
+	LatencyHistogram  []HistogramBucket `json:"latencyHistogram"`
 	// Pool is the worker pool's live saturation state.
 	Pool PoolSnapshot `json:"pool"`
 	// Repos carries per-repo, per-version extraction counters from the
@@ -209,6 +213,9 @@ type Snapshot struct {
 	Repos []RepoVersionCount `json:"repos,omitempty"`
 	// Pipeline carries the per-stage spine telemetry.
 	Pipeline pipeline.TelemetrySnapshot `json:"pipeline,omitempty"`
+	// Store carries the durability layer's counters (nil when the daemon
+	// runs memory-only).
+	Store *store.Metrics `json:"store,omitempty"`
 	// Build identifies the running binary.
 	Build BuildInfo `json:"build"`
 }
@@ -283,6 +290,11 @@ func (s *Server) MetricsSnapshot() Snapshot {
 		snap.UnroutedBuffered = s.Induct.Buffer().Len()
 		snap.UnroutedBufferedBytes = s.Induct.Buffer().Bytes()
 		snap.UnroutedEvicted = s.Induct.Buffer().Evicted()
+		snap.UnroutedDropped = s.Induct.Buffer().Dropped()
+	}
+	if s.Store != nil {
+		m := s.Store.Metrics()
+		snap.Store = &m
 	}
 	return snap
 }

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/induct"
+	"repro/internal/lifecycle"
+	"repro/internal/rule"
+	"repro/internal/store"
+)
+
+// Durability wiring: AttachStore threads one append-only store through
+// every stateful subsystem. Boot replays the latest snapshot plus the
+// WAL tail, resumes interrupted induction jobs, and only then attaches
+// the journal hooks — so replayed mutations are never re-journaled.
+// All persistence writes ride mutation paths (publish, promote,
+// capture, job transition); the extraction hot path never touches the
+// store.
+
+// WAL record types. Records carry a format version in the store
+// envelope; these names are the payload contract.
+const (
+	recRepoStage      = "repo.stage"
+	recRepoPromote    = "repo.promote"
+	recRepoRemove     = "repo.remove"
+	recRouterSig      = "router.sig"
+	recInductCapture  = "induct.capture"
+	recInductJob      = "induct.job"
+	recInductExamples = "induct.examples"
+)
+
+// repoRecord journals one registry publish (Load or Stage).
+type repoRecord struct {
+	Name    string          `json:"name"`
+	Version int             `json:"version"`
+	Active  bool            `json:"active,omitempty"`
+	Repo    json.RawMessage `json:"repo"`
+}
+
+// promoteRecord journals an activation (Promote or Rollback).
+type promoteRecord struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+}
+
+// removeRecord journals an unload.
+type removeRecord struct {
+	Name string `json:"name"`
+}
+
+// routerRecord journals one routing-table mutation with the full
+// resulting signature — replay is a plain upsert, no re-derivation.
+type routerRecord struct {
+	Name string             `json:"name"`
+	Sig  *cluster.Signature `json:"sig"`
+}
+
+// captureRecord journals one retained unrouted page.
+type captureRecord struct {
+	URI   string `json:"uri"`
+	HTML  string `json:"html"`
+	Trace string `json:"trace,omitempty"`
+}
+
+// persistedState is the full-daemon snapshot the store compacts the WAL
+// into.
+type persistedState struct {
+	Repos    []repoRecord                       `json:"repos,omitempty"`
+	Router   map[string]*cluster.Signature      `json:"router,omitempty"`
+	Monitors map[string]*lifecycle.MonitorState `json:"monitors,omitempty"`
+	Induct   *induct.EngineState                `json:"induct,omitempty"`
+}
+
+// AttachStore restores state from the store and wires every subsystem's
+// journal into it: snapshot restore → WAL replay → job resume → hook
+// attachment → boot compaction (so the next boot starts from a snapshot
+// covering everything just replayed). Call after EnableInduction and
+// before serving traffic.
+func (s *Server) AttachStore(st *store.Store) error {
+	s.Store = st
+	start := time.Now()
+
+	var ps persistedState
+	loaded, err := st.LoadSnapshot(&ps)
+	if err != nil {
+		return fmt.Errorf("service: loading snapshot: %w", err)
+	}
+	if loaded {
+		s.restoreSnapshot(&ps)
+	}
+
+	replayed := 0
+	if err := st.Replay(func(rec store.Record) error {
+		s.applyRecord(rec)
+		replayed++
+		return nil
+	}); err != nil {
+		return fmt.Errorf("service: replaying wal: %w", err)
+	}
+
+	resumed := 0
+	if s.Induct != nil {
+		resumed = s.Induct.ResumeJobs()
+	}
+	s.attachJournals(st)
+
+	s.logger().Info("store.restored",
+		"snapshot", loaded, "replayedRecords", replayed,
+		"repos", s.Registry.Len(), "resumedJobs", resumed,
+		"duration", time.Since(start).String())
+
+	// Boot compaction folds the replayed WAL into a fresh snapshot, so
+	// repeated crash/restart cycles never replay the same tail twice.
+	if err := st.Compact(s.captureState); err != nil {
+		return fmt.Errorf("service: boot compaction: %w", err)
+	}
+	return nil
+}
+
+// SaveSnapshot compacts the WAL into a fresh snapshot of the current
+// state. No-op without an attached store.
+func (s *Server) SaveSnapshot() error {
+	if s.Store == nil {
+		return nil
+	}
+	return s.Store.Compact(s.captureState)
+}
+
+// restoreSnapshot applies a loaded snapshot. Individually corrupt
+// entries are warned about and skipped — a partially restored daemon
+// beats one that refuses to start.
+func (s *Server) restoreSnapshot(ps *persistedState) {
+	for _, rr := range ps.Repos {
+		repo, err := rule.Parse(rr.Repo)
+		if err != nil {
+			s.logger().Warn("store.restore.bad-repo",
+				"repo", rr.Name, "version", rr.Version, "error", err.Error())
+			continue
+		}
+		if err := s.Registry.Restore(rr.Name, rr.Version, repo, rr.Active); err != nil {
+			s.logger().Warn("store.restore.bad-repo",
+				"repo", rr.Name, "version", rr.Version, "error", err.Error())
+		}
+	}
+	if len(ps.Router) > 0 {
+		s.Router.Import(ps.Router)
+	}
+	for name, ms := range ps.Monitors {
+		if ms != nil {
+			s.monitor(name).RestoreState(ms)
+		}
+	}
+	if ps.Induct != nil && s.Induct != nil {
+		s.Induct.RestoreState(ps.Induct)
+	}
+}
+
+// applyRecord replays one WAL record. Unknown types are warned about
+// and skipped (a downgraded binary reading a newer log must not die);
+// malformed payloads likewise.
+func (s *Server) applyRecord(rec store.Record) {
+	warn := func(err error) {
+		s.logger().Warn("store.replay.skipped",
+			"type", rec.Type, "seq", rec.Seq, "error", err.Error())
+	}
+	switch rec.Type {
+	case recRepoStage:
+		var rr repoRecord
+		if err := json.Unmarshal(rec.Data, &rr); err != nil {
+			warn(err)
+			return
+		}
+		repo, err := rule.Parse(rr.Repo)
+		if err != nil {
+			warn(err)
+			return
+		}
+		if err := s.Registry.Restore(rr.Name, rr.Version, repo, rr.Active); err != nil {
+			warn(err)
+		}
+	case recRepoPromote:
+		var pr promoteRecord
+		if err := json.Unmarshal(rec.Data, &pr); err != nil {
+			warn(err)
+			return
+		}
+		if _, err := s.Registry.Promote(pr.Name, pr.Version); err != nil {
+			warn(err)
+		}
+	case recRepoRemove:
+		var rr removeRecord
+		if err := json.Unmarshal(rec.Data, &rr); err != nil {
+			warn(err)
+			return
+		}
+		// Mirror RemoveRepo: registry entry, router signature and drift
+		// monitor all go.
+		s.Registry.Remove(rr.Name)
+		s.Router.Unregister(rr.Name)
+		s.dropMonitor(rr.Name)
+	case recRouterSig:
+		var rr routerRecord
+		if err := json.Unmarshal(rec.Data, &rr); err != nil {
+			warn(err)
+			return
+		}
+		if rr.Sig != nil {
+			s.Router.Import(map[string]*cluster.Signature{rr.Name: rr.Sig})
+		}
+	case recInductCapture:
+		var cr captureRecord
+		if err := json.Unmarshal(rec.Data, &cr); err != nil {
+			warn(err)
+			return
+		}
+		if s.Induct != nil {
+			s.Induct.ApplyCapture(cr.URI, cr.HTML, cr.Trace)
+		}
+	case recInductJob:
+		var j induct.Job
+		if err := json.Unmarshal(rec.Data, &j); err != nil {
+			warn(err)
+			return
+		}
+		if s.Induct != nil {
+			s.Induct.ApplyJobRecord(&j)
+		}
+	case recInductExamples:
+		var ex map[string]map[string][]string
+		if err := json.Unmarshal(rec.Data, &ex); err != nil {
+			warn(err)
+			return
+		}
+		if s.Induct != nil {
+			s.Induct.ApplyExamples(ex)
+		}
+	default:
+		warn(fmt.Errorf("unknown record type"))
+	}
+}
+
+// append journals one record, downgrading failures to a warning — a
+// full disk must degrade durability, not take the serving path down.
+func (s *Server) append(st *store.Store, typ string, data any) {
+	if err := st.Append(typ, data); err != nil {
+		s.logger().Warn("store.append-failed", "type", typ, "error", err.Error())
+	}
+}
+
+// attachJournals wires every subsystem's mutation hooks into the store.
+// Hooks run under the emitting subsystem's lock, so WAL record order
+// matches mutation order; the store appends under its own independent
+// lock, keeping the lock order subsystem → store everywhere.
+func (s *Server) attachJournals(st *store.Store) {
+	s.Registry.SetJournal(RegistryJournal{
+		Stage: func(name string, version int, active bool, repo *rule.Repository) {
+			data, err := json.Marshal(repo)
+			if err != nil {
+				s.logger().Warn("store.append-failed", "type", recRepoStage, "error", err.Error())
+				return
+			}
+			s.append(st, recRepoStage, repoRecord{
+				Name: name, Version: version, Active: active, Repo: data,
+			})
+		},
+		Promote: func(name string, version int) {
+			s.append(st, recRepoPromote, promoteRecord{Name: name, Version: version})
+		},
+		Remove: func(name string) {
+			s.append(st, recRepoRemove, removeRecord{Name: name})
+		},
+	})
+	s.Router.Journal = func(name string, sig *cluster.Signature) {
+		s.append(st, recRouterSig, routerRecord{Name: name, Sig: sig})
+	}
+	if s.Induct != nil {
+		s.Induct.SetJournal(induct.Journal{
+			Capture: func(uri, html, trace string) {
+				s.append(st, recInductCapture, captureRecord{URI: uri, HTML: html, Trace: trace})
+			},
+			Job: func(j *induct.Job) {
+				s.append(st, recInductJob, j)
+			},
+			Examples: func(ex map[string]map[string][]string) {
+				s.append(st, recInductExamples, ex)
+			},
+		})
+	}
+}
+
+// captureState assembles the full-daemon snapshot. Each subsystem
+// exports under its own lock; the store's replay protocol tolerates
+// the exports racing concurrent mutations (their WAL records replay
+// idempotently on top).
+func (s *Server) captureState() (any, error) {
+	ps := &persistedState{Router: s.Router.Export()}
+	for _, re := range s.Registry.Export() {
+		data, err := json.Marshal(re.Repo)
+		if err != nil {
+			return nil, fmt.Errorf("marshalling repo %q v%d: %w", re.Name, re.Version, err)
+		}
+		ps.Repos = append(ps.Repos, repoRecord{
+			Name: re.Name, Version: re.Version, Active: re.Active, Repo: data,
+		})
+	}
+	s.monMu.Lock()
+	mons := make(map[string]*lifecycle.Monitor, len(s.monitors))
+	for name, m := range s.monitors {
+		mons[name] = m
+	}
+	s.monMu.Unlock()
+	if len(mons) > 0 {
+		ps.Monitors = make(map[string]*lifecycle.MonitorState, len(mons))
+		for name, m := range mons {
+			ps.Monitors[name] = m.ExportState()
+		}
+	}
+	if s.Induct != nil {
+		ps.Induct = s.Induct.ExportState()
+	}
+	return ps, nil
+}

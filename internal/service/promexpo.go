@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Prometheus exposition of the metrics Snapshot. The Snapshot struct is
@@ -79,8 +80,39 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 		"Approximate bytes retained in the induction buffer.", float64(snap.UnroutedBufferedBytes))
 	p.Counter("extractd_unrouted_evicted_total",
 		"Unrouted pages evicted from the induction buffer.", float64(snap.UnroutedEvicted))
+	p.Counter("extractd_unrouted_dropped_total",
+		"Unrouted pages the induction buffer refused outright (oversized, or no bucket available).",
+		float64(snap.UnroutedDropped))
+
+	writeStore(p, snap.Store)
 
 	return p.Err()
+}
+
+// writeStore renders the durability layer's families. They render
+// unconditionally — zeros when the daemon runs memory-only — so the
+// exposition's family set is stable across configurations.
+func writeStore(p *obs.PromWriter, m *store.Metrics) {
+	var sm store.Metrics
+	if m != nil {
+		sm = *m
+	}
+	p.Gauge("extractd_store_wal_bytes",
+		"Bytes in the live write-ahead log since the last compaction.", float64(sm.WALBytes))
+	p.Counter("extractd_store_wal_records_total",
+		"Records appended to the write-ahead log.", float64(sm.WALRecords))
+	p.Counter("extractd_store_fsyncs_total",
+		"fsync calls issued by the store.", float64(sm.Fsyncs))
+	p.Counter("extractd_store_torn_tails_total",
+		"Torn or corrupt WAL tails truncated during recovery.", float64(sm.TornTails))
+	p.Counter("extractd_store_replay_records_total",
+		"WAL records replayed at boot.", float64(sm.ReplayRecords))
+	p.Gauge("extractd_store_replay_duration_seconds",
+		"Wall time of the boot WAL replay.", sm.ReplayDurationSeconds)
+	p.Gauge("extractd_store_snapshot_age_seconds",
+		"Seconds since the last snapshot was written (0 before the first).", sm.SnapshotAgeSeconds)
+	p.Counter("extractd_store_snapshots_total",
+		"Snapshots written (compactions).", float64(sm.Snapshots))
 }
 
 // extractionHistogram reshapes the snapshot's latency histogram into

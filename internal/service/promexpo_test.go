@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 // promFamilies scrapes ts's /metrics with a Prometheus Accept header
@@ -127,6 +128,15 @@ func TestPromExpositionGolden(t *testing.T) {
 		"extractd_unrouted_buffered_pages":         "gauge",
 		"extractd_unrouted_buffered_bytes":         "gauge",
 		"extractd_unrouted_evicted_total":          "counter",
+		"extractd_unrouted_dropped_total":          "counter",
+		"extractd_store_wal_bytes":                 "gauge",
+		"extractd_store_wal_records_total":         "counter",
+		"extractd_store_fsyncs_total":              "counter",
+		"extractd_store_torn_tails_total":          "counter",
+		"extractd_store_replay_records_total":      "counter",
+		"extractd_store_replay_duration_seconds":   "gauge",
+		"extractd_store_snapshot_age_seconds":      "gauge",
+		"extractd_store_snapshots_total":           "counter",
 	}
 	for name, typ := range wantTypes {
 		f := familyByName(fams, name)
@@ -270,9 +280,17 @@ var snapshotFieldMetrics = map[string][]string{
 	"UnroutedBuffered":      {"extractd_unrouted_buffered_pages"},
 	"UnroutedBufferedBytes": {"extractd_unrouted_buffered_bytes"},
 	"UnroutedEvicted":       {"extractd_unrouted_evicted_total"},
-	"LatencySumSeconds":     {"extractd_extraction_duration_seconds"},
-	"LatencyCount":          {"extractd_extraction_duration_seconds"},
-	"LatencyHistogram":      {"extractd_extraction_duration_seconds"},
+	"UnroutedDropped":       {"extractd_unrouted_dropped_total"},
+	"Store": {
+		"extractd_store_wal_bytes", "extractd_store_wal_records_total",
+		"extractd_store_fsyncs_total", "extractd_store_torn_tails_total",
+		"extractd_store_replay_records_total",
+		"extractd_store_replay_duration_seconds",
+		"extractd_store_snapshot_age_seconds", "extractd_store_snapshots_total",
+	},
+	"LatencySumSeconds": {"extractd_extraction_duration_seconds"},
+	"LatencyCount":      {"extractd_extraction_duration_seconds"},
+	"LatencyHistogram":  {"extractd_extraction_duration_seconds"},
 	"Pool": {
 		"extractd_pool_workers", "extractd_pool_queue_depth",
 		"extractd_pool_queue_capacity", "extractd_pool_in_flight",
@@ -318,6 +336,7 @@ func TestPromJSONParity(t *testing.T) {
 		RouterHits: 1, RouterMisses: 1, RouterUnrouted: 1,
 		InductionJobs:    map[string]int64{"queued": 1},
 		UnroutedBuffered: 1, UnroutedBufferedBytes: 1, UnroutedEvicted: 1,
+		UnroutedDropped:   1,
 		LatencySumSeconds: 0.1, LatencyCount: 1,
 		LatencyHistogram: []HistogramBucket{{LE: 0.1, Count: 1}, {Count: 0}},
 		Pool:             PoolSnapshot{Workers: 1, QueueDepth: 1, QueueCapacity: 1, InFlight: 1, SaturationRatio: 1},
@@ -330,6 +349,11 @@ func TestPromJSONParity(t *testing.T) {
 			},
 		}},
 		Build: BuildInfo{GoVersion: "go"},
+		Store: &store.Metrics{
+			WALBytes: 1, WALRecords: 1, Fsyncs: 1, TornTails: 1,
+			ReplayRecords: 1, ReplayDurationSeconds: 0.1,
+			SnapshotAgeSeconds: 1, Snapshots: 1,
+		},
 	}
 	var buf bytes.Buffer
 	if err := WriteProm(&buf, snap); err != nil {

@@ -101,6 +101,33 @@ type Registry struct {
 	// MaxVersions bounds retained versions per name (default 8). The
 	// active version is never evicted.
 	MaxVersions int
+	// journal receives publish/promote/remove mutations for the
+	// persistence WAL. Emitted under g.mu so record order matches
+	// mutation order; attached via SetJournal only after boot replay.
+	journal RegistryJournal
+}
+
+// RegistryJournal is the registry's persistence hook set: each func
+// (any may be nil) receives one class of mutation for the write-ahead
+// log. Hooks are called under the registry lock — they must only
+// append to the log, never call back into the registry.
+type RegistryJournal struct {
+	// Stage receives every newly minted version; active reports whether
+	// the publish also activated it (Load does, Stage does not).
+	Stage func(name string, version int, active bool, repo *rule.Repository)
+	// Promote receives every activation of an already-retained version
+	// (Promote, and Rollback with the reverted-to version).
+	Promote func(name string, version int)
+	// Remove receives every unregistration.
+	Remove func(name string)
+}
+
+// SetJournal attaches the persistence hooks. Call after boot replay
+// has finished, so replayed mutations are not re-journaled.
+func (g *Registry) SetJournal(j RegistryJournal) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.journal = j
 }
 
 // NewRegistry creates an empty registry.
@@ -180,6 +207,9 @@ func (g *Registry) Load(name string, repo *rule.Repository) (*RepoEntry, error) 
 	defer g.mu.Unlock()
 	rv := g.stageLocked(e)
 	rv.active = e
+	if g.journal.Stage != nil {
+		g.journal.Stage(e.Name, e.Version, true, repo)
+	}
 	return e, nil
 }
 
@@ -194,6 +224,9 @@ func (g *Registry) Stage(name string, repo *rule.Repository) (*RepoEntry, error)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.stageLocked(e)
+	if g.journal.Stage != nil {
+		g.journal.Stage(e.Name, e.Version, false, repo)
+	}
 	return e, nil
 }
 
@@ -210,6 +243,9 @@ func (g *Registry) Promote(name string, version int) (*RepoEntry, error) {
 		return nil, fmt.Errorf("service: repository %q has no version %d", name, version)
 	}
 	rv.active = e
+	if g.journal.Promote != nil {
+		g.journal.Promote(name, version)
+	}
 	return e, nil
 }
 
@@ -232,6 +268,9 @@ func (g *Registry) Rollback(name string) (*RepoEntry, error) {
 		return nil, fmt.Errorf("service: repository %q has no older version to roll back to", name)
 	}
 	rv.active = prev
+	if g.journal.Promote != nil {
+		g.journal.Promote(name, prev.Version)
+	}
 	return prev, nil
 }
 
@@ -270,6 +309,9 @@ func (g *Registry) Remove(name string) bool {
 	defer g.mu.Unlock()
 	_, ok := g.repos[name]
 	delete(g.repos, name)
+	if ok && g.journal.Remove != nil {
+		g.journal.Remove(name)
+	}
 	return ok
 }
 
@@ -335,4 +377,100 @@ func (g *Registry) Len() int {
 		}
 	}
 	return n
+}
+
+// Restore registers a repository at an explicit version id — the boot
+// replay path. Unlike Stage it never mints an id: replaying the same
+// publish records in their original order reproduces the original
+// version numbering, activation and retention decisions exactly.
+// Upserts by (name, version) so a snapshot and the WAL tail may
+// overlap.
+func (g *Registry) Restore(name string, version int, repo *rule.Repository, active bool) error {
+	if version <= 0 {
+		return fmt.Errorf("service: restore %q: bad version %d", name, version)
+	}
+	e, err := compileEntry(name, repo)
+	if err != nil {
+		return err
+	}
+	e.Version = version
+	e.Generation = version
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rv, ok := g.repos[e.Name]
+	if !ok {
+		rv = &repoVersions{next: 1}
+		g.repos[e.Name] = rv
+	}
+	replaced := false
+	for i, old := range rv.versions {
+		if old.Version == version {
+			if rv.active == old {
+				rv.active = e
+			}
+			rv.versions[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		rv.versions = append(rv.versions, e)
+		sort.Slice(rv.versions, func(i, j int) bool {
+			return rv.versions[i].Version < rv.versions[j].Version
+		})
+	}
+	if version >= rv.next {
+		rv.next = version + 1
+	}
+	if active {
+		rv.active = e
+	}
+	// The same retention rule Stage applies, so replay converges on the
+	// same retained set.
+	maxN := g.maxVersions()
+	for len(rv.versions) > maxN {
+		evicted := false
+		for i, old := range rv.versions {
+			if old != rv.active && old != e {
+				rv.versions = append(rv.versions[:i], rv.versions[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return nil
+}
+
+// RepoExport is one retained version, shaped for the persistence
+// snapshot.
+type RepoExport struct {
+	Name    string
+	Version int
+	Active  bool
+	Repo    *rule.Repository
+}
+
+// Export copies every retained version (sorted by name then version)
+// for the persistence snapshot.
+func (g *Registry) Export() []RepoExport {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []RepoExport
+	for name, rv := range g.repos {
+		for _, e := range rv.versions {
+			out = append(out, RepoExport{
+				Name: name, Version: e.Version, Active: e == rv.active, Repo: e.Repo,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
 }

@@ -1,0 +1,75 @@
+// Package store is extractd's durability layer: an append-only
+// write-ahead log plus periodic snapshots under a data directory. The
+// daemon's runtime-learned state — versioned rule repositories, router
+// signatures, drift-monitor buffers, unrouted page buckets, induction
+// jobs — is journaled on its mutation paths and replayed on boot, so a
+// crash or deploy no longer discards what the service learned.
+//
+// # On-disk layout
+//
+//	<dir>/snapshot.json   full-state snapshot (atomic rename on write)
+//	<dir>/wal.log         records appended since the snapshot
+//	<dir>/wal.prev.log    the pre-compaction WAL; exists only between a
+//	                      compaction's rotate step and its cleanup step
+//	                      (i.e. after a crash mid-compaction)
+//	<dir>/wal.prev2.log   same, for the rare crash during a compaction
+//	                      that itself recovered from a crashed one
+//
+// # Record format
+//
+// The WAL is a sequence of length-prefixed frames:
+//
+//	[4-byte little-endian payload length]
+//	[4-byte little-endian CRC32 (IEEE) of the payload]
+//	[payload: one JSON-encoded Record]
+//
+// A Record is a versioned envelope around an opaque payload:
+//
+//	{"v":1, "seq":42, "type":"repo.stage", "data":{...}}
+//
+// V is the record format version (currently RecordVersion). Replay
+// skips records with an unknown version with a warning instead of
+// failing, so a downgrade after a format bump degrades gracefully; a
+// future version can migrate old records because every record declares
+// what it is. Seq is a monotonic sequence number spanning snapshots:
+// the snapshot file remembers the Seq it covers, and the counter
+// resumes from the maximum seen anywhere on disk.
+//
+// The data payload is owned by the caller (the service layer defines
+// the repo.stage / router.sig / induct.* record types); the store only
+// frames, checksums and replays it.
+//
+// # Torn tails
+//
+// A crash can leave a partially written final frame. Open scans each
+// log, keeps every frame up to the first short or checksum-failing one,
+// truncates the file there and logs a warning — the store never refuses
+// to start over a torn tail, and nothing before the tear is lost.
+//
+// # Durability model
+//
+// Append writes through to the operating system (buffered writes are
+// flushed before Append returns), so a killed process loses nothing —
+// the page cache survives the process. What fsync adds is protection
+// against machine crashes and power loss, and the policy is a
+// deliberate trade-off:
+//
+//   - "always": Append blocks until the record is fsynced. Appenders
+//     park on a group-commit queue and a single syncer goroutine
+//     batches their fsyncs, so concurrent bursts pay one disk flush.
+//   - "interval" (default): a background ticker fsyncs every
+//     FsyncInterval (default 100ms) — bounded loss on power failure,
+//     no fsync on any request path.
+//   - "never": flush-to-OS only; fastest, loses the page cache on
+//     power failure.
+//
+// # Snapshots and compaction
+//
+// Compact bounds replay time: it rotates the live WAL aside, captures
+// the caller's full state, writes snapshot.json atomically (temp file,
+// fsync, rename, directory fsync) and only then deletes the rotated
+// WAL. A crash at any point is safe because boot replays snapshot +
+// rotated WAL + live WAL in order, and every record type the service
+// journals is an idempotent upsert — re-applying a record already
+// reflected in the snapshot is a no-op.
+package store
