@@ -66,6 +66,7 @@ import (
 	"repro/internal/induct"
 	"repro/internal/lifecycle"
 	"repro/internal/obs"
+	"repro/internal/resilient"
 	"repro/internal/rule"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -99,6 +100,10 @@ func main() {
 		"grow routing signatures from cleanly extracted explicit-repo traffic")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
 		"graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second,
+		"per-request deadline (streaming /ingest is bounded per page instead; 0 disables)")
+	admissionWait := flag.Duration("admission-wait", 2*time.Second,
+		"how long a request may wait for a pool slot before a 503 + Retry-After (negative waits forever)")
 	inductOn := flag.Bool("induct", false,
 		"buffer unrouted pages and run background wrapper-induction jobs over them")
 	inductMinPages := flag.Int("induct-min-pages", 0,
@@ -150,6 +155,7 @@ func main() {
 		addr: *addr, workers: *workers, queue: *queue,
 		noFetch: *noFetch, autoRepair: *autoRepair, routerLearn: *routerLearn,
 		fetchHosts: *fetchHosts, pageCache: *pageCache, drainTimeout: *drainTimeout,
+		requestTimeout: *requestTimeout, admissionWait: *admissionWait,
 		lifecycle: lc, rules: rules,
 		induct: *inductOn, inductMinPages: *inductMinPages,
 		inductWorkers: *inductWorkers, inductTruth: *inductTruth,
@@ -172,6 +178,8 @@ type options struct {
 	fetchHosts     string
 	pageCache      int
 	drainTimeout   time.Duration
+	requestTimeout time.Duration
+	admissionWait  time.Duration
 	lifecycle      lifecycle.Config
 	rules          []string
 	induct         bool
@@ -194,10 +202,14 @@ func run(ctx context.Context, opts options) error {
 	}
 	var fetcher *webfetch.Fetcher
 	if !opts.noFetch {
-		fetcher = &webfetch.Fetcher{}
+		// Outbound resilience: transient failures retry with backoff, and
+		// per-host circuit breakers stop hammering dead origins.
+		fetcher = &webfetch.Fetcher{Retry: &resilient.Retrier{}}
 	}
 	srv := service.NewServer(workers, queue, fetcher)
 	srv.Log = opts.log
+	srv.RequestTimeout = opts.requestTimeout
+	srv.AdmissionWait = opts.admissionWait
 	srv.AutoRepair = opts.autoRepair
 	srv.RouterLearn = opts.routerLearn
 	srv.Lifecycle = opts.lifecycle
@@ -339,12 +351,31 @@ func snapshotLoop(ctx context.Context, srv *service.Server, every time.Duration,
 	}
 }
 
+// newHTTPServer wraps the handler in a listener configuration hardened
+// against slow clients (slowloris): a client must deliver its headers
+// within ReadHeaderTimeout and the whole exchange within
+// ReadTimeout/WriteTimeout, or the connection is dropped. The streaming
+// /ingest route clears its connection deadlines itself (per-connection
+// ResponseController carve-out in the handler) — a site migration
+// legitimately runs for hours while these limits protect every other
+// route.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // serve runs the HTTP server until ctx is cancelled (signal) or the
 // listener fails, then shuts down gracefully: new connections are
 // refused, in-flight requests get drainTimeout to finish, and the
 // extraction worker pool drains before the function returns.
 func serve(ctx context.Context, ln net.Listener, srv *service.Server, drainTimeout time.Duration, log *slog.Logger) error {
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := newHTTPServer(srv.Handler())
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 

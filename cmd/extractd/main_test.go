@@ -95,3 +95,63 @@ func TestGracefulShutdown(t *testing.T) {
 		ln2.Close()
 	}
 }
+
+// TestHTTPServerHardened: the listener configuration defends against
+// slow clients — every timeout and the header cap must be set.
+func TestHTTPServerHardened(t *testing.T) {
+	s := newHTTPServer(http.NotFoundHandler())
+	if s.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: headers can trickle in forever (slowloris)")
+	}
+	if s.ReadTimeout <= 0 || s.WriteTimeout <= 0 {
+		t.Errorf("ReadTimeout=%v WriteTimeout=%v: whole-exchange deadlines unset",
+			s.ReadTimeout, s.WriteTimeout)
+	}
+	if s.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections pile up")
+	}
+	if s.MaxHeaderBytes <= 0 {
+		t.Error("MaxHeaderBytes unset: unbounded header memory per connection")
+	}
+}
+
+// TestSlowHeaderClientDropped drives a real connection that sends its
+// request header one byte at a time past the header deadline and must be
+// disconnected, while a normal client on the same server is served.
+func TestSlowHeaderClientDropped(t *testing.T) {
+	srv := service.NewServer(1, 1, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := newHTTPServer(srv.Handler())
+	httpSrv.ReadHeaderTimeout = 100 * time.Millisecond
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	// Never finish the header; the server must cut the connection.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the half-sent-header connection alive past ReadHeaderTimeout")
+	}
+
+	// A well-behaved client is unaffected.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}

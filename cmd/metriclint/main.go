@@ -113,8 +113,19 @@ func exercisedSnapshot() service.Snapshot {
 			{Repo: "movies", Version: 1, Pages: 5, FailedPages: 1, Failures: 2},
 			{Repo: "movies", Version: 2, Active: true, Pages: 5},
 		},
-		Pipeline: stages,
-		Build:    service.BuildInfo{GoVersion: "go1.24", Revision: "abc123"},
+		Pipeline:     stages,
+		FetchRetries: 4,
+		Fetch: []service.FetchOutcomeCount{
+			{Host: "example.com", Outcome: "ok", Count: 9},
+			{Host: "example.com", Outcome: "transient", Count: 2},
+			{Host: "dead.example", Outcome: "breaker_open", Count: 5},
+		},
+		Breakers: []service.BreakerStatus{
+			{Host: "example.com", State: 0}, {Host: "dead.example", State: 2},
+		},
+		Shed:            2,
+		PanicsRecovered: map[string]int64{"handler": 1, "extract": 1},
+		Build:           service.BuildInfo{GoVersion: "go1.24", Revision: "abc123"},
 		Store: &store.Metrics{
 			WALBytes: 2048, WALRecords: 12, Fsyncs: 3, TornTails: 1,
 			ReplayRecords: 12, ReplayDurationSeconds: 0.02,

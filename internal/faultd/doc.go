@@ -1,0 +1,17 @@
+// Package faultd is a fault-injection harness for chaos testing
+// extractd's resilience layer. An Injector wraps any http.Handler (a
+// webfetch.SiteHandler, in the chaos e2e suite) and perturbs matching
+// requests by rule: added latency, injected error statuses with
+// optional Retry-After, dropped connections, truncated bodies, and
+// response stalls.
+//
+// Determinism: probabilistic rules draw from a single seeded
+// math/rand source guarded by a mutex, so a given seed and request
+// sequence reproduces the same fault schedule. Rules bounded with
+// Times fire an exact number of times regardless of probability,
+// which lets tests script exact failure bursts ("first 3 requests to
+// /page2 return 503, then heal").
+//
+// The package is test infrastructure: nothing in the daemon's run
+// path imports it.
+package faultd

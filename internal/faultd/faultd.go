@@ -1,0 +1,201 @@
+package faultd
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule describes one class of fault and which requests it applies to.
+// Matching is by substring on the request path; an empty PathContains
+// matches everything. A zero Percent with zero Times disables the rule.
+type Rule struct {
+	// PathContains selects requests whose URL path contains it
+	// (empty = all requests).
+	PathContains string
+	// Percent is the probability (0–100) a matching request is
+	// faulted. 100 faults every match.
+	Percent int
+	// Times, when > 0, caps how many requests this rule ever faults;
+	// after that the rule is spent and traffic passes clean. With
+	// Percent 0, Times > 0 means "fault exactly the next Times matches".
+	Times int
+	// Latency is added before any other effect (and before clean
+	// passthrough when it is the only effect).
+	Latency time.Duration
+	// Status, when non-zero, is written instead of the real response.
+	Status int
+	// RetryAfter, when > 0 with Status, is sent as a Retry-After header
+	// (integer seconds).
+	RetryAfter time.Duration
+	// Drop hijacks and closes the connection without a response,
+	// surfacing as a reset/EOF to the client.
+	Drop bool
+	// TruncateAfter serves the real response but cuts the body after
+	// this many bytes, leaving Content-Length promising more.
+	TruncateAfter int
+	// Stall sleeps mid-body after TruncateAfter bytes (or immediately)
+	// while keeping the connection open, then finishes normally.
+	Stall time.Duration
+}
+
+type rule struct {
+	Rule
+	fired atomic.Int64
+}
+
+// Handle reports on one registered rule.
+type Handle struct{ r *rule }
+
+// Count is how many requests the rule has faulted.
+func (h Handle) Count() int { return int(h.r.fired.Load()) }
+
+// Injector wraps an http.Handler and perturbs matching requests
+// according to its rules. Safe for concurrent use.
+type Injector struct {
+	next http.Handler
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*rule
+	injected int64
+}
+
+// New wraps next with an injector drawing fault decisions from seed.
+func New(next http.Handler, seed int64) *Injector {
+	return &Injector{next: next, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add registers a rule and returns a handle counting its firings.
+func (in *Injector) Add(r Rule) Handle {
+	ru := &rule{Rule: r}
+	in.mu.Lock()
+	in.rules = append(in.rules, ru)
+	in.mu.Unlock()
+	return Handle{r: ru}
+}
+
+// Injected is the total number of requests faulted by any rule.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return int(in.injected)
+}
+
+// match decides under the mutex whether r fires for this path, so the
+// shared rng and the Times cap stay consistent under concurrency.
+func (in *Injector) match(path string) *rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, ru := range in.rules {
+		if ru.PathContains != "" && !strings.Contains(path, ru.PathContains) {
+			continue
+		}
+		if ru.Times > 0 && int(ru.fired.Load()) >= ru.Times {
+			continue
+		}
+		fire := ru.Percent >= 100 || (ru.Times > 0 && ru.Percent == 0)
+		if !fire && ru.Percent > 0 {
+			fire = in.rng.Intn(100) < ru.Percent
+		}
+		if fire {
+			ru.fired.Add(1)
+			in.injected++
+			return ru
+		}
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ru := in.match(r.URL.Path)
+	if ru == nil {
+		in.next.ServeHTTP(w, r)
+		return
+	}
+	if ru.Latency > 0 {
+		time.Sleep(ru.Latency)
+	}
+	switch {
+	case ru.Drop:
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		// No hijack support: panic with ErrAbortHandler aborts the
+		// response mid-flight, which the client still sees as a broken
+		// reply.
+		panic(http.ErrAbortHandler)
+	case ru.Status != 0:
+		if ru.RetryAfter > 0 {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(ru.RetryAfter/time.Second)))
+		}
+		http.Error(w, http.StatusText(ru.Status), ru.Status)
+	case ru.TruncateAfter > 0 || ru.Stall > 0:
+		tw := &truncWriter{w: w, limit: ru.TruncateAfter, stall: ru.Stall}
+		in.next.ServeHTTP(tw, r)
+	default:
+		// Latency-only rule: serve the real response after the delay.
+		in.next.ServeHTTP(w, r)
+	}
+}
+
+// truncWriter cuts the body after limit bytes (0 = no cut) and stalls
+// once at the cut point (or at the first write when limit is 0).
+type truncWriter struct {
+	w       http.ResponseWriter
+	limit   int
+	stall   time.Duration
+	written int
+	stalled bool
+}
+
+func (t *truncWriter) Header() http.Header { return t.w.Header() }
+
+func (t *truncWriter) WriteHeader(code int) { t.w.WriteHeader(code) }
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.limit > 0 && t.written >= t.limit {
+		// Swallow the rest; report success so the wrapped handler
+		// finishes, while the client sees a short body.
+		return len(p), nil
+	}
+	if t.limit > 0 && t.written+len(p) > t.limit {
+		cut := t.limit - t.written
+		n, err := t.write(p[:cut])
+		t.written += n
+		if err != nil {
+			return n, err
+		}
+		t.doStall()
+		if f, ok := t.w.(http.Flusher); ok {
+			f.Flush()
+		}
+		return len(p), nil
+	}
+	n, err := t.write(p)
+	t.written += n
+	return n, err
+}
+
+func (t *truncWriter) write(p []byte) (int, error) {
+	if t.limit == 0 {
+		t.doStall()
+	}
+	return t.w.Write(p)
+}
+
+func (t *truncWriter) doStall() {
+	if t.stall > 0 && !t.stalled {
+		t.stalled = true
+		time.Sleep(t.stall)
+	}
+}

@@ -1,0 +1,145 @@
+package faultd
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+func TestInjectorStatusBurstThenHeals(t *testing.T) {
+	in := New(okHandler("fine"), 1)
+	h := in.Add(Rule{PathContains: "/page", Times: 3, Status: 503,
+		RetryAfter: 2 * time.Second})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/page1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 503 {
+			t.Fatalf("request %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "2" {
+			t.Fatalf("Retry-After = %q, want 2", got)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/page1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("after burst: status %d, want 200 (rule spent)", resp.StatusCode)
+	}
+	if h.Count() != 3 || in.Injected() != 3 {
+		t.Fatalf("Count=%d Injected=%d, want 3/3", h.Count(), in.Injected())
+	}
+}
+
+func TestInjectorPathScoping(t *testing.T) {
+	in := New(okHandler("fine"), 1)
+	in.Add(Rule{PathContains: "/bad", Percent: 100, Status: 500})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+
+	resp, _ := http.Get(srv.URL + "/good")
+	if resp.StatusCode != 200 {
+		t.Fatalf("unmatched path faulted: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(srv.URL + "/bad")
+	if resp.StatusCode != 500 {
+		t.Fatalf("matched path not faulted: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestInjectorPercentDeterministic(t *testing.T) {
+	count := func() int {
+		in := New(okHandler("fine"), 42)
+		h := in.Add(Rule{Percent: 30, Status: 503})
+		srv := httptest.NewServer(in)
+		defer srv.Close()
+		for i := 0; i < 100; i++ {
+			resp, err := http.Get(srv.URL + "/p")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		return h.Count()
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed gave different fault counts: %d vs %d", a, b)
+	}
+	if a < 15 || a > 45 {
+		t.Fatalf("30%% rule fired %d/100 times, wildly off", a)
+	}
+}
+
+func TestInjectorDropResetsConnection(t *testing.T) {
+	in := New(okHandler("fine"), 1)
+	in.Add(Rule{Times: 1, Drop: true})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL + "/p"); err == nil {
+		t.Fatal("dropped connection returned a response")
+	}
+	resp, err := http.Get(srv.URL + "/p")
+	if err != nil {
+		t.Fatalf("post-drop request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestInjectorTruncatesBody(t *testing.T) {
+	in := New(okHandler(strings.Repeat("x", 1000)), 1)
+	in.Add(Rule{Times: 1, TruncateAfter: 10})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) >= 1000 {
+		t.Fatalf("body not truncated: %d bytes", len(body))
+	}
+}
+
+func TestInjectorLatencyOnly(t *testing.T) {
+	in := New(okHandler("fine"), 1)
+	in.Add(Rule{Times: 1, Latency: 50 * time.Millisecond})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("latency rule did not delay")
+	}
+	if string(body) != "fine" || resp.StatusCode != 200 {
+		t.Fatalf("latency-only rule altered the response: %d %q", resp.StatusCode, body)
+	}
+}

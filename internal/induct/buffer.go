@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dom"
+	"repro/internal/resilient"
 )
 
 // Config tunes the induction subsystem. The zero value means defaults.
@@ -49,6 +50,9 @@ type Config struct {
 	// Logger receives job state-transition events (queued, running,
 	// staged, promoted, failed, cancelled). Nil discards them.
 	Logger *slog.Logger
+	// OnPanic, when non-nil, observes every recovered job-runner panic
+	// (the job itself fails with the panic recorded as its error).
+	OnPanic func(pe *resilient.PanicError)
 }
 
 func (c Config) withDefaults() Config {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resilient"
 	"repro/internal/rule"
 )
 
@@ -311,8 +313,26 @@ func (e *Engine) worker() {
 		bucket, trace := j.Bucket, j.Trace
 		e.mu.Unlock()
 		e.log().Info("induct.job.running", "job", id, "bucket", bucket, "trace", trace)
-		e.runJob(id)
+		e.safeRunJob(id)
 	}
+}
+
+// safeRunJob quarantines a panicking job: one poisoned bucket or truth
+// source fails its own job, the worker (and every job behind it)
+// survives.
+func (e *Engine) safeRunJob(id string) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &resilient.PanicError{Val: v, Stack: debug.Stack()}
+			e.log().Error("induct.job.panic", "job", id,
+				"panic", fmt.Sprint(v), "stack", string(pe.Stack))
+			if e.cfg.OnPanic != nil {
+				e.cfg.OnPanic(pe)
+			}
+			e.finishJob(id, JobFailed, pe.Error())
+		}
+	}()
+	e.runJob(id)
 }
 
 // finishJob moves a job to a terminal (or staged) state and releases its
@@ -321,6 +341,11 @@ func (e *Engine) finishJob(id string, state JobState, errMsg string) {
 	e.mu.Lock()
 	var c *Job
 	j := e.jobs[id]
+	if j != nil && j.State != JobQueued && j.State != JobRunning {
+		// Already terminal: a panic after the job finished (e.g. in a
+		// truth source consulted late) must not double-finish it.
+		j = nil
+	}
 	if j != nil {
 		j.State = state
 		j.Error = errMsg

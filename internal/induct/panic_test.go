@@ -1,0 +1,86 @@
+package induct
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/resilient"
+	"repro/internal/rule"
+)
+
+// panicStager panics on its first Stage call and delegates afterwards —
+// simulating a poisoned staging path that heals.
+type panicStager struct {
+	inner memStager
+	first atomic.Bool
+}
+
+func (s *panicStager) Stage(name string, repo *rule.Repository) (int, error) {
+	if s.first.CompareAndSwap(false, true) {
+		panic("staging store corrupt")
+	}
+	return s.inner.Stage(name, repo)
+}
+
+// TestEngineQuarantinesJobPanic: a panic inside a running job fails that
+// job with the panic recorded, and the worker survives to run the next
+// job to completion.
+func TestEngineQuarantinesJobPanic(t *testing.T) {
+	cl := corpus.GenerateStocks(corpus.DefaultStockProfile(31, 10))
+	st := &panicStager{}
+	var mu sync.Mutex
+	var panics []*resilient.PanicError
+	eng := NewEngine(Config{
+		MinPages: 4, StableStreak: 1, Workers: 1,
+		OnPanic: func(pe *resilient.PanicError) {
+			mu.Lock()
+			panics = append(panics, pe)
+			mu.Unlock()
+		},
+	}, st)
+	defer eng.Close()
+
+	for _, p := range cl.Pages {
+		eng.Capture(p)
+	}
+	sample, _ := cl.RepresentativeSplit(6)
+	eng.AddExamples(examplesFor(cl, sample))
+	queued := eng.Plan()
+	if len(queued) != 1 {
+		t.Fatalf("queued %d jobs, want 1", len(queued))
+	}
+	eng.Wait()
+
+	j, _ := eng.Job(queued[0].ID)
+	if j.State != JobFailed {
+		t.Fatalf("job state %s (error %q), want failed", j.State, j.Error)
+	}
+	if !strings.HasPrefix(j.Error, "panic: ") {
+		t.Fatalf("job error %q, want panic-prefixed", j.Error)
+	}
+	mu.Lock()
+	n := len(panics)
+	var stack []byte
+	if n > 0 {
+		stack = panics[0].Stack
+	}
+	mu.Unlock()
+	if n != 1 || len(stack) == 0 {
+		t.Fatalf("OnPanic observed %d panics (stack %d bytes), want 1 with stack", n, len(stack))
+	}
+
+	// The failed bucket was released; a re-plan runs on the same worker
+	// goroutine — which must have survived the panic — and stages.
+	retry := eng.Plan()
+	if len(retry) != 1 {
+		t.Fatalf("re-plan queued %d jobs, want 1", len(retry))
+	}
+	eng.Wait()
+	j2, _ := eng.Job(retry[0].ID)
+	if j2.State != JobStaged {
+		t.Fatalf("retry job state %s (error %q), want staged", j2.State, j2.Error)
+	}
+}

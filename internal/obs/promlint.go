@@ -201,12 +201,16 @@ type LintOptions struct {
 var DefaultAllowedLabels = []string{
 	"endpoint", "kind", "event", "outcome", "stage", "state",
 	"repo", "version", "active", "le", "goversion", "revision",
+	// host: per-host fetch outcomes and breaker states. Bounded by the
+	// set of origins the operator points extractd at, not by traffic.
+	"host",
 }
 
 // DefaultGaugeSuffixes are the unit/noun suffixes gauges may end in.
 var DefaultGaugeSuffixes = []string{
 	"_seconds", "_bytes", "_ratio", "_pages", "_workers", "_depth",
 	"_capacity", "_in_flight", "_info", "_jobs", "_repos", "_version",
+	"_state",
 }
 
 func (o LintOptions) withDefaults() LintOptions {

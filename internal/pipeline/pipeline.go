@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/resilient"
 )
 
 // Item is one page's journey through the pipeline, as delivered to the
@@ -147,6 +149,11 @@ type Config struct {
 	// Telemetry may back many concurrent runs (the daemon shares one
 	// across /ingest and /extract/batch traffic).
 	Telemetry *Telemetry
+	// OnPanic, when non-nil, observes every recovered stage panic. The
+	// panicking page's item still fails with a *PageError wrapping a
+	// *resilient.PanicError — a poisoned page must fail itself, never
+	// the run.
+	OnPanic func(stage string, pe *resilient.PanicError)
 }
 
 func (c Config) workers() int {
@@ -329,10 +336,10 @@ func process(ctx context.Context, cfg Config, it *Item) {
 	if cfg.Classifier != nil {
 		cs := cfg.Telemetry.Classify()
 		t0 := cs.Start()
-		repo, score, err := cfg.Classifier.Classify(it.Page)
+		repo, score, err := safeClassify(cfg, it.Page)
 		cs.Done(t0, err != nil)
 		if err != nil {
-			it.Err = err
+			it.Err = pageFail(it, err)
 			return
 		}
 		it.Repo, it.Score = repo, score
@@ -342,11 +349,49 @@ func process(ctx context.Context, cfg Config, it *Item) {
 	}
 	es := cfg.Telemetry.Extract()
 	t0 := es.Start()
-	el, values, fails, err := cfg.Extractor.Extract(ctx, it.Repo, it.Page)
+	el, values, fails, err := safeExtract(ctx, cfg, it.Repo, it.Page)
 	es.Done(t0, err != nil)
 	if err != nil {
-		it.Err = err
+		it.Err = pageFail(it, err)
 		return
 	}
 	it.Element, it.Values, it.Failures = el, values, fails
+}
+
+// pageFail wraps a recovered stage panic as a *PageError naming the
+// page; ordinary stage errors pass through unchanged (their text is
+// API surface — ErrUnrouted, extractor refusals).
+func pageFail(it *Item, err error) error {
+	var pe *resilient.PanicError
+	if errors.As(err, &pe) {
+		uri := ""
+		if it.Page != nil {
+			uri = it.Page.URI
+		}
+		return &PageError{URI: uri, Err: err}
+	}
+	return err
+}
+
+// safeClassify quarantines a classifier panic into an error.
+func safeClassify(cfg Config, p *core.Page) (repo string, score float64, err error) {
+	defer recoverStage(cfg, "classify", &err)
+	return cfg.Classifier.Classify(p)
+}
+
+// safeExtract quarantines an extractor panic into an error.
+func safeExtract(ctx context.Context, cfg Config, repo string, p *core.Page) (el *extract.Element, values map[string][]string, fails []extract.Failure, err error) {
+	defer recoverStage(cfg, "extract", &err)
+	return cfg.Extractor.Extract(ctx, repo, p)
+}
+
+// recoverStage converts a stage panic into *err and reports it.
+func recoverStage(cfg Config, stage string, err *error) {
+	if v := recover(); v != nil {
+		pe := &resilient.PanicError{Val: v, Stack: debug.Stack()}
+		*err = pe
+		if cfg.OnPanic != nil {
+			cfg.OnPanic(stage, pe)
+		}
+	}
 }

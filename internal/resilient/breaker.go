@@ -1,0 +1,287 @@
+package resilient
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+// Breaker states. The numeric values are the ones exported in the
+// extractd_fetch_breaker_state gauge; keep them stable.
+const (
+	StateClosed   State = 0 // traffic flows, outcomes feed the window
+	StateHalfOpen State = 1 // open window elapsed, bounded probes admitted
+	StateOpen     State = 2 // tripped, requests rejected without I/O
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// OpenError rejects a request because the breaker is open (or every
+// half-open probe slot is taken). RetryAfter is how long until the next
+// probe could be admitted.
+type OpenError struct {
+	// Key names the protected dependency (the host, for fetch breakers).
+	Key        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OpenError) Error() string {
+	if e.Key != "" {
+		return fmt.Sprintf("circuit breaker open for %q (retry in %s)", e.Key, e.RetryAfter)
+	}
+	return fmt.Sprintf("circuit breaker open (retry in %s)", e.RetryAfter)
+}
+
+// BreakerConfig tunes a Breaker. The zero value gives the defaults
+// noted per field.
+type BreakerConfig struct {
+	// Window is how many recent outcomes the failure-rate window holds
+	// (default 20).
+	Window int
+	// MinSamples is how many outcomes the window needs before the
+	// failure ratio can trip the breaker (default 5) — one failed
+	// request out of one must not open a circuit.
+	MinSamples int
+	// FailureRatio trips the breaker when failures/outcomes in the
+	// window reaches it (default 0.5).
+	FailureRatio float64
+	// OpenFor is how long a tripped breaker rejects before admitting
+	// half-open probes (default 30s).
+	OpenFor time.Duration
+	// MaxProbes bounds concurrent half-open probes (default 1).
+	MaxProbes int
+	// Clock defaults to the wall clock.
+	Clock Clock
+}
+
+func (c BreakerConfig) window() int {
+	if c.Window <= 0 {
+		return 20
+	}
+	return c.Window
+}
+
+func (c BreakerConfig) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 5
+	}
+	return c.MinSamples
+}
+
+func (c BreakerConfig) failureRatio() float64 {
+	if c.FailureRatio <= 0 {
+		return 0.5
+	}
+	return c.FailureRatio
+}
+
+func (c BreakerConfig) openFor() time.Duration {
+	if c.OpenFor <= 0 {
+		return 30 * time.Second
+	}
+	return c.OpenFor
+}
+
+func (c BreakerConfig) maxProbes() int {
+	if c.MaxProbes <= 0 {
+		return 1
+	}
+	return c.MaxProbes
+}
+
+func (c BreakerConfig) clock() Clock {
+	if c.Clock == nil {
+		return realClock{}
+	}
+	return c.Clock
+}
+
+// Breaker is a circuit breaker over a sliding window of recent
+// outcomes: closed until the window's failure rate trips it, open
+// (rejecting without I/O) for OpenFor, then half-open admitting up to
+// MaxProbes concurrent probes — one probe success closes the circuit,
+// one probe failure re-opens it. Safe for concurrent use.
+type Breaker struct {
+	key string
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	ring      []bool // true = failure
+	head      int    // next write position
+	count     int    // outcomes held (≤ len(ring))
+	fails     int    // failures held
+	openUntil time.Time
+	probes    int // in-flight half-open probes
+}
+
+// NewBreaker creates a breaker; key names the protected dependency in
+// rejection errors (may be empty).
+func NewBreaker(key string, cfg BreakerConfig) *Breaker {
+	return &Breaker{key: key, cfg: cfg, ring: make([]bool, cfg.window())}
+}
+
+// State reports the breaker's position (an elapsed open window still
+// reports open until a request arrives to probe it).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Acquire admits or rejects one request. On admission it returns a
+// release that must be called exactly once with the request's outcome
+// (success=false only for failures that indict the dependency — a 404
+// is the host working fine). On rejection it returns an *OpenError
+// carrying the time until the next probe.
+func (b *Breaker) Acquire() (release func(success bool), err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		now := b.cfg.clock().Now()
+		if now.Before(b.openUntil) {
+			return nil, &OpenError{Key: b.key, RetryAfter: b.openUntil.Sub(now)}
+		}
+		b.state = StateHalfOpen
+		b.probes = 0
+	}
+	if b.state == StateHalfOpen {
+		if b.probes >= b.cfg.maxProbes() {
+			// All probe slots taken: reject briefly, the in-flight
+			// probes will decide the circuit's fate.
+			return nil, &OpenError{Key: b.key, RetryAfter: b.cfg.openFor()}
+		}
+		b.probes++
+		return b.probeRelease(), nil
+	}
+	return b.closedRelease(), nil
+}
+
+// closedRelease records one closed-state outcome and trips the breaker
+// when the window's failure rate crosses the threshold.
+func (b *Breaker) closedRelease() func(bool) {
+	var once sync.Once
+	return func(success bool) {
+		once.Do(func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			if b.state != StateClosed {
+				// Tripped (or probed open→closed→…) while this request
+				// was in flight; its outcome belongs to the old window.
+				return
+			}
+			if b.count == len(b.ring) {
+				if b.ring[b.head] {
+					b.fails--
+				}
+			} else {
+				b.count++
+			}
+			b.ring[b.head] = !success
+			if !success {
+				b.fails++
+			}
+			b.head = (b.head + 1) % len(b.ring)
+			if b.count >= b.cfg.minSamples() &&
+				float64(b.fails)/float64(b.count) >= b.cfg.failureRatio() {
+				b.trip()
+			}
+		})
+	}
+}
+
+// probeRelease resolves one half-open probe: success closes the
+// circuit, failure re-opens it.
+func (b *Breaker) probeRelease() func(bool) {
+	var once sync.Once
+	return func(success bool) {
+		once.Do(func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			if b.state != StateHalfOpen {
+				return
+			}
+			b.probes--
+			if success {
+				b.state = StateClosed
+				b.reset()
+			} else {
+				b.trip()
+			}
+		})
+	}
+}
+
+// trip opens the circuit and clears the window; caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = StateOpen
+	b.openUntil = b.cfg.clock().Now().Add(b.cfg.openFor())
+	b.reset()
+}
+
+// reset clears the outcome window; caller holds b.mu.
+func (b *Breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.head, b.count, b.fails = 0, 0, 0
+}
+
+// BreakerSet holds one Breaker per key (per origin host, for the
+// fetcher), created on demand with a shared config.
+type BreakerSet struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	m   map[string]*Breaker
+}
+
+// NewBreakerSet creates an empty set minting breakers with cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, m: map[string]*Breaker{}}
+}
+
+// For returns the key's breaker, creating it closed on first use.
+func (s *BreakerSet) For(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = NewBreaker(key, s.cfg)
+		s.m[key] = b
+	}
+	return b
+}
+
+// KeyState pairs a key with its breaker's position, for metrics.
+type KeyState struct {
+	Key   string `json:"key"`
+	State State  `json:"-"`
+}
+
+// States snapshots every breaker's position, sorted by key.
+func (s *BreakerSet) States() []KeyState {
+	s.mu.Lock()
+	out := make([]KeyState, 0, len(s.m))
+	for k, b := range s.m {
+		out = append(out, KeyState{Key: k, State: b.State()})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

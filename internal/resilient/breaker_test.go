@@ -1,0 +1,186 @@
+package resilient
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testBreaker(clk Clock) *Breaker {
+	return NewBreaker("origin.example", BreakerConfig{
+		Window: 10, MinSamples: 4, FailureRatio: 0.5,
+		OpenFor: 30 * time.Second, MaxProbes: 1, Clock: clk,
+	})
+}
+
+// drive sends n outcomes through the breaker, stopping early on rejection.
+func drive(t *testing.T, b *Breaker, success bool, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rel, err := b.Acquire()
+		if err != nil {
+			t.Fatalf("outcome %d rejected unexpectedly: %v", i, err)
+		}
+		rel(success)
+	}
+}
+
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := testBreaker(clk)
+	drive(t, b, false, 3) // 3 failures, but MinSamples is 4
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed (below MinSamples)", got)
+	}
+}
+
+func TestBreakerTripsAtFailureRatio(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := testBreaker(clk)
+	drive(t, b, true, 2)
+	drive(t, b, false, 2) // 2/4 = 0.5 ≥ ratio → trip
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	_, err := b.Acquire()
+	var oe *OpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *OpenError", err)
+	}
+	if oe.RetryAfter <= 0 || oe.RetryAfter > 30*time.Second {
+		t.Fatalf("RetryAfter = %v, want in (0, 30s]", oe.RetryAfter)
+	}
+	if oe.Key != "origin.example" {
+		t.Fatalf("Key = %q", oe.Key)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := testBreaker(clk)
+	drive(t, b, false, 4)
+	if b.State() != StateOpen {
+		t.Fatal("breaker should be open")
+	}
+	clk.Advance(31 * time.Second)
+
+	rel, err := b.Acquire()
+	if err != nil {
+		t.Fatalf("probe rejected after open window: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open during probe", b.State())
+	}
+	// A second request while the single probe slot is taken is rejected.
+	if _, err := b.Acquire(); err == nil {
+		t.Fatal("second probe admitted, want rejection (MaxProbes=1)")
+	}
+	rel(true)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed after probe success", b.State())
+	}
+	// Window was reset: old failures must not linger.
+	drive(t, b, true, 10)
+	if b.State() != StateClosed {
+		t.Fatal("breaker re-tripped on a clean window")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := testBreaker(clk)
+	drive(t, b, false, 4)
+	clk.Advance(31 * time.Second)
+	rel, err := b.Acquire()
+	if err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	rel(false)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open after failed probe", b.State())
+	}
+	// The re-open starts a fresh window.
+	if _, err := b.Acquire(); err == nil {
+		t.Fatal("acquire admitted immediately after re-open")
+	}
+	clk.Advance(31 * time.Second)
+	rel, err = b.Acquire()
+	if err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	rel(true)
+	if b.State() != StateClosed {
+		t.Fatal("breaker should close after successful second probe")
+	}
+}
+
+func TestBreakerReleaseIdempotent(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := testBreaker(clk)
+	rel, err := b.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(false)
+	rel(false)
+	rel(false)
+	// Only one failure recorded: 3 more below MinSamples keep it closed.
+	drive(t, b, true, 2)
+	if b.State() != StateClosed {
+		t.Fatal("double release must record only one outcome")
+	}
+}
+
+func TestBreakerSlidingWindowEvicts(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := NewBreaker("", BreakerConfig{
+		Window: 4, MinSamples: 4, FailureRatio: 0.6, OpenFor: time.Second, Clock: clk,
+	})
+	drive(t, b, false, 2)
+	drive(t, b, true, 4) // both failures slide out of the 4-wide window
+	drive(t, b, false, 2)
+	// Cumulatively 4 failures / 8 outcomes, but the window holds T,T,F,F
+	// (0.5 < 0.6): evicted failures must not count.
+	if b.State() != StateClosed {
+		t.Fatal("evicted failures must not count")
+	}
+	drive(t, b, false, 1) // window T,F,F,F = 0.75 ≥ 0.6
+	if b.State() != StateOpen {
+		t.Fatal("fresh failures inside the window must trip")
+	}
+}
+
+func TestBreakerSetPerKeyIsolation(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	set := NewBreakerSet(BreakerConfig{Window: 4, MinSamples: 2, FailureRatio: 0.5,
+		OpenFor: time.Minute, Clock: clk})
+	bad, good := set.For("bad.example"), set.For("good.example")
+	if bad == good {
+		t.Fatal("distinct keys must get distinct breakers")
+	}
+	if set.For("bad.example") != bad {
+		t.Fatal("same key must return the same breaker")
+	}
+	drive(t, bad, false, 2)
+	if bad.State() != StateOpen {
+		t.Fatal("bad host breaker should be open")
+	}
+	if good.State() != StateClosed {
+		t.Fatal("good host breaker must be unaffected")
+	}
+	states := set.States()
+	if len(states) != 2 || states[0].Key != "bad.example" || states[0].State != StateOpen ||
+		states[1].Key != "good.example" || states[1].State != StateClosed {
+		t.Fatalf("States() = %+v", states)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateClosed: "closed", StateHalfOpen: "half-open", StateOpen: "open", State(9): "state(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

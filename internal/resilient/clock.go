@@ -1,0 +1,92 @@
+package resilient
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so every delay the package takes — backoff
+// sleeps, budget refills, breaker open windows — is deterministic under
+// test. The zero Clock of every consumer is the real one.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RealClock returns the wall clock (the default everywhere a Clock is
+// nil).
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually advanced clock for deterministic tests:
+// Sleep returns immediately, advancing the clock by the full duration
+// and recording it, so a test can assert the exact backoff schedule a
+// Retrier produced without waiting for it.
+type FakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+// NewFakeClock starts a fake clock at now.
+func NewFakeClock(now time.Time) *FakeClock { return &FakeClock{now: now} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it advances the clock by d instantly and
+// records the requested duration.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	c.slept = append(c.slept, d)
+	c.mu.Unlock()
+	return nil
+}
+
+// Advance moves the clock forward without recording a sleep (time
+// passing between operations, e.g. a breaker's open window elapsing).
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Slept returns every duration passed to Sleep, in order.
+func (c *FakeClock) Slept() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.slept))
+	copy(out, c.slept)
+	return out
+}

@@ -1,0 +1,77 @@
+package resilient
+
+import (
+	"context"
+	"sync"
+)
+
+// KeyedLimiter caps concurrent work per key (in-flight fetches per
+// origin host, for the fetcher). Idle keys hold no memory: a key's
+// semaphore is refcounted and dropped when the last holder releases.
+type KeyedLimiter struct {
+	max int
+
+	mu sync.Mutex
+	m  map[string]*keySem
+}
+
+type keySem struct {
+	slots chan struct{}
+	refs  int // holders + waiters; the entry dies when this hits 0
+}
+
+// NewKeyedLimiter allows at most max concurrent acquisitions per key.
+// max <= 0 means 8.
+func NewKeyedLimiter(max int) *KeyedLimiter {
+	if max <= 0 {
+		max = 8
+	}
+	return &KeyedLimiter{max: max, m: map[string]*keySem{}}
+}
+
+// Acquire blocks until the key has a free slot or ctx ends. On success
+// the returned release must be called exactly once.
+func (l *KeyedLimiter) Acquire(ctx context.Context, key string) (release func(), err error) {
+	l.mu.Lock()
+	s, ok := l.m[key]
+	if !ok {
+		s = &keySem{slots: make(chan struct{}, l.max)}
+		l.m[key] = s
+	}
+	s.refs++
+	l.mu.Unlock()
+
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		l.unref(key, s)
+		return nil, ctx.Err()
+	}
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-s.slots
+			l.unref(key, s)
+		})
+	}, nil
+}
+
+// unref drops one reference on the key's semaphore, deleting the map
+// entry when it was the last.
+func (l *KeyedLimiter) unref(key string, s *keySem) {
+	l.mu.Lock()
+	s.refs--
+	if s.refs == 0 && l.m[key] == s {
+		delete(l.m, key)
+	}
+	l.mu.Unlock()
+}
+
+// Keys reports how many keys currently hold semaphores (held or
+// awaited); for tests asserting idle cleanup.
+func (l *KeyedLimiter) Keys() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}

@@ -1,0 +1,87 @@
+package resilient
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestKeyedLimiterCapsConcurrency(t *testing.T) {
+	l := NewKeyedLimiter(2)
+	var inFlight, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background(), "host-a")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency = %d, want ≤ 2", p)
+	}
+	if l.Keys() != 0 {
+		t.Fatalf("Keys() = %d after all releases, want 0 (idle cleanup)", l.Keys())
+	}
+}
+
+func TestKeyedLimiterKeysIndependent(t *testing.T) {
+	l := NewKeyedLimiter(1)
+	relA, err := l.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full "a" must not block "b".
+	done := make(chan struct{})
+	go func() {
+		relB, err := l.Acquire(context.Background(), "b")
+		if err == nil {
+			relB()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire on independent key blocked")
+	}
+	relA()
+	if l.Keys() != 0 {
+		t.Fatalf("Keys() = %d, want 0", l.Keys())
+	}
+}
+
+func TestKeyedLimiterAcquireHonorsContext(t *testing.T) {
+	l := NewKeyedLimiter(1)
+	rel, err := l.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx, "a"); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	rel()
+	rel() // double release must be a no-op
+	if l.Keys() != 0 {
+		t.Fatalf("Keys() = %d, want 0 after cancelled waiter unrefs", l.Keys())
+	}
+}

@@ -1,0 +1,18 @@
+package resilient
+
+import "fmt"
+
+// PanicError is a recovered panic carried as a structured error: the
+// recovered value plus the goroutine stack captured at the recovery
+// site. Pool tasks, pipeline stages and induction jobs convert panics
+// into PanicErrors so one poisoned page or rule fails its own unit of
+// work instead of killing the daemon.
+type PanicError struct {
+	// Val is the value passed to panic().
+	Val any
+	// Stack is the debug.Stack() of the panicking goroutine.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Val) }

@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/url"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/resilient"
 	"repro/internal/rule"
 	"repro/internal/store"
 	"repro/internal/webfetch"
@@ -105,6 +109,16 @@ type Server struct {
 	// installs a real logger via obs.NewLogger; embedded servers and
 	// tests stay quiet by default.
 	Log *slog.Logger
+	// RequestTimeout, when > 0, bounds every request: handlers run under
+	// a context.WithTimeout-derived deadline. The streaming /ingest
+	// route is exempt (a whole-site ingestion legitimately outlives any
+	// fixed request budget) — there the deadline applies per page, in
+	// the extract stage.
+	RequestTimeout time.Duration
+	// AdmissionWait bounds how long a request waits for a pool slot
+	// before shedding with 503 + Retry-After (default 2s; negative
+	// waits indefinitely, the pre-resilience behaviour).
+	AdmissionWait time.Duration
 
 	monMu    sync.Mutex
 	monitors map[string]*lifecycle.Monitor
@@ -129,7 +143,7 @@ func NewServer(workers, queue int, fetcher *webfetch.Fetcher) *Server {
 	if queue <= 0 {
 		queue = 4 * workers
 	}
-	return &Server{
+	s := &Server{
 		Registry:  NewRegistry(),
 		Pool:      NewPool(workers, queue),
 		Metrics:   NewMetrics(),
@@ -137,6 +151,47 @@ func NewServer(workers, queue int, fetcher *webfetch.Fetcher) *Server {
 		PageCache: NewPageCache(DefaultPageCacheSize),
 		Router:    cluster.NewRouter(0),
 	}
+	s.wireResilience()
+	return s
+}
+
+// wireResilience points the failure hooks of the server's components at
+// the metrics surface: pool panics, fetch retries and per-host fetch
+// outcomes all become counters instead of vanishing.
+func (s *Server) wireResilience() {
+	if s.Pool != nil {
+		s.Pool.OnPanic = func(pe *resilient.PanicError) {
+			s.Metrics.PanicRecovered("pool")
+			s.logger().LogAttrs(context.Background(), slog.LevelError, "pool.panic",
+				slog.String("error", pe.Error()),
+				slog.String("stack", string(pe.Stack)))
+		}
+	}
+	if s.Fetcher != nil {
+		s.Fetcher.OnRetry = func(host string) { s.Metrics.FetchRetry() }
+		s.Fetcher.OnOutcome = func(host, outcome string) { s.Metrics.FetchOutcome(host, outcome) }
+	}
+}
+
+// pipelinePanic is the pipeline.Config.OnPanic hook shared by the batch
+// and ingest pipelines: the quarantined panic becomes a counter and an
+// error log, attributed to the stage ("classify" or "extract") it hit.
+func (s *Server) pipelinePanic(stage string, pe *resilient.PanicError) {
+	s.Metrics.PanicRecovered(stage)
+	s.logger().LogAttrs(context.Background(), slog.LevelError, "pipeline.panic",
+		slog.String("stage", stage),
+		slog.String("error", pe.Error()),
+		slog.String("stack", string(pe.Stack)))
+}
+
+// admissionWait is how long extraction requests may wait for a pool slot
+// before being shed (503 + Retry-After). Zero means the 2s default;
+// negative disables shedding and blocks like the pre-resilience server.
+func (s *Server) admissionWait() time.Duration {
+	if s.AdmissionWait != 0 {
+		return s.AdmissionWait
+	}
+	return 2 * time.Second
 }
 
 // LoadRepo validates, compiles and activates a repository (see
@@ -310,12 +365,43 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Trace-Id", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		ctx := obs.WithTrace(r.Context(), id)
+		// Deadline propagation: every request runs under the server's
+		// request budget, except streaming /ingest — a whole-site
+		// ingestion legitimately outlives any fixed budget, so there the
+		// deadline applies per extracted page instead (see extractor).
+		if s.RequestTimeout > 0 && r.URL.Path != "/ingest" {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.RequestTimeout)
+			defer cancel()
+		}
 		// The served request escapes the closure because the mux stamps
 		// the matched pattern onto it — the request log wants that
 		// pattern, not the raw path.
 		var served *http.Request
 		pprof.Do(ctx, pprof.Labels("route", routeOf(r.URL.Path)), func(ctx context.Context) {
 			served = r.WithContext(ctx)
+			// Panic isolation: a handler panic must not kill the daemon.
+			// http.ErrAbortHandler is the stdlib's sanctioned way to abort
+			// a response and must keep propagating.
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				pe := &resilient.PanicError{Val: v, Stack: debug.Stack()}
+				s.Metrics.PanicRecovered("handler")
+				s.logger().LogAttrs(ctx, slog.LevelError, "handler.panic",
+					slog.String("path", r.URL.Path),
+					slog.String("error", pe.Error()),
+					slog.String("stack", string(pe.Stack)))
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError,
+						map[string]string{"error": "internal error: " + pe.Error()})
+				}
+			}()
 			next.ServeHTTP(sw, served)
 		})
 		route := served.Pattern
@@ -358,6 +444,10 @@ type httpError struct {
 	// unrouted error wraps pipeline.ErrUnrouted so pipeline stats and
 	// callers classify it without string matching.
 	cause error
+	// retryAfter, when > 0, emits a Retry-After header with the error
+	// response — load-shed 503s tell well-behaved clients when to come
+	// back instead of letting them hammer a saturated server.
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -415,6 +505,13 @@ func (s *Server) endpoint(name string, w http.ResponseWriter, r *http.Request, f
 		status := http.StatusInternalServerError
 		if he, ok := err.(*httpError); ok {
 			status = he.status
+			if he.retryAfter > 0 {
+				secs := int(he.retryAfter / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
 		}
 		writeJSON(w, status, map[string]string{"error": err.Error()})
 	}
@@ -594,10 +691,29 @@ func (s *Server) extractEntry(ctx context.Context, e *RepoEntry, page *core.Page
 	var values map[string][]string
 	var fails []extract.Failure
 	start := time.Now()
-	err := s.Pool.Do(ctx, func() {
+	err := s.Pool.DoWait(ctx, s.admissionWait(), func() {
 		el, values, fails = e.Proc.ExtractPageValues(page)
 	})
 	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			// Load shedding: the pool stayed saturated for the full
+			// admission wait. Fail fast with a come-back hint rather than
+			// queueing unboundedly — the requests already inside keep
+			// draining.
+			s.Metrics.Shed()
+			return nil, nil, nil, &httpError{
+				status:     http.StatusServiceUnavailable,
+				msg:        "extraction not scheduled: " + err.Error(),
+				retryAfter: time.Second,
+			}
+		}
+		var pe *resilient.PanicError
+		if errors.As(err, &pe) {
+			// The rule panicked inside the pool; the worker recovered and
+			// the pool stays healthy — only this page fails.
+			return nil, nil, nil, errf(http.StatusInternalServerError,
+				"extraction failed: %v", pe)
+		}
 		return nil, nil, nil, errf(http.StatusServiceUnavailable, "extraction not scheduled: %v", err)
 	}
 	s.Metrics.Extraction(time.Since(start), fails)
@@ -614,7 +730,7 @@ func (s *Server) extractEntry(ctx context.Context, e *RepoEntry, page *core.Page
 	// a repair that sampled too early (buffer still dominated by
 	// pre-drift pages) gets another shot as evolved pages accumulate.
 	if s.AutoRepair && mon.NeedsRepair() {
-		go s.autoRepair(e.Name)
+		go s.safeAutoRepair(e.Name)
 	}
 	return el, values, fails, nil
 }
@@ -741,11 +857,19 @@ func (s *Server) pageParser() pipeline.PageParser {
 // within one run), worker-pool scheduling, metrics, drift observation.
 type extractor struct{ s *Server }
 
-// Extract implements pipeline.Extractor.
+// Extract implements pipeline.Extractor. When the server has a request
+// budget, each page's extraction runs under its own deadline — this is
+// how streaming /ingest (exempt from the whole-request deadline) still
+// bounds every individual extraction.
 func (x extractor) Extract(ctx context.Context, repo string, page *core.Page) (*extract.Element, map[string][]string, []extract.Failure, error) {
 	e, ok := x.s.Registry.Get(repo)
 	if !ok {
 		return nil, nil, nil, errf(http.StatusNotFound, "repository %q not loaded", repo)
+	}
+	if x.s.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, x.s.RequestTimeout)
+		defer cancel()
 	}
 	return x.s.extractEntry(ctx, e, page)
 }
@@ -836,6 +960,7 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 			Classifier: classify,
 			Extractor:  extractor{s},
 			Telemetry:  s.Metrics.Pipeline,
+			OnPanic:    s.pipelinePanic,
 		}, src, sink)
 		return err
 	})

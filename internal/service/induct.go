@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/induct"
+	"repro/internal/resilient"
 	"repro/internal/rule"
 )
 
@@ -24,6 +25,16 @@ import (
 func (s *Server) EnableInduction(cfg induct.Config) *induct.Engine {
 	if cfg.Logger == nil && s.Log != nil {
 		cfg.Logger = s.Log
+	}
+	// Chain (don't replace) any caller-supplied panic hook: a job panic
+	// always lands in the panics_recovered metric under the "induct"
+	// stage.
+	prev := cfg.OnPanic
+	cfg.OnPanic = func(pe *resilient.PanicError) {
+		s.Metrics.PanicRecovered("induct")
+		if prev != nil {
+			prev(pe)
+		}
 	}
 	eng := induct.NewEngine(cfg, induct.StagerFunc(func(name string, repo *rule.Repository) (int, error) {
 		e, err := s.Registry.Stage(name, repo)

@@ -69,6 +69,16 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) (streamed bool, 
 	// interleaves) this is a no-op.
 	_ = http.NewResponseController(w).EnableFullDuplex()
 
+	// /ingest is exempt from the per-request deadline (instrument) and
+	// from the http.Server read/write timeouts (main.go carve-out): the
+	// stream lives as long as the site does. Clear any connection
+	// deadlines the listener config set so a long migration isn't cut
+	// off mid-stream; each page's extraction is still individually
+	// bounded by RequestTimeout inside the extractor.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
+
 	// Lines are bounded like /extract bodies; the stream itself is
 	// unbounded — that is the point.
 	src := pipeline.NewNDJSONSource(r.Body, int(s.maxBody()), s.pageParser())
@@ -103,6 +113,7 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) (streamed bool, 
 		Classifier: classify,
 		Extractor:  extractor{s},
 		Telemetry:  s.Metrics.Pipeline,
+		OnPanic:    s.pipelinePanic,
 	}, src, sink)
 
 	// The response status is long gone; a run-level failure travels

@@ -92,6 +92,12 @@ func TestIngestStreamsWholeSiteE2E(t *testing.T) {
 		if err == io.EOF {
 			break
 		}
+		var pageErr *pipeline.PageError
+		if errorsAs(err, &pageErr) {
+			// The corpus site has a few dangling links; the crawler now
+			// reports them per page instead of silently skipping.
+			continue
+		}
 		if err != nil {
 			t.Fatal(err)
 		}

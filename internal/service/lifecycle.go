@@ -4,8 +4,10 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 
 	"repro/internal/lifecycle"
+	"repro/internal/resilient"
 )
 
 // Wrapper-lifecycle wiring: every repository name gets a lazily created
@@ -49,6 +51,23 @@ func (s *Server) autoRepair(name string) {
 	}
 	defer mon.EndRepair()
 	_, _, _ = s.repairRepo(context.Background(), name, "auto")
+}
+
+// safeAutoRepair is the goroutine entry point for background repairs: a
+// panic on this detached goroutine would otherwise crash the whole
+// daemon, so it is recovered into a counter and an error log.
+func (s *Server) safeAutoRepair(name string) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &resilient.PanicError{Val: v, Stack: debug.Stack()}
+			s.Metrics.PanicRecovered("repair")
+			s.logger().LogAttrs(context.Background(), slog.LevelError, "repair.panic",
+				slog.String("repo", name),
+				slog.String("error", pe.Error()),
+				slog.String("stack", string(pe.Stack)))
+		}
+	}()
+	s.autoRepair(name)
 }
 
 // repairRepo drives one repair pass: build a candidate repository from

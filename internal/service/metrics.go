@@ -46,12 +46,22 @@ type Metrics struct {
 	routerMisses   atomic.Int64
 	routerUnrouted atomic.Int64
 
+	// Resilience counters (PR 8): outbound fetch retries and per-host
+	// outcomes, load-shed admissions, and panics recovered per stage.
+	fetchRetries atomic.Int64
+	shed         atomic.Int64
+	fetch        map[fetchKey]int64 // (host, outcome) → count; under mu
+	panics       map[string]int64   // stage → recovered panic count; under mu
+
 	// Pipeline carries the per-stage spine telemetry (Source/Classify/
 	// Extract/Sink latency histograms, in-flight gauges, error counters)
 	// shared by every pipeline run the server drives — /ingest,
 	// /extract/batch — and snapshotted into /metrics.
 	Pipeline *pipeline.Telemetry
 }
+
+// fetchKey indexes per-host fetch outcome counters.
+type fetchKey struct{ host, outcome string }
 
 // RouterOutcome classifies one auto-routing attempt.
 type RouterOutcome int
@@ -91,6 +101,37 @@ func NewMetrics() *Metrics {
 		histogram: make([]int64, len(latencyBuckets)+1),
 		Pipeline:  pipeline.NewTelemetry(),
 	}
+}
+
+// FetchRetry records one outbound fetch retry attempt.
+func (m *Metrics) FetchRetry() { m.fetchRetries.Add(1) }
+
+// Shed records one load-shed request: admission to the worker pool timed
+// out and the request was rejected with 503 + Retry-After.
+func (m *Metrics) Shed() { m.shed.Add(1) }
+
+// FetchOutcome records the terminal outcome of one outbound fetch for a
+// host: "ok", "transient" (retries exhausted), "permanent", or
+// "breaker_open".
+func (m *Metrics) FetchOutcome(host, outcome string) {
+	m.mu.Lock()
+	if m.fetch == nil {
+		m.fetch = map[fetchKey]int64{}
+	}
+	m.fetch[fetchKey{host, outcome}]++
+	m.mu.Unlock()
+}
+
+// PanicRecovered records one recovered panic, attributed to the stage
+// that caught it ("handler", "pool", "classify", "extract", "induct",
+// "repair").
+func (m *Metrics) PanicRecovered(stage string) {
+	m.mu.Lock()
+	if m.panics == nil {
+		m.panics = map[string]int64{}
+	}
+	m.panics[stage]++
+	m.mu.Unlock()
 }
 
 // PageCache records one page-cache probe outcome.
@@ -216,8 +257,34 @@ type Snapshot struct {
 	// Store carries the durability layer's counters (nil when the daemon
 	// runs memory-only).
 	Store *store.Metrics `json:"store,omitempty"`
+	// FetchRetries counts outbound fetch retry attempts.
+	FetchRetries int64 `json:"fetchRetries,omitempty"`
+	// Fetch carries per-host terminal fetch outcomes, sorted by host then
+	// outcome.
+	Fetch []FetchOutcomeCount `json:"fetch,omitempty"`
+	// Breakers is the live per-host circuit-breaker state, filled from
+	// the server's fetcher (0 closed, 1 half-open, 2 open).
+	Breakers []BreakerStatus `json:"breakers,omitempty"`
+	// Shed counts requests rejected by pool-admission load shedding.
+	Shed int64 `json:"shed,omitempty"`
+	// PanicsRecovered counts recovered panics by stage.
+	PanicsRecovered map[string]int64 `json:"panicsRecovered,omitempty"`
 	// Build identifies the running binary.
 	Build BuildInfo `json:"build"`
+}
+
+// FetchOutcomeCount is one (host, outcome) fetch counter of the snapshot.
+type FetchOutcomeCount struct {
+	Host    string `json:"host"`
+	Outcome string `json:"outcome"`
+	Count   int64  `json:"count"`
+}
+
+// BreakerStatus is one host's circuit-breaker state in the snapshot:
+// 0 closed, 1 half-open, 2 open.
+type BreakerStatus struct {
+	Host  string `json:"host"`
+	State int    `json:"state"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -237,6 +304,26 @@ func (m *Metrics) Snapshot() Snapshot {
 		RouterUnrouted:     m.routerUnrouted.Load(),
 		LatencySumSeconds:  m.latSum,
 		LatencyCount:       m.latCount,
+		FetchRetries:       m.fetchRetries.Load(),
+		Shed:               m.shed.Load(),
+	}
+	if len(m.fetch) > 0 {
+		s.Fetch = make([]FetchOutcomeCount, 0, len(m.fetch))
+		for k, v := range m.fetch {
+			s.Fetch = append(s.Fetch, FetchOutcomeCount{Host: k.host, Outcome: k.outcome, Count: v})
+		}
+		sort.Slice(s.Fetch, func(i, j int) bool {
+			if s.Fetch[i].Host != s.Fetch[j].Host {
+				return s.Fetch[i].Host < s.Fetch[j].Host
+			}
+			return s.Fetch[i].Outcome < s.Fetch[j].Outcome
+		})
+	}
+	if len(m.panics) > 0 {
+		s.PanicsRecovered = make(map[string]int64, len(m.panics))
+		for k, v := range m.panics {
+			s.PanicsRecovered[k] = v
+		}
 	}
 	for k, v := range m.requests {
 		s.Requests[k] = v
@@ -295,6 +382,15 @@ func (s *Server) MetricsSnapshot() Snapshot {
 	if s.Store != nil {
 		m := s.Store.Metrics()
 		snap.Store = &m
+	}
+	if s.Fetcher != nil {
+		states := s.Fetcher.BreakerStates()
+		if len(states) > 0 {
+			snap.Breakers = make([]BreakerStatus, 0, len(states))
+			for _, ks := range states {
+				snap.Breakers = append(snap.Breakers, BreakerStatus{Host: ks.Key, State: int(ks.State)})
+			}
+		}
 	}
 	return snap
 }

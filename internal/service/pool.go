@@ -2,20 +2,40 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/resilient"
 )
+
+// ErrSaturated reports that the pool's queue had no free slot within the
+// admission wait: the caller should shed the request (503 + Retry-After)
+// rather than pile up blocked goroutines.
+var ErrSaturated = errors.New("service: pool saturated")
 
 // Pool is a bounded worker pool: a fixed number of goroutines drain a
 // task queue, putting a hard ceiling on extraction concurrency no matter
 // how many HTTP requests arrive at once. Extraction is CPU-bound (XPath
 // evaluation over a parsed DOM), so the right bound is near GOMAXPROCS;
 // the queue gives short bursts somewhere to wait instead of failing.
+//
+// Admission comes in three strengths: Do blocks until a slot frees (for
+// internal callers that own their backpressure), DoWait blocks up to a
+// bound then sheds with ErrSaturated (the HTTP admission path), and
+// TryDo never blocks. A task that panics is quarantined: the worker
+// survives, and the submitter gets the *resilient.PanicError.
 type Pool struct {
 	tasks   chan poolTask
 	workers int
+
+	// OnPanic, when non-nil, observes every recovered task panic (set
+	// before the first submission).
+	OnPanic func(pe *resilient.PanicError)
 
 	// inFlight counts tasks currently executing on a worker — together
 	// with QueueDepth this is the pool's saturation picture in /metrics.
@@ -49,7 +69,14 @@ type poolTask struct {
 	ctx  context.Context
 	fn   func()
 	done chan struct{}
+	// panicked carries a recovered task panic back to the submitter
+	// (shared box: the task struct itself travels by value through the
+	// channel); the close of done orders the write before the
+	// submitter's read.
+	panicked *panicBox
 }
+
+type panicBox struct{ pe *resilient.PanicError }
 
 // NewPool starts a pool of `workers` goroutines with a task queue of
 // `queue` slots (0 means unbuffered: a submit waits for a free worker).
@@ -78,21 +105,58 @@ func (p *Pool) worker() {
 			// drop them — a label-less background goroutine must not keep
 			// charging samples to the last request it served.
 			pprof.SetGoroutineLabels(t.ctx)
-			t.fn()
+			p.runTask(&t)
 			pprof.SetGoroutineLabels(clean)
 		} else {
-			t.fn()
+			p.runTask(&t)
 		}
 		p.inFlight.Add(-1)
 		close(t.done)
 	}
 }
 
+// runTask executes one task, converting a panic into a structured error
+// for the submitter instead of killing the worker (and with it, every
+// future task this goroutine would have served).
+func (p *Pool) runTask(t *poolTask) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &resilient.PanicError{Val: v, Stack: debug.Stack()}
+			t.panicked.pe = pe
+			if p.OnPanic != nil {
+				p.OnPanic(pe)
+			}
+		}
+	}()
+	t.fn()
+}
+
 // Do runs fn on a pool worker and waits for it to finish. It returns
 // without running fn when ctx is done before a worker accepts the task,
-// or when the pool is closed.
+// or when the pool is closed. A panic in fn surfaces as a
+// *resilient.PanicError.
 func (p *Pool) Do(ctx context.Context, fn func()) error {
-	t := poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	return p.submit(ctx, fn, -1)
+}
+
+// TryDo is Do without blocking on admission: when no queue slot is free
+// right now it returns ErrSaturated immediately.
+func (p *Pool) TryDo(ctx context.Context, fn func()) error {
+	return p.submit(ctx, fn, 0)
+}
+
+// DoWait is Do with bounded admission: it waits up to maxWait for a
+// queue slot, then sheds with ErrSaturated. This is the HTTP admission
+// path — a saturated pool turns into a fast 503 instead of a goroutine
+// pile-up.
+func (p *Pool) DoWait(ctx context.Context, maxWait time.Duration, fn func()) error {
+	return p.submit(ctx, fn, maxWait)
+}
+
+// submit enqueues and waits for completion. maxWait < 0 blocks
+// indefinitely, 0 never blocks, > 0 bounds the admission wait.
+func (p *Pool) submit(ctx context.Context, fn func(), maxWait time.Duration) error {
+	t := poolTask{ctx: ctx, fn: fn, done: make(chan struct{}), panicked: &panicBox{}}
 	// The read-lock spans the enqueue so Close cannot close the task
 	// channel under a blocked send: Close's write-lock waits the senders
 	// out while live workers keep draining the queue.
@@ -101,17 +165,52 @@ func (p *Pool) Do(ctx context.Context, fn func()) error {
 		p.mu.RUnlock()
 		return fmt.Errorf("service: pool closed")
 	}
+	// Fast path first: the happy case costs one channel op and no timer.
 	select {
 	case p.tasks <- t:
-		p.mu.RUnlock()
-	case <-ctx.Done():
-		p.mu.RUnlock()
-		return ctx.Err()
+	default:
+		if maxWait == 0 {
+			p.mu.RUnlock()
+			return ErrSaturated
+		}
+		if err := p.enqueueSlow(ctx, t, maxWait); err != nil {
+			p.mu.RUnlock()
+			return err
+		}
 	}
+	p.mu.RUnlock()
 	// Once enqueued the task always runs — workers drain the queue to
 	// empty before exiting — so this wait cannot leak.
 	<-t.done
+	// The explicit nil check matters: returning t.panicked.pe directly
+	// would wrap a typed nil in a non-nil error interface.
+	if pe := t.panicked.pe; pe != nil {
+		return pe
+	}
 	return nil
+}
+
+// enqueueSlow blocks on the queue until admission, ctx death, or (when
+// maxWait > 0) the admission deadline. Caller holds p.mu.RLock.
+func (p *Pool) enqueueSlow(ctx context.Context, t poolTask, maxWait time.Duration) error {
+	if maxWait < 0 {
+		select {
+		case p.tasks <- t:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case p.tasks <- t:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return ErrSaturated
+	}
 }
 
 // Close stops accepting tasks, waits for queued work to finish and for

@@ -2,10 +2,14 @@ package service
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/resilient"
 )
 
 func TestPoolRunsTasks(t *testing.T) {
@@ -96,4 +100,77 @@ func TestPoolCloseRejectsAndDrains(t *testing.T) {
 		t.Fatal("Do after Close should fail")
 	}
 	p.Close() // idempotent
+}
+
+// saturatePool occupies every worker and queue slot of a 1-worker,
+// 1-slot pool; the returned release unblocks it.
+func saturatePool(t *testing.T) (*Pool, func()) {
+	t.Helper()
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() { _ = p.Do(context.Background(), func() { close(started); <-block }) }()
+	<-started
+	// Fill the single queue slot.
+	queued := make(chan struct{})
+	go func() { _ = p.Do(context.Background(), func() { close(queued) }) }()
+	for p.QueueDepth() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	release := func() { close(block); <-queued; p.Close() }
+	return p, release
+}
+
+func TestPoolTryDoShedsWhenSaturated(t *testing.T) {
+	p, release := saturatePool(t)
+	defer release()
+	if err := p.TryDo(context.Background(), func() { t.Error("shed task ran") }); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("TryDo on saturated pool = %v, want ErrSaturated", err)
+	}
+}
+
+func TestPoolDoWaitShedsAfterDeadline(t *testing.T) {
+	p, release := saturatePool(t)
+	defer release()
+	start := time.Now()
+	err := p.DoWait(context.Background(), 10*time.Millisecond, func() { t.Error("shed task ran") })
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("DoWait = %v, want ErrSaturated", err)
+	}
+	if waited := time.Since(start); waited < 10*time.Millisecond {
+		t.Fatalf("DoWait returned after %v, want >= 10ms of bounded waiting", waited)
+	}
+}
+
+func TestPoolDoWaitAdmitsWhenSlotFrees(t *testing.T) {
+	p, release := saturatePool(t)
+	go func() { time.Sleep(5 * time.Millisecond); release() }()
+	ran := make(chan struct{})
+	if err := p.DoWait(context.Background(), time.Second, func() { close(ran) }); err != nil {
+		t.Fatalf("DoWait = %v, want admission once the pool drained", err)
+	}
+	<-ran
+}
+
+func TestPoolRecoversTaskPanic(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	var hooked atomic.Int64
+	p.OnPanic = func(pe *resilient.PanicError) { hooked.Add(1) }
+
+	err := p.Do(context.Background(), func() { panic("rule exploded") })
+	var pe *resilient.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Do = %v, want *resilient.PanicError", err)
+	}
+	if !strings.Contains(pe.Error(), "rule exploded") || len(pe.Stack) == 0 {
+		t.Fatalf("panic error %q (stack %d bytes), want message and stack", pe.Error(), len(pe.Stack))
+	}
+	if hooked.Load() != 1 {
+		t.Fatalf("OnPanic fired %d times, want 1", hooked.Load())
+	}
+	// The worker survived: the next task runs normally.
+	if err := p.Do(context.Background(), func() {}); err != nil {
+		t.Fatalf("task after panic = %v, want success", err)
+	}
 }

@@ -84,9 +84,38 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 		"Unrouted pages the induction buffer refused outright (oversized, or no bucket available).",
 		float64(snap.UnroutedDropped))
 
+	writeResilience(p, snap)
 	writeStore(p, snap.Store)
 
 	return p.Err()
+}
+
+// writeResilience renders the failure-hardening families: fetch retries
+// and per-host outcomes, circuit-breaker states, load sheds, recovered
+// panics. Scalar families render unconditionally (zeros included) so the
+// family set is stable; labeled families appear as their series do.
+func writeResilience(p *obs.PromWriter, snap Snapshot) {
+	p.Counter("extractd_fetch_retries_total",
+		"Outbound fetch retry attempts.", float64(snap.FetchRetries))
+	p.Family("extractd_fetch_total", "counter",
+		"Terminal outbound fetch outcomes, by host and outcome (ok, transient, permanent, breaker_open).")
+	for _, f := range snap.Fetch {
+		p.Sample("extractd_fetch_total", []obs.Label{
+			{Key: "host", Value: f.Host},
+			{Key: "outcome", Value: f.Outcome},
+		}, float64(f.Count))
+	}
+	p.Family("extractd_fetch_breaker_state", "gauge",
+		"Per-host circuit-breaker state (0 closed, 1 half-open, 2 open).")
+	for _, b := range snap.Breakers {
+		p.Sample("extractd_fetch_breaker_state",
+			[]obs.Label{{Key: "host", Value: b.Host}}, float64(b.State))
+	}
+	p.Counter("extractd_shed_total",
+		"Requests rejected by pool-admission load shedding (503 + Retry-After).",
+		float64(snap.Shed))
+	writeLabeledCounters(p, "extractd_panics_recovered_total",
+		"Panics recovered without killing the daemon, by stage.", "stage", snap.PanicsRecovered)
 }
 
 // writeStore renders the durability layer's families. They render

@@ -137,6 +137,11 @@ func TestPromExpositionGolden(t *testing.T) {
 		"extractd_store_replay_duration_seconds":   "gauge",
 		"extractd_store_snapshot_age_seconds":      "gauge",
 		"extractd_store_snapshots_total":           "counter",
+		"extractd_fetch_retries_total":             "counter",
+		"extractd_fetch_total":                     "counter",
+		"extractd_fetch_breaker_state":             "gauge",
+		"extractd_shed_total":                      "counter",
+		"extractd_panics_recovered_total":          "counter",
 	}
 	for name, typ := range wantTypes {
 		f := familyByName(fams, name)
@@ -305,7 +310,12 @@ var snapshotFieldMetrics = map[string][]string{
 		"extractd_pipeline_stage_in_flight",
 		"extractd_pipeline_stage_errors_total",
 	},
-	"Build": {"extractd_build_info"},
+	"FetchRetries":    {"extractd_fetch_retries_total"},
+	"Fetch":           {"extractd_fetch_total"},
+	"Breakers":        {"extractd_fetch_breaker_state"},
+	"Shed":            {"extractd_shed_total"},
+	"PanicsRecovered": {"extractd_panics_recovered_total"},
+	"Build":           {"extractd_build_info"},
 }
 
 // TestPromJSONParity walks the Snapshot struct with reflection and
@@ -348,6 +358,13 @@ func TestPromJSONParity(t *testing.T) {
 				Buckets: []obs.HistogramBucket{{LE: 0.1, Count: 1}},
 			},
 		}},
+		FetchRetries: 1,
+		Fetch:        []FetchOutcomeCount{{Host: "h", Outcome: "ok", Count: 1}},
+		Breakers:     []BreakerStatus{{Host: "h", State: 2}},
+		Shed:         1,
+		PanicsRecovered: map[string]int64{
+			"handler": 1,
+		},
 		Build: BuildInfo{GoVersion: "go"},
 		Store: &store.Metrics{
 			WALBytes: 1, WALRecords: 1, Fsyncs: 1, TornTails: 1,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -219,6 +220,12 @@ func TestRegistryConcurrentPromoteRollback(t *testing.T) {
 				return
 			}
 			if _, err := g.Promote("movies", e.Version); err != nil {
+				// The concurrent reload writer can mint enough newer
+				// versions that the retention cap prunes this staged one
+				// before the promote lands — legitimate, not torn state.
+				if strings.Contains(err.Error(), "has no version") {
+					continue
+				}
 				t.Error(err)
 				return
 			}

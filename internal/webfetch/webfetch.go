@@ -9,11 +9,13 @@ package webfetch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -21,12 +23,22 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dom"
+	"repro/internal/pipeline"
+	"repro/internal/resilient"
 )
+
+// errTooManyRedirects marks a redirect-cap abort so it classifies as
+// permanent: a redirect loop does not heal on retry.
+var errTooManyRedirects = errors.New("too many redirects")
 
 // Fetcher crawls a site breadth-first, restricted to the start URL's
 // host. Every request is bounded three ways — per-request timeout,
 // redirect cap, response-size cap — so a hostile or broken site can stall
-// or bloat one page fetch, never a whole ingestion run.
+// or bloat one page fetch, never a whole ingestion run. On top of the
+// bounds sits the resilience layer: transient failures (timeouts,
+// resets, 408/429/5xx) retry with capped jittered backoff, a per-host
+// circuit breaker stops hammering dead origins, and a per-host
+// concurrency cap keeps one slow site from absorbing every worker.
 type Fetcher struct {
 	// Client defaults to an internal client with Timeout and the
 	// MaxRedirects cap applied. A caller-supplied client keeps its own
@@ -48,8 +60,30 @@ type Fetcher struct {
 	// Delay is an optional pause between requests.
 	Delay time.Duration
 
+	// Retry governs re-attempts of transient failures (default: 3
+	// attempts, 100ms base, 5s cap, full jitter). Fetches are GETs —
+	// idempotent — so every transient failure is safe to mark.
+	Retry *resilient.Retrier
+	// Breakers holds the per-host circuit breakers (default: a fresh
+	// set with resilient.BreakerConfig defaults). Share one set across
+	// fetchers talking to the same origins.
+	Breakers *resilient.BreakerSet
+	// HostConcurrency caps in-flight requests per origin host
+	// (default 8).
+	HostConcurrency int
+	// OnRetry, when non-nil, observes every scheduled retry.
+	OnRetry func(host string)
+	// OnOutcome, when non-nil, observes every finished fetch with one
+	// of "ok", "transient" (retries exhausted), "permanent",
+	// "breaker_open".
+	OnOutcome func(host, outcome string)
+
 	clientOnce  sync.Once
 	builtClient *http.Client
+	brOnce      sync.Once
+	builtBrs    *resilient.BreakerSet
+	limOnce     sync.Once
+	builtLim    *resilient.KeyedLimiter
 }
 
 func (f *Fetcher) client() *http.Client {
@@ -60,13 +94,37 @@ func (f *Fetcher) client() *http.Client {
 		f.builtClient = &http.Client{
 			CheckRedirect: func(req *http.Request, via []*http.Request) error {
 				if len(via) > f.maxRedirects() {
-					return fmt.Errorf("stopped after %d redirects", f.maxRedirects())
+					return fmt.Errorf("stopped after %d redirects: %w",
+						f.maxRedirects(), errTooManyRedirects)
 				}
 				return nil
 			},
 		}
 	})
 	return f.builtClient
+}
+
+func (f *Fetcher) breakers() *resilient.BreakerSet {
+	if f.Breakers != nil {
+		return f.Breakers
+	}
+	f.brOnce.Do(func() {
+		f.builtBrs = resilient.NewBreakerSet(resilient.BreakerConfig{})
+	})
+	return f.builtBrs
+}
+
+func (f *Fetcher) limiter() *resilient.KeyedLimiter {
+	f.limOnce.Do(func() {
+		f.builtLim = resilient.NewKeyedLimiter(f.HostConcurrency)
+	})
+	return f.builtLim
+}
+
+// BreakerStates snapshots every host breaker's state, sorted by host,
+// for the metrics endpoint.
+func (f *Fetcher) BreakerStates() []resilient.KeyState {
+	return f.breakers().States()
 }
 
 func (f *Fetcher) maxPages() int {
@@ -108,12 +166,13 @@ func (f *Fetcher) maxRedirects() int {
 // can stream a site of any size without holding more than one page —
 // this is the pipeline's crawl source.
 type Crawl struct {
-	f     *Fetcher
-	host  string
-	seen  map[string]bool
-	queue []*url.URL
-	pages int
-	first bool
+	f        *Fetcher
+	host     string
+	seen     map[string]bool
+	queue    []*url.URL
+	pages    int
+	first    bool
+	pageErrs []*pipeline.PageError
 }
 
 // Start begins a breadth-first crawl at startURL. Fetching starts on the
@@ -137,9 +196,11 @@ func (f *Fetcher) Start(startURL string) (*Crawl, error) {
 
 // Next fetches and returns the next page of the crawl, following
 // same-host links found in A/@href attributes. It returns io.EOF when
-// MaxPages pages have been returned or the frontier is empty. Fetch
-// errors on individual pages are skipped; an unreachable start page is an
-// error.
+// MaxPages pages have been returned or the frontier is empty. A page
+// that still fails after retries is never silently dropped: Next
+// returns a *pipeline.PageError recording the URL (also retained, see
+// PageErrors) and the crawl continues on the following call. An
+// unreachable start page aborts the crawl.
 func (c *Crawl) Next(ctx context.Context) (*core.Page, error) {
 	for len(c.queue) > 0 && c.pages < c.f.maxPages() {
 		if err := ctx.Err(); err != nil {
@@ -152,7 +213,12 @@ func (c *Crawl) Next(ctx context.Context) (*core.Page, error) {
 			if c.first {
 				return nil, err
 			}
-			continue
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			pe := &pipeline.PageError{URI: u.String(), Err: err}
+			c.pageErrs = append(c.pageErrs, pe)
+			return nil, pe
 		}
 		c.first = false
 		c.pages++
@@ -175,8 +241,17 @@ func (c *Crawl) Next(ctx context.Context) (*core.Page, error) {
 	return nil, io.EOF
 }
 
-// Crawl gathers a whole site into memory: Start + Next until EOF. Use
-// Start directly (or pipeline.CrawlSource) to stream instead.
+// PageErrors returns the per-page failures recorded so far (pages that
+// still failed after retries and were skipped), in crawl order.
+func (c *Crawl) PageErrors() []*pipeline.PageError {
+	out := make([]*pipeline.PageError, len(c.pageErrs))
+	copy(out, c.pageErrs)
+	return out
+}
+
+// Crawl gathers a whole site into memory: Start + Next until EOF,
+// skipping pages that failed after retries. Use Start directly (or
+// pipeline.CrawlSource) to stream, or to see the per-page errors.
 func (f *Fetcher) Crawl(startURL string) ([]*core.Page, error) {
 	c, err := f.Start(startURL)
 	if err != nil {
@@ -187,6 +262,10 @@ func (f *Fetcher) Crawl(startURL string) ([]*core.Page, error) {
 		p, err := c.Next(context.Background())
 		if err == io.EOF {
 			return pages, nil
+		}
+		var pe *pipeline.PageError
+		if errors.As(err, &pe) {
+			continue
 		}
 		if err != nil {
 			return nil, err
@@ -219,7 +298,104 @@ func (f *Fetcher) FetchPageContext(ctx context.Context, pageURL string) (*core.P
 	return &core.Page{URI: u.String(), Doc: doc}, nil
 }
 
+// fetch is the resilient fetch path: per-host admission (concurrency
+// cap), breaker check, then fetchOnce under the Retrier — transient
+// failures retry, and only transient-class failures count against the
+// host's breaker (a 404 is the host working fine).
 func (f *Fetcher) fetch(ctx context.Context, u *url.URL) (*dom.Node, error) {
+	host := u.Host
+	release, err := f.limiter().Acquire(ctx, host)
+	if err != nil {
+		return nil, fmt.Errorf("webfetch: GET %s: %w", u, err)
+	}
+	defer release()
+
+	var doc *dom.Node
+	err = f.retrierFor(host).Do(ctx, func(ctx context.Context) error {
+		brRelease, err := f.breakers().For(host).Acquire()
+		if err != nil {
+			// *OpenError is unmarked (permanent): the retry loop must
+			// not spin against a circuit the breaker just opened.
+			return fmt.Errorf("webfetch: GET %s: %w", u, err)
+		}
+		var ferr error
+		doc, ferr = f.fetchOnce(ctx, u)
+		brRelease(ferr == nil || !resilient.IsTransient(ferr))
+		return ferr
+	})
+	f.recordOutcome(host, err)
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// retrierFor adapts the configured Retrier to report retries for host
+// through the OnRetry hook. The copy is cheap (Retrier is a small value
+// type; the Budget pointer stays shared).
+func (f *Fetcher) retrierFor(host string) *resilient.Retrier {
+	var r resilient.Retrier
+	if f.Retry != nil {
+		r = *f.Retry
+	}
+	if f.OnRetry != nil {
+		inner := r.OnRetry
+		hook := f.OnRetry
+		r.OnRetry = func(attempt int, delay time.Duration, err error) {
+			if inner != nil {
+				inner(attempt, delay, err)
+			}
+			hook(host)
+		}
+	}
+	return &r
+}
+
+// recordOutcome classifies a finished fetch for the OnOutcome hook.
+func (f *Fetcher) recordOutcome(host string, err error) {
+	if f.OnOutcome == nil {
+		return
+	}
+	var oe *resilient.OpenError
+	switch {
+	case err == nil:
+		f.OnOutcome(host, "ok")
+	case errors.As(err, &oe):
+		f.OnOutcome(host, "breaker_open")
+	case resilient.IsTransient(err):
+		f.OnOutcome(host, "transient")
+	default:
+		f.OnOutcome(host, "permanent")
+	}
+}
+
+// retryableStatus reports whether an HTTP status indicts a transient
+// server-side condition worth retrying an idempotent GET for.
+func retryableStatus(code int) bool {
+	return code == http.StatusRequestTimeout || // 408
+		code == http.StatusTooManyRequests || // 429
+		code >= 500
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After header value.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// fetchOnce performs one bounded request and classifies its failure:
+// timeouts, transport errors, and 408/429/5xx are marked Transient
+// (GETs are idempotent, so re-attempting is safe); redirect loops,
+// other statuses, cap violations, and failures after the caller's
+// context died are permanent.
+func (f *Fetcher) fetchOnce(parent context.Context, u *url.URL) (*dom.Node, error) {
+	ctx := parent
 	if t := f.timeout(); t > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, t)
@@ -231,15 +407,30 @@ func (f *Fetcher) fetch(ctx context.Context, u *url.URL) (*dom.Node, error) {
 	}
 	resp, err := f.client().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("webfetch: GET %s: %w", u, err)
+		err = fmt.Errorf("webfetch: GET %s: %w", u, err)
+		if parent.Err() != nil || errors.Is(err, errTooManyRedirects) {
+			return nil, err
+		}
+		return nil, resilient.Transient(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("webfetch: GET %s: status %d", u, resp.StatusCode)
+		err := fmt.Errorf("webfetch: GET %s: status %d", u, resp.StatusCode)
+		if !retryableStatus(resp.StatusCode) {
+			return nil, err
+		}
+		if after, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return nil, resilient.TransientAfter(err, after)
+		}
+		return nil, resilient.Transient(err)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, f.maxBody()+1))
 	if err != nil {
-		return nil, fmt.Errorf("webfetch: reading %s: %w", u, err)
+		err = fmt.Errorf("webfetch: reading %s: %w", u, err)
+		if parent.Err() != nil {
+			return nil, err
+		}
+		return nil, resilient.Transient(err)
 	}
 	if int64(len(body)) > f.maxBody() {
 		return nil, fmt.Errorf("webfetch: %s exceeds response cap %d bytes", u, f.maxBody())
