@@ -9,8 +9,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dom"
 	"repro/internal/extract"
 	"repro/internal/rule"
+	"repro/internal/streamx"
 	"repro/internal/xpath"
 )
 
@@ -49,6 +51,96 @@ func TestExtractPageAllocBudget(t *testing.T) {
 	const budget = 1300
 	if allocs > budget {
 		t.Errorf("ExtractPage allocates %.0f/op, budget %d", allocs, budget)
+	}
+}
+
+// TestStreamAutomatonZeroAllocs pins the PR 9 steady-state guarantee: a
+// warmed Scratch executes the whole compiled repository over a real
+// corpus page with 0 allocs/op — captures land in the scratch arena,
+// element buffers recycle through the free list, and tag lookups never
+// materialize byte-slice keys.
+func TestStreamAutomatonZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus induction is slow")
+	}
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 30))
+	sample, _ := cl.RepresentativeSplit(10)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		t.Fatal(err)
+	}
+	ordered := make([]*rule.Compiled, 0, len(repo.Rules))
+	for _, r := range repo.Rules {
+		c, err := r.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered = append(ordered, c)
+	}
+	prog, reason := streamx.Compile(ordered)
+	if prog == nil {
+		t.Fatalf("induced repository not stream-eligible: %s", reason)
+	}
+	html := dom.Render(cl.Pages[len(cl.Pages)-1].Doc)
+	sc := prog.NewScratch()
+	// Warm the scratch: first runs size the arena, state and counter
+	// slices to the page's shape.
+	for i := 0; i < 3; i++ {
+		if err := prog.Run(sc, html); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prog.NumRules() == 0 || sc.RuleMatches(0) == 0 {
+		t.Fatal("automaton extracted nothing")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := prog.Run(sc, html); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed automaton allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestExtractPageStreamAllocBudget pins the end-to-end streaming entry
+// point — lazy page construction, pooled scratch, automaton execution,
+// value refinement and XML assembly — against an allocation budget. The
+// DOM path spends ~600 allocs/op on this page; the stream path's whole
+// extraction must stay an order of magnitude under that (~40 observed,
+// budget ~3.5× for headroom).
+func TestExtractPageStreamAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus induction is slow")
+	}
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 30))
+	sample, _ := cl.RepresentativeSplit(10)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Freeze()
+	html := dom.Render(cl.Pages[len(cl.Pages)-1].Doc)
+	for i := 0; i < 3; i++ {
+		if _, _, info := proc.ExtractPageStream("http://x/p", html); !info.Hit {
+			t.Fatalf("stream path not taken: %s", info.Reason)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		el, _, info := proc.ExtractPageStream("http://x/p", html)
+		if !info.Hit || len(el.Children) == 0 {
+			t.Error("stream extraction missed")
+		}
+	})
+	const budget = 150
+	if allocs > budget {
+		t.Errorf("ExtractPageStream allocates %.0f/op, budget %d", allocs, budget)
 	}
 }
 

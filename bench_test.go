@@ -404,9 +404,10 @@ func BenchmarkExtractdThroughput(b *testing.B) {
 }
 
 // BenchmarkIngestSite measures whole-site ingestion throughput through
-// the streaming pipeline: every page is signature-routed to its
-// repository and extracted, the way POST /ingest serves a site
-// migration. Reports pages/sec.
+// the streaming pipeline: every page arrives as raw HTML (the way POST
+// /ingest receives a site migration), is signature-routed off its token
+// stream and extracted by the compiled rule automaton — no DOM is built
+// on the hot path since PR 9. Reports pages/sec.
 func BenchmarkIngestSite(b *testing.B) {
 	clusters := []*corpus.Cluster{
 		corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 20)),
@@ -414,7 +415,7 @@ func BenchmarkIngestSite(b *testing.B) {
 	}
 	router := cluster.NewRouter(0)
 	repos := map[string]*rule.Repository{}
-	var pages []*core.Page
+	var uris, htmls []string
 	for _, cl := range clusters {
 		sample, _ := cl.RepresentativeSplit(10)
 		builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
@@ -426,19 +427,21 @@ func BenchmarkIngestSite(b *testing.B) {
 		var infos []cluster.PageInfo
 		for _, p := range cl.Pages {
 			infos = append(infos, cluster.PageInfo{URI: p.URI, Doc: p.Doc})
+			uris = append(uris, p.URI)
+			htmls = append(htmls, dom.Render(p.Doc))
 		}
 		router.Register(cl.Name, cluster.SignatureOf(infos))
-		pages = append(pages, cl.Pages...)
 	}
 	ex, err := pipeline.NewStaticExtractor(repos)
 	if err != nil {
 		b.Fatal(err)
 	}
 
-	// Cycle the corpus to fill b.N pages.
+	// Cycle the corpus to fill b.N pages. Each item is a fresh lazy page
+	// over the raw markup, exactly what the ingest handler constructs.
 	stream := make([]*core.Page, b.N)
 	for i := range stream {
-		stream[i] = pages[i%len(pages)]
+		stream[i] = core.NewPageLazy(uris[i%len(uris)], htmls[i%len(htmls)])
 	}
 	var extracted, unrouted int
 	sink := pipeline.FuncSink(func(it *pipeline.Item) error {
@@ -470,6 +473,41 @@ func BenchmarkIngestSite(b *testing.B) {
 	}
 	if stats.Pages != b.N || extracted != b.N {
 		b.Fatalf("ingested %d/%d pages, %d unrouted — routing broke", extracted, b.N, unrouted)
+	}
+}
+
+// BenchmarkStreamExtract measures the PR 9 tentpole in isolation:
+// one page of raw HTML through the compiled rule automaton — tokenize,
+// match, capture, assemble — with no tree ever built. Compare against
+// BenchmarkExtractPage (DOM evaluation of an already-parsed page) plus
+// BenchmarkHTMLParse (the parse the stream path skips) for the full
+// hot-path story.
+func BenchmarkStreamExtract(b *testing.B) {
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(9, 30))
+	sample, _ := cl.RepresentativeSplit(10)
+	builder := &core.Builder{Sample: sample, Oracle: cl.Oracle()}
+	repo := rule.NewRepository(cl.Name)
+	if _, err := builder.BuildAll(repo, cl.ComponentNames()); err != nil {
+		b.Fatal(err)
+	}
+	proc, err := extract.NewProcessor(repo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc.Freeze()
+	page := cl.Pages[len(cl.Pages)-1]
+	html := dom.Render(page.Doc)
+	b.SetBytes(int64(len(html)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el, _, info := proc.ExtractPageStream(page.URI, html)
+		if !info.Hit {
+			b.Fatalf("stream path not taken: %s", info.Reason)
+		}
+		if len(el.Children) == 0 {
+			b.Fatal("empty extraction")
+		}
 	}
 }
 

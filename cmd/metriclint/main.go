@@ -93,6 +93,11 @@ func exercisedSnapshot() service.Snapshot {
 		RouterHits:         5,
 		RouterMisses:       2,
 		RouterUnrouted:     3,
+		StreamHits:         7,
+		StreamFallbacks:    3,
+		StreamFallbackReasons: map[string]int64{
+			"general-xpath": 1, "parsed-doc": 1, "depth": 1,
+		},
 		InductionJobs: map[string]int64{
 			"queued": 1, "running": 1, "staged": 1, "failed": 1,
 		},

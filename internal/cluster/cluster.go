@@ -44,7 +44,21 @@ func Fingerprint(p PageInfo) Features {
 		Host:        host,
 		URLPattern:  segs,
 		TagShingles: textutil.Shingles(paths, 1),
-		Keywords:    textutil.Shingles(textutil.Tokens(dom.TextContent(p.Doc)), 1),
+		Keywords:    textutil.TokenSet(dom.TextContent(p.Doc)),
+	}
+}
+
+// FeaturesFromParts assembles a fingerprint from externally computed
+// tag-path and keyword sets. The streaming feature builder
+// (internal/streamx) derives both sets in one pass over the raw token
+// stream and uses this to share the URI normalization with Fingerprint.
+func FeaturesFromParts(uri string, tagShingles, keywords map[string]struct{}) Features {
+	host, segs := splitURI(uri)
+	return Features{
+		Host:        host,
+		URLPattern:  segs,
+		TagShingles: tagShingles,
+		Keywords:    keywords,
 	}
 }
 

@@ -55,3 +55,30 @@ func uniqueWord(i int) string {
 	}
 	return "w" + string(out)
 }
+
+// TestURLKeyMatchesSplitURI pins the fused urlKey scan against the
+// reference construction from splitURI, whose normalization defines the
+// URL pattern feature.
+func TestURLKeyMatchesSplitURI(t *testing.T) {
+	ref := func(uri string) string {
+		host, segs := splitURI(uri)
+		key := host
+		for _, s := range segs {
+			key += "\n" + s
+		}
+		return key
+	}
+	cases := []string{
+		"http://movies.example/title/tt0095159/",
+		"https://books.example/item/123456?ref=9",
+		"http://quotes.example/q/ABC/7",
+		"http://host.example", "http://host.example/", "host.example/a//b",
+		"http://host.example/?q=1", "ftp://x/y9z8/..//9",
+		"", "/abs/path/3", "no-scheme/päth/42x7",
+	}
+	for _, uri := range cases {
+		if got, want := urlKey(uri), ref(uri); got != want {
+			t.Errorf("urlKey(%q) = %q, want %q", uri, got, want)
+		}
+	}
+}

@@ -2,7 +2,11 @@ package cluster
 
 import (
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"unicode"
+	"unicode/utf8"
 )
 
 // DefaultRouteThreshold is the minimum signature match score for a page
@@ -37,6 +41,12 @@ type Router struct {
 
 	mu   sync.RWMutex
 	sigs map[string]*Signature
+	// fast caches (host, normalized URL pattern) → cluster decisions
+	// learned from full signature matches. URL pattern analysis is already
+	// one of the clustering heuristics ([7][20]); on the ingest hot path a
+	// learned pattern routes a page without fingerprinting its content at
+	// all. See RouteLazy for the verification and invalidation discipline.
+	fast map[string]*fastRoute
 
 	// Journal, when set, receives every signature mutation (Register
 	// replacements and Observe folds) with a clone of the resulting
@@ -79,6 +89,7 @@ func (r *Router) Register(name string, sig *Signature) {
 		r.sigs = map[string]*Signature{}
 	}
 	r.sigs[name] = sig.Clone()
+	r.invalidateFastLocked()
 	if r.Journal != nil {
 		r.Journal(name, sig.Clone())
 	}
@@ -89,6 +100,7 @@ func (r *Router) Unregister(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.sigs, name)
+	r.invalidateFastLocked()
 }
 
 // Observe folds a page known to belong to the named cluster into its
@@ -112,6 +124,7 @@ func (r *Router) Observe(name string, f Features) {
 		r.sigs[name] = sig
 	}
 	sig.Add(f)
+	r.invalidateFastLocked()
 	if r.Journal != nil {
 		r.Journal(name, sig.Clone())
 	}
@@ -146,6 +159,138 @@ func (r *Router) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// urlVerifyEvery is the sampled-verification cadence of the URL fast
+// path: each learned pattern serves this many fast routes, then the next
+// page pays a full fingerprint match to confirm the cached decision still
+// holds. Amortized, the fingerprint walk runs on ~1/16 of steady-state
+// traffic while signature drift or a repository swap is still caught
+// within one verification window per pattern.
+const urlVerifyEvery = 16
+
+// fastRoute is one learned URL-pattern decision.
+type fastRoute struct {
+	name  string
+	score float64 // score of the last full verification
+	// ambiguous marks a pattern observed routing to more than one cluster
+	// (two repositories on one site with the same URL shape): such a
+	// pattern can never decide a page on its own, so it full-routes forever.
+	ambiguous bool
+	hits      atomic.Uint32
+}
+
+// urlKey normalizes a URI to its routing pattern key: host plus the
+// digit-collapsed path segments, the same normalization splitURI gives
+// the URL feature of the fingerprint — fused into one pass and one
+// allocation, since every ingest page pays this before the fast lookup.
+func urlKey(uri string) string {
+	s := uri
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	i := strings.IndexAny(s, "/?")
+	if i < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:i]) // host
+	path := s[i:]
+	if q := strings.IndexByte(path, '?'); q >= 0 {
+		path = path[:q]
+	}
+	segStarted, inDigits := false, false
+	for j := 0; j < len(path); j++ {
+		switch c := path[j]; {
+		case c == '/':
+			segStarted, inDigits = false, false
+		case c >= '0' && c <= '9':
+			if !segStarted {
+				b.WriteByte('\n')
+				segStarted = true
+			}
+			if !inDigits {
+				b.WriteByte('#')
+				inDigits = true
+			}
+		default:
+			if !segStarted {
+				b.WriteByte('\n')
+				segStarted = true
+			}
+			inDigits = false
+			if c < utf8.RuneSelf {
+				if c >= 'A' && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				b.WriteByte(c)
+			} else {
+				r, size := utf8.DecodeRuneInString(path[j:])
+				b.WriteRune(unicode.ToLower(r))
+				j += size - 1
+			}
+		}
+	}
+	return b.String()
+}
+
+// RouteLazy classifies a page by URI alone when a learned URL pattern
+// decides, calling fp for the full content fingerprint only when it must:
+// the first page of a pattern, patterns observed routing to more than one
+// cluster, and a deterministic 1-in-urlVerifyEvery re-verification of
+// every cached pattern. A verification that disagrees with the cache
+// evicts the pattern (and any signature mutation clears the whole table),
+// so a stale decision survives at most one verification window. The fast
+// path returns the score of the last verified full match and no runner-up
+// diagnostics; everything else is identical to Route(fp()).
+func (r *Router) RouteLazy(uri string, fp func() Features) (Route, bool) {
+	key := urlKey(uri)
+	r.mu.RLock()
+	e := r.fast[key]
+	r.mu.RUnlock()
+	if e != nil && !e.ambiguous {
+		if e.hits.Add(1)%urlVerifyEvery != 0 {
+			return Route{Name: e.name, Score: e.score}, true
+		}
+	}
+	route, ok := r.Route(fp())
+	r.learnFast(key, route, ok)
+	return route, ok
+}
+
+// learnFast folds one full routing decision into the URL fast table.
+func (r *Router) learnFast(key string, route Route, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.fast[key]
+	switch {
+	case !ok:
+		// The pattern no longer clears the threshold (drift, or a
+		// near-threshold page): forget it and relearn from future
+		// confident matches. Ambiguous markers stay — they record a
+		// structural property of the site, not a score.
+		if e != nil && !e.ambiguous {
+			delete(r.fast, key)
+		}
+	case e == nil:
+		if r.fast == nil {
+			r.fast = map[string]*fastRoute{}
+		}
+		r.fast[key] = &fastRoute{name: route.Name, score: route.Score}
+	case e.name != route.Name:
+		e.ambiguous = true
+	default:
+		e.score = route.Score
+	}
+}
+
+// invalidateFastLocked drops every learned URL decision; callers hold
+// r.mu. Every signature mutation invalidates: the table caches the
+// *outcome* of matching against the signature set, and any change to that
+// set may change any outcome.
+func (r *Router) invalidateFastLocked() {
+	r.fast = nil
 }
 
 // Route classifies a page fingerprint. ok is false when no cluster is
@@ -209,4 +354,5 @@ func (r *Router) Import(sigs map[string]*Signature) {
 		}
 		r.sigs[name] = sig.Clone()
 	}
+	r.invalidateFastLocked()
 }

@@ -225,3 +225,111 @@ func TestRouterObserveAfterFeatureCap(t *testing.T) {
 		t.Errorf("only %d/%d cluster pages route after feature-cap churn", correct, len(movies))
 	}
 }
+
+// TestRouteLazyURLFastPath pins the URL fast path's external contract via
+// the fingerprint thunk: a learned pattern routes correctly while calling
+// fp only for the first page and the sampled 1-in-N verifications; any
+// signature mutation forgets the learned patterns; unrouted patterns are
+// never cached.
+func TestRouteLazyURLFastPath(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(11, 20)))
+	books := clusterPageInfos(corpus.GenerateBooks(corpus.DefaultBookProfile(12, 20)))
+	r := cluster.NewRouter(0)
+	r.Register("movies", cluster.SignatureOf(movies[:10]))
+	r.Register("books", cluster.SignatureOf(books[:10]))
+
+	fpCalls := 0
+	route := func(p cluster.PageInfo) (cluster.Route, bool) {
+		return r.RouteLazy(p.URI, func() cluster.Features {
+			fpCalls++
+			return cluster.Fingerprint(p)
+		})
+	}
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		got, ok := route(movies[10+i%10])
+		if !ok || got.Name != "movies" {
+			t.Fatalf("page %d: routed to %q ok=%v", i, got.Name, ok)
+		}
+	}
+	// One learning miss plus one verification per 16 fast hits; anything
+	// near n means the fast path never engaged.
+	if fpCalls == 0 || fpCalls > 1+n/8 {
+		t.Errorf("fingerprint computed %d times for %d same-pattern pages", fpCalls, n)
+	}
+
+	// Books pages carry a different URL pattern: they must not be decided
+	// by the movies pattern, and must route correctly from their first page.
+	if got, ok := route(books[10]); !ok || got.Name != "books" {
+		t.Fatalf("books page routed to %q", got.Name)
+	}
+
+	// Any signature mutation forgets learned patterns: the next movies
+	// page pays a full fingerprint again.
+	before := fpCalls
+	r.Observe("movies", cluster.Fingerprint(movies[10]))
+	if got, ok := route(movies[11]); !ok || got.Name != "movies" {
+		t.Fatalf("post-observe routed to %q", got.Name)
+	} else if fpCalls != before+1 {
+		t.Errorf("fingerprint not recomputed after signature mutation (calls %d → %d)", before, fpCalls)
+	}
+
+	// Unrouted pages are never cached: every attempt fingerprints.
+	before = fpCalls
+	alien := cluster.PageInfo{URI: "http://other.example/x/1", Doc: movies[0].Doc}
+	aw := cluster.Fingerprint(alien)
+	aw.Keywords = map[string]struct{}{"zz": {}}
+	aw.TagShingles = map[string]struct{}{"zz": {}}
+	for i := 0; i < 5; i++ {
+		if _, ok := r.RouteLazy(alien.URI, func() cluster.Features { fpCalls++; return aw }); ok {
+			t.Fatal("alien page routed")
+		}
+	}
+	if fpCalls != before+5 {
+		t.Errorf("unrouted pattern was cached: %d fingerprints for 5 attempts", fpCalls-before)
+	}
+}
+
+// TestRouteLazyAmbiguousPattern drives two clusters whose pages share one
+// URL pattern: once verification observes the conflict the pattern is
+// ambiguous and every subsequent page full-routes (fp called every time),
+// restoring exact Route behaviour.
+func TestRouteLazyAmbiguousPattern(t *testing.T) {
+	movies := clusterPageInfos(corpus.GenerateMovies(corpus.DefaultMovieProfile(11, 20)))
+	books := clusterPageInfos(corpus.GenerateBooks(corpus.DefaultBookProfile(12, 20)))
+	r := cluster.NewRouter(0)
+	r.Register("movies", cluster.SignatureOf(movies[:10]))
+	r.Register("books", cluster.SignatureOf(books[:10]))
+
+	// Both content shapes arrive under one shared pattern.
+	const sharedURI = "http://mixed.example/page/123"
+	fpCalls := 0
+	route := func(p cluster.PageInfo) (cluster.Route, bool) {
+		return r.RouteLazy(sharedURI, func() cluster.Features {
+			fpCalls++
+			f := cluster.Fingerprint(p)
+			f.Host = "mixed.example"
+			return f
+		})
+	}
+	route(movies[10]) // learns pattern → movies
+	// A run of books pages under the learned pattern is misrouted at most
+	// until the next sampled verification, which sees a books fingerprint
+	// win and marks the pattern ambiguous.
+	for i := 0; i < 32; i++ {
+		route(books[10+i%10])
+	}
+	before := fpCalls
+	for i := 0; i < 10; i++ {
+		if got, ok := route(books[10+i%10]); !ok || got.Name != "books" {
+			t.Fatalf("ambiguous pattern: books page %d routed to %q ok=%v", i, got.Name, ok)
+		}
+		if got, ok := route(movies[10+i%10]); !ok || got.Name != "movies" {
+			t.Fatalf("ambiguous pattern: movies page %d routed to %q ok=%v", i, got.Name, ok)
+		}
+	}
+	if fpCalls != before+20 {
+		t.Errorf("ambiguous pattern still fast-routing: %d fingerprints for 20 pages", fpCalls-before)
+	}
+}

@@ -32,6 +32,34 @@ type Signature struct {
 	// URLPatterns counts pages per normalized path pattern (segments
 	// joined by '/', digit runs collapsed to '#').
 	URLPatterns map[string]int `json:"urlPatterns,omitempty"`
+
+	// Cached Σcount over Tags/Keywords, so weightedJaccard is a single
+	// pass over the (small) page set instead of also walking the (up to
+	// maxSignatureFeatures) signature map per match. Maintained by
+	// Add/Clone/UnmarshalJSON; totalsValid is false for hand-constructed
+	// literals, which fall back to summing on the fly without mutating
+	// (Match may run under a shared read lock).
+	tagsTotal     int
+	keywordsTotal int
+	totalsValid   bool
+}
+
+func sumCounts(m map[string]int) int {
+	total := 0
+	for _, c := range m {
+		total += c
+	}
+	return total
+}
+
+// ensureTotals (re)establishes the cached sums. Only call from mutating
+// methods, which callers already serialize.
+func (s *Signature) ensureTotals() {
+	if !s.totalsValid {
+		s.tagsTotal = sumCounts(s.Tags)
+		s.keywordsTotal = sumCounts(s.Keywords)
+		s.totalsValid = true
+	}
 }
 
 // NewSignature returns an empty signature.
@@ -124,21 +152,25 @@ func (s *Signature) Add(f Features) {
 	if s.URLPatterns == nil {
 		s.URLPatterns = map[string]int{}
 	}
+	s.ensureTotals()
 	s.Pages++
 	for t := range cleanSet(f.TagShingles) {
 		s.Tags[t]++
+		s.tagsTotal++
 	}
 	for k := range cleanSet(f.Keywords) {
 		s.Keywords[k]++
+		s.keywordsTotal++
 	}
 	s.URLPatterns[joinPattern(cleanSegs(f.URLPattern))]++
-	trimRarest(s.Tags, maxSignatureFeatures)
-	trimRarest(s.Keywords, maxSignatureFeatures)
+	s.tagsTotal -= trimRarest(s.Tags, maxSignatureFeatures)
+	s.keywordsTotal -= trimRarest(s.Keywords, maxSignatureFeatures)
 	trimRarest(s.URLPatterns, maxSignatureFeatures)
 }
 
-// trimRarest drops lowest-count entries until the map fits the cap.
-func trimRarest(m map[string]int, cap int) {
+// trimRarest drops lowest-count entries until the map fits the cap,
+// reporting the total count removed so callers can adjust cached sums.
+func trimRarest(m map[string]int, cap int) (removed int) {
 	for len(m) > cap {
 		minK, minN := "", 0
 		for k, n := range m {
@@ -147,7 +179,9 @@ func trimRarest(m map[string]int, cap int) {
 			}
 		}
 		delete(m, minK)
+		removed += minN
 	}
+	return removed
 }
 
 // joinPattern renders a normalized segment list as one pattern key.
@@ -212,32 +246,31 @@ func (s *Signature) matchClean(f Features, w Weights) float64 {
 	if total == 0 {
 		return 0
 	}
-	score := w.Structure * weightedJaccard(f.TagShingles, s.Tags, s.Pages)
+	tagsTotal, kwTotal := s.tagsTotal, s.keywordsTotal
+	if !s.totalsValid {
+		tagsTotal, kwTotal = sumCounts(s.Tags), sumCounts(s.Keywords)
+	}
+	score := w.Structure * weightedJaccard(f.TagShingles, s.Tags, tagsTotal, s.Pages)
 	score += w.URL * s.patternSimilarity(f.URLPattern)
-	score += w.Keywords * weightedJaccard(f.Keywords, s.Keywords, s.Pages)
+	score += w.Keywords * weightedJaccard(f.Keywords, s.Keywords, kwTotal, s.Pages)
 	return score / total
 }
 
 // weightedJaccard compares a page's feature set (each feature weight 1)
 // against a signature's frequency profile (each feature weight count/n):
-// Σ min / Σ max over the union.
-func weightedJaccard(page map[string]struct{}, sig map[string]int, n int) float64 {
+// Σ min / Σ max over the union. sigTotal is Σ counts over sig, so only the
+// page's features are walked: the signature-only mass is sigTotal minus
+// the overlap.
+func weightedJaccard(page map[string]struct{}, sig map[string]int, sigTotal, n int) float64 {
 	if len(page) == 0 && len(sig) == 0 {
 		return 1
 	}
-	var num, den float64
+	overlap := 0
 	for feat := range page {
-		freq := float64(sig[feat]) / float64(n)
-		// page weight 1: min = freq, max = 1.
-		num += freq
-		den += 1
+		overlap += sig[feat]
 	}
-	for feat, c := range sig {
-		if _, ok := page[feat]; ok {
-			continue // already counted
-		}
-		den += float64(c) / float64(n)
-	}
+	num := float64(overlap) / float64(n)
+	den := float64(len(page)) + float64(sigTotal-overlap)/float64(n)
 	if den == 0 {
 		return 0
 	}
@@ -271,6 +304,10 @@ func (s *Signature) Clone() *Signature {
 		Tags:        make(map[string]int, len(s.Tags)),
 		Keywords:    make(map[string]int, len(s.Keywords)),
 		URLPatterns: make(map[string]int, len(s.URLPatterns)),
+
+		tagsTotal:     s.tagsTotal,
+		keywordsTotal: s.keywordsTotal,
+		totalsValid:   s.totalsValid,
 	}
 	for k, v := range s.Tags {
 		out.Tags[k] = v
@@ -354,5 +391,6 @@ func (s *Signature) UnmarshalJSON(data []byte) error {
 		Keywords:    toMap(raw.Keywords),
 		URLPatterns: toMap(raw.URLPatterns),
 	}
+	s.ensureTotals()
 	return s.Validate()
 }

@@ -132,7 +132,7 @@ func Check(r rule.Rule, sample Sample, o Oracle) (CheckReport, error) {
 	rep := CheckReport{Component: r.Name}
 	for _, p := range sample {
 		expected := o.Select(r.Name, p)
-		got := compiled.ApplyAll(p.Doc)
+		got := compiled.ApplyAll(p.Document())
 		verdict := classify(got, expected)
 		if verdict == VerdictMatch && r.Multiplicity == rule.SingleValued && len(expected) > 1 {
 			// The locations retrieve every instance, but the rule still

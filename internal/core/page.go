@@ -7,14 +7,60 @@ import (
 )
 
 // Page is one Web page of a cluster: its URI and parsed document.
+//
+// A page constructed with NewPage is parsed eagerly (Doc is always set); a
+// page constructed with NewPageLazy carries only the raw source and parses
+// on the first Document call. Lazy pages keep the ingest hot path DOM-free:
+// the streaming extractor and the streaming feature builder work straight
+// from Source, and a tree is only materialized when some consumer
+// genuinely needs one (general XPath fallback, induction capture, page
+// rendering).
 type Page struct {
 	URI string
 	Doc *dom.Node
+
+	src     string
+	lazy    bool
+	onParse func(*dom.Node)
 }
 
 // NewPage parses src into a Page.
 func NewPage(uri, src string) *Page {
 	return &Page{URI: uri, Doc: dom.Parse(src)}
+}
+
+// NewPageLazy returns a Page holding the raw source without parsing it.
+// Doc stays nil until Document is called.
+func NewPageLazy(uri, src string) *Page {
+	return &Page{URI: uri, src: src, lazy: true}
+}
+
+// Source returns the raw HTML the page was constructed from and whether it
+// is available (only lazy pages retain their source).
+func (p *Page) Source() (string, bool) {
+	return p.src, p.lazy
+}
+
+// SetOnParse registers a hook invoked (at most once) when a lazy page is
+// actually parsed by Document. The service layer uses it to admit the tree
+// into the page cache only when a parse really happened, so stream-path
+// extractions stop paying cache insertions for trees nobody built.
+func (p *Page) SetOnParse(fn func(*dom.Node)) {
+	p.onParse = fn
+}
+
+// Document returns the parsed tree, materializing it on first use for lazy
+// pages. For non-lazy pages it simply returns Doc (which may be nil for
+// placeholder pages on pipeline error paths — those never carry source).
+func (p *Page) Document() *dom.Node {
+	if p.Doc == nil && p.lazy {
+		p.Doc = dom.Parse(p.src)
+		if p.onParse != nil {
+			p.onParse(p.Doc)
+			p.onParse = nil
+		}
+	}
+	return p.Doc
 }
 
 // Oracle supplies the human contribution of the Retrozilla scenario: given

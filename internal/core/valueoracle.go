@@ -47,7 +47,7 @@ func ValueOracle(lookup func(uri string) map[string][]string) Oracle {
 		}
 
 		var exact []*dom.Node
-		dom.Walk(p.Doc, func(n *dom.Node) bool {
+		dom.Walk(p.Document(), func(n *dom.Node) bool {
 			if n.Type == dom.TextNode && want[textutil.NormalizeSpace(n.Data)] {
 				exact = append(exact, n)
 			}
@@ -62,7 +62,7 @@ func ValueOracle(lookup func(uri string) map[string][]string) Oracle {
 		// each chain — ancestors of a match carry the same string value
 		// when the value is their only content.
 		var elems []*dom.Node
-		dom.Walk(p.Doc, func(n *dom.Node) bool {
+		dom.Walk(p.Document(), func(n *dom.Node) bool {
 			if n.Type != dom.ElementNode {
 				return true
 			}
@@ -83,7 +83,7 @@ func ValueOracle(lookup func(uri string) map[string][]string) Oracle {
 		// text node. Require some length so a short fragment does not match
 		// half the page.
 		var within []*dom.Node
-		dom.Walk(p.Doc, func(n *dom.Node) bool {
+		dom.Walk(p.Document(), func(n *dom.Node) bool {
 			if n.Type != dom.TextNode {
 				return true
 			}

@@ -3,6 +3,7 @@ package dom
 import (
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // namedEntities covers the named character references that occur in
@@ -88,6 +89,33 @@ func UnescapeEntities(s string) string {
 		i += width
 	}
 	return b.String()
+}
+
+// AppendUnescapedEntities appends the entity-decoded form of s to dst and
+// returns the extended slice. The decoding semantics are byte-identical to
+// UnescapeEntities; the append form lets streaming consumers decode into a
+// reusable buffer without per-call allocation.
+func AppendUnescapedEntities(dst []byte, s string) []byte {
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			j := strings.IndexByte(s[i:], '&')
+			if j < 0 {
+				return append(dst, s[i:]...)
+			}
+			dst = append(dst, s[i:i+j]...)
+			i += j
+			continue
+		}
+		r, width, ok := decodeEntity(s[i:])
+		if !ok {
+			dst = append(dst, '&')
+			i++
+			continue
+		}
+		dst = utf8.AppendRune(dst, r)
+		i += width
+	}
+	return dst
 }
 
 // decodeEntity decodes one character reference at the start of s

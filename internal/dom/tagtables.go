@@ -1,0 +1,10 @@
+package dom
+
+// ParserTagTables exposes the parser's tag-classification tables to
+// consumers that simulate the parser's stack discipline directly over the
+// token stream (internal/streamx) without duplicating — and silently
+// drifting from — the tree-builder's behaviour. The returned maps are the
+// parser's own: callers must treat them as read-only.
+func ParserTagTables() (void, head, tableScope, rawText map[string]bool, closed map[string]map[string]bool) {
+	return voidTags, headTags, tableScoped, rawTextTags, closedBy
+}

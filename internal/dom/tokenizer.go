@@ -22,9 +22,18 @@ const (
 type Token struct {
 	Type TokenType
 	// Data is the tag name (upper-cased) for tag tokens, the decoded text
-	// for text tokens, and the raw content for comments/doctypes.
+	// for text tokens, and the raw content for comments/doctypes. In lazy
+	// mode tag names keep their source case and text is left undecoded.
 	Data string
 	Attr []Attribute
+	// Start and End delimit the raw source bytes the token was scanned
+	// from: src[Start:End] is exactly the input consumed to produce it.
+	// For text tokens this is always the undecoded span, so a consumer
+	// that wants to decode entities itself can slice the source; for tag
+	// tokens Start sits on the opening '<'. A synthetic token (the
+	// EndTagToken emitted for an unterminated raw-text element, or
+	// ErrorToken at EOF) has Start == End.
+	Start, End int
 }
 
 // Tokenizer scans an HTML document into tokens. It never returns an error
@@ -35,13 +44,35 @@ type Tokenizer struct {
 	src string
 	pos int
 	// rawTag, when non-empty, is the element whose raw text content is
-	// being consumed (SCRIPT, STYLE, TEXTAREA, TITLE, XMP).
+	// being consumed (SCRIPT, STYLE, TEXTAREA, TITLE, XMP). It is always
+	// the canonical upper-cased name, even in lazy mode.
 	rawTag string
+	// lazy suppresses all per-token allocation: tag names keep their
+	// source case (callers fold them), text Data stays entity-encoded,
+	// and attributes are scanned for structure but not materialized.
+	// Byte offsets are exact either way.
+	lazy bool
 }
 
 // NewTokenizer returns a Tokenizer reading from src.
 func NewTokenizer(src string) *Tokenizer {
 	return &Tokenizer{src: src}
+}
+
+// ResetLazy reinitializes the tokenizer to scan src in lazy mode, reusing
+// the receiver so scanners held in per-run scratch state allocate nothing.
+func (z *Tokenizer) ResetLazy(src string) {
+	*z = Tokenizer{src: src, lazy: true}
+}
+
+// NewLazyTokenizer returns a Tokenizer in lazy mode: Data fields are raw
+// slices of src (tag names unfolded, text undecoded) and Attr is never
+// populated. Token boundaries, types, and raw-text element handling are
+// byte-identical to the eager tokenizer; only the materialization of
+// Data/Attr differs. Consumers use Token.Start/End to slice src and decode
+// only what they need.
+func NewLazyTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src, lazy: true}
 }
 
 var rawTextTags = map[string]bool{
@@ -58,11 +89,39 @@ var rawTextLower = func() map[string]string {
 	return m
 }()
 
+// canonicalRawTag reports the canonical upper-cased raw-text tag name for
+// name compared ASCII case-insensitively, or "" if name is not a raw-text
+// tag. Allocation-free (unlike ToUpper + map lookup).
+func canonicalRawTag(name string) string {
+	switch len(name) {
+	case 3:
+		if foldEqualASCII(name, "xmp") {
+			return "XMP"
+		}
+	case 5:
+		if foldEqualASCII(name, "style") {
+			return "STYLE"
+		}
+		if foldEqualASCII(name, "title") {
+			return "TITLE"
+		}
+	case 6:
+		if foldEqualASCII(name, "script") {
+			return "SCRIPT"
+		}
+	case 8:
+		if foldEqualASCII(name, "textarea") {
+			return "TEXTAREA"
+		}
+	}
+	return ""
+}
+
 // Next returns the next token. After the input is exhausted it returns
 // a Token with Type ErrorToken forever.
 func (z *Tokenizer) Next() Token {
 	if z.pos >= len(z.src) {
-		return Token{Type: ErrorToken}
+		return Token{Type: ErrorToken, Start: len(z.src), End: len(z.src)}
 	}
 	if z.rawTag != "" {
 		return z.nextRawText()
@@ -101,9 +160,13 @@ func (z *Tokenizer) findNextLT(from int) int {
 }
 
 func (z *Tokenizer) textUpTo(end int) Token {
-	t := Token{Type: TextToken, Data: UnescapeEntities(z.src[z.pos:end])}
+	start := z.pos
+	data := z.src[start:end]
+	if !z.lazy {
+		data = UnescapeEntities(data)
+	}
 	z.pos = end
-	return t
+	return Token{Type: TextToken, Data: data, Start: start, End: end}
 }
 
 func (z *Tokenizer) nextText() Token {
@@ -120,11 +183,13 @@ func (z *Tokenizer) nextRawText() Token {
 	tag := z.rawTag
 	if idx < 0 {
 		// Unterminated raw element: consume to EOF.
-		t := Token{Type: TextToken, Data: z.src[z.pos:]}
+		start := z.pos
+		t := Token{Type: TextToken, Data: z.src[start:], Start: start, End: len(z.src)}
 		z.pos = len(z.src)
 		z.rawTag = ""
 		if t.Data == "" {
-			return Token{Type: EndTagToken, Data: tag}
+			// Synthetic close for "<title>" at EOF: no source bytes back it.
+			return Token{Type: EndTagToken, Data: tag, Start: start, End: start}
 		}
 		return t
 	}
@@ -133,7 +198,8 @@ func (z *Tokenizer) nextRawText() Token {
 		z.rawTag = ""
 		return z.nextEndTag()
 	}
-	t := Token{Type: TextToken, Data: z.src[z.pos : z.pos+idx]}
+	start := z.pos
+	t := Token{Type: TextToken, Data: z.src[start : start+idx], Start: start, End: start + idx}
 	z.pos += idx
 	z.rawTag = ""
 	return t
@@ -198,38 +264,44 @@ func foldEqualASCII(a, b string) bool {
 }
 
 func (z *Tokenizer) nextComment() Token {
+	tokStart := z.pos
 	start := z.pos + 4 // skip <!--
 	end := strings.Index(z.src[start:], "-->")
 	if end < 0 {
-		t := Token{Type: CommentToken, Data: z.src[start:]}
+		t := Token{Type: CommentToken, Data: z.src[start:], Start: tokStart, End: len(z.src)}
 		z.pos = len(z.src)
 		return t
 	}
-	t := Token{Type: CommentToken, Data: z.src[start : start+end]}
+	t := Token{Type: CommentToken, Data: z.src[start : start+end], Start: tokStart, End: start + end + 3}
 	z.pos = start + end + 3
 	return t
 }
 
 func (z *Tokenizer) nextDoctype() Token {
+	tokStart := z.pos
 	start := z.pos + 2 // skip <!
 	end := strings.IndexByte(z.src[start:], '>')
 	if end < 0 {
-		t := Token{Type: DoctypeToken, Data: z.src[start:]}
+		t := Token{Type: DoctypeToken, Data: z.src[start:], Start: tokStart, End: len(z.src)}
 		z.pos = len(z.src)
 		return t
 	}
-	t := Token{Type: DoctypeToken, Data: z.src[start : start+end]}
+	t := Token{Type: DoctypeToken, Data: z.src[start : start+end], Start: tokStart, End: start + end + 1}
 	z.pos = start + end + 1
 	return t
 }
 
 func (z *Tokenizer) nextEndTag() Token {
+	tokStart := z.pos
 	i := z.pos + 2 // skip </
 	j := i
 	for j < len(z.src) && isNameByte(z.src[j]) {
 		j++
 	}
-	name := strings.ToUpper(z.src[i:j])
+	name := z.src[i:j]
+	if !z.lazy {
+		name = strings.ToUpper(name)
+	}
 	// Skip to closing '>'.
 	k := strings.IndexByte(z.src[j:], '>')
 	if k < 0 {
@@ -242,7 +314,7 @@ func (z *Tokenizer) nextEndTag() Token {
 		// by recursing to the next token.
 		return z.Next()
 	}
-	return Token{Type: EndTagToken, Data: name}
+	return Token{Type: EndTagToken, Data: name, Start: tokStart, End: z.pos}
 }
 
 func isNameByte(c byte) bool {
@@ -251,23 +323,35 @@ func isNameByte(c byte) bool {
 }
 
 func (z *Tokenizer) nextStartTag() Token {
+	tokStart := z.pos
 	i := z.pos + 1
 	j := i
 	for j < len(z.src) && isNameByte(z.src[j]) {
 		j++
 	}
-	name := strings.ToUpper(z.src[i:j])
-	tok := Token{Type: StartTagToken, Data: name}
+	name := z.src[i:j]
+	if !z.lazy {
+		name = strings.ToUpper(name)
+	}
+	tok := Token{Type: StartTagToken, Data: name, Start: tokStart}
 	z.pos = j
 	z.parseAttrs(&tok)
-	if rawTextTags[name] && tok.Type == StartTagToken {
-		z.rawTag = name
+	tok.End = z.pos
+	if tok.Type == StartTagToken {
+		if z.lazy {
+			if canon := canonicalRawTag(name); canon != "" {
+				z.rawTag = canon
+			}
+		} else if rawTextTags[name] {
+			z.rawTag = name
+		}
 	}
 	return tok
 }
 
 // parseAttrs consumes attributes and the tag terminator ('>' or '/>'),
-// setting tok.Type to SelfClosingTagToken for the latter.
+// setting tok.Type to SelfClosingTagToken for the latter. In lazy mode the
+// same bytes are consumed but no Attribute values are materialized.
 func (z *Tokenizer) parseAttrs(tok *Token) {
 	for {
 		z.skipSpace()
@@ -295,6 +379,14 @@ func (z *Tokenizer) parseAttrs(tok *Token) {
 			continue
 		}
 		z.skipSpace()
+		if z.lazy {
+			if z.pos < len(z.src) && z.src[z.pos] == '=' {
+				z.pos++
+				z.skipSpace()
+				z.skipAttrValue()
+			}
+			continue
+		}
 		val := ""
 		if z.pos < len(z.src) && z.src[z.pos] == '=' {
 			z.pos++
@@ -356,4 +448,32 @@ func (z *Tokenizer) readAttrValue() string {
 		z.pos++
 	}
 	return UnescapeEntities(z.src[start:z.pos])
+}
+
+// skipAttrValue consumes an attribute value exactly like readAttrValue but
+// materializes nothing. The byte-consumption rules must match: quoted
+// values run to the matching quote (or EOF), unquoted values to whitespace
+// or '>'.
+func (z *Tokenizer) skipAttrValue() {
+	if z.pos >= len(z.src) {
+		return
+	}
+	quote := z.src[z.pos]
+	if quote == '"' || quote == '\'' {
+		z.pos++
+		end := strings.IndexByte(z.src[z.pos:], quote)
+		if end < 0 {
+			z.pos = len(z.src)
+			return
+		}
+		z.pos += end + 1
+		return
+	}
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '>' || c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' {
+			break
+		}
+		z.pos++
+	}
 }

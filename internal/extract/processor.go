@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/rule"
+	"repro/internal/streamx"
 	"repro/internal/textutil"
 	"repro/internal/xpath"
 )
@@ -71,15 +72,56 @@ type Processor struct {
 	post   map[string]Postprocessor
 
 	compiled map[string]*rule.Compiled
+
+	// stream is the whole repository compiled into one token-stream
+	// automaton (nil when any location needs the general evaluator;
+	// streamReason says why). scratch pools per-goroutine execution state.
+	stream       *streamx.Program
+	streamReason string
+	scratch      sync.Pool
 }
 
-// NewProcessor compiles the repository's rules.
+// StreamInfo reports which extraction path served a page.
+type StreamInfo struct {
+	// Attempted is true when the streaming automaton ran (even if it bailed
+	// out mid-page).
+	Attempted bool
+	// Hit is true when the streaming result was used — no DOM was built.
+	Hit bool
+	// Reason, when Hit is false, names why the page fell back to parse+DOM:
+	// a Compile reason (e.g. "general-xpath"), "no-source" (eager page
+	// without retained HTML), "parsed-doc" (a tree already existed, so the
+	// automaton would only duplicate work), or "depth" (runtime bail).
+	Reason string
+}
+
+// Fallback reasons owned by the extract layer (compile-time reasons come
+// from streamx.Compile).
+const (
+	StreamReasonNoSource  = "no-source"
+	StreamReasonParsedDoc = "parsed-doc"
+	StreamReasonDepth     = "depth"
+)
+
+// NewProcessor compiles the repository's rules — both the per-rule DOM
+// form and, when every location is stream-eligible, the single streaming
+// automaton the hot path executes instead of parsing.
 func NewProcessor(repo *rule.Repository) (*Processor, error) {
 	compiled, err := repo.CompileAll()
 	if err != nil {
 		return nil, err
 	}
-	return &Processor{Repo: repo, post: map[string]Postprocessor{}, compiled: compiled}, nil
+	p := &Processor{Repo: repo, post: map[string]Postprocessor{}, compiled: compiled}
+	ordered := make([]*rule.Compiled, len(repo.Rules))
+	for i, r := range repo.Rules {
+		ordered[i] = compiled[r.Name]
+	}
+	p.stream, p.streamReason = streamx.Compile(ordered)
+	if p.stream != nil {
+		prog := p.stream
+		p.scratch.New = func() any { return prog.NewScratch() }
+	}
+	return p, nil
 }
 
 // SetPost registers (or clears, with a nil fn) the post-processor for a
@@ -129,38 +171,139 @@ func (p *Processor) ExtractPage(page *core.Page) (*Element, []Failure) {
 // map to harvest last-known-good values without reverse-engineering the
 // (possibly aggregated) element structure.
 func (p *Processor) ExtractPageValues(page *core.Page) (*Element, map[string][]string, []Failure) {
-	p.Freeze()
-	el := NewElement(p.Repo.PageElementName())
-	el.SetAttr("uri", page.URI)
-	var failures []Failure
+	el, values, failures, _ := p.ExtractPageValuesInfo(page)
+	return el, values, failures
+}
 
+// ExtractPageValuesInfo is ExtractPageValues reporting additionally which
+// extraction path served the page. Lazy pages (core.NewPageLazy) whose
+// repository compiled to a streaming automaton are extracted straight from
+// the token stream — results are byte-identical to the DOM path (values,
+// failures, aggregate XML), a guarantee the differential fuzz test pins.
+func (p *Processor) ExtractPageValuesInfo(page *core.Page) (*Element, map[string][]string, []Failure, StreamInfo) {
+	p.Freeze()
+	var info StreamInfo
+	src, lazy := page.Source()
+	switch {
+	case p.stream == nil:
+		info.Reason = p.streamReason
+	case page.Doc != nil:
+		// A tree already exists (page-cache hit or eager page): streaming
+		// would only redo work the parse already paid for.
+		info.Reason = StreamReasonParsedDoc
+	case !lazy:
+		info.Reason = StreamReasonNoSource
+	default:
+		info.Attempted = true
+		sc := p.scratch.Get().(*streamx.Scratch)
+		if err := p.stream.Run(sc, src); err != nil {
+			p.scratch.Put(sc)
+			info.Reason = StreamReasonDepth
+			break
+		}
+		el, values, failures := p.assembleStream(page.URI, sc)
+		p.scratch.Put(sc)
+		info.Hit = true
+		return el, values, failures, info
+	}
+	el, values, failures := p.extractDOM(page)
+	return el, values, failures, info
+}
+
+// ExtractPageStream extracts straight from raw HTML, taking the streaming
+// path whenever the repository allows it (StreamInfo says whether it did).
+func (p *Processor) ExtractPageStream(uri, src string) (*Element, []Failure, StreamInfo) {
+	el, _, failures, info := p.ExtractPageValuesInfo(core.NewPageLazy(uri, src))
+	return el, failures, info
+}
+
+// extractDOM is the general path: evaluate each compiled rule against the
+// parsed tree (materializing it for lazy pages).
+func (p *Processor) extractDOM(page *core.Page) (*Element, map[string][]string, []Failure) {
+	doc := page.Document()
+	var failures []Failure
 	values := map[string][]string{}
 	for _, r := range p.Repo.Rules {
 		c := p.compiled[r.Name]
-		nodes := c.ApplyAll(page.Doc)
+		nodes := c.ApplyAll(doc)
 		if len(nodes) == 0 {
 			if r.Optionality == rule.Mandatory {
-				failures = append(failures, Failure{
-					PageURI: page.URI, Component: r.Name,
-					Kind:   FailureMissingMandatory,
-					Detail: "no node matched any location",
-				})
+				failures = append(failures, p.missingFailure(page.URI, r.Name))
 			}
 			continue
 		}
 		if r.Multiplicity == rule.SingleValued && len(nodes) > 1 {
-			failures = append(failures, Failure{
-				PageURI: page.URI, Component: r.Name,
-				Kind:   FailureMultipleValues,
-				Detail: fmt.Sprintf("%d nodes matched a single-valued component", len(nodes)),
-			})
+			failures = append(failures, p.multipleFailure(page.URI, r.Name, len(nodes)))
 			nodes = nodes[:1]
 		}
 		for _, n := range nodes {
 			values[r.Name] = append(values[r.Name], p.values(c, n)...)
 		}
 	}
+	return p.assemble(page.URI, values), values, failures
+}
 
+// assembleStream reads the automaton's captures with exactly the DOM
+// path's semantics: location priority, mandatory/multiple failure
+// detection, single-valued truncation, value rendering in document order.
+func (p *Processor) assembleStream(uri string, sc *streamx.Scratch) (*Element, map[string][]string, []Failure) {
+	var failures []Failure
+	values := map[string][]string{}
+	for i, r := range p.Repo.Rules {
+		c := p.compiled[r.Name]
+		n := sc.RuleMatches(i)
+		if n == 0 {
+			if r.Optionality == rule.Mandatory {
+				failures = append(failures, p.missingFailure(uri, r.Name))
+			}
+			continue
+		}
+		maxVals := -1
+		want := n
+		if r.Multiplicity == rule.SingleValued && n > 1 {
+			failures = append(failures, p.multipleFailure(uri, r.Name, n))
+			maxVals, want = 1, 1
+		}
+		if !c.HasRefinement() && p.post[r.Name] == nil {
+			// Unrefined rule: each capture is exactly one value, so the
+			// slice is sized up front and the only string materialized per
+			// value is the normalized one, straight out of the scratch
+			// arena.
+			vals := make([]string, 0, want)
+			sc.RuleValues(i, maxVals, func(raw []byte) {
+				vals = append(vals, textutil.NormalizeSpaceBytes(raw))
+			})
+			values[r.Name] = vals
+			continue
+		}
+		sc.RuleValues(i, maxVals, func(raw []byte) {
+			values[r.Name] = append(values[r.Name], p.refinedValues(c, textutil.NormalizeSpaceBytes(raw))...)
+		})
+	}
+	return p.assemble(uri, values), values, failures
+}
+
+func (p *Processor) missingFailure(uri, component string) Failure {
+	return Failure{
+		PageURI: uri, Component: component,
+		Kind:   FailureMissingMandatory,
+		Detail: "no node matched any location",
+	}
+}
+
+func (p *Processor) multipleFailure(uri, component string, n int) Failure {
+	return Failure{
+		PageURI: uri, Component: component,
+		Kind:   FailureMultipleValues,
+		Detail: fmt.Sprintf("%d nodes matched a single-valued component", n),
+	}
+}
+
+// assemble builds the page element from the flat value map — shared by
+// both extraction paths so the aggregate XML cannot diverge between them.
+func (p *Processor) assemble(uri string, values map[string][]string) *Element {
+	el := NewElement(p.Repo.PageElementName())
+	el.SetAttr("uri", uri)
 	if len(p.Repo.Structure) > 0 {
 		for _, sn := range p.Repo.Structure {
 			buildStructured(el, sn, values)
@@ -174,7 +317,7 @@ func (p *Processor) ExtractPageValues(page *core.Page) (*Element, map[string][]s
 			}
 		}
 	}
-	return el, values, failures
+	return el
 }
 
 // buildStructured emits the enhanced nested structure recorded in the
@@ -201,8 +344,20 @@ func buildStructured(parent *Element, sn rule.StructureNode, values map[string][
 // whitespace normalization, then the rule's intra-node refinement (§7
 // regex/split extension), then any registered post-processor.
 func (p *Processor) values(c *rule.Compiled, n *dom.Node) []string {
-	raw := textutil.NormalizeSpace(xpath.NodeStringValue(n))
-	vals := c.RefineValue(raw)
+	return p.valuesFromRaw(c, xpath.NodeStringValue(n))
+}
+
+// valuesFromRaw is values for an already-rendered node string value (the
+// streaming path captures exactly xpath.NodeStringValue's rendering: text
+// node data, or the concatenated subtree text of an element).
+func (p *Processor) valuesFromRaw(c *rule.Compiled, raw string) []string {
+	return p.refinedValues(c, textutil.NormalizeSpace(raw))
+}
+
+// refinedValues applies the rule's intra-node refinement and any
+// registered post-processor to an already-normalized node string value.
+func (p *Processor) refinedValues(c *rule.Compiled, norm string) []string {
+	vals := c.RefineValue(norm)
 	if post := p.post[c.Name]; post != nil {
 		for i := range vals {
 			vals[i] = post(vals[i])

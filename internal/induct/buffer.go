@@ -175,7 +175,11 @@ func (b *UnroutedBuffer) Add(p *core.Page) (string, bool) {
 // the page; the bucket remembers the latest one so induction jobs can
 // name the traffic that triggered them.
 func (b *UnroutedBuffer) AddTraced(p *core.Page, trace string) (string, bool) {
-	if p == nil || p.Doc == nil {
+	if p == nil || p.Document() == nil {
+		// Induction needs the tree (candidate paths are computed on
+		// nodes), so lazy captures materialize here — off the routed
+		// hot path by construction: only unrouted pages land in the
+		// buffer.
 		return "", false
 	}
 	size := approxPageSize(p.Doc)

@@ -74,8 +74,15 @@ func (m *Monitor) ExportState() *MonitorState {
 		ss := SampleState{
 			URI: uri, Failing: s.Failing, Failures: s.Failures, Seq: s.seq,
 		}
-		if s.Page != nil && s.Page.Doc != nil {
-			ss.HTML = dom.Render(s.Page.Doc)
+		if s.Page != nil {
+			if src, lazy := s.Page.Source(); lazy && s.Page.Doc == nil {
+				// Stream-extracted samples still carry their raw HTML;
+				// snapshotting it avoids parsing every sampled page just
+				// to re-serialize the tree.
+				ss.HTML = src
+			} else if s.Page.Doc != nil {
+				ss.HTML = dom.Render(s.Page.Doc)
+			}
 		}
 		if len(s.Golden) > 0 {
 			ss.Golden = make(map[string][]string, len(s.Golden))

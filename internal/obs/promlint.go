@@ -201,6 +201,9 @@ type LintOptions struct {
 var DefaultAllowedLabels = []string{
 	"endpoint", "kind", "event", "outcome", "stage", "state",
 	"repo", "version", "active", "le", "goversion", "revision",
+	// reason: streaming-extraction fallback reasons. Bounded by the
+	// fixed set of compile refusals plus the three runtime reasons.
+	"reason",
 	// host: per-host fetch outcomes and breaker states. Bounded by the
 	// set of origins the operator points extractd at, not by traffic.
 	"host",

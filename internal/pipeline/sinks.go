@@ -38,7 +38,7 @@ func NewPagesDirSink(dir, clusterName string) (*PagesDirSink, error) {
 // Emit implements Sink. Items with page-level errors are skipped (a
 // failed fetch has no page to save).
 func (s *PagesDirSink) Emit(it *Item) error {
-	if it.Err != nil || it.Page == nil || it.Page.Doc == nil {
+	if it.Err != nil || it.Page == nil || it.Page.Document() == nil {
 		return nil
 	}
 	file := fmt.Sprintf("page%03d.html", s.n)
@@ -72,7 +72,7 @@ func NewPageNDJSONSink(w io.Writer) *PageNDJSONSink {
 
 // Emit implements Sink.
 func (s *PageNDJSONSink) Emit(it *Item) error {
-	if it.Err != nil || it.Page == nil || it.Page.Doc == nil {
+	if it.Err != nil || it.Page == nil || it.Page.Document() == nil {
 		return nil
 	}
 	if err := s.enc.Encode(PageLine{URI: it.Page.URI, HTML: dom.Render(it.Page.Doc)}); err != nil {

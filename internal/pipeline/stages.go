@@ -8,15 +8,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/rule"
+	"repro/internal/streamx"
 )
 
 // RouteWith adapts a cluster.Router into the Classify stage: each page is
-// fingerprinted and routed to the best-matching registered repository; a
-// page below the routing threshold fails with ErrUnrouted (wrapped with
-// the near-miss diagnostics).
+// routed to the best-matching registered repository; a page below the
+// routing threshold fails with ErrUnrouted (wrapped with the near-miss
+// diagnostics).
 func RouteWith(r *cluster.Router) Classifier {
 	return ClassifierFunc(func(p *core.Page) (string, float64, error) {
-		route, ok := r.RoutePage(cluster.PageInfo{URI: p.URI, Doc: p.Doc})
+		// Learned URL patterns route without touching the page content;
+		// only pattern misses and sampled verifications fingerprint — and
+		// lazy pages do that straight off their token stream, no tree.
+		route, ok := r.RouteLazy(p.URI, func() cluster.Features { return streamx.FingerprintPage(p) })
 		if !ok {
 			if route.Name != "" {
 				return "", route.Score, fmt.Errorf("%w (best %q at %.2f)", ErrUnrouted, route.Name, route.Score)

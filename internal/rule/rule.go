@@ -169,11 +169,26 @@ func (r *Rule) Compile() (*Compiled, error) {
 	return c, nil
 }
 
+// HasRefinement reports whether the rule carries an intra-node refinement
+// (pattern or split). Extraction fast paths pass unrefined values through
+// without the per-value slice RefineValue would build.
+func (c *Compiled) HasRefinement() bool {
+	return c.refine != nil
+}
+
 // RefineValue applies the rule's intra-node refinement (§7 extension) to
 // one located raw value, returning the final component value(s). Rules
 // without a refinement pass the value through unchanged.
 func (c *Compiled) RefineValue(raw string) []string {
 	return c.refine.apply(raw)
+}
+
+// Paths exposes the compiled location paths in priority order (the order
+// Apply/ApplyAll consult them). The streaming extractor uses this to
+// compile every alternative location of every component into one
+// automaton; callers must not mutate the slice.
+func (c *Compiled) Paths() []*xpath.Compiled {
+	return c.paths
 }
 
 // Apply evaluates the rule against a document, returning the selected

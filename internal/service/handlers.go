@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dom"
 	"repro/internal/extract"
 	"repro/internal/induct"
 	"repro/internal/lifecycle"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/resilient"
 	"repro/internal/rule"
 	"repro/internal/store"
+	"repro/internal/streamx"
 	"repro/internal/webfetch"
 )
 
@@ -622,7 +624,8 @@ func (s *Server) routePage(ctx context.Context, page *core.Page) (*RepoEntry, fl
 		return nil, 0, errf(http.StatusBadRequest,
 			"repo parameter required (no routable repositories loaded)")
 	}
-	route, ok := s.Router.RoutePage(cluster.PageInfo{URI: page.URI, Doc: page.Doc})
+	route, ok := s.Router.RouteLazy(page.URI,
+		func() cluster.Features { return streamx.FingerprintPage(page) })
 	if !ok {
 		s.Metrics.Router(RouterUnrouted)
 		// The page itself is the raw material for wrapper induction:
@@ -679,7 +682,7 @@ func (s *Server) learnRoute(r *http.Request, name string, page *core.Page, fails
 	if s.Router.SignaturePages(name) >= routerLearnCap {
 		return
 	}
-	s.Router.Observe(name, cluster.Fingerprint(cluster.PageInfo{URI: page.URI, Doc: page.Doc}))
+	s.Router.Observe(name, streamx.FingerprintPage(page))
 }
 
 // extractEntry runs one page extraction on the worker pool, recording
@@ -690,9 +693,10 @@ func (s *Server) extractEntry(ctx context.Context, e *RepoEntry, page *core.Page
 	var el *extract.Element
 	var values map[string][]string
 	var fails []extract.Failure
+	var sinfo extract.StreamInfo
 	start := time.Now()
 	err := s.Pool.DoWait(ctx, s.admissionWait(), func() {
-		el, values, fails = e.Proc.ExtractPageValues(page)
+		el, values, fails, sinfo = e.Proc.ExtractPageValuesInfo(page)
 	})
 	if err != nil {
 		if errors.Is(err, ErrSaturated) {
@@ -717,6 +721,7 @@ func (s *Server) extractEntry(ctx context.Context, e *RepoEntry, page *core.Page
 		return nil, nil, nil, errf(http.StatusServiceUnavailable, "extraction not scheduled: %v", err)
 	}
 	s.Metrics.Extraction(time.Since(start), fails)
+	s.Metrics.StreamExtract(sinfo.Hit, sinfo.Reason)
 	e.Stats.Record(len(fails))
 	mon := s.monitor(e.Name)
 	_, justTripped := mon.Observe(page, values, fails)
@@ -760,7 +765,7 @@ func (s *Server) pageFor(uri string, body []byte) *core.Page {
 		if uri == "" {
 			uri = syntheticURI(body)
 		}
-		return core.NewPage(uri, string(body))
+		return core.NewPageLazy(uri, string(body))
 	}
 	return s.pageForKey(uri, PageKeyOf(body), int64(len(body)), func() string { return string(body) })
 }
@@ -773,7 +778,7 @@ func (s *Server) pageForString(uri, html string) *core.Page {
 		if uri == "" {
 			uri = syntheticURI([]byte(html))
 		}
-		return core.NewPage(uri, html)
+		return core.NewPageLazy(uri, html)
 	}
 	return s.pageForKey(uri, PageKeyOf([]byte(html)), int64(len(html)), func() string { return html })
 }
@@ -789,8 +794,12 @@ func (s *Server) pageForKey(uri string, key PageKey, size int64, src func() stri
 		return &core.Page{URI: uri, Doc: doc}
 	}
 	s.Metrics.PageCache(false)
-	page := core.NewPage(uri, src())
-	s.PageCache.Put(key, page.Doc, size)
+	// Lazy page: the streaming extractor usually never parses it, so the
+	// cache only admits trees that some consumer genuinely built (general
+	// XPath fallback, induction capture, rendering). Compiled rule
+	// *programs* are cached per repository version instead.
+	page := core.NewPageLazy(uri, src())
+	page.SetOnParse(func(doc *dom.Node) { s.PageCache.Put(key, doc, size) })
 	return page
 }
 

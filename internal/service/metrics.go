@@ -53,6 +53,13 @@ type Metrics struct {
 	fetch        map[fetchKey]int64 // (host, outcome) → count; under mu
 	panics       map[string]int64   // stage → recovered panic count; under mu
 
+	// Streaming-extraction path outcomes (PR 9): hits ran the compiled
+	// automaton straight over the token stream; fallbacks parsed a DOM.
+	// Atomics for the hot-path counters, the per-reason breakdown under mu.
+	streamHits      atomic.Int64
+	streamFallbacks atomic.Int64
+	streamReasons   map[string]int64 // fallback reason → count; under mu
+
 	// Pipeline carries the per-stage spine telemetry (Source/Classify/
 	// Extract/Sink latency histograms, in-flight gauges, error counters)
 	// shared by every pipeline run the server drives — /ingest,
@@ -131,6 +138,23 @@ func (m *Metrics) PanicRecovered(stage string) {
 		m.panics = map[string]int64{}
 	}
 	m.panics[stage]++
+	m.mu.Unlock()
+}
+
+// StreamExtract records which path served one extraction: the streaming
+// automaton (hit) or the parse+DOM fallback, attributed to its reason —
+// a streamx.Compile refusal, "parsed-doc", "no-source", or "depth".
+func (m *Metrics) StreamExtract(hit bool, reason string) {
+	if hit {
+		m.streamHits.Add(1)
+		return
+	}
+	m.streamFallbacks.Add(1)
+	m.mu.Lock()
+	if m.streamReasons == nil {
+		m.streamReasons = map[string]int64{}
+	}
+	m.streamReasons[reason]++
 	m.mu.Unlock()
 }
 
@@ -234,6 +258,12 @@ type Snapshot struct {
 	RouterHits         int64            `json:"routerHits"`
 	RouterMisses       int64            `json:"routerMisses"`
 	RouterUnrouted     int64            `json:"routerUnrouted"`
+	// StreamHits counts extractions served by the streaming automaton
+	// (no DOM built); StreamFallbacks counts extractions that went
+	// through parse+DOM instead, broken down by StreamFallbackReasons.
+	StreamHits            int64            `json:"streamHits"`
+	StreamFallbacks       int64            `json:"streamFallbacks"`
+	StreamFallbackReasons map[string]int64 `json:"streamFallbackReasons,omitempty"`
 	// Induction counters, filled by the handler from the induct engine
 	// when induction is enabled (the map always carries the
 	// queued/running/staged/failed keys, explicit zeroes included).
@@ -302,6 +332,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		RouterHits:         m.routerHits.Load(),
 		RouterMisses:       m.routerMisses.Load(),
 		RouterUnrouted:     m.routerUnrouted.Load(),
+		StreamHits:         m.streamHits.Load(),
+		StreamFallbacks:    m.streamFallbacks.Load(),
 		LatencySumSeconds:  m.latSum,
 		LatencyCount:       m.latCount,
 		FetchRetries:       m.fetchRetries.Load(),
@@ -323,6 +355,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.PanicsRecovered = make(map[string]int64, len(m.panics))
 		for k, v := range m.panics {
 			s.PanicsRecovered[k] = v
+		}
+	}
+	if len(m.streamReasons) > 0 {
+		s.StreamFallbackReasons = make(map[string]int64, len(m.streamReasons))
+		for k, v := range m.streamReasons {
+			s.StreamFallbackReasons[k] = v
 		}
 	}
 	for k, v := range m.requests {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/dom"
+	"repro/internal/rule"
 )
 
 func TestPageCacheLRUEviction(t *testing.T) {
@@ -82,7 +83,10 @@ func TestPageCacheDisabled(t *testing.T) {
 	body := []byte("<html><body><p>x</p></body></html>")
 	p1 := srv.pageFor("", body)
 	p2 := srv.pageFor("", body)
-	if p1.Doc == p2.Doc {
+	if p1.Doc != nil || p2.Doc != nil {
+		t.Fatal("pages should stay lazy until a consumer parses")
+	}
+	if p1.Document() == p2.Document() {
 		t.Fatal("disabled cache must re-parse")
 	}
 	if p1.URI != p2.URI || !strings.HasPrefix(p1.URI, "request:") {
@@ -95,15 +99,21 @@ func TestPageForSharesParseKeepsURI(t *testing.T) {
 	defer srv.Close()
 	body := []byte("<html><body><p>shared</p></body></html>")
 	a := srv.pageFor("http://site/a", body)
+	if a.Doc != nil {
+		t.Fatal("cache miss should produce a lazy page")
+	}
+	// Materializing the tree admits it to the cache; the next identical
+	// body draws the same document on the hit path.
+	adoc := a.Document()
 	b := srv.pageFor("http://site/b", body)
-	if a.Doc != b.Doc {
+	if b.Doc != adoc {
 		t.Fatal("identical bodies should share one parsed document")
 	}
 	if a.URI != "http://site/a" || b.URI != "http://site/b" {
 		t.Fatalf("URIs not preserved: %q / %q", a.URI, b.URI)
 	}
 	other := srv.pageFor("http://site/c", []byte("<html><body><p>different</p></body></html>"))
-	if other.Doc == a.Doc {
+	if other.Document() == adoc {
 		t.Fatal("different bodies must not share a document")
 	}
 	snap := srv.Metrics.Snapshot()
@@ -138,18 +148,31 @@ func TestPageCacheConcurrentAccess(t *testing.T) {
 	}
 }
 
-// TestExtractEndpointUsesPageCache drives the real handler twice with the
-// same body and checks the second request skipped the parse (hit counter)
-// while still extracting the same record.
+// TestExtractEndpointUsesPageCache drives the real handler with repeated
+// identical bodies. A stream-eligible repo extracts straight off the raw
+// bytes — no tree is built, so the page cache stays cold and the stream
+// counter records the hits. A general-XPath repo parses on the first
+// request, admits the tree, and the second request reuses it.
 func TestExtractEndpointUsesPageCache(t *testing.T) {
 	cl, repo := buildMoviesRepo(t, 21, 12)
 	srv, ts := newTestServer(t)
 	postJSONRepo(t, ts.URL, repo, "")
-	html := dom.Render(cl.Pages[0].Doc)
 
-	var first, second string
-	for i := 0; i < 2; i++ {
-		resp, err := http.Post(ts.URL+"/extract?repo="+cl.Name+"&uri=http://x/p1",
+	// An unpositioned text step needs the general evaluator, so this repo
+	// always takes the parse+DOM path.
+	general := rule.NewRepository("generalcluster")
+	if err := general.Record(rule.Rule{
+		Name: "title", Optionality: rule.Optional, Multiplicity: rule.Multivalued,
+		Format: rule.Text, Locations: []string{"//H1/text()"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	postJSONRepo(t, ts.URL, general, "")
+
+	html := dom.Render(cl.Pages[0].Doc)
+	doExtract := func(repoName string) string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/extract?repo="+repoName+"&uri=http://x/p1",
 			"text/html", strings.NewReader(html))
 		if err != nil {
 			t.Fatal(err)
@@ -160,19 +183,32 @@ func TestExtractEndpointUsesPageCache(t *testing.T) {
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, buf.String())
+			t.Fatalf("repo %s: status %d: %s", repoName, resp.StatusCode, buf.String())
 		}
-		if i == 0 {
-			first = buf.String()
-		} else {
-			second = buf.String()
-		}
+		return buf.String()
 	}
-	if first != second {
-		t.Fatal("cached extraction differs from the first")
+
+	if first, second := doExtract(cl.Name), doExtract(cl.Name); first != second {
+		t.Fatal("repeat stream extraction differs from the first")
 	}
 	snap := srv.Metrics.Snapshot()
-	if snap.PageCacheMisses != 1 || snap.PageCacheHits != 1 {
-		t.Fatalf("cache counters hits=%d misses=%d, want 1/1", snap.PageCacheHits, snap.PageCacheMisses)
+	if snap.StreamHits != 2 || snap.StreamFallbacks != 0 {
+		t.Fatalf("stream counters hits=%d fallbacks=%d, want 2/0",
+			snap.StreamHits, snap.StreamFallbacks)
+	}
+	if snap.PageCacheHits != 0 || snap.PageCacheMisses != 2 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 0/2 (stream path builds no tree)",
+			snap.PageCacheHits, snap.PageCacheMisses)
+	}
+
+	if first, second := doExtract("generalcluster"), doExtract("generalcluster"); first != second {
+		t.Fatal("cached extraction differs from the first")
+	}
+	snap = srv.Metrics.Snapshot()
+	if snap.PageCacheHits != 1 || snap.PageCacheMisses != 3 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/3", snap.PageCacheHits, snap.PageCacheMisses)
+	}
+	if snap.StreamFallbackReasons["general-xpath"] != 2 {
+		t.Fatalf("fallback reasons = %v, want general-xpath=2", snap.StreamFallbackReasons)
 	}
 }

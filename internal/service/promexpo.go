@@ -54,6 +54,16 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 	p.Sample("extractd_router_decisions_total",
 		[]obs.Label{{Key: "outcome", Value: "unrouted"}}, float64(snap.RouterUnrouted))
 
+	p.Family("extractd_stream_extract_total", "counter",
+		"Extractions by serving path: hit ran the compiled automaton over the token stream (no DOM), fallback parsed a tree.")
+	p.Sample("extractd_stream_extract_total",
+		[]obs.Label{{Key: "outcome", Value: "hit"}}, float64(snap.StreamHits))
+	p.Sample("extractd_stream_extract_total",
+		[]obs.Label{{Key: "outcome", Value: "fallback"}}, float64(snap.StreamFallbacks))
+	writeLabeledCounters(p, "extractd_stream_fallback_total",
+		"Extractions that fell back to parse+DOM, by reason (compile refusals, parsed-doc, no-source, depth).",
+		"reason", snap.StreamFallbackReasons)
+
 	p.Histogram("extractd_extraction_duration_seconds",
 		"Single-page extraction latency.", extractionHistogram(snap))
 

@@ -111,6 +111,8 @@ func TestPromExpositionGolden(t *testing.T) {
 		"extractd_page_cache_hits_total":           "counter",
 		"extractd_page_cache_misses_total":         "counter",
 		"extractd_router_decisions_total":          "counter",
+		"extractd_stream_extract_total":            "counter",
+		"extractd_stream_fallback_total":           "counter",
 		"extractd_extraction_duration_seconds":     "histogram",
 		"extractd_pool_workers":                    "gauge",
 		"extractd_pool_queue_depth":                "gauge",
@@ -281,6 +283,9 @@ var snapshotFieldMetrics = map[string][]string{
 	"RouterHits":            {"extractd_router_decisions_total"},
 	"RouterMisses":          {"extractd_router_decisions_total"},
 	"RouterUnrouted":        {"extractd_router_decisions_total"},
+	"StreamHits":            {"extractd_stream_extract_total"},
+	"StreamFallbacks":       {"extractd_stream_extract_total"},
+	"StreamFallbackReasons": {"extractd_stream_fallback_total"},
 	"InductionJobs":         {"extractd_induction_jobs"},
 	"UnroutedBuffered":      {"extractd_unrouted_buffered_pages"},
 	"UnroutedBufferedBytes": {"extractd_unrouted_buffered_bytes"},
@@ -344,8 +349,10 @@ func TestPromJSONParity(t *testing.T) {
 		Lifecycle:          map[string]int64{"rollback": 1},
 		PagesExtracted:     1, PageCacheHits: 1, PageCacheMisses: 1,
 		RouterHits: 1, RouterMisses: 1, RouterUnrouted: 1,
-		InductionJobs:    map[string]int64{"queued": 1},
-		UnroutedBuffered: 1, UnroutedBufferedBytes: 1, UnroutedEvicted: 1,
+		StreamHits: 1, StreamFallbacks: 1,
+		StreamFallbackReasons: map[string]int64{"parsed-doc": 1},
+		InductionJobs:         map[string]int64{"queued": 1},
+		UnroutedBuffered:      1, UnroutedBufferedBytes: 1, UnroutedEvicted: 1,
 		UnroutedDropped:   1,
 		LatencySumSeconds: 0.1, LatencyCount: 1,
 		LatencyHistogram: []HistogramBucket{{LE: 0.1, Count: 1}, {Count: 0}},

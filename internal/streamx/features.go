@@ -1,0 +1,88 @@
+package streamx
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/textutil"
+)
+
+// featSink accumulates clustering features during one engine walk: the set
+// of root-to-element tag paths (structure fingerprint) and the
+// concatenated text content (keyword fingerprint) — the same inputs
+// cluster.Fingerprint derives from a parsed tree.
+type featSink struct {
+	tags map[string]struct{}
+	kw   []byte // concatenated text-node data, doc order (= dom.TextContent)
+	path []byte // current root-to-top tag path, e.g. "HTML/BODY/DIV"
+	lens []int  // path length to restore per open frame
+}
+
+func (f *featSink) done() bool { return false }
+
+func (f *featSink) text(data []byte, raw bool) {
+	// Head and raw-text content count too: TextContent walks the whole
+	// tree, TITLE/SCRIPT text included.
+	f.kw = append(f.kw, data...)
+}
+
+func (f *featSink) addPath(p []byte) {
+	if _, ok := f.tags[string(p)]; !ok {
+		f.tags[string(p)] = struct{}{}
+	}
+}
+
+func (f *featSink) startElement(name []byte, meta *tagMeta, pushed, detached bool) error {
+	if detached {
+		p := make([]byte, 0, len("HTML/HEAD/")+len(name))
+		p = append(append(p, "HTML/HEAD/"...), name...)
+		f.addPath(p)
+		if pushed {
+			// Path itself is unchanged for head-routed frames; record the
+			// current length so endElement stays balanced.
+			f.lens = append(f.lens, len(f.path))
+		}
+		return nil
+	}
+	mark := len(f.path)
+	f.path = append(append(f.path, '/'), name...)
+	f.addPath(f.path)
+	if pushed {
+		f.lens = append(f.lens, mark)
+	} else {
+		f.path = f.path[:mark]
+	}
+	return nil
+}
+
+func (f *featSink) endElement() {
+	n := len(f.lens) - 1
+	f.path = f.path[:f.lens[n]]
+	f.lens = f.lens[:n]
+}
+
+// Fingerprint computes the clustering features of a page straight from its
+// raw HTML — one token pass, no tree. The result is identical to
+// cluster.Fingerprint over the parsed document: same tag-path shingles
+// (the synthesized HTML/HEAD/BODY skeleton included), same keyword set.
+// FingerprintPage fingerprints a page by whichever representation it
+// already holds: unparsed lazy pages stream their raw source (keeping the
+// ingest path DOM-free), anything with a tree uses cluster.Fingerprint.
+// Both produce identical features.
+func FingerprintPage(p *core.Page) cluster.Features {
+	if src, lazy := p.Source(); lazy && p.Doc == nil {
+		return Fingerprint(p.URI, src)
+	}
+	return cluster.Fingerprint(cluster.PageInfo{URI: p.URI, Doc: p.Document()})
+}
+
+func Fingerprint(uri, src string) cluster.Features {
+	fs := &featSink{tags: make(map[string]struct{})}
+	fs.tags["HTML"] = struct{}{}
+	fs.tags["HTML/HEAD"] = struct{}{}
+	fs.tags["HTML/BODY"] = struct{}{}
+	fs.path = append(fs.path, "HTML/BODY"...)
+	var e engine
+	// featSink never errors or stops early; walk cannot fail.
+	_ = walk(&e, src, fs)
+	return cluster.FeaturesFromParts(uri, fs.tags, textutil.TokenSet(string(fs.kw)))
+}

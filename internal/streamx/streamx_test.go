@@ -1,0 +1,253 @@
+package streamx
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/dom"
+	"repro/internal/rule"
+	"repro/internal/xpath"
+)
+
+// mustRules compiles one rule per location path (all mandatory
+// multivalued, so no truncation hides mismatches).
+func mustRules(t *testing.T, locs ...string) []*rule.Compiled {
+	t.Helper()
+	out := make([]*rule.Compiled, len(locs))
+	for i, loc := range locs {
+		r := rule.Rule{
+			Name:         fmt.Sprintf("c%d", i),
+			Optionality:  rule.Optional,
+			Multiplicity: rule.Multivalued,
+			Format:       rule.Text,
+			Locations:    []string{loc},
+		}
+		c, err := r.Compile()
+		if err != nil {
+			t.Fatalf("compile %q: %v", loc, err)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// domValues renders the DOM evaluator's answer for one compiled rule:
+// winner-location nodes in document order, as raw string values.
+func domValues(c *rule.Compiled, doc *dom.Node) []string {
+	var out []string
+	for _, n := range c.ApplyAll(doc) {
+		out = append(out, xpath.NodeStringValue(n))
+	}
+	return out
+}
+
+// diffCheck executes the location paths both ways over html and compares
+// raw captured values. Returns false when the program was not eligible.
+func diffCheck(t *testing.T, html string, locs ...string) {
+	t.Helper()
+	rules := mustRules(t, locs...)
+	prog, reason := Compile(rules)
+	if prog == nil {
+		t.Fatalf("program not eligible (%s) for %q", reason, locs)
+	}
+	sc := prog.NewScratch()
+	if err := prog.Run(sc, html); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	doc := dom.Parse(html)
+	for i, c := range rules {
+		want := domValues(c, doc)
+		var got []string
+		sc.RuleValues(i, -1, func(raw []byte) { got = append(got, string(raw)) })
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("loc %q on %q:\n  stream %q\n  dom    %q", locs[i], html, got, want)
+		}
+		if sc.RuleMatches(i) != len(want) {
+			t.Errorf("loc %q on %q: RuleMatches=%d, dom=%d", locs[i], html, sc.RuleMatches(i), len(want))
+		}
+	}
+}
+
+func TestExecAgainstDOM(t *testing.T) {
+	corpusLocs := []string{
+		"BODY[1]/H1[1]/text()[1]",
+		"BODY//text()[preceding::text()[1][contains(., 'Runtime:')]]",
+		"BODY[1]/P[1]/A[position()>=1]/text()[1]",
+		"BODY//DIV/DIV[preceding::text()[1][contains(., 'Trivia')]]",
+		"BODY[1]/DIV[2]/SPAN[1]/text()[1]",
+		"BODY//A/text()[1]",
+		"BODY//DIV//SPAN/text()[1]",
+		"BODY[1]",
+		"BODY[1]/UL[1]/LI[position()>=2]/text()[1]",
+		"BODY[2]/H1[1]/text()[1]", // dead
+	}
+	pages := []string{
+		`<html><head><title>T</title></head><body><h1>Title</h1><p><a href=x>one</a><a>two</a></p></body></html>`,
+		`<body><h1>A&amp;B</h1><div>Runtime: <b>x</b>108 min</div><div>DVD</div></body>`,
+		`<body><div><div>Trivia</div><div>fact one</div></div><div><div>other</div></div></body>`,
+		`<body><div>Trivia</div><div><div>deep<span>s1</span></div><span>s2</span></div></body>`,
+		`<body><h1>x</h1><h1>y</h1><p>t<a>a1</a>mid<a>a2</a><a>a3</a></p></body>`,
+		`<body><ul><li>one<li>two<li>three</ul></body>`,
+		`<body><div><div><div><span>nested</span></div></div></div></body>`,
+		`<body><p>Runtime:</p><p>108 min</p><p>more</p></body>`,
+		`<body><pre>  keep  </pre><div> </div><h1> spaced </h1></body>`,
+		`<body><table><tr><td>c1<td>c2<tr><td>c3</table></body>`,
+		`<body><script>var x = "<h1>not</h1>";</script><h1>real</h1></body>`,
+		`<h1>implicit body</h1><p>tail`,
+		`<body><div>Trivia</div><div>first</div><div><div>inner</div></div></body>`,
+		`<body><p><a>x</a></p><p><a>y</a></p></body>`,
+		``,
+		`plain text only`,
+		`<body><h1></h1><p></p></body>`,
+		`<body><div>Runtime: </div> <i>ital</i> 108&nbsp;min</body>`,
+	}
+	for _, html := range pages {
+		diffCheck(t, html, corpusLocs...)
+	}
+}
+
+func TestExecCorpusPages(t *testing.T) {
+	clusters := []*corpus.Cluster{
+		corpus.GenerateMovies(corpus.DefaultMovieProfile(7, 12)),
+		corpus.GenerateBooks(corpus.DefaultBookProfile(11, 8)),
+		corpus.GenerateStocks(corpus.DefaultStockProfile(13, 8)),
+		corpus.GenerateForum(corpus.DefaultForumProfile(17, 8)),
+	}
+	locs := []string{
+		"BODY[1]/H1[1]/text()[1]",
+		"BODY//text()[preceding::text()[1][contains(., 'Runtime:')]]",
+		"BODY//text()[preceding::text()[1][contains(., 'Genre:')]]",
+		"BODY[1]/DIV[1]/P[1]/A[position()>=1]/text()[1]",
+		"BODY//DIV/DIV[preceding::text()[1][contains(., 'Trivia')]]",
+		"BODY//SPAN/text()[1]",
+		"BODY//LI/text()[1]",
+	}
+	for _, cl := range clusters {
+		for _, p := range cl.Pages {
+			diffCheck(t, dom.Render(p.Doc), locs...)
+		}
+	}
+}
+
+func TestCompileRejectsGeneralShapes(t *testing.T) {
+	reject := []string{
+		"BODY/DIV[@id='x']",
+		"//H1/text()",
+		"BODY/DIV/..",
+		"BODY/following-sibling::DIV",
+		"BODY/DIV[last()]",
+		"BODY//",
+		"BODY/text()/SPAN",
+	}
+	for _, loc := range reject {
+		r := rule.Rule{
+			Name: "c", Optionality: rule.Optional,
+			Multiplicity: rule.Multivalued, Format: rule.Text,
+			Locations: []string{loc},
+		}
+		c, err := r.Compile()
+		if err != nil {
+			continue // not even valid xpath in this dialect: fine, DOM path rejects it too
+		}
+		if prog, reason := Compile([]*rule.Compiled{c}); prog != nil {
+			t.Errorf("Compile accepted general shape %q", loc)
+		} else if reason != ReasonGeneralXPath {
+			t.Errorf("Compile(%q) reason = %q, want %q", loc, reason, ReasonGeneralXPath)
+		}
+	}
+}
+
+func TestRunDepthBail(t *testing.T) {
+	rules := mustRules(t, "BODY[1]/H1[1]/text()[1]")
+	prog, _ := Compile(rules)
+	var html string
+	for i := 0; i < maxDepth+8; i++ {
+		html += "<div>"
+	}
+	sc := prog.NewScratch()
+	if err := prog.Run(sc, html); err != ErrDepth {
+		t.Fatalf("Run deep page: err=%v, want ErrDepth", err)
+	}
+	// The scratch must remain usable after a bail.
+	if err := prog.Run(sc, "<body><h1>ok</h1></body>"); err != nil {
+		t.Fatalf("Run after bail: %v", err)
+	}
+	var got []string
+	sc.RuleValues(0, -1, func(raw []byte) { got = append(got, string(raw)) })
+	if !reflect.DeepEqual(got, []string{"ok"}) {
+		t.Fatalf("values after bail recovery: %q", got)
+	}
+}
+
+func TestFingerprintMatchesDOM(t *testing.T) {
+	pages := []string{
+		`<html><head><title>Page One</title><meta charset=utf-8></head><body><h1>Hello</h1><div><p>text here</p></div></body></html>`,
+		`<body><ul><li>a<li>b</ul><table><tr><td>x</table></body>`,
+		`<h1>no explicit body</h1>`,
+		``,
+		`<body><pre> spaced   tokens </pre><script>ignored == kept</script></body>`,
+	}
+	cl := corpus.GenerateMovies(corpus.DefaultMovieProfile(3, 6))
+	for _, p := range cl.Pages {
+		pages = append(pages, dom.Render(p.Doc))
+	}
+	for i, src := range pages {
+		uri := fmt.Sprintf("http://site%d.example/title/tt%04d/", i%3, i)
+		want := cluster.Fingerprint(cluster.PageInfo{URI: uri, Doc: dom.Parse(src)})
+		got := Fingerprint(uri, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Fingerprint mismatch on page %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestStreamPlanShapes(t *testing.T) {
+	plan := func(loc string) *xpath.StreamPlan {
+		c, err := xpath.Compile(loc)
+		if err != nil {
+			t.Fatalf("compile %q: %v", loc, err)
+		}
+		return c.StreamPlan()
+	}
+	if p := plan("BODY[1]/H1[1]/text()[1]"); p == nil || p.Dead || len(p.Steps) != 2 {
+		t.Fatalf("pure fast path plan: %+v", p)
+	} else {
+		if p.Steps[0].Tag != "H1" || p.Steps[0].Pos != 1 || p.Steps[0].Desc {
+			t.Fatalf("step0: %+v", p.Steps[0])
+		}
+		if !p.Steps[1].Text || p.Steps[1].Pos != 1 {
+			t.Fatalf("step1: %+v", p.Steps[1])
+		}
+	}
+	if p := plan("BODY//text()[preceding::text()[1][contains(., 'Runtime:')]]"); p == nil ||
+		len(p.Steps) != 1 || !p.Steps[0].Text || !p.Steps[0].Desc || p.Steps[0].Needle != "Runtime:" {
+		t.Fatalf("contextual text plan: %+v", p)
+	}
+	if p := plan("BODY[1]/P[1]/A[position()>=2]/text()[1]"); p == nil || p.Steps[1].MinPos != 2 {
+		t.Fatalf("range plan: %+v", p)
+	}
+	if p := plan("BODY[2]/H1[1]"); p == nil || !p.Dead {
+		t.Fatalf("BODY[2] should be dead: %+v", p)
+	}
+	if p := plan("BODY"); p == nil || p.Dead || len(p.Steps) != 0 {
+		t.Fatalf("bare BODY plan: %+v", p)
+	}
+	for _, general := range []string{
+		"BODY/DIV[@id='x']",
+		"BODY/DIV[SPAN]",
+		"BODY/DIV[2][position()>=1]",
+		"BODY/text()/SPAN",
+		"HTML/BODY/H1",
+	} {
+		c, err := xpath.Compile(general)
+		if err != nil {
+			continue
+		}
+		if p := c.StreamPlan(); p != nil {
+			t.Errorf("StreamPlan(%q) = %+v, want nil", general, p)
+		}
+	}
+}

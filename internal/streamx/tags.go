@@ -1,0 +1,158 @@
+package streamx
+
+import (
+	"maps"
+	"slices"
+
+	"repro/internal/dom"
+)
+
+// tagMeta aggregates the parser's per-tag behaviour flags plus a dense id
+// so closedBy relations become one bitmask test per element start. The
+// table is built once from the parser's own tables (dom.ParserTagTables)
+// so the stream simulation cannot drift from the tree builder.
+//
+// Beyond the tags the parser tables name, every standard HTML element gets
+// a (flagless) entry: the table doubles as the hot path's tag interner, and
+// a Program maps meta ids to its own tag indexes with one array load
+// instead of a second string-keyed map lookup per element (see
+// Program.metaTag). Unknown tags — custom elements and typos — still
+// resolve through the map miss path with identical semantics.
+type tagMeta struct {
+	name         string // canonical upper-cased tag
+	id           int    // dense index into the meta table, 0..numTagMetas-1
+	closeBit     int8   // bit in closedByMask, -1 when this tag implies no end tags
+	void         bool
+	head         bool
+	raw          bool // raw-text content element (SCRIPT/STYLE/TEXTAREA/TITLE/XMP)
+	pre          bool
+	table        bool
+	tableScoped  bool
+	skeleton     bool   // HTML/HEAD/BODY — handled by the synthesized frame, never inserted
+	closedByMask uint64 // bit per closeBit of incoming start tags that implicitly close this tag
+}
+
+var tagMetaByName = buildTagMetas()
+
+// numTagMetas sizes per-program meta-id lookup arrays.
+var numTagMetas = len(tagMetaByName)
+
+var metaBody = tagMetaByName["BODY"]
+
+// tagHashBits sizes the open-addressed lookup table: ~140 tags in 4096
+// slots (3% load) resolve in essentially one probe, and unknown tags hit
+// an empty slot just as fast — no map hashing on the per-element path.
+const tagHashBits = 12
+
+var tagHashTable = buildTagHashTable()
+
+func tagHashOf(name []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range name {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h & (1<<tagHashBits - 1)
+}
+
+func buildTagHashTable() *[1 << tagHashBits]*tagMeta {
+	t := new([1 << tagHashBits]*tagMeta)
+	for _, m := range tagMetaByName {
+		i := tagHashOf([]byte(m.name))
+		for t[i] != nil {
+			i = (i + 1) & (1<<tagHashBits - 1)
+		}
+		t[i] = m
+	}
+	return t
+}
+
+// lookupTag interns an upper-cased tag name, nil for tags outside the
+// table. Alloc-free: the probe compares against the candidate's name
+// without materializing a string key.
+func lookupTag(name []byte) *tagMeta {
+	i := tagHashOf(name)
+	for {
+		m := tagHashTable[i]
+		if m == nil || m.name == string(name) {
+			return m
+		}
+		i = (i + 1) & (1<<tagHashBits - 1)
+	}
+}
+
+// standardTags lists the HTML elements outside the parser's behaviour
+// tables (no void/head/raw/table/implied-end semantics). Their metas carry
+// no flags; they exist so real-world markup resolves tags through one
+// lookup. The set overlaps the parser tables freely — the union dedups.
+var standardTags = []string{
+	"A", "ABBR", "ADDRESS", "ARTICLE", "ASIDE", "AUDIO", "B", "BDI", "BDO",
+	"BLOCKQUOTE", "BUTTON", "CANVAS", "CITE", "CODE", "DATA", "DATALIST",
+	"DEL", "DETAILS", "DFN", "DIALOG", "DIV", "EM", "FIELDSET",
+	"FIGCAPTION", "FIGURE", "FONT", "FOOTER", "FORM", "H1", "H2", "H3",
+	"H4", "H5", "H6", "HEADER", "HGROUP", "I", "IFRAME", "INS", "KBD",
+	"LABEL", "LEGEND", "MAIN", "MAP", "MARK", "METER", "NAV", "NOSCRIPT",
+	"OBJECT", "OUTPUT", "PICTURE", "PROGRESS", "Q", "S", "SAMP", "SECTION",
+	"SELECT", "SLOT", "SMALL", "SPAN", "STRONG", "SUB", "SUMMARY", "SUP",
+	"TEMPLATE", "TIME", "U", "VAR", "VIDEO",
+}
+
+func buildTagMetas() map[string]*tagMeta {
+	void, head, tableScope, raw, closed := dom.ParserTagTables()
+	names := map[string]bool{"HTML": true, "HEAD": true, "BODY": true, "PRE": true, "TABLE": true}
+	for n := range void {
+		names[n] = true
+	}
+	for n := range head {
+		names[n] = true
+	}
+	for n := range tableScope {
+		names[n] = true
+	}
+	for n := range raw {
+		names[n] = true
+	}
+	for cur, set := range closed {
+		names[cur] = true
+		for n := range set {
+			names[n] = true
+		}
+	}
+	// Tags that imply end tags need a bit in the 64-wide closedBy mask;
+	// assign bits before widening the table with flagless standard tags.
+	closers := map[string]bool{}
+	for _, set := range closed {
+		for n := range set {
+			closers[n] = true
+		}
+	}
+	if len(closers) > 64 {
+		panic("streamx: parser tag tables outgrew the 64-bit closedBy mask")
+	}
+	for _, n := range standardTags {
+		names[n] = true
+	}
+	sorted := slices.Sorted(maps.Keys(names))
+	m := make(map[string]*tagMeta, len(sorted))
+	nextBit := int8(0)
+	for i, n := range sorted {
+		meta := &tagMeta{
+			name: n, id: i, closeBit: -1,
+			void: void[n], head: head[n], raw: raw[n],
+			pre: n == "PRE", table: n == "TABLE", tableScoped: tableScope[n],
+			skeleton: n == "HTML" || n == "HEAD" || n == "BODY",
+		}
+		if closers[n] {
+			meta.closeBit = nextBit
+			nextBit++
+		}
+		m[n] = meta
+	}
+	for cur, set := range closed {
+		var mask uint64
+		for n := range set {
+			mask |= 1 << m[n].closeBit
+		}
+		m[cur].closedByMask = mask
+	}
+	return m
+}

@@ -9,6 +9,7 @@ package textutil
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // NormalizeSpace collapses every run of Unicode whitespace in s into a
@@ -35,6 +36,56 @@ func NormalizeSpace(s string) string {
 	return b.String()
 }
 
+// NormalizeSpaceBytes is NormalizeSpace over a byte slice, producing the
+// identical string without an intermediate string conversion — the
+// streaming extractor normalizes captured values straight out of its
+// arena. ASCII runs copy byte-wise; multi-byte runes decode only to ask
+// unicode.IsSpace (U+0085, U+00A0, the Unicode space property), and
+// invalid UTF-8 collapses to U+FFFD exactly as NormalizeSpace's
+// rune-range loop does.
+func NormalizeSpaceBytes(b []byte) string {
+	var out strings.Builder
+	out.Grow(len(b))
+	inSpace := false
+	started := false
+	for i := 0; i < len(b); {
+		c := b[i]
+		if c < utf8.RuneSelf {
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v' {
+				inSpace = true
+				i++
+				continue
+			}
+			if inSpace && started {
+				out.WriteByte(' ')
+			}
+			inSpace = false
+			started = true
+			out.WriteByte(c)
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(b[i:])
+		if unicode.IsSpace(r) {
+			inSpace = true
+			i += size
+			continue
+		}
+		if inSpace && started {
+			out.WriteByte(' ')
+		}
+		inSpace = false
+		started = true
+		if r == utf8.RuneError && size == 1 {
+			out.WriteRune(utf8.RuneError)
+		} else {
+			out.Write(b[i : i+size])
+		}
+		i += size
+	}
+	return out.String()
+}
+
 // Tokens splits s into lower-cased alphanumeric word tokens. Used by the
 // keyword-frequency clustering feature (Tonella et al. [22] in the paper).
 func Tokens(s string) []string {
@@ -55,6 +106,49 @@ func Tokens(s string) []string {
 	}
 	flush()
 	return toks
+}
+
+// TokenSet returns the set of lower-cased alphanumeric word tokens in s —
+// exactly Shingles(Tokens(s), 1), computed without materializing the
+// intermediate token slice. Each distinct token costs one allocation (its
+// map key); repeated occurrences cost none. The keyword fingerprint on the
+// ingest hot path calls this once per page, where the slice-of-lowered-
+// copies regime of Tokens dominated the per-page allocation profile.
+func TokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	buf := make([]byte, 0, 64)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		if _, ok := set[string(buf)]; !ok {
+			set[string(buf)] = struct{}{}
+		}
+		buf = buf[:0]
+	}
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			switch {
+			case 'a' <= c && c <= 'z' || '0' <= c && c <= '9':
+				buf = append(buf, c)
+			case 'A' <= c && c <= 'Z':
+				buf = append(buf, c+('a'-'A'))
+			default:
+				flush()
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			buf = utf8.AppendRune(buf, unicode.ToLower(r))
+		} else {
+			flush()
+		}
+		i += size
+	}
+	flush()
+	return set
 }
 
 // Shingles returns the set of k-grams over the token slice. A k of 1

@@ -86,6 +86,63 @@ func TestTokensAreLowerAlnum(t *testing.T) {
 	}
 }
 
+// TestNormalizeSpaceBytesEquivalence pins NormalizeSpaceBytes(b) ==
+// NormalizeSpace(string(b)) for arbitrary bytes — the streaming extractor
+// depends on byte-identical normalization to keep its differential
+// guarantee against the DOM path.
+func TestNormalizeSpaceBytesEquivalence(t *testing.T) {
+	cases := []string{
+		"", "   ", " a  b\tc\nd ", "a b   c", "é èü",
+		"\x80\xff bro\xc3(ken", "pre\vformatted\ftext", "né e",
+	}
+	f := func(b []byte) bool {
+		return NormalizeSpaceBytes(b) == NormalizeSpace(string(b))
+	}
+	for _, s := range cases {
+		if !f([]byte(s)) {
+			t.Errorf("NormalizeSpaceBytes(%q) = %q, want %q",
+				s, NormalizeSpaceBytes([]byte(s)), NormalizeSpace(s))
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTokenSetEquivalence pins the hot-path contract: TokenSet(s) must be
+// exactly Shingles(Tokens(s), 1) for arbitrary input — same boundaries,
+// same lower-casing, same set — since the clustering fingerprint depends
+// on both producing identical keyword sets.
+func TestTokenSetEquivalence(t *testing.T) {
+	cases := []string{
+		"", "!!!", "The Quick-Brown FOX, 42 jumps!",
+		"ÉCOLE École école", "naïve Straße ΣΙΣΥΦΟΣ",
+		"a\x00b \x80\xff broken\xc3(utf8", "१२३ ٤٥٦ digits",
+		"repeat repeat REPEAT RePeAt", "mixed42alpha7num",
+	}
+	f := func(s string) bool {
+		want := Shingles(Tokens(s), 1)
+		got := TokenSet(s)
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range cases {
+		if !f(s) {
+			t.Errorf("TokenSet(%q) = %v, want %v", s, TokenSet(s), Shingles(Tokens(s), 1))
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestShingles(t *testing.T) {
 	toks := []string{"a", "b", "c", "d"}
 	s2 := Shingles(toks, 2)

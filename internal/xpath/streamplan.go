@@ -1,0 +1,177 @@
+package xpath
+
+import (
+	"math"
+	"strings"
+)
+
+// StreamStep is one child-axis hop of a stream-executable location path.
+// The streaming extractor (internal/streamx) evaluates these directly over
+// the token stream with per-frame child counters, so the representable
+// shapes are exactly the ones whose semantics depend only on information
+// available at element/text creation time:
+//
+//   - an exact hoisted child index (Pos), counted among same-named
+//     siblings — TAG[3] / text()[2];
+//   - a position()>=N range predicate (MinPos) — TAG[position()>=2];
+//   - a nearest-preceding-text guard (Needle) —
+//     X[preceding::text()[1][contains(., 'Needle')]], the paper's
+//     contextual-attribute idiom, decidable when the candidate is created
+//     because every earlier text node is already complete in document
+//     order.
+type StreamStep struct {
+	// Tag is the upper-cased element name; empty when Text is set.
+	Tag string
+	// Text marks a text() step. Only valid as the final step.
+	Text bool
+	// Desc marks a step reached through a // hop (descendant-or-self):
+	// the step is evaluated against the children of every node in the
+	// previous step's subtree, not just its direct children.
+	Desc bool
+	// Pos is an exact 1-based index among same-named children (same-kind
+	// for text), hoisted by the compiler from [N]; 0 means unconstrained.
+	Pos int
+	// MinPos is a residual position() >= N predicate; 0 means none.
+	// Mutually exclusive with Pos (hoisting renumbers the context, so the
+	// compiler only stream-compiles one or the other).
+	MinPos int
+	// Needle, when non-empty, requires the nearest preceding text node in
+	// document order to contain it.
+	Needle string
+}
+
+// StreamPlan is the stream-executable form of one compiled location path.
+// Steps excludes the leading child::BODY step (the stream executor roots
+// every plan at the synthesized BODY frame); an empty Steps slice selects
+// the BODY element itself. Dead marks a path that provably selects nothing
+// on any document (e.g. BODY[2]/... against the single synthesized BODY),
+// letting the executor skip it while still treating the rule as eligible.
+type StreamPlan struct {
+	Steps []StreamStep
+	Dead  bool
+}
+
+// StreamPlan reports the stream-executable form of the compiled path, or
+// nil when the path uses constructs whose semantics need a materialized
+// tree (general predicates, non-child axes mid-path, unions, absolute
+// paths, attribute tests, …). A nil result routes the whole repository to
+// the parse+DOM fallback; correctness never depends on this function
+// accepting a shape, only on it never mis-describing one.
+func (c *Compiled) StreamPlan() *StreamPlan {
+	pe, ok := c.root.(*pathExpr)
+	if !ok || pe.absolute || pe.start != nil || len(pe.steps) == 0 {
+		return nil
+	}
+	// The leading step must anchor at the synthesized BODY: location paths
+	// evaluate relative to the document element (HTML), whose element
+	// children are exactly HEAD and BODY.
+	first := pe.steps[0]
+	if first.axis != axisChild || first.test.kind != testName ||
+		!strings.EqualFold(first.test.name, "BODY") || len(first.preds) != 0 {
+		return nil
+	}
+	if first.pos > 1 {
+		return &StreamPlan{Dead: true}
+	}
+	plan := &StreamPlan{Steps: make([]StreamStep, 0, len(pe.steps)-1)}
+	desc := false
+	for _, st := range pe.steps[1:] {
+		if st.axis == axisDescendantOrSelf && st.test.kind == testNode &&
+			st.pos == 0 && len(st.preds) == 0 {
+			desc = true // a // hop; folds into the next step's Desc flag
+			continue
+		}
+		if st.axis != axisChild {
+			return nil
+		}
+		ss := StreamStep{Desc: desc, Pos: st.pos}
+		desc = false
+		switch st.test.kind {
+		case testName:
+			ss.Tag = strings.ToUpper(st.test.name)
+		case testText:
+			ss.Text = true
+		default:
+			return nil
+		}
+		switch len(st.preds) {
+		case 0:
+		case 1:
+			if n, ok := minPosPred(st.preds[0]); ok {
+				if st.pos > 0 {
+					// A hoisted [N] renumbers the context the residual
+					// position() sees; the stream executor cannot
+					// replicate that, so fall back.
+					return nil
+				}
+				ss.MinPos = n
+			} else if needle, ok := needlePred(st.preds[0]); ok {
+				ss.Needle = needle
+			} else {
+				return nil
+			}
+		default:
+			return nil
+		}
+		plan.Steps = append(plan.Steps, ss)
+	}
+	if desc {
+		return nil // trailing // with no step to attach it to
+	}
+	// text() never has children: a non-final text step is either dead or a
+	// shape the executor does not model — fall back.
+	for i, ss := range plan.Steps {
+		if ss.Text && i != len(plan.Steps)-1 {
+			return nil
+		}
+	}
+	return plan
+}
+
+// minPosPred matches the canonical range predicate position() >= N for an
+// integral N >= 1.
+func minPosPred(e expr) (int, bool) {
+	be, ok := e.(*binaryExpr)
+	if !ok || be.op != ">=" {
+		return 0, false
+	}
+	fc, ok := be.lhs.(*funcCall)
+	if !ok || fc.name != "position" || len(fc.args) != 0 {
+		return 0, false
+	}
+	n, ok := be.rhs.(numberLit)
+	if !ok {
+		return 0, false
+	}
+	f := float64(n)
+	if f != math.Trunc(f) || f < 1 || f >= float64(1<<31) {
+		return 0, false
+	}
+	return int(f), true
+}
+
+// needlePred matches the contextual guard
+// preceding::text()[1][contains(., 'lit')]: a relative single-step path
+// along the preceding axis to the nearest text node (the [1] is hoisted
+// into step.pos by the compiler), filtered by a contains() on its string
+// value. Truthiness of the path is non-emptiness, so the predicate holds
+// exactly when the nearest preceding text node contains the literal.
+func needlePred(e expr) (string, bool) {
+	pe, ok := e.(*pathExpr)
+	if !ok || pe.absolute || pe.start != nil || len(pe.steps) != 1 {
+		return "", false
+	}
+	st := pe.steps[0]
+	if st.axis != axisPreceding || st.test.kind != testText || st.pos != 1 || len(st.preds) != 1 {
+		return "", false
+	}
+	fc, ok := st.preds[0].(*funcCall)
+	if !ok || fc.name != "contains" || len(fc.args) != 2 || !isSelfPath(fc.args[0]) {
+		return "", false
+	}
+	lit, ok := fc.args[1].(stringLit)
+	if !ok {
+		return "", false
+	}
+	return string(lit), true
+}
