@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dom"
 	"repro/internal/rule"
+	"repro/internal/webfetch"
 )
 
 // Crash-recovery acceptance test for the durability layer: the real
@@ -37,16 +39,19 @@ type daemon struct {
 }
 
 // startDaemon launches the built binary against dataDir and waits for
-// the extractd.listening log line to learn the bound address.
-func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+// the extractd.listening log line to learn the bound address. Extra
+// flags are appended to the standard crash-test set.
+func startDaemon(t *testing.T, bin, dataDir string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-data-dir", dataDir,
 		"-fsync", "always",
 		"-induct",
 		"-log-format", "json", "-log-level", "info",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +119,11 @@ func (d *daemon) getJSON(t *testing.T, path string, v any) {
 
 func (d *daemon) postJSON(t *testing.T, path string, body, out any) {
 	t.Helper()
+	d.postJSONStatus(t, path, body, out, http.StatusOK)
+}
+
+func (d *daemon) postJSONStatus(t *testing.T, path string, body, out any, want int) {
+	t.Helper()
 	var rd io.Reader = strings.NewReader("")
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -128,7 +138,7 @@ func (d *daemon) postJSON(t *testing.T, path string, body, out any) {
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != want {
 		t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, raw)
 	}
 	if out != nil {
@@ -136,6 +146,21 @@ func (d *daemon) postJSON(t *testing.T, path string, body, out any) {
 			t.Fatalf("POST %s: %v: %s", path, err, raw)
 		}
 	}
+}
+
+// getBody fetches a path and returns the raw response body.
+func (d *daemon) getBody(t *testing.T, path string) string {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, raw)
+	}
+	return string(raw)
 }
 
 // buildSignedRepo induces rules for a cluster and attaches its routing
@@ -341,6 +366,169 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	d3.getJSON(t, "/repos/"+inducedCluster+"/versions", &finalVersions)
 	if finalVersions.ActiveVersion == 0 {
 		t.Fatal("promoted induced repository lost on third boot")
+	}
+}
+
+// TestCrashRecoveryMonitorE2E crashes the daemon while the recrawl
+// scheduler is live against a real site and holds the restart to the
+// monitoring contract: the paused schedule's state replays byte for
+// byte, the change feed comes back without duplicate or missing
+// emissions (sequence numbers stay dense), and the surviving schedule
+// resumes its cadence on the new process instead of starting over.
+func TestCrashRecoveryMonitorE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary; skipped in -short")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "extractd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building extractd: %v", err)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	movies := corpus.GenerateMovies(corpus.DefaultMovieProfile(81, 10))
+	stocks := corpus.GenerateStocks(corpus.DefaultStockProfile(82, 10))
+	site, err := webfetch.NewSiteHandler(movies, stocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteSrv := httptest.NewServer(site)
+	defer siteSrv.Close()
+
+	monitorFlags := []string{
+		"-monitor", "-recrawl-min", "50ms", "-recrawl-max", "400ms",
+		"-recrawl-budget", "1",
+	}
+	d1 := startDaemon(t, bin, dataDir, monitorFlags...)
+
+	d1.postJSON(t, "/repos?name="+movies.Name, buildSignedRepo(t, movies), nil)
+	d1.postJSON(t, "/repos?name="+stocks.Name, buildSignedRepo(t, stocks), nil)
+	for _, name := range []string{movies.Name, stocks.Name} {
+		d1.postJSONStatus(t, "/schedules",
+			map[string]string{"repo": name, "url": siteSrv.URL + "/", "interval": "50ms"},
+			nil, http.StatusCreated)
+	}
+
+	type schedView struct {
+		Repo        string `json:"repo"`
+		Recrawls    int64  `json:"recrawls"`
+		LastOutcome string `json:"lastOutcome"`
+	}
+	schedulesOf := func(d *daemon) (map[string]schedView, string) {
+		body := d.getBody(t, "/schedules")
+		var parsed struct {
+			Schedules []schedView `json:"schedules"`
+		}
+		if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+			t.Fatalf("GET /schedules: %v: %s", err, body)
+		}
+		out := map[string]schedView{}
+		for _, sc := range parsed.Schedules {
+			out[sc.Repo] = sc
+		}
+		return out, body
+	}
+	// rawSchedule extracts one schedule's element verbatim from the
+	// /schedules body — the byte-identity unit for the frozen schedule.
+	rawSchedule := func(body, repo string) string {
+		var parsed struct {
+			Schedules []json.RawMessage `json:"schedules"`
+		}
+		if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+			t.Fatalf("GET /schedules: %v: %s", err, body)
+		}
+		for _, raw := range parsed.Schedules {
+			var head struct {
+				Repo string `json:"repo"`
+			}
+			if json.Unmarshal(raw, &head) == nil && head.Repo == repo {
+				return string(raw)
+			}
+		}
+		t.Fatalf("no schedule for %q in %s", repo, body)
+		return ""
+	}
+
+	// Let both schedules complete at least two clean firings.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		views, _ := schedulesOf(d1)
+		mv, sv := views[movies.Name], views[stocks.Name]
+		if mv.Recrawls >= 2 && sv.Recrawls >= 2 &&
+			mv.LastOutcome == "clean" && sv.LastOutcome == "clean" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedules never settled: %+v", views)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Freeze the stocks schedule; its state must now survive verbatim.
+	d1.postJSON(t, "/schedules/"+stocks.Name+"/pause", nil, nil)
+	_, body := schedulesOf(d1)
+	stocksBefore := rawSchedule(body, stocks.Name)
+	moviesBefore := func() int64 {
+		views, _ := schedulesOf(d1)
+		return views[movies.Name].Recrawls
+	}()
+	feedBefore := d1.getBody(t, "/changes")
+	if len(feedBefore) == 0 {
+		t.Fatal("change feed empty before crash")
+	}
+
+	d1.kill(t)
+
+	// ---- Process 2: replay, verify, resume. ----
+	d2 := startDaemon(t, bin, dataDir, monitorFlags...)
+
+	_, body2 := schedulesOf(d2)
+	if got := rawSchedule(body2, stocks.Name); got != stocksBefore {
+		t.Errorf("paused schedule diverged after crash:\nbefore: %s\nafter:  %s",
+			stocksBefore, got)
+	}
+	feedAfter := d2.getBody(t, "/changes")
+	if feedAfter != feedBefore {
+		t.Errorf("change feed diverged after crash (duplicate or lost emissions):\nbefore: %s\nafter:  %s",
+			feedBefore, feedAfter)
+	}
+	lines := strings.Split(strings.TrimSuffix(feedAfter, "\n"), "\n")
+	for i, line := range lines {
+		var ev struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad feed line %q: %v", line, err)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("feed seq %d at position %d — replay renumbered or duplicated", ev.Seq, i)
+		}
+	}
+
+	// The movies cadence continues from the replayed counter.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		views, _ := schedulesOf(d2)
+		if mv := views[movies.Name]; mv.Recrawls > moviesBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			views, _ := schedulesOf(d2)
+			t.Fatalf("movies schedule never resumed past %d firings: %+v",
+				moviesBefore, views)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if views, _ := schedulesOf(d2); views[stocks.Name].Recrawls != func() int64 {
+		var sv schedView
+		if err := json.Unmarshal([]byte(stocksBefore), &sv); err != nil {
+			t.Fatal(err)
+		}
+		return sv.Recrawls
+	}() {
+		t.Error("paused stocks schedule fired after restart")
 	}
 }
 

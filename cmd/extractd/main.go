@@ -65,6 +65,7 @@ import (
 
 	"repro/internal/induct"
 	"repro/internal/lifecycle"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/resilient"
 	"repro/internal/rule"
@@ -122,6 +123,14 @@ func main() {
 		"WAL fsync policy: always (group-commit per append), interval (background flush) or never")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute,
 		"interval between background WAL compactions into a snapshot (0 disables; boot and shutdown always compact)")
+	monitorOn := flag.Bool("monitor", false,
+		"enable the drift-adaptive recrawl scheduler (/schedules, /changes); requires outbound fetching")
+	recrawlMin := flag.Duration("recrawl-min", time.Minute,
+		"recrawl interval floor: alarmed/drifting schedules snap back to this")
+	recrawlMax := flag.Duration("recrawl-max", 7*24*time.Hour,
+		"recrawl interval ceiling: stable schedules decay toward this")
+	recrawlBudget := flag.Int("recrawl-budget", 2,
+		"max concurrent scheduled recrawls")
 	flag.Var(&rules, "rules", "repository file to preload ([name=]path.json|path.xml); repeatable")
 	flag.Parse()
 
@@ -160,7 +169,9 @@ func main() {
 		induct: *inductOn, inductMinPages: *inductMinPages,
 		inductWorkers: *inductWorkers, inductTruth: *inductTruth,
 		dataDir: *dataDir, fsync: *fsyncPolicy, snapshotEvery: *snapshotEvery,
-		log: logger,
+		monitor: *monitorOn, recrawlMin: *recrawlMin, recrawlMax: *recrawlMax,
+		recrawlBudget: *recrawlBudget,
+		log:           logger,
 	}
 	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "extractd:", err)
@@ -189,6 +200,10 @@ type options struct {
 	dataDir        string
 	fsync          string
 	snapshotEvery  time.Duration
+	monitor        bool
+	recrawlMin     time.Duration
+	recrawlMax     time.Duration
+	recrawlBudget  int
 	log            *slog.Logger
 }
 
@@ -238,6 +253,21 @@ func run(ctx context.Context, opts options) error {
 		}
 	} else if opts.inductTruth != "" {
 		return fmt.Errorf("-induct-truth requires -induct")
+	}
+
+	// The scheduler must exist before AttachStore so restored schedule
+	// state and change-feed events have somewhere to land; its cadence
+	// loop starts only after restore + preload, just before serving.
+	var sched *monitor.Scheduler
+	if opts.monitor {
+		if opts.noFetch {
+			return fmt.Errorf("-monitor requires outbound fetching (drop -no-fetch)")
+		}
+		sched = srv.EnableMonitor(monitor.Config{
+			MinInterval: opts.recrawlMin,
+			MaxInterval: opts.recrawlMax,
+			Budget:      opts.recrawlBudget,
+		})
 	}
 
 	// Durability: open the data directory (replaying any previous run's
@@ -307,6 +337,14 @@ func run(ctx context.Context, opts options) error {
 		}
 	}
 
+	if sched != nil {
+		go func() {
+			if err := sched.Run(ctx); err != nil && ctx.Err() == nil {
+				opts.log.Warn("monitor.run.stopped", "error", err.Error())
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		srv.Close()
@@ -315,7 +353,7 @@ func run(ctx context.Context, opts options) error {
 	opts.log.Info("extractd.listening",
 		"addr", ln.Addr().String(), "workers", workers, "queue", queue,
 		"repos", srv.Registry.Len(), "routable", srv.Router.Len(),
-		"induction", opts.induct, "durable", st != nil)
+		"induction", opts.induct, "monitor", opts.monitor, "durable", st != nil)
 	return serve(ctx, ln, srv, opts.drainTimeout, opts.log)
 }
 

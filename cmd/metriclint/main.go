@@ -130,7 +130,13 @@ func exercisedSnapshot() service.Snapshot {
 		},
 		Shed:            2,
 		PanicsRecovered: map[string]int64{"handler": 1, "extract": 1},
-		Build:           service.BuildInfo{GoVersion: "go1.24", Revision: "abc123"},
+		Recrawls:        map[string]int64{"clean": 5, "repaired": 1, "failed": 1},
+		Schedules: []service.ScheduleMetric{
+			{Repo: "movies", IntervalSeconds: 120},
+			{Repo: "stocks", IntervalSeconds: 60},
+		},
+		ChangefeedRecords: map[string]int64{"new": 12, "changed": 3, "vanished": 1},
+		Build:             service.BuildInfo{GoVersion: "go1.24", Revision: "abc123"},
 		Store: &store.Metrics{
 			WALBytes: 2048, WALRecords: 12, Fsyncs: 3, TornTails: 1,
 			ReplayRecords: 12, ReplayDurationSeconds: 0.02,

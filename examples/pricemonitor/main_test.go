@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPricemonitorExample runs the full monitoring campaign and pins the
+// narrative to its deterministic output (seeded corpus, fake clock, zero
+// jitter), so the example cannot silently rot as the scheduler evolves.
+// It is fast — every recrawl interval elapses on the fake clock — so it
+// runs under -short too.
+func TestPricemonitorExample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+
+	if !strings.Contains(out, "induced 4 rules for cluster stocks") {
+		t.Errorf("missing induction line in output:\n%s", out)
+	}
+	if got := strings.Count(out, "\n  new "); got != 12 {
+		t.Errorf("baseline crawl emitted %d new records, want 12\n%s", got, out)
+	}
+	for _, want := range []string{
+		"== baseline crawl ==",
+		"outcome=clean driftRate=0.000 next recrawl in 2m0s",
+		"== stable fetch: interval decays ==",
+		"outcome=clean driftRate=0.000 next recrawl in 4m0s",
+		"== site redesign: drift alarm and self-repair ==",
+		"outcome=repaired driftRate=1.000 next recrawl in 1m0s",
+		"== two prices moved ==",
+		"changed  /q/ACME/6  last=131.07",
+		"changed  /q/DOMC/5  last=17.45",
+		"outcome=clean driftRate=0.583 next recrawl in 1m25s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The redesign recrawl repairs in place: the quote values are
+	// unchanged, so the feed must stay silent through the repair.
+	repair := section(out, "== site redesign")
+	if !strings.Contains(repair, "(no changes)") {
+		t.Errorf("repair phase should emit no feed records:\n%s", repair)
+	}
+	// After the repair the price phase reports exactly the two moves.
+	if got := strings.Count(section(out, "== two prices moved"), "changed"); got != 2 {
+		t.Errorf("price phase emitted %d changed records, want 2\n%s", got, out)
+	}
+}
+
+// section returns the output from the given phase header to the next one.
+func section(out, header string) string {
+	i := strings.Index(out, header)
+	if i < 0 {
+		return ""
+	}
+	rest := out[i+len(header):]
+	if j := strings.Index(rest, "\n== "); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}

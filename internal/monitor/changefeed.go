@@ -1,0 +1,271 @@
+package monitor
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Change kinds: how a record moved between two recrawls of a site.
+const (
+	// KindNew: the record's URI was not in the last-seen set.
+	KindNew = "new"
+	// KindChanged: the URI was seen before with a different fingerprint.
+	KindChanged = "changed"
+	// KindVanished: the URI was seen before and produced no record now.
+	KindVanished = "vanished"
+)
+
+// Change is one change-feed event, serialized as one NDJSON line on
+// GET /changes. For vanished records Fingerprint is the last-seen
+// fingerprint and Record is omitted.
+type Change struct {
+	Seq         uint64              `json:"seq"`
+	At          time.Time           `json:"at"`
+	Repo        string              `json:"repo"`
+	URI         string              `json:"uri"`
+	Kind        string              `json:"kind"`
+	Fingerprint string              `json:"fingerprint,omitempty"`
+	Record      map[string][]string `json:"record,omitempty"`
+}
+
+// Record is one extracted record of a recrawl: the flat component
+// values plus their fingerprint (see FingerprintValues).
+type Record struct {
+	Fingerprint string              `json:"fingerprint"`
+	Values      map[string][]string `json:"values,omitempty"`
+}
+
+// FingerprintValues hashes a record's component values into the
+// identity the change feed diffs on: sorted components, values in
+// extraction order, field separators that cannot occur in HTML text.
+func FingerprintValues(values map[string][]string) string {
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0x00})
+		for _, v := range values[k] {
+			h.Write([]byte(v))
+			h.Write([]byte{0x01})
+		}
+		h.Write([]byte{0x02})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// diffRecords compares the last-seen fingerprint set against the
+// records of a fresh recrawl and returns the change events, sorted by
+// URI so a recrawl's batch is deterministic. Seq is assigned later, by
+// the feed.
+func diffRecords(repo string, at time.Time, seen map[string]string, cur map[string]Record) []Change {
+	uris := make(map[string]bool, len(seen)+len(cur))
+	for uri := range seen {
+		uris[uri] = true
+	}
+	for uri := range cur {
+		uris[uri] = true
+	}
+	ordered := make([]string, 0, len(uris))
+	for uri := range uris {
+		ordered = append(ordered, uri)
+	}
+	sort.Strings(ordered)
+
+	var out []Change
+	for _, uri := range ordered {
+		oldFP, had := seen[uri]
+		rec, has := cur[uri]
+		switch {
+		case !had && has:
+			out = append(out, Change{
+				At: at, Repo: repo, URI: uri, Kind: KindNew,
+				Fingerprint: rec.Fingerprint, Record: rec.Values,
+			})
+		case had && !has:
+			out = append(out, Change{
+				At: at, Repo: repo, URI: uri, Kind: KindVanished,
+				Fingerprint: oldFP,
+			})
+		case had && has && rec.Fingerprint != oldFP:
+			out = append(out, Change{
+				At: at, Repo: repo, URI: uri, Kind: KindChanged,
+				Fingerprint: rec.Fingerprint, Record: rec.Values,
+			})
+		}
+	}
+	return out
+}
+
+// DefaultFeedCapacity is how many change events the in-memory feed
+// retains for GET /changes?since= catch-up reads; older events age out
+// (they are still in the WAL until compaction folds them away).
+const DefaultFeedCapacity = 1024
+
+// Feed is the bounded, seq-numbered change-event buffer behind
+// GET /changes: appends assign monotonically increasing sequence
+// numbers, Since serves catch-up reads, and Wait blocks a follower
+// until events past its cursor exist. Safe for concurrent use.
+type Feed struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Change
+	nextSeq uint64
+	totals  map[string]int64 // kind → events emitted by this process
+	wake    chan struct{}
+}
+
+// NewFeed creates a feed retaining up to capacity events (<= 0: the
+// default capacity).
+func NewFeed(capacity int) *Feed {
+	if capacity <= 0 {
+		capacity = DefaultFeedCapacity
+	}
+	return &Feed{
+		cap:     capacity,
+		nextSeq: 1,
+		totals:  map[string]int64{},
+		wake:    make(chan struct{}),
+	}
+}
+
+// append assigns sequence numbers and publishes a recrawl's change
+// batch, waking any followers. It returns the stamped events.
+func (f *Feed) append(changes []Change) []Change {
+	if len(changes) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range changes {
+		changes[i].Seq = f.nextSeq
+		f.nextSeq++
+		f.totals[changes[i].Kind]++
+	}
+	f.push(changes)
+	close(f.wake)
+	f.wake = make(chan struct{})
+	return changes
+}
+
+// applyReplay re-publishes journaled events during WAL replay,
+// preserving their original sequence numbers. Events at sequence
+// numbers already applied (snapshot/WAL overlap) are skipped, so
+// replay is idempotent and a restart never re-emits a change it
+// already published. Totals are not counted: metrics describe this
+// process's emissions, not history.
+func (f *Feed) applyReplay(changes []Change, nextSeq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var fresh []Change
+	for _, c := range changes {
+		if c.Seq >= f.nextSeq {
+			fresh = append(fresh, c)
+		}
+	}
+	if len(fresh) > 0 {
+		f.push(fresh)
+		f.nextSeq = fresh[len(fresh)-1].Seq + 1
+	}
+	if nextSeq > f.nextSeq {
+		f.nextSeq = nextSeq
+	}
+}
+
+// push appends under f.mu, trimming the head past capacity.
+func (f *Feed) push(changes []Change) {
+	f.events = append(f.events, changes...)
+	if over := len(f.events) - f.cap; over > 0 {
+		f.events = append([]Change(nil), f.events[over:]...)
+	}
+}
+
+// Since returns the retained events with Seq > after, oldest first.
+func (f *Feed) Since(after uint64) []Change {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := sort.Search(len(f.events), func(i int) bool { return f.events[i].Seq > after })
+	out := make([]Change, len(f.events)-i)
+	copy(out, f.events[i:])
+	return out
+}
+
+// NextSeq returns the sequence number the next event will receive.
+func (f *Feed) NextSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nextSeq
+}
+
+// TotalsByKind returns how many events this process has emitted, by
+// kind.
+func (f *Feed) TotalsByKind() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.totals))
+	for k, v := range f.totals {
+		out[k] = v
+	}
+	return out
+}
+
+// Wait blocks until an event with Seq > after exists or ctx is done.
+func (f *Feed) Wait(ctx context.Context, after uint64) error {
+	for {
+		f.mu.Lock()
+		if f.nextSeq > after+1 {
+			f.mu.Unlock()
+			return nil
+		}
+		wake := f.wake
+		f.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// FeedState is the feed's durable form inside a snapshot: the retained
+// events and the next sequence number.
+type FeedState struct {
+	Events  []Change `json:"events,omitempty"`
+	NextSeq uint64   `json:"nextSeq"`
+}
+
+// exportState copies the feed for a snapshot.
+func (f *Feed) exportState() FeedState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FeedState{NextSeq: f.nextSeq}
+	if len(f.events) > 0 {
+		st.Events = make([]Change, len(f.events))
+		copy(st.Events, f.events)
+	}
+	return st
+}
+
+// restoreState replaces the feed's contents from a snapshot.
+func (f *Feed) restoreState(st FeedState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = append([]Change(nil), st.Events...)
+	if over := len(f.events) - f.cap; over > 0 {
+		f.events = append([]Change(nil), f.events[over:]...)
+	}
+	f.nextSeq = st.NextSeq
+	if f.nextSeq == 0 {
+		f.nextSeq = 1
+	}
+	if n := len(f.events); n > 0 && f.events[n-1].Seq >= f.nextSeq {
+		f.nextSeq = f.events[n-1].Seq + 1
+	}
+}

@@ -1,0 +1,33 @@
+// Package monitor turns extractd from a passive extraction API into a
+// standing monitoring product: a drift-adaptive recrawl scheduler over
+// the repositories the service already knows how to extract, detect
+// drift in, and repair.
+//
+// Every registered site/repo pair carries a recrawl interval adapted
+// from its observed drift rate. A stable site's interval decays
+// geometrically from the configured minimum toward the maximum
+// (weekly, by default); a site whose records keep changing — or whose
+// lifecycle drift alarm trips, or that needed an auto-repair — snaps
+// back to the minimum and relaxes again only as calm recrawls
+// accumulate. Firing is jittered so a fleet of schedules does not
+// thundering-herd an origin, recrawl concurrency is bounded by a
+// worker budget plus a per-host limiter, and every recrawl diffs the
+// extracted records against the last-seen set to emit a change feed of
+// new/changed/vanished records (keyed by record fingerprint) as NDJSON.
+//
+// All time flows through resilient.Clock, so the entire adaptive loop
+// — interval decay, alarm snap-back, jitter, next-fire bookkeeping —
+// is deterministic under resilient.FakeClock: tests drive Tick
+// directly and assert the exact firing sequence without a single
+// wall-clock sleep. Durability hooks (Journal, ExportState /
+// RestoreState, ApplyScheduleRecord / ApplyRecrawlRecord) let the
+// service journal schedule state and the last-seen record set through
+// its WAL, so a restarted daemon resumes the cadence it had instead of
+// resetting it — and never re-emits change events it already published.
+//
+// The package is decision-only: it does not fetch, extract, or talk
+// HTTP. The embedding service supplies a RecrawlFunc that performs the
+// crawl → route → extract → (repair) pass and returns the extracted
+// records; internal/service wires that to webfetch, the pipeline spine
+// and the lifecycle repair path.
+package monitor

@@ -24,6 +24,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/induct"
 	"repro/internal/lifecycle"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/resilient"
@@ -121,6 +122,12 @@ type Server struct {
 	// before shedding with 503 + Retry-After (default 2s; negative
 	// waits indefinitely, the pre-resilience behaviour).
 	AdmissionWait time.Duration
+	// Scheduler, when non-nil, is the drift-adaptive recrawl scheduler:
+	// the /schedules endpoints manage cadence, /changes streams the
+	// change feed, and tripped drift alarms snap the repo's schedule
+	// back to its minimum interval. Set via EnableMonitor, not
+	// directly; nil disables the endpoints (501).
+	Scheduler *monitor.Scheduler
 
 	monMu    sync.Mutex
 	monitors map[string]*lifecycle.Monitor
@@ -268,6 +275,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/promote", s.handleJobPromote)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
+	mux.HandleFunc("POST /schedules", s.handleScheduleCreate)
+	mux.HandleFunc("GET /schedules", s.handleScheduleList)
+	mux.HandleFunc("POST /schedules/{repo}/pause", s.handleSchedulePause)
+	mux.HandleFunc("POST /schedules/{repo}/resume", s.handleScheduleResume)
+	mux.HandleFunc("DELETE /schedules/{repo}", s.handleScheduleDelete)
+	mux.HandleFunc("GET /changes", s.handleChanges)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.instrument(mux)
@@ -329,6 +342,15 @@ func routeOf(path string) string {
 		return "healthz"
 	case path == "/metrics":
 		return "metrics"
+	case path == "/changes":
+		return "changes"
+	case strings.HasPrefix(path, "/schedules/"):
+		if i := strings.LastIndexByte(path, '/'); i > len("/schedules/") {
+			return "schedules." + path[i+1:]
+		}
+		return "schedules"
+	case path == "/schedules":
+		return "schedules"
 	case strings.HasPrefix(path, "/repos/"):
 		if i := strings.LastIndexByte(path, '/'); i > len("/repos/") {
 			return "repos." + path[i+1:]
@@ -368,10 +390,11 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		ctx := obs.WithTrace(r.Context(), id)
 		// Deadline propagation: every request runs under the server's
-		// request budget, except streaming /ingest — a whole-site
-		// ingestion legitimately outlives any fixed budget, so there the
-		// deadline applies per extracted page instead (see extractor).
-		if s.RequestTimeout > 0 && r.URL.Path != "/ingest" {
+		// request budget, except the streaming routes — a whole-site
+		// /ingest or a followed /changes tail legitimately outlives any
+		// fixed budget, so there the deadline applies per extracted page
+		// instead (see extractor).
+		if s.RequestTimeout > 0 && r.URL.Path != "/ingest" && r.URL.Path != "/changes" {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.RequestTimeout)
 			defer cancel()
@@ -730,6 +753,12 @@ func (s *Server) extractEntry(ctx context.Context, e *RepoEntry, page *core.Page
 		s.logger().LogAttrs(ctx, slog.LevelWarn, "drift.alarm",
 			slog.String("repo", e.Name), slog.Int("version", e.Version),
 			slog.String("uri", page.URI))
+		// A tripped alarm is the scheduler's cue to stop waiting: the
+		// repo's recrawl interval snaps back to the minimum and the
+		// schedule becomes due immediately.
+		if s.Scheduler != nil {
+			s.Scheduler.Alarm(e.Name)
+		}
 	}
 	// While the alarm stays tripped the monitor paces retry attempts, so
 	// a repair that sampled too early (buffer still dominated by

@@ -60,6 +60,9 @@ type Metrics struct {
 	streamFallbacks atomic.Int64
 	streamReasons   map[string]int64 // fallback reason → count; under mu
 
+	// Scheduled-recrawl outcomes (clean/repaired/failed); under mu.
+	recrawls map[string]int64
+
 	// Pipeline carries the per-stage spine telemetry (Source/Classify/
 	// Extract/Sink latency histograms, in-flight gauges, error counters)
 	// shared by every pipeline run the server drives — /ingest,
@@ -155,6 +158,17 @@ func (m *Metrics) StreamExtract(hit bool, reason string) {
 		m.streamReasons = map[string]int64{}
 	}
 	m.streamReasons[reason]++
+	m.mu.Unlock()
+}
+
+// Recrawl records the outcome of one scheduled recrawl firing
+// ("clean", "repaired" or "failed").
+func (m *Metrics) Recrawl(outcome string) {
+	m.mu.Lock()
+	if m.recrawls == nil {
+		m.recrawls = map[string]int64{}
+	}
+	m.recrawls[outcome]++
 	m.mu.Unlock()
 }
 
@@ -299,8 +313,24 @@ type Snapshot struct {
 	Shed int64 `json:"shed,omitempty"`
 	// PanicsRecovered counts recovered panics by stage.
 	PanicsRecovered map[string]int64 `json:"panicsRecovered,omitempty"`
+	// Recrawls counts scheduled recrawl firings by outcome
+	// (clean/repaired/failed).
+	Recrawls map[string]int64 `json:"recrawls,omitempty"`
+	// Schedules is the live recrawl cadence per registered repo (empty
+	// when monitoring is disabled).
+	Schedules []ScheduleMetric `json:"schedules,omitempty"`
+	// ChangefeedRecords counts change-feed events emitted by this
+	// process, by kind (new/changed/vanished).
+	ChangefeedRecords map[string]int64 `json:"changefeedRecords,omitempty"`
 	// Build identifies the running binary.
 	Build BuildInfo `json:"build"`
+}
+
+// ScheduleMetric is one schedule's current recrawl interval in the
+// snapshot.
+type ScheduleMetric struct {
+	Repo            string  `json:"repo"`
+	IntervalSeconds float64 `json:"intervalSeconds"`
 }
 
 // FetchOutcomeCount is one (host, outcome) fetch counter of the snapshot.
@@ -363,6 +393,12 @@ func (m *Metrics) Snapshot() Snapshot {
 			s.StreamFallbackReasons[k] = v
 		}
 	}
+	if len(m.recrawls) > 0 {
+		s.Recrawls = make(map[string]int64, len(m.recrawls))
+		for k, v := range m.recrawls {
+			s.Recrawls[k] = v
+		}
+	}
 	for k, v := range m.requests {
 		s.Requests[k] = v
 	}
@@ -420,6 +456,18 @@ func (s *Server) MetricsSnapshot() Snapshot {
 	if s.Store != nil {
 		m := s.Store.Metrics()
 		snap.Store = &m
+	}
+	if s.Scheduler != nil {
+		for _, sc := range s.Scheduler.List() {
+			snap.Schedules = append(snap.Schedules, ScheduleMetric{
+				Repo:            sc.Repo,
+				IntervalSeconds: sc.Interval.Seconds(),
+			})
+		}
+		totals := s.Scheduler.Feed().TotalsByKind()
+		if len(totals) > 0 {
+			snap.ChangefeedRecords = totals
+		}
 	}
 	if s.Fetcher != nil {
 		states := s.Fetcher.BreakerStates()

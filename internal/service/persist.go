@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/induct"
 	"repro/internal/lifecycle"
+	"repro/internal/monitor"
 	"repro/internal/rule"
 	"repro/internal/store"
 )
@@ -30,6 +31,9 @@ const (
 	recInductCapture  = "induct.capture"
 	recInductJob      = "induct.job"
 	recInductExamples = "induct.examples"
+	recMonSchedule    = "monitor.schedule"
+	recMonSchedRemove = "monitor.schedule.remove"
+	recMonRecrawl     = "monitor.recrawl"
 )
 
 // repoRecord journals one registry publish (Load or Stage).
@@ -72,6 +76,14 @@ type persistedState struct {
 	Router   map[string]*cluster.Signature      `json:"router,omitempty"`
 	Monitors map[string]*lifecycle.MonitorState `json:"monitors,omitempty"`
 	Induct   *induct.EngineState                `json:"induct,omitempty"`
+	// Monitor holds the recrawl scheduler: schedule cadence, last-seen
+	// record sets and the change feed's retained events + next sequence.
+	Monitor *monitor.State `json:"monitor,omitempty"`
+}
+
+// scheduleRemoveRecord journals a schedule removal.
+type scheduleRemoveRecord struct {
+	Repo string `json:"repo"`
 }
 
 // AttachStore restores state from the store and wires every subsystem's
@@ -156,6 +168,9 @@ func (s *Server) restoreSnapshot(ps *persistedState) {
 	if ps.Induct != nil && s.Induct != nil {
 		s.Induct.RestoreState(ps.Induct)
 	}
+	if ps.Monitor != nil && s.Scheduler != nil {
+		s.Scheduler.RestoreState(ps.Monitor)
+	}
 }
 
 // applyRecord replays one WAL record. Unknown types are warned about
@@ -237,6 +252,33 @@ func (s *Server) applyRecord(rec store.Record) {
 		if s.Induct != nil {
 			s.Induct.ApplyExamples(ex)
 		}
+	case recMonSchedule:
+		var sc monitor.ScheduleState
+		if err := json.Unmarshal(rec.Data, &sc); err != nil {
+			warn(err)
+			return
+		}
+		if s.Scheduler != nil {
+			s.Scheduler.ApplyScheduleRecord(&sc)
+		}
+	case recMonSchedRemove:
+		var sr scheduleRemoveRecord
+		if err := json.Unmarshal(rec.Data, &sr); err != nil {
+			warn(err)
+			return
+		}
+		if s.Scheduler != nil {
+			s.Scheduler.ApplyScheduleRemove(sr.Repo)
+		}
+	case recMonRecrawl:
+		var rr monitor.RecrawlRecord
+		if err := json.Unmarshal(rec.Data, &rr); err != nil {
+			warn(err)
+			return
+		}
+		if s.Scheduler != nil {
+			s.Scheduler.ApplyRecrawlRecord(&rr)
+		}
 	default:
 		warn(fmt.Errorf("unknown record type"))
 	}
@@ -289,6 +331,19 @@ func (s *Server) attachJournals(st *store.Store) {
 			},
 		})
 	}
+	if s.Scheduler != nil {
+		s.Scheduler.SetJournal(monitor.Journal{
+			Schedule: func(sc *monitor.ScheduleState) {
+				s.append(st, recMonSchedule, sc)
+			},
+			Remove: func(repo string) {
+				s.append(st, recMonSchedRemove, scheduleRemoveRecord{Repo: repo})
+			},
+			Recrawl: func(rr *monitor.RecrawlRecord) {
+				s.append(st, recMonRecrawl, rr)
+			},
+		})
+	}
 }
 
 // captureState assembles the full-daemon snapshot. Each subsystem
@@ -320,6 +375,9 @@ func (s *Server) captureState() (any, error) {
 	}
 	if s.Induct != nil {
 		ps.Induct = s.Induct.ExportState()
+	}
+	if s.Scheduler != nil {
+		ps.Monitor = s.Scheduler.ExportState()
 	}
 	return ps, nil
 }

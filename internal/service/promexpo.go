@@ -95,9 +95,29 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 		float64(snap.UnroutedDropped))
 
 	writeResilience(p, snap)
+	writeMonitor(p, snap)
 	writeStore(p, snap.Store)
 
 	return p.Err()
+}
+
+// writeMonitor renders the continuous-monitoring families: recrawl
+// outcomes, the live per-repo recrawl cadence, and change-feed
+// emissions by kind. Family headers render unconditionally so the
+// family set is stable whether or not monitoring is enabled.
+func writeMonitor(p *obs.PromWriter, snap Snapshot) {
+	writeLabeledCounters(p, "extractd_recrawl_total",
+		"Scheduled recrawl firings, by outcome (clean, repaired, failed).",
+		"outcome", snap.Recrawls)
+	p.Family("extractd_recrawl_interval_seconds", "gauge",
+		"Current drift-adaptive recrawl interval, by repository.")
+	for _, sc := range snap.Schedules {
+		p.Sample("extractd_recrawl_interval_seconds",
+			[]obs.Label{{Key: "repo", Value: sc.Repo}}, sc.IntervalSeconds)
+	}
+	writeLabeledCounters(p, "extractd_changefeed_records_total",
+		"Change-feed events emitted, by kind (new, changed, vanished).",
+		"kind", snap.ChangefeedRecords)
 }
 
 // writeResilience renders the failure-hardening families: fetch retries

@@ -144,6 +144,9 @@ func TestPromExpositionGolden(t *testing.T) {
 		"extractd_fetch_breaker_state":             "gauge",
 		"extractd_shed_total":                      "counter",
 		"extractd_panics_recovered_total":          "counter",
+		"extractd_recrawl_total":                   "counter",
+		"extractd_recrawl_interval_seconds":        "gauge",
+		"extractd_changefeed_records_total":        "counter",
 	}
 	for name, typ := range wantTypes {
 		f := familyByName(fams, name)
@@ -315,12 +318,15 @@ var snapshotFieldMetrics = map[string][]string{
 		"extractd_pipeline_stage_in_flight",
 		"extractd_pipeline_stage_errors_total",
 	},
-	"FetchRetries":    {"extractd_fetch_retries_total"},
-	"Fetch":           {"extractd_fetch_total"},
-	"Breakers":        {"extractd_fetch_breaker_state"},
-	"Shed":            {"extractd_shed_total"},
-	"PanicsRecovered": {"extractd_panics_recovered_total"},
-	"Build":           {"extractd_build_info"},
+	"FetchRetries":      {"extractd_fetch_retries_total"},
+	"Fetch":             {"extractd_fetch_total"},
+	"Breakers":          {"extractd_fetch_breaker_state"},
+	"Shed":              {"extractd_shed_total"},
+	"PanicsRecovered":   {"extractd_panics_recovered_total"},
+	"Recrawls":          {"extractd_recrawl_total"},
+	"Schedules":         {"extractd_recrawl_interval_seconds"},
+	"ChangefeedRecords": {"extractd_changefeed_records_total"},
+	"Build":             {"extractd_build_info"},
 }
 
 // TestPromJSONParity walks the Snapshot struct with reflection and
@@ -372,7 +378,10 @@ func TestPromJSONParity(t *testing.T) {
 		PanicsRecovered: map[string]int64{
 			"handler": 1,
 		},
-		Build: BuildInfo{GoVersion: "go"},
+		Recrawls:          map[string]int64{"clean": 1},
+		Schedules:         []ScheduleMetric{{Repo: "r", IntervalSeconds: 60}},
+		ChangefeedRecords: map[string]int64{"new": 1},
+		Build:             BuildInfo{GoVersion: "go"},
 		Store: &store.Metrics{
 			WALBytes: 1, WALRecords: 1, Fsyncs: 1, TornTails: 1,
 			ReplayRecords: 1, ReplayDurationSeconds: 0.1,
